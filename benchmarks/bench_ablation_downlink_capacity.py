@@ -1,0 +1,55 @@
+"""Ablation — satellite downlink capacity vs fleet load.
+
+The paper warns that "bursty concurrent communications from numerous
+devices ... imposes pressure on the processing capacity and capabilities
+of the satellite".  This ablation loads a satellite buffer with
+fleet-scale backlogs and measures how many ground-station contacts are
+needed to drain them at different downlink rates.
+"""
+
+from satiot.core.report import format_table
+from satiot.network.downlink import DownlinkConfig, DownlinkSimulator
+from satiot.network.store_forward import BufferedPacket, SatelliteBuffer
+
+from conftest import write_output
+
+FLEET_SIZES = (100, 1_000, 10_000, 50_000)
+RATES_BYTES_S = (1_000.0, 4_000.0, 16_000.0)
+WINDOW_S = 420.0          # a typical high-elevation GS contact
+PACKETS_PER_NODE = 2      # backlog accumulated between contacts
+
+
+def compute():
+    out = {}
+    for rate in RATES_BYTES_S:
+        sim = DownlinkSimulator(DownlinkConfig(throughput_bytes_s=rate))
+        for fleet in FLEET_SIZES:
+            backlog = fleet * PACKETS_PER_NODE
+            sessions = sim.sessions_to_empty(backlog, 20, WINDOW_S)
+            buffer = SatelliteBuffer(44100, capacity_packets=10**7)
+            for seq in range(min(backlog, 120_000)):
+                buffer.store(BufferedPacket("fleet", seq, 0.0, 20))
+            drained = sim.run_session(buffer, (0.0, WINDOW_S))
+            out[(rate, fleet)] = (sessions, drained.drained_count)
+    return out
+
+
+def test_ablation_downlink_capacity(benchmark):
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[rate / 1000.0, fleet, sessions, drained]
+            for (rate, fleet), (sessions, drained) in sweep.items()]
+    table = format_table(
+        ["Downlink (kB/s)", "fleet size", "contacts to drain",
+         "drained in one contact"],
+        rows, precision=0,
+        title="Ablation: downlink capacity vs fleet backlog "
+              "(420 s contact, 2 pkts/node)")
+    write_output("ablation_downlink_capacity", table)
+
+    # A faster link needs no more contacts for the same backlog.
+    for fleet in FLEET_SIZES:
+        sessions = [sweep[(rate, fleet)][0] for rate in RATES_BYTES_S]
+        assert sessions == sorted(sessions, reverse=True)
+    # Congestion regime exists: the biggest fleet at the slowest rate
+    # needs multiple contacts.
+    assert sweep[(RATES_BYTES_S[0], FLEET_SIZES[-1])][0] > 1

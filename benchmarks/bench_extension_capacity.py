@@ -1,0 +1,57 @@
+"""Extension — regional uplink capacity from measured contact time.
+
+Closes the loop on the paper's framing question ("can a space-based
+infrastructure deliver network performance that fulfills IoT
+requirements?"): the *effective* contact hours the campaign measures,
+divided by packet airtime and MAC efficiency, bound how many
+paper-profile sensors (48 × 20 B/day) each constellation can actually
+serve per region.
+"""
+
+from satiot.core.capacity import estimate_regional_capacity
+from satiot.core.contacts import analyze_contacts
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    out = {}
+    for name, constellation in result.constellations.items():
+        stats = analyze_contacts(result.receptions("HK", name),
+                                 result.duration_s)
+        eff_s = stats.effective_daily_hours * 3600.0
+        aloha = estimate_regional_capacity(eff_s)
+        slotted = estimate_regional_capacity(eff_s,
+                                             aloha_efficiency=0.9)
+        out[constellation.name] = (stats.effective_daily_hours, aloha,
+                                   slotted)
+    return out
+
+
+def test_extension_capacity(benchmark, passive_continent):
+    estimates = benchmark(compute, passive_continent)
+    rows = []
+    for name, (eff_h, aloha, slotted) in sorted(estimates.items()):
+        rows.append([
+            name, eff_h, aloha.packets_per_day,
+            aloha.supported_devices, slotted.supported_devices,
+        ])
+    table = format_table(
+        ["Constellation", "eff contact (h/day)", "ALOHA pkts/day",
+         "devices @ALOHA", "devices @coordinated"],
+        rows, precision=1,
+        title="Extension: regional capacity for 48x20B/day sensors "
+              "(HK, from measured effective contact)")
+    write_output("extension_capacity", table)
+
+    tianqi = estimates["Tianqi"]
+    # Tianqi's effective hours support at most hundreds of ALOHA
+    # sensors per region — the capacity pressure of Section 3.1.
+    assert tianqi[1].supported_devices < 1000.0
+    # A coordinated MAC multiplies capacity by the efficiency ratio.
+    assert tianqi[2].supported_devices \
+        > 4 * tianqi[1].supported_devices
+    # Bigger fleets carry more.
+    assert estimates["Tianqi"][1].packets_per_day \
+        > estimates["FOSSA"][1].packets_per_day

@@ -1,0 +1,71 @@
+"""Extension — fleet-scale congestion (paper Section 3.1's warning).
+
+Sweeps the regional background-device density and measures its effect
+on the three monitored nodes: contention erodes uplink success, the
+satellite's processing loss grows, and deliveries queue behind the
+fleet's backlog at the downlink.
+"""
+
+import numpy as np
+
+from satiot.constellations.catalog import build_constellation
+from satiot.core.fleet import (FleetModel, congested_mac_config,
+                               delivery_delay_under_load_s)
+from satiot.core.report import format_table
+from satiot.network.downlink import DownlinkConfig
+from satiot.network.mac import MacConfig
+from satiot.network.server import reliability_report
+from satiot.network.store_forward import GroundSegment
+
+from conftest import SEED, run_active, write_output
+
+DENSITIES = (0.0, 50.0, 500.0, 2000.0)
+ALTITUDE_KM = 856.0
+
+
+def compute(shared_segment):
+    out = {}
+    constellation = build_constellation("tianqi", seed=SEED)
+    epoch = constellation.satellites[0].tle.epoch
+    unbatched = GroundSegment(constellation, epoch, 86400.0,
+                              processing_batch_s=0.0)
+    norad = constellation.satellites[0].norad_id
+    for density in DENSITIES:
+        fleet = FleetModel(device_density_per_mkm2=density)
+        mac = congested_mac_config(fleet, ALTITUDE_KM, MacConfig())
+        result = run_active(shared_segment, mac_config=mac)
+        report = reliability_report(result.all_satellite_records())
+        retx = result.retransmission_counts()
+        delivery = delivery_delay_under_load_s(
+            unbatched, fleet, constellation, 1000.0, norad,
+            downlink=DownlinkConfig(throughput_bytes_s=2000.0))
+        out[density] = (report.reliability,
+                        float(np.mean(retx)) if retx else 0.0,
+                        fleet.expected_contenders(ALTITUDE_KM),
+                        (delivery - 1000.0) / 60.0
+                        if delivery is not None else None)
+    return out
+
+
+def test_extension_fleet_congestion(benchmark, shared_ground_segment):
+    sweep = benchmark.pedantic(compute, args=(shared_ground_segment,),
+                               rounds=1, iterations=1)
+    rows = [[density, contenders, rel, retx, delay]
+            for density, (rel, retx, contenders, delay)
+            in sweep.items()]
+    table = format_table(
+        ["Fleet density (/Mkm^2)", "contenders/beacon", "reliability",
+         "mean retx", "delivery delay (min)"],
+        rows, precision=2,
+        title="Extension: background fleet congestion vs monitored "
+              "nodes")
+    write_output("extension_fleet_congestion", table)
+
+    rels = [sweep[d][0] for d in DENSITIES]
+    retxs = [sweep[d][1] for d in DENSITIES]
+    # Congestion monotonically erodes the link (within noise for the
+    # sparse end) and inflates retransmissions.
+    assert rels[0] >= rels[-1]
+    assert retxs[-1] > retxs[0]
+    delays = [sweep[d][3] for d in DENSITIES if sweep[d][3] is not None]
+    assert delays == sorted(delays)

@@ -1,0 +1,45 @@
+"""Extension — availability as a function of latitude.
+
+The paper's sites span 22°S..52°N; this extension sweeps the full
+latitude range, showing how each constellation's inclination mix shapes
+who gets service: Tianqi's 50°-inclined main shell abandons the poles,
+while the sun-synchronous fleets concentrate their coverage there.
+"""
+
+from satiot.constellations.catalog import build_all_constellations
+from satiot.core.availability import daily_presence_hours
+from satiot.core.report import format_table
+from satiot.orbits.frames import GeodeticPoint
+
+from conftest import SEED, write_output
+
+LATITUDES = (0.0, 22.3, 45.0, 70.0, 85.0)
+
+
+def compute():
+    constellations = build_all_constellations(seed=SEED)
+    out = {}
+    for name, constellation in constellations.items():
+        epoch = constellation.satellites[0].tle.epoch
+        out[name] = [
+            daily_presence_hours(constellation,
+                                 GeodeticPoint(lat, 114.0), epoch)
+            for lat in LATITUDES]
+    return out
+
+
+def test_extension_latitude(benchmark):
+    presence = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name, hours in sorted(presence.items()):
+        rows.append([name] + hours)
+    table = format_table(
+        ["Constellation"] + [f"{lat:g}N (h/day)" for lat in LATITUDES],
+        rows, precision=1,
+        title="Extension: daily presence vs latitude")
+    write_output("extension_latitude", table)
+
+    # Tianqi (49.97 deg main shell) loses the high latitudes...
+    assert presence["tianqi"][-1] < presence["tianqi"][1]
+    # ...while sun-synchronous PICO peaks near the poles.
+    assert presence["pico"][-1] > presence["pico"][0]

@@ -1,0 +1,81 @@
+"""Extension — LoRa vs NB-IoT as the DtS physical layer.
+
+The paper's introduction names both technologies as DtS-capable; the
+measured constellations all chose LoRa.  This bench compares the two at
+the same DtS link budgets: who closes the link, at what airtime, and at
+what transmit energy per 20-byte reading.
+"""
+
+from satiot.core.report import format_table
+from satiot.phy.adaptation import sf_trade_table
+from satiot.phy.link_budget import free_space_path_loss_db
+from satiot.phy.lora import SNR_LIMIT_DB, noise_floor_dbm
+from satiot.phy.nbiot import NbIotUplink
+
+from conftest import write_output
+
+#: Representative DtS coupling-loss stack at three pass geometries.
+SCENARIOS = {
+    "overhead (900 km)": free_space_path_loss_db(900.0, 400.45e6) + 6.0,
+    "mid-pass (1,400 km)": free_space_path_loss_db(1400.0, 400.45e6)
+    + 10.0,
+    "low pass (2,800 km)": free_space_path_loss_db(2800.0, 400.45e6)
+    + 16.0,
+}
+
+LORA_EIRP_DBM = 22.0
+NBIOT_EIRP_DBM = 23.0
+
+
+def lora_operating_point(coupling_loss_db: float):
+    """Cheapest SF that closes the budget, or None."""
+    table = sf_trade_table(payload_bytes=20, tx_power_mw=3586.0)
+    rx_dbm = LORA_EIRP_DBM - coupling_loss_db
+    snr = rx_dbm - noise_floor_dbm(125_000.0)
+    for sf in sorted(table):
+        if snr >= SNR_LIMIT_DB[sf] + 1.0:
+            return table[sf]
+    return None
+
+
+def compute():
+    rows = []
+    for name, loss in SCENARIOS.items():
+        lora = lora_operating_point(loss)
+        nbiot = NbIotUplink.for_coupling_loss(loss,
+                                              eirp_dbm=NBIOT_EIRP_DBM)
+        rows.append([
+            name, loss,
+            f"SF{lora.spreading_factor}" if lora else "no",
+            lora.airtime_s * 1000.0 if lora else None,
+            lora.tx_energy_j if lora else None,
+            f"R={nbiot.repetitions}" if nbiot else "no",
+            nbiot.airtime_s(20) * 1000.0 if nbiot else None,
+            nbiot.tx_energy_j(20) if nbiot else None,
+        ])
+    return rows
+
+
+def test_extension_nbiot(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        ["Geometry", "coupling loss (dB)", "LoRa mode",
+         "LoRa airtime (ms)", "LoRa energy (J)", "NB-IoT mode",
+         "NB-IoT airtime (ms)", "NB-IoT energy (J)"],
+        rows, precision=1,
+        title="Extension: LoRa vs NB-IoT at DtS link budgets "
+              "(20-byte reading)")
+    write_output("extension_nbiot", table)
+
+    by_name = {row[0]: row for row in rows}
+    overhead = by_name["overhead (900 km)"]
+    low = by_name["low pass (2,800 km)"]
+    # Both PHYs close the easy geometry; NB-IoT does it faster.
+    assert overhead[2] != "no" and overhead[5] != "no"
+    assert overhead[6] < overhead[3]
+    # The hard geometry pushes both into their slow protection modes
+    # (high SF / high repetition) or out of budget entirely.
+    if low[2] != "no":
+        assert low[3] > overhead[3]
+    if low[5] != "no":
+        assert low[6] > overhead[6]

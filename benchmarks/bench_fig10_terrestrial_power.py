@@ -1,0 +1,39 @@
+"""Figure 10 — terrestrial node per-mode power consumption.
+
+Paper measurements: Tx 1,630 mW, Rx 265 mW, Standby 146 mW,
+Sleep 19.1 mW.  These values are carried verbatim by the profile; the
+bench verifies the profile and the per-packet energy costing built on
+top of it.
+"""
+
+import pytest
+
+from satiot.core.report import format_table
+from satiot.energy.behavior import TerrestrialBehavior
+from satiot.energy.profiles import TERRESTRIAL_NODE_PROFILE
+
+from conftest import write_output
+
+PAPER_MW = {"tx": 1630.0, "rx": 265.0, "standby": 146.0, "sleep": 19.1}
+
+
+def compute():
+    behavior = TerrestrialBehavior()
+    per_packet_mj = (behavior.modulation.airtime_s(20)
+                     * TERRESTRIAL_NODE_PROFILE.tx_mw)
+    return TERRESTRIAL_NODE_PROFILE.as_dict(), per_packet_mj
+
+
+def test_fig10_terrestrial_power(benchmark):
+    powers, per_packet = benchmark(compute)
+    rows = [[mode, powers[mode], PAPER_MW[mode]]
+            for mode in ("tx", "rx", "standby", "sleep")]
+    table = format_table(
+        ["Mode", "profile (mW)", "paper (mW)"],
+        rows, precision=1,
+        title="Figure 10: terrestrial node power consumption")
+    table += f"\nTx energy per 20-byte packet: {per_packet:.1f} mW*s"
+    write_output("fig10_terrestrial_power", table)
+
+    for mode, value in PAPER_MW.items():
+        assert powers[mode] == pytest.approx(value)

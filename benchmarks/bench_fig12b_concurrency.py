@@ -1,0 +1,35 @@
+"""Figure 12b — reliability under simultaneous transmissions.
+
+Paper Appendix E: 94 % for single-node transmissions, 92 % with two
+nodes, 89 % with three nodes transmitting simultaneously.
+"""
+
+from satiot.core.performance import reliability_by_concurrency
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+PAPER = {1: 0.94, 2: 0.92, 3: 0.89}
+
+
+def compute(result):
+    return reliability_by_concurrency(result.all_satellite_records())
+
+
+def test_fig12b_concurrency(benchmark, active_default):
+    groups = benchmark(compute, active_default)
+    rows = [[k, count, rel, PAPER.get(k)]
+            for k, (rel, count) in sorted(groups.items())]
+    table = format_table(
+        ["Concurrent transmitters", "#packets", "measured reliability",
+         "paper"],
+        rows, precision=3,
+        title="Figure 12b: reliability vs simultaneous transmissions")
+    write_output("fig12b_concurrency", table)
+
+    assert 1 in groups
+    rel_single, _ = groups[1]
+    assert rel_single > 0.8
+    # Higher concurrency never helps.
+    if 3 in groups and groups[3][1] >= 20:
+        assert groups[3][0] <= rel_single + 0.05

@@ -1,0 +1,50 @@
+"""Figure 3a — daily presence duration per constellation and location.
+
+Paper reference points: FOSSA 1.1-3.0 h, PICO 5.7 h, Tianqi (22 sats)
+19.1 h, stable across the four continent sites.
+"""
+
+from satiot.core.availability import presence_by_site
+from satiot.core.report import format_table
+from satiot.core.sites import CONTINENT_SITES, SITES
+
+from conftest import write_output
+
+PAPER_REFERENCE = {"Tianqi": 19.1, "PICO": 5.7, "FOSSA": 2.0,
+                   "CSTP": None}
+
+
+def compute_presence(result):
+    locations = {code: SITES[code].location for code in CONTINENT_SITES}
+    epoch = result.epoch
+    return presence_by_site(result.constellations, locations, epoch,
+                            days=1.0)
+
+
+def test_fig3a_daily_presence(benchmark, passive_continent):
+    presence = benchmark(compute_presence, passive_continent)
+    rows = []
+    for con_name, per_site in sorted(presence.items()):
+        constellation = passive_continent.constellations[con_name]
+        row = [constellation.name, len(constellation)]
+        row += [per_site[code] for code in CONTINENT_SITES]
+        row.append(PAPER_REFERENCE.get(constellation.name))
+        rows.append(row)
+    table = format_table(
+        ["Constellation", "#SATs"] + [f"{c} (h/day)"
+                                      for c in CONTINENT_SITES]
+        + ["paper (h/day)"],
+        rows, precision=1,
+        title="Figure 3a: theoretical daily presence per constellation")
+    write_output("fig3a_presence", table)
+
+    by_name = {row[0]: row for row in rows}
+    # Shape: bigger constellations are present longer; Tianqi ~19 h.
+    hk = CONTINENT_SITES.index("HK") + 2
+    assert by_name["Tianqi"][hk] > by_name["PICO"][hk] \
+        > by_name["FOSSA"][hk]
+    assert 13.0 < by_name["Tianqi"][hk] < 22.0
+    # Availability is roughly stable across the four sites.
+    for row in rows:
+        values = row[2:6]
+        assert max(values) - min(values) < 0.8 * max(values) + 1.0

@@ -1,0 +1,35 @@
+"""Figure 3b — signal strength distribution per constellation.
+
+Paper: beacons arrive at roughly -140 to -110 dBm across constellations.
+"""
+
+from satiot.core.availability import rssi_stats
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute_rssi(result):
+    out = {}
+    for name in result.constellations:
+        receptions = [r for code in result.site_results
+                      for r in result.receptions(code, name)]
+        out[name] = rssi_stats(receptions)
+    return out
+
+
+def test_fig3b_rssi_distributions(benchmark, passive_continent):
+    stats = benchmark(compute_rssi, passive_continent)
+    rows = [[result_name, s.count, s.p10_dbm, s.median_dbm, s.p90_dbm]
+            for result_name, s in sorted(stats.items())]
+    table = format_table(
+        ["Constellation", "#traces", "p10 (dBm)", "median (dBm)",
+         "p90 (dBm)"],
+        rows, precision=1,
+        title="Figure 3b: received beacon RSSI per constellation "
+              "(paper: -140..-110 dBm)")
+    write_output("fig3b_rssi", table)
+
+    for _name, s in stats.items():
+        if s.count:
+            assert -150.0 < s.median_dbm < -100.0

@@ -1,0 +1,44 @@
+"""Figure 3d — per-contact beacon reception, sunny vs rainy.
+
+Paper: >50 % of Tianqi beacons are dropped even on sunny days.
+"""
+
+import numpy as np
+
+from satiot.core.contacts import reception_rates_by_weather
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    out = {}
+    for name in result.constellations:
+        receptions = [r for code in result.site_results
+                      for r in result.receptions(code, name)]
+        sunny, rainy = reception_rates_by_weather(receptions)
+        out[name] = (sunny, rainy)
+    return out
+
+
+def test_fig3d_beacon_reception_by_weather(benchmark, passive_continent):
+    rates = benchmark(compute, passive_continent)
+    rows = []
+    for name, (sunny, rainy) in sorted(rates.items()):
+        rows.append([
+            passive_continent.constellations[name].name,
+            float(np.mean(sunny)) if sunny else None, len(sunny),
+            float(np.mean(rainy)) if rainy else None, len(rainy),
+        ])
+    table = format_table(
+        ["Constellation", "sunny rx rate", "#contacts",
+         "rainy rx rate", "#contacts"],
+        rows, precision=3,
+        title="Figure 3d: beacon reception per contact "
+              "(paper: >50 % dropped even sunny)")
+    write_output("fig3d_beacon_loss", table)
+
+    sunny, rainy = rates["tianqi"]
+    assert np.mean(sunny) < 0.5        # >50 % loss even when sunny
+    if len(rainy) >= 10:
+        assert np.mean(rainy) <= np.mean(sunny) + 0.05

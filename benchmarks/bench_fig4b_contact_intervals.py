@@ -1,0 +1,52 @@
+"""Figure 4b — contact intervals, theoretical vs effective.
+
+Paper: intervals between two contacts with a constellation are enlarged
+6.1-44.9x; Tianqi's effective contacts average 3.8 min with 15.6-min
+intervals (vs 18.5 h daily theoretical presence).
+"""
+
+import numpy as np
+
+from satiot.core.contacts import (aggregate_stats,
+                                  analyze_contacts)
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    out = {}
+    for name in result.constellations:
+        per_site = [analyze_contacts(result.receptions(code, name),
+                                     result.duration_s)
+                    for code in result.site_results]
+        out[name] = aggregate_stats(per_site)
+    return out
+
+
+def test_fig4b_contact_intervals(benchmark, passive_continent):
+    stats = benchmark(compute, passive_continent)
+    rows = []
+    for name, st in sorted(stats.items()):
+        theo_int = (np.mean(st.theoretical_intervals_s) / 60.0
+                    if st.theoretical_intervals_s else None)
+        eff_int = (np.mean(st.effective_intervals_s) / 60.0
+                   if st.effective_intervals_s else None)
+        rows.append([
+            passive_continent.constellations[name].name,
+            theo_int, eff_int, st.interval_inflation,
+            st.theoretical_daily_hours, st.effective_daily_hours,
+        ])
+    table = format_table(
+        ["Constellation", "theo interval (min)", "eff interval (min)",
+         "inflation (x)", "theo daily (h)", "eff daily (h)"],
+        rows, precision=1,
+        title="Figure 4b: contact intervals, theoretical vs effective "
+              "(paper: 6.1-44.9x inflation)")
+    write_output("fig4b_contact_intervals", table)
+
+    for row in rows:
+        if row[1] is not None and row[2] is not None:
+            assert row[2] > row[1]      # intervals inflate
+            assert row[3] > 1.5         # by several-fold
+        assert row[5] < row[4]          # daily hours collapse

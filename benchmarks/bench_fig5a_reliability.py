@@ -1,0 +1,41 @@
+"""Figure 5a — end-to-end reliability: terrestrial vs Tianqi,
+without and with DtS retransmissions.
+
+Paper: terrestrial ~100 %; Tianqi 91 % without retransmissions, up to
+96 % with a maximum of five.
+"""
+
+import numpy as np
+
+from satiot.core.report import format_table
+from satiot.network.server import reliability_report
+
+from conftest import write_output
+
+
+def compute(active_default, active_no_retx):
+    with_retx = reliability_report(active_default.all_satellite_records())
+    without = reliability_report(active_no_retx.all_satellite_records())
+    terr = active_default.all_terrestrial_records()
+    terr_rel = float(np.mean([r.delivered for r in terr]))
+    return with_retx, without, terr_rel
+
+
+def test_fig5a_reliability(benchmark, active_default, active_no_retx):
+    with_retx, without, terr_rel = benchmark(
+        compute, active_default, active_no_retx)
+    rows = [
+        ["Terrestrial LoRaWAN", terr_rel, 1.00],
+        ["Tianqi (no retx)", without.reliability, 0.91],
+        ["Tianqi (max 5 retx)", with_retx.reliability, 0.96],
+    ]
+    table = format_table(
+        ["System", "measured reliability", "paper"],
+        rows, precision=3,
+        title="Figure 5a: end-to-end packet reliability")
+    write_output("fig5a_reliability", table)
+
+    assert terr_rel > 0.99
+    assert without.reliability > 0.80
+    assert with_retx.reliability >= without.reliability
+    assert with_retx.reliability > 0.90

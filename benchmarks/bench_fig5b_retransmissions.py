@@ -1,0 +1,70 @@
+"""Figure 5b — DtS retransmission counts under different weather and
+antenna conditions.
+
+Paper: the 5/8-wave antenna on sunny days performs best; ~50 % of
+packets go through without any DtS retransmission, and the excess
+retransmissions are driven by lost ACKs.
+"""
+
+import numpy as np
+
+from satiot.core.performance import retransmission_histogram
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def split_by_weather(result):
+    """Retransmission counts of packets split by weather at first Tx."""
+    sunny, rainy = [], []
+    for record in result.all_satellite_records():
+        if not record.attempts:
+            continue
+        t = record.attempts[0].time_s
+        (rainy if result.weather.is_raining(t) else sunny).append(
+            record.retransmissions)
+    return sunny, rainy
+
+
+def compute(active_default, active_quarter_wave):
+    return {
+        "5/8 wave": split_by_weather(active_default),
+        "1/4 wave": split_by_weather(active_quarter_wave),
+    }
+
+
+def test_fig5b_retransmissions(benchmark, active_default,
+                               active_quarter_wave):
+    split = benchmark(compute, active_default, active_quarter_wave)
+    rows = []
+    for antenna, (sunny, rainy) in split.items():
+        for weather, counts in (("sunny", sunny), ("rainy", rainy)):
+            if not counts:
+                continue
+            rows.append([
+                antenna, weather, len(counts),
+                float(np.mean(counts)),
+                float(np.mean([c == 0 for c in counts])),
+            ])
+    table = format_table(
+        ["Antenna", "Weather", "#packets", "mean retx",
+         "frac needing none"],
+        rows, precision=2,
+        title="Figure 5b: DtS retransmissions by antenna and weather "
+              "(paper: 5/8-wave sunny best; ~50 % need none)")
+    write_output("fig5b_retransmissions", table)
+
+    # Robust paper shapes: around half the packets need no DtS
+    # retransmission even though end-to-end reliability exceeds 90 %
+    # (the ACK-loss asymmetry), and retransmission counts are bounded.
+    hist = retransmission_histogram(
+        active_default.all_satellite_records())
+    assert 0.3 < hist[0] < 0.8
+    for _antenna, (sunny, rainy) in split.items():
+        for counts in (sunny, rainy):
+            if counts:
+                assert 0.0 <= np.mean(counts) <= 5.0
+    # The antenna ordering itself is a selection-dominated second-order
+    # effect here (see EXPERIMENTS.md): the 5/8-wave hears marginal
+    # passes the 1/4-wave never transmits in, so its *mean* retx count
+    # can exceed the 1/4-wave's despite its stronger links.

@@ -1,0 +1,33 @@
+"""Figure 5c — end-to-end latency: terrestrial vs satellite.
+
+Paper: Tianqi averages 135.2 minutes, 643.6x the terrestrial system's
+0.2 minutes.
+"""
+
+from satiot.core.performance import compare_systems
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    return compare_systems(result.all_satellite_records(),
+                           result.all_terrestrial_records())
+
+
+def test_fig5c_latency(benchmark, active_default):
+    comparison = benchmark(compute, active_default)
+    rows = [
+        ["Terrestrial LoRaWAN", comparison.terrestrial_latency_min, 0.2],
+        ["Tianqi satellite IoT", comparison.satellite_latency_min, 135.2],
+        ["ratio (x)", comparison.latency_ratio, 643.6],
+    ]
+    table = format_table(
+        ["System", "measured latency (min)", "paper (min)"],
+        rows, precision=1,
+        title="Figure 5c: end-to-end latency")
+    write_output("fig5c_latency", table)
+
+    assert comparison.terrestrial_latency_min < 1.0
+    assert comparison.satellite_latency_min > 30.0
+    assert comparison.latency_ratio > 100.0

@@ -1,0 +1,42 @@
+"""Figure 5d — decomposition of Tianqi's end-to-end latency.
+
+Paper: waiting for a satellite pass 55.2 min, DtS (re)transmissions
+10.4 min, Tianqi delivery 56.9 min.
+"""
+
+from satiot.core.report import format_table
+from satiot.network.server import latency_decomposition_minutes
+
+from conftest import write_output
+
+PAPER = {"wait_min": 55.2, "dts_min": 10.4, "delivery_min": 56.9,
+         "total_min": 135.2}
+
+
+def compute(result):
+    return latency_decomposition_minutes(result.all_satellite_records())
+
+
+def test_fig5d_latency_breakdown(benchmark, active_default):
+    decomposition = benchmark(compute, active_default)
+    rows = [
+        ["(1) waiting for satellite pass", decomposition["wait_min"],
+         PAPER["wait_min"]],
+        ["(2) DtS (re)transmissions", decomposition["dts_min"],
+         PAPER["dts_min"]],
+        ["(3) Tianqi delivery", decomposition["delivery_min"],
+         PAPER["delivery_min"]],
+        ["total", decomposition["total_min"], PAPER["total_min"]],
+    ]
+    table = format_table(
+        ["Segment", "measured (min)", "paper (min)"],
+        rows, precision=1,
+        title="Figure 5d: Tianqi latency decomposition")
+    write_output("fig5d_latency_breakdown", table)
+
+    # Shape: segments 1 and 3 dominate; DtS is the small one.
+    assert decomposition["wait_min"] > decomposition["dts_min"]
+    assert decomposition["delivery_min"] > decomposition["dts_min"]
+    total = (decomposition["wait_min"] + decomposition["dts_min"]
+             + decomposition["delivery_min"])
+    assert abs(total - decomposition["total_min"]) < 0.5

@@ -1,0 +1,50 @@
+"""Figures 6a-6c — Tianqi node power, hang-on time and battery drain
+across operating modes, versus the terrestrial node.
+
+Paper: 2.2x Tx power; extended Rx hang-on while waiting for passes;
+Rx dominates the satellite node's battery drain.
+"""
+
+from satiot.core.energy_analysis import compare_energy, mode_table
+from satiot.core.report import format_table
+from satiot.energy.profiles import (TERRESTRIAL_NODE_PROFILE,
+                                    TIANQI_NODE_PROFILE)
+
+from conftest import write_output
+
+
+def compute(result):
+    tianqi = next(iter(result.tianqi_energy.values()))
+    terrestrial = next(iter(result.terrestrial_energy.values()))
+    return (mode_table(tianqi), mode_table(terrestrial),
+            compare_energy(tianqi, terrestrial))
+
+
+def test_fig6_energy_modes(benchmark, active_default):
+    tianqi_modes, terrestrial_modes, comparison = benchmark(
+        compute, active_default)
+    rows = []
+    for mode in ("sleep", "standby", "rx", "tx"):
+        tq = tianqi_modes[mode]
+        te = terrestrial_modes[mode]
+        rows.append([
+            mode,
+            TIANQI_NODE_PROFILE.as_dict()[mode], tq["time_h"],
+            tq["energy_share"],
+            TERRESTRIAL_NODE_PROFILE.as_dict()[mode], te["time_h"],
+            te["energy_share"],
+        ])
+    table = format_table(
+        ["Mode", "TQ power (mW)", "TQ time (h)", "TQ energy share",
+         "Terr power (mW)", "Terr time (h)", "Terr energy share"],
+        rows, precision=2,
+        title="Figures 6a-6c: per-mode power / hang-on time / drain")
+    table += (f"\nTx power ratio: {comparison.tx_power_ratio:.1f}x "
+              f"(paper 2.2x); Rx time ratio: "
+              f"{comparison.rx_time_ratio:.0f}x; drain ratio: "
+              f"{comparison.drain_ratio:.1f}x (paper 14.9x)")
+    write_output("fig6_energy_modes", table)
+
+    assert comparison.tx_power_ratio > 2.0
+    assert comparison.rx_energy_share_tianqi > 0.5
+    assert tianqi_modes["rx"]["time_h"] > terrestrial_modes["rx"]["time_h"]

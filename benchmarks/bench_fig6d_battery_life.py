@@ -1,0 +1,37 @@
+"""Figure 6d — battery lifetime of terrestrial vs satellite nodes.
+
+Paper: the same battery powers a Tianqi node for 48 days and a
+terrestrial node for 718 days (~15x).
+"""
+
+from satiot.core.energy_analysis import compare_energy
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    tianqi = next(iter(result.tianqi_energy.values()))
+    terrestrial = next(iter(result.terrestrial_energy.values()))
+    return compare_energy(tianqi, terrestrial)
+
+
+def test_fig6d_battery_lifetime(benchmark, active_default):
+    comparison = benchmark(compute, active_default)
+    rows = [
+        ["Tianqi satellite node", comparison.tianqi_avg_power_mw,
+         comparison.tianqi_battery_days, 48.0],
+        ["Terrestrial node", comparison.terrestrial_avg_power_mw,
+         comparison.terrestrial_battery_days, 718.0],
+        ["drain ratio (x)", comparison.drain_ratio, None, 14.9],
+    ]
+    table = format_table(
+        ["Node", "avg power (mW)", "measured lifetime (days)",
+         "paper (days / x)"],
+        rows, precision=1,
+        title="Figure 6d: battery lifetime comparison")
+    write_output("fig6d_battery_life", table)
+
+    assert 25.0 < comparison.tianqi_battery_days < 90.0
+    assert 500.0 < comparison.terrestrial_battery_days < 900.0
+    assert 8.0 < comparison.drain_ratio < 25.0

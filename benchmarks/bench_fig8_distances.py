@@ -1,0 +1,48 @@
+"""Figure 8 — DtS communication distance CDF.
+
+Paper: 80 % of links span 600-2,000 km for the ~500 km constellations;
+Tianqi (higher orbits) receives from 1,100-3,500 km.
+"""
+
+import numpy as np
+
+from satiot.core.contacts import trace_distances_km
+from satiot.core.report import format_table
+
+from conftest import write_output
+
+
+def compute(result):
+    out = {}
+    for name in result.constellations:
+        receptions = [r for code in result.site_results
+                      for r in result.receptions(code, name)]
+        out[name] = trace_distances_km(receptions)
+    return out
+
+
+def test_fig8_distances(benchmark, passive_continent):
+    distances = benchmark(compute, passive_continent)
+    rows = []
+    for name, d in sorted(distances.items()):
+        if len(d) == 0:
+            continue
+        rows.append([
+            passive_continent.constellations[name].name, len(d),
+            float(np.percentile(d, 10)), float(np.percentile(d, 50)),
+            float(np.percentile(d, 90)),
+        ])
+    table = format_table(
+        ["Constellation", "#traces", "p10 (km)", "p50 (km)", "p90 (km)"],
+        rows, precision=0,
+        title="Figure 8: DtS communication distances "
+              "(paper: 600-2,000 km; Tianqi 1,100-3,500 km)")
+    write_output("fig8_distances", table)
+
+    tianqi = distances["tianqi"]
+    low_alt = np.concatenate([d for n, d in distances.items()
+                              if n != "tianqi" and len(d)])
+    # Tianqi's higher orbits put its receptions farther away.
+    assert np.median(tianqi) > np.median(low_alt)
+    assert 700.0 < np.percentile(tianqi, 10)
+    assert np.percentile(tianqi, 90) < 3600.0

@@ -1,0 +1,76 @@
+"""Optimization study — pass-prediction-based receiver duty cycling.
+
+The paper's conclusion calls for energy optimization of DtS nodes; the
+dominant drain is the always-on monitoring receiver.  This bench runs
+the wake-plan optimizer over real predicted passes at the Yunnan site
+and quantifies the battery-life/latency trade.
+"""
+
+from satiot.constellations.catalog import build_constellation
+from satiot.core.active import YUNNAN_PLANTATION
+from satiot.core.report import format_table
+from satiot.energy import Battery, TianqiBehavior
+from satiot.energy.optimizer import plan_wake_windows
+from satiot.orbits.passes import PassPredictor
+
+from conftest import SEED, write_output
+
+DAYS = 2.0
+BUDGETS_H = (2.0, 4.0, 8.0, 24.0)
+
+
+def compute():
+    constellation = build_constellation("tianqi", seed=SEED)
+    epoch = constellation.satellites[0].tle.epoch
+    span_s = DAYS * 86400.0
+    windows = []
+    for satellite in constellation:
+        predictor = PassPredictor(satellite.propagator,
+                                  YUNNAN_PLANTATION)
+        windows.extend(predictor.find_passes(epoch, span_s))
+
+    behavior = TianqiBehavior()
+    battery = Battery()
+    attempts = [(0.0, 20)] * int(48 * DAYS * 1.5)
+
+    out = {}
+    # Baseline: receiver on whenever a satellite is predicted overhead.
+    from satiot.core.stats import merge_intervals, total_length
+    always_rx = total_length(merge_intervals(
+        (w.rise_s, w.set_s) for w in windows))
+    baseline = behavior.timeline(span_s, always_rx, attempts).breakdown()
+    out["always on (paper)"] = (always_rx / span_s, always_rx / span_s,
+                                battery.lifetime_days_from_breakdown(
+                                    baseline), 0.3)
+    for budget_h in BUDGETS_H:
+        plan = plan_wake_windows(windows, span_s, budget_h * 3600.0)
+        timeline = behavior.timeline(span_s, min(plan.rx_on_s, span_s),
+                                     attempts)
+        days = battery.lifetime_days_from_breakdown(timeline.breakdown())
+        out[f"wake plan, {budget_h:g} h budget"] = (
+            plan.rx_duty_cycle, plan.worst_gap_s() / 3600.0, days,
+            len(plan.selected) / DAYS)
+    return out
+
+
+def test_optimization_duty_cycle(benchmark):
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name, (duty, gap_or_duty, days, wakes) in sweep.items():
+        rows.append([name, duty, gap_or_duty, days, wakes])
+    table = format_table(
+        ["Policy", "Rx duty", "worst gap (h) / duty", "battery (days)",
+         "wakes/day"],
+        rows, precision=2,
+        title="Optimization: receiver duty cycling vs battery life "
+              "(paper: always-on -> 48 days)")
+    write_output("optimization_duty_cycle", table)
+
+    baseline_days = sweep["always on (paper)"][2]
+    best_days = sweep["wake plan, 24 h budget"][2]
+    # Duty cycling recovers a large factor of battery life.
+    assert best_days > 3 * baseline_days
+    # Tighter budgets cost energy monotonically.
+    ordered = [sweep[f"wake plan, {b:g} h budget"][2]
+               for b in BUDGETS_H]
+    assert ordered == sorted(ordered)

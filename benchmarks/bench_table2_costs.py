@@ -1,0 +1,29 @@
+"""Table 2 — system expenditure comparison."""
+
+import pytest
+
+from satiot.core.report import format_table
+from satiot.econ.comparison import expenditure_table, tco_crossover_months
+
+from conftest import write_output
+
+
+def test_table2_expenditures(benchmark):
+    rows_obj = benchmark(expenditure_table, 48.0, 20)
+    rows = [[r.network, r.device_cost_usd, r.infrastructure_cost_usd or "-",
+             r.operational_usd_per_month] for r in rows_obj]
+    flips, month = tco_crossover_months()
+    table = format_table(
+        ["Network", "Device cost ($/unit)", "Infrastructure ($)",
+         "Operational ($/month)"],
+        rows, title="Table 2: system expenditure comparison")
+    table += (f"\nTCO crossover (1 node): terrestrial becomes cheaper "
+              f"after {month:.0f} months" if flips else
+              "\nno TCO crossover within horizon")
+    write_output("table2_costs", table)
+
+    by_net = {r.network: r for r in rows_obj}
+    assert by_net["Satellite IoT"].operational_usd_per_month \
+        == pytest.approx(23.76)
+    assert by_net["Terrestrial IoT"].operational_usd_per_month \
+        == pytest.approx(4.9)

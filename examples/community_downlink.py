@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Operator ground stations vs the crowd-sourced community network.
+
+Tianqi delivers data through 12 ground stations, all in China — one of
+the two big latency segments the paper measures.  The works the paper
+cites (L2D2, community ground stations) propose using volunteer
+networks like TinyGS's ~1,800 stations as a distributed downlink.  This
+example quantifies what that would buy: how often a Tianqi satellite is
+within range of someone who could take its data.
+
+Run:  python examples/community_downlink.py
+"""
+
+from satiot.constellations.catalog import build_constellation
+from satiot.core.report import format_table
+from satiot.groundstation.community import CommunityNetwork
+from satiot.network.store_forward import (TIANQI_GROUND_STATIONS,
+                                          GroundSegment)
+
+
+def main() -> None:
+    constellation = build_constellation("tianqi")
+    epoch = constellation.satellites[0].tle.epoch
+    satellite = constellation.satellites[0]
+
+    print("Building the operator baseline (12 stations in China) ...")
+    segment = GroundSegment(constellation, epoch, 86400.0,
+                            TIANQI_GROUND_STATIONS)
+    operator_gap_h = segment.mean_gap_hours(satellite.norad_id)
+
+    rows = []
+    for count in (12, 100, 400, 1800):
+        network = CommunityNetwork.synthesize(count=count, seed=0)
+        visible = network.visibility_fraction(
+            satellite.propagator, epoch, span_s=21600.0, step_s=60.0)
+        gap_min = network.mean_gap_to_contact_s(
+            satellite.propagator, epoch, span_s=21600.0,
+            step_s=60.0) / 60.0
+        rows.append([count, visible, gap_min])
+    print(format_table(
+        ["#community stations", "time visible to someone",
+         "mean contact gap (min)"],
+        rows, precision=2,
+        title="Community downlink coverage of one Tianqi satellite"))
+    print(f"\nOperator baseline: mean gap between Chinese "
+          f"ground-station contacts = {operator_gap_h * 60.0:.0f} min")
+    print("\nReading: a TinyGS-scale volunteer network keeps the "
+          "satellite within range of a receiver most of the time, "
+          "turning the paper's ~55-minute delivery segment into a "
+          "minutes-scale one — if the operator trusted third-party "
+          "downlink (the L2D2 proposition).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Constellation planning: how many satellites for continuous service?
+
+The paper's takeaway is that today's IoT constellations provide only
+intermittent connectivity.  This example uses the library as a design
+tool — the "potential optimizations" direction of the paper — sweeping
+constellation size and altitude to see how daily presence, contact
+intervals and store-and-forward buffer needs evolve.
+
+Run:  python examples/constellation_planning.py
+"""
+
+import numpy as np
+
+from satiot.constellations.catalog import (ConstellationSpec,
+                                           DtSRadioProfile,
+                                           build_constellation)
+from satiot.constellations.shells import ShellSpec
+from satiot.core.availability import daily_presence_hours
+from satiot.core.report import format_table
+from satiot.core.stats import interval_gaps, merge_intervals
+from satiot.orbits.frames import GeodeticPoint
+from satiot.orbits.passes import PassPredictor
+
+SITE = GeodeticPoint(21.95, 100.85, 1.2)  # the paper's Yunnan site
+READING_BYTES = 20
+READING_INTERVAL_S = 1800.0
+
+
+def build_custom(count: int, altitude_km: float, inclination: float):
+    spec = ConstellationSpec(
+        name=f"PLAN-{count}",
+        operator_region="design study",
+        shells=(ShellSpec(f"P{count}", count=count,
+                          altitude_min_km=altitude_km - 10.0,
+                          altitude_max_km=altitude_km + 10.0,
+                          inclination_deg=inclination),),
+        radio=DtSRadioProfile(frequency_hz=400.45e6),
+        norad_base=70000 + count,
+    )
+    return build_constellation(spec.name, spec=spec)
+
+
+def contact_gaps_minutes(constellation, site, epoch, days=1.0):
+    spans = []
+    for satellite in constellation:
+        predictor = PassPredictor(satellite.propagator, site)
+        for window in predictor.find_passes(epoch, days * 86400.0):
+            spans.append((window.rise_s, window.set_s))
+    merged = merge_intervals(spans)
+    gaps = interval_gaps(merged, 0.0, days * 86400.0)
+    return [g / 60.0 for g in gaps]
+
+
+def main() -> None:
+    rows = []
+    for count in (4, 8, 16, 32, 64):
+        constellation = build_custom(count, 600.0, 97.5)
+        epoch = constellation.satellites[0].tle.epoch
+        hours = daily_presence_hours(constellation, SITE, epoch)
+        gaps = contact_gaps_minutes(constellation, SITE, epoch)
+        max_gap = max(gaps) if gaps else 0.0
+        # Store-and-forward buffer: readings accumulated over the worst
+        # gap (the paper: "buffer size should be determined based on the
+        # duration and interval characteristics of contact windows").
+        buffer_bytes = int(np.ceil(max_gap * 60.0 / READING_INTERVAL_S)
+                           * READING_BYTES)
+        rows.append([count, hours,
+                     float(np.mean(gaps)) if gaps else 0.0, max_gap,
+                     buffer_bytes])
+    print(format_table(
+        ["#SATs @600 km SSO", "presence (h/day)", "mean gap (min)",
+         "max gap (min)", "node buffer (bytes)"],
+        rows, precision=1,
+        title="Constellation sizing for the Yunnan site "
+              "(theoretical coverage)"))
+
+    print("\nFor calibration, today's constellations at the same site:")
+    rows = []
+    for name in ("fossa", "cstp", "pico", "tianqi"):
+        constellation = build_constellation(name)
+        epoch = constellation.satellites[0].tle.epoch
+        hours = daily_presence_hours(constellation, SITE, epoch)
+        rows.append([constellation.name, len(constellation), hours])
+    print(format_table(["Constellation", "#SATs", "presence (h/day)"],
+                       rows, precision=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Energy budgeting: what would make satellite IoT nodes last?
+
+The paper identifies the always-on DtS receiver as the battery killer
+(14.9x drain vs terrestrial).  This example explores the optimization
+space the paper's conclusion calls for: duty-cycling the monitoring
+receiver using pass predictions, and lowering the retransmission budget.
+
+Run:  python examples/energy_budget.py
+"""
+
+from satiot.core.report import format_table
+from satiot.energy import (Battery, RadioMode, TianqiBehavior,
+                           TerrestrialBehavior)
+
+DAY = 86400.0
+PACKETS_PER_DAY = 48
+PAYLOAD = 20
+
+
+def tianqi_lifetime(monitoring_fraction: float,
+                    retransmissions_per_packet: float) -> float:
+    """Battery life (days) for a Tianqi node duty-cycling its receiver.
+
+    ``monitoring_fraction`` is the share of the day the DtS receiver is
+    on; the paper's node keeps it on whenever a satellite is predicted
+    overhead (~78 % of the day at the Yunnan site).
+    """
+    behavior = TianqiBehavior()
+    attempts_per_day = PACKETS_PER_DAY * (1.0 + retransmissions_per_packet)
+    attempts = [(0.0, PAYLOAD)] * int(round(attempts_per_day))
+    timeline = behavior.timeline(DAY, monitoring_fraction * DAY, attempts)
+    return Battery().lifetime_days_from_breakdown(timeline.breakdown())
+
+
+def main() -> None:
+    terrestrial = TerrestrialBehavior().timeline(
+        DAY, [PAYLOAD] * PACKETS_PER_DAY)
+    terrestrial_days = Battery().lifetime_days_from_breakdown(
+        terrestrial.breakdown())
+    print(f"Terrestrial reference: {terrestrial_days:.0f} days "
+          "(paper: 718)\n")
+
+    rows = []
+    for monitoring, label in [
+            (0.78, "paper behaviour: Rx on for every predicted pass"),
+            (0.40, "Rx only for passes above 20 deg max elevation"),
+            (0.15, "Rx only for the best 2-3 passes per day"),
+            (0.05, "scheduled wake-ups, one pass per day"),
+    ]:
+        for retx in (1.5, 0.5):
+            days = tianqi_lifetime(monitoring, retx)
+            rows.append([label if retx == 1.5 else "", monitoring, retx,
+                         days, days / terrestrial_days])
+    print(format_table(
+        ["Monitoring policy", "Rx duty", "retx/pkt",
+         "battery (days)", "vs terrestrial"],
+        rows, precision=2,
+        title="DtS receiver duty-cycling: the optimization space the "
+              "paper calls for"))
+
+    print("\nTakeaway: the monitoring receiver, not the 2.2x Tx power, "
+          "dominates the drain; pass-prediction-based wake-up recovers "
+          "an order of magnitude of battery life at the cost of longer "
+          "data latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Passive campaign: global availability of satellite IoT constellations.
+
+Reproduces the paper's Section 3.1 workflow at small scale: deploy
+TinyGS-style stations at the four continent sites, passively collect
+beacon traces from all four constellations for a day, and report the
+theoretical-vs-effective contact statistics behind Figures 3a and 4.
+
+Run:  python examples/passive_global_availability.py [days]
+"""
+
+import sys
+
+import numpy as np
+
+from satiot import PassiveCampaign, PassiveCampaignConfig, analyze_contacts
+from satiot.core.contacts import aggregate_stats
+from satiot.core.contacts import mid_window_fraction
+from satiot.core.report import format_table
+
+
+def main(days: float = 1.0) -> None:
+    config = PassiveCampaignConfig(
+        sites=("HK", "SYD", "LDN", "PGH"), days=days, seed=42)
+    print(f"Running passive campaign: {len(config.sites)} sites, "
+          f"{days:g} day(s), 39 satellites ...")
+    result = PassiveCampaign(config).run()
+    print(f"Collected {result.total_traces} beacon traces\n")
+
+    rows = []
+    for name, constellation in sorted(result.constellations.items()):
+        receptions = [r for code in result.site_results
+                      for r in result.receptions(code, name)]
+        stats = aggregate_stats(
+            [analyze_contacts(result.receptions(code, name),
+                              result.duration_s)
+             for code in result.site_results])
+        rows.append([
+            constellation.name, len(constellation),
+            stats.theoretical_daily_hours, stats.effective_daily_hours,
+            100.0 * stats.duration_shrinkage,
+            np.mean(stats.effective_durations_s) / 60.0,
+            mid_window_fraction(receptions),
+        ])
+    print(format_table(
+        ["Constellation", "#SATs", "theo (h/day)", "eff (h/day)",
+         "shrink (%)", "eff contact (min)", "mid-window frac"],
+        rows, precision=1,
+        title="Contact-window statistics across the four continent sites"))
+
+    print("\nPaper touchstones: Tianqi 18.5 h theoretical vs 1.8 h "
+          "effective; shrinkage 85.7-92.2 %; 70.4 % of receptions in "
+          "the middle of the window.")
+
+    # Persist the dataset like the paper's packet-trace archive.
+    out = "passive_traces.csv"
+    result.dataset.to_csv(out)
+    print(f"\nWrote {result.total_traces} traces to {out}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)

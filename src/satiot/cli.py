@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Subcommands mirror the library's workflows::
+
+    python -m satiot tle tianqi                 # export element sets
+    python -m satiot passes tianqi --site HK    # contact windows
+    python -m satiot presence --site HK         # Fig. 3a style table
+    python -m satiot passive --sites HK --days 1 --out traces.csv
+    python -m satiot active --days 2
+    python -m satiot coverage tianqi --hours 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .constellations.catalog import (CONSTELLATION_SPECS,
+                                     build_all_constellations,
+                                     build_constellation)
+from .core.active import ActiveCampaign, ActiveCampaignConfig
+from .core.availability import daily_presence_hours
+from .core.campaign import PassiveCampaign, PassiveCampaignConfig
+from .core.contacts import analyze_contacts
+from .core.performance import compare_systems
+from .core.report import format_kv, format_table
+from .core.sites import SITES
+from .orbits.frames import GeodeticPoint
+from .orbits.groundtrack import CoverageGrid
+from .orbits.passes import PassPredictor
+from .orbits.tle import format_tle
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_location(args: argparse.Namespace) -> GeodeticPoint:
+    if args.site is not None:
+        if args.site not in SITES:
+            raise SystemExit(f"unknown site {args.site!r}; "
+                             f"choose from {sorted(SITES)}")
+        return SITES[args.site].location
+    if args.lat is None or args.lon is None:
+        raise SystemExit("provide --site or both --lat and --lon")
+    return GeodeticPoint(args.lat, args.lon)
+
+
+def _add_location_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--site", choices=sorted(SITES), default=None,
+                        help="a paper measurement site code")
+    parser.add_argument("--lat", type=float, default=None)
+    parser.add_argument("--lon", type=float, default=None)
+
+
+# ----------------------------------------------------------------------
+def cmd_tle(args: argparse.Namespace) -> int:
+    constellation = build_constellation(args.constellation,
+                                        seed=args.seed)
+    for satellite in constellation:
+        line1, line2 = format_tle(satellite.tle)
+        print(satellite.name)
+        print(line1)
+        print(line2)
+    return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    location = _resolve_location(args)
+    constellation = build_constellation(args.constellation,
+                                        seed=args.seed)
+    epoch = constellation.satellites[0].tle.epoch
+    rows = []
+    for satellite in constellation:
+        predictor = PassPredictor(satellite.propagator, location,
+                                  args.min_elevation)
+        for window in predictor.find_passes(epoch, args.days * 86400.0):
+            rows.append([satellite.name, window.rise_s / 3600.0,
+                         window.duration_s / 60.0,
+                         window.max_elevation_deg])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["Satellite", "rise (h)", "duration (min)", "max el (deg)"],
+        rows, precision=1,
+        title=f"{constellation.name} passes, {args.days:g} day(s)"))
+    print(f"{len(rows)} passes")
+    return 0
+
+
+def cmd_presence(args: argparse.Namespace) -> int:
+    location = _resolve_location(args)
+    rows = []
+    for name, constellation in sorted(
+            build_all_constellations(seed=args.seed).items()):
+        epoch = constellation.satellites[0].tle.epoch
+        hours = daily_presence_hours(constellation, location, epoch,
+                                     days=args.days,
+                                     min_elevation_deg=args.min_elevation)
+        rows.append([constellation.name, len(constellation), hours])
+    print(format_table(
+        ["Constellation", "#SATs", "presence (h/day)"], rows,
+        precision=1, title="Theoretical daily presence (Figure 3a)"))
+    return 0
+
+
+def cmd_passive(args: argparse.Namespace) -> int:
+    sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
+    config = PassiveCampaignConfig(sites=sites, days=args.days,
+                                   seed=args.seed)
+    result = PassiveCampaign(config).run()
+    print(f"collected {result.total_traces} traces at "
+          f"{len(sites)} site(s)")
+    for name in sorted(result.constellations):
+        for code in sites:
+            stats = analyze_contacts(result.receptions(code, name),
+                                     result.duration_s)
+            print(f"  {name:7s} @ {code}: "
+                  f"theo {stats.theoretical_daily_hours:5.1f} h/day, "
+                  f"eff {stats.effective_daily_hours:4.1f} h/day, "
+                  f"shrink {stats.duration_shrinkage:.0%}")
+    if args.out:
+        result.dataset.to_csv(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_active(args: argparse.Namespace) -> int:
+    config = ActiveCampaignConfig(days=args.days, seed=args.seed,
+                                  max_retransmissions=args.retx,
+                                  payload_bytes=args.payload)
+    result = ActiveCampaign(config).run()
+    comparison = compare_systems(result.all_satellite_records(),
+                                 result.all_terrestrial_records())
+    print(format_kv([
+        ("satellite reliability", comparison.satellite_reliability),
+        ("terrestrial reliability", comparison.terrestrial_reliability),
+        ("satellite latency (min)", comparison.satellite_latency_min),
+        ("terrestrial latency (min)",
+         comparison.terrestrial_latency_min),
+        ("latency ratio", comparison.latency_ratio),
+        ("wait / DtS / delivery (min)",
+         f"{comparison.wait_min:.1f} / {comparison.dts_min:.1f} / "
+         f"{comparison.delivery_min:.1f}"),
+    ], precision=3, title=f"Active campaign, {args.days:g} day(s)"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core.summary import ReportScale, full_report
+    scale = ReportScale(passive_days=args.passive_days,
+                        active_days=args.active_days, seed=args.seed)
+    print(full_report(scale))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .core.validation import run_self_checks
+    results = run_self_checks()
+    failures = 0
+    for check in results:
+        status = "PASS" if check.passed else "FAIL"
+        print(f"[{status}] {check.name}: {check.detail}")
+        failures += 0 if check.passed else 1
+    print(f"{len(results) - failures}/{len(results)} checks passed")
+    return 1 if failures else 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    constellation = build_constellation(args.constellation,
+                                        seed=args.seed)
+    epoch = constellation.satellites[0].tle.epoch
+    grid = CoverageGrid.empty(args.grid, args.hours * 3600.0)
+    grid.accumulate_union([s.propagator for s in constellation], epoch,
+                          step_s=args.step)
+    print(format_kv([
+        ("constellation", constellation.name),
+        ("span (h)", args.hours),
+        ("covered fraction of Earth", grid.covered_fraction()),
+        ("mean access (h/day)", grid.mean_daily_hours()),
+        ("access at Hong Kong (h)", grid.hours_at(22.3, 114.2)),
+        ("access at the poles (h)", grid.hours_at(89.0, 0.0)),
+    ], precision=2, title="Global coverage"))
+    if args.map:
+        print()
+        print(grid.render_ascii())
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="satiot",
+        description="Satellite IoT measurement-study reproduction")
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tle", help="print a constellation's element sets")
+    p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))
+    p.set_defaults(func=cmd_tle)
+
+    p = sub.add_parser("passes", help="predict contact windows")
+    p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))
+    _add_location_args(p)
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--min-elevation", type=float, default=0.0)
+    p.set_defaults(func=cmd_passes)
+
+    p = sub.add_parser("presence",
+                       help="daily presence per constellation (Fig. 3a)")
+    _add_location_args(p)
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--min-elevation", type=float, default=0.0)
+    p.set_defaults(func=cmd_presence)
+
+    p = sub.add_parser("passive", help="run a passive campaign")
+    p.add_argument("--sites", default="HK",
+                   help="comma-separated site codes")
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--out", default=None, help="CSV trace output path")
+    p.set_defaults(func=cmd_passive)
+
+    p = sub.add_parser("active", help="run the active Tianqi campaign")
+    p.add_argument("--days", type=float, default=2.0)
+    p.add_argument("--retx", type=int, default=5)
+    p.add_argument("--payload", type=int, default=20)
+    p.set_defaults(func=cmd_active)
+
+    p = sub.add_parser("report",
+                       help="run both campaigns, print the findings")
+    p.add_argument("--passive-days", type=float, default=1.0)
+    p.add_argument("--active-days", type=float, default=2.0)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("validate",
+                       help="run cross-implementation self-checks")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("coverage", help="global coverage grid")
+    p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))
+    p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("--grid", type=float, default=10.0)
+    p.add_argument("--step", type=float, default=60.0)
+    p.add_argument("--map", action="store_true",
+                   help="print an ASCII access-hours map")
+    p.set_defaults(func=cmd_coverage)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

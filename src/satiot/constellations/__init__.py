@@ -1,0 +1,16 @@
+"""Constellation catalog and synthetic TLE generation (paper Table 3)."""
+
+from .catalog import (CONSTELLATION_SPECS, Constellation, DtSRadioProfile,
+                      Satellite, build_all_constellations,
+                      build_constellation)
+from .footprint import (earth_central_angle_rad, footprint_area_km2,
+                        footprint_radius_km, slant_range_km)
+from .shells import ShellSpec, generate_shell_tles
+
+__all__ = [
+    "CONSTELLATION_SPECS", "Constellation", "DtSRadioProfile", "Satellite",
+    "build_all_constellations", "build_constellation",
+    "earth_central_angle_rad", "footprint_area_km2", "footprint_radius_km",
+    "slant_range_km",
+    "ShellSpec", "generate_shell_tles",
+]

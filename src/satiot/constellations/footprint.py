@@ -1,0 +1,69 @@
+"""Satellite footprint geometry.
+
+A satellite's footprint is the spherical cap of the Earth from which the
+satellite is above the local elevation mask.  Paper Table 3 quotes these
+areas per constellation; we recompute them from altitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..orbits.constants import DEG2RAD, EARTH_RADIUS_KM
+
+__all__ = [
+    "earth_central_angle_rad",
+    "footprint_area_km2",
+    "footprint_radius_km",
+    "slant_range_km",
+]
+
+
+def earth_central_angle_rad(altitude_km: float,
+                            min_elevation_deg: float = 0.0,
+                            earth_radius_km: float = EARTH_RADIUS_KM) -> float:
+    """Half-angle of the visibility cap at the Earth's centre.
+
+    For elevation mask ``e`` and altitude ``h``:
+    ``lambda = acos(Re cos(e) / (Re + h)) - e``.
+    """
+    if altitude_km <= 0.0:
+        raise ValueError("altitude must be positive")
+    el = min_elevation_deg * DEG2RAD
+    ratio = earth_radius_km * math.cos(el) / (earth_radius_km + altitude_km)
+    return math.acos(ratio) - el
+
+
+def footprint_area_km2(altitude_km: float,
+                       min_elevation_deg: float = 0.0,
+                       earth_radius_km: float = EARTH_RADIUS_KM) -> float:
+    """Area (km^2) of the Earth surface that can see the satellite."""
+    lam = earth_central_angle_rad(altitude_km, min_elevation_deg,
+                                  earth_radius_km)
+    return 2.0 * math.pi * earth_radius_km ** 2 * (1.0 - math.cos(lam))
+
+
+def footprint_radius_km(altitude_km: float,
+                        min_elevation_deg: float = 0.0,
+                        earth_radius_km: float = EARTH_RADIUS_KM) -> float:
+    """Great-circle radius (km) of the footprint cap."""
+    lam = earth_central_angle_rad(altitude_km, min_elevation_deg,
+                                  earth_radius_km)
+    return earth_radius_km * lam
+
+
+def slant_range_km(altitude_km: float, elevation_deg: float,
+                   earth_radius_km: float = EARTH_RADIUS_KM) -> float:
+    """Slant range (km) to a satellite at the given elevation angle.
+
+    Law-of-cosines solution on the Earth-centre triangle; this is the
+    distance that drives free-space path loss in the link budget.
+    """
+    if altitude_km <= 0.0:
+        raise ValueError("altitude must be positive")
+    if not -5.0 <= elevation_deg <= 90.0:
+        raise ValueError("elevation out of range")
+    el = elevation_deg * DEG2RAD
+    re = earth_radius_km
+    rs = re + altitude_km
+    return math.sqrt(rs * rs - (re * math.cos(el)) ** 2) - re * math.sin(el)

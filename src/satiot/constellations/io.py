@@ -1,0 +1,58 @@
+"""Catalog import/export in standard 3-line TLE format.
+
+Lets a constellation built from paper Table 3 be archived, diffed and
+re-loaded — or replaced wholesale with real element sets fetched from
+CelesTrak when network access exists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..orbits.tle import format_tle, parse_tle_file
+from .catalog import Constellation, ConstellationSpec, DtSRadioProfile, \
+    Satellite
+
+__all__ = ["export_tle_file", "import_tle_file"]
+
+
+def export_tle_file(constellation: Constellation,
+                    path: Union[str, Path]) -> int:
+    """Write the constellation's element sets as a named 3-line file.
+
+    Returns the number of satellites written.
+    """
+    path = Path(path)
+    lines = []
+    for satellite in constellation:
+        line1, line2 = format_tle(satellite.tle)
+        lines.extend([satellite.name, line1, line2])
+    path.write_text("\n".join(lines) + "\n")
+    return len(constellation)
+
+
+def import_tle_file(path: Union[str, Path],
+                    name: str,
+                    radio: DtSRadioProfile,
+                    operator_region: str = "imported",
+                    validate_checksum: bool = True) -> Constellation:
+    """Build a constellation from an external TLE file.
+
+    All satellites share the given DtS radio profile — matching how a
+    real operator runs one beacon configuration per fleet.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        tles = parse_tle_file(fh, validate_checksum=validate_checksum)
+    if not tles:
+        raise ValueError(f"no element sets found in {path}")
+    spec = ConstellationSpec(
+        name=name, operator_region=operator_region, shells=(),
+        radio=radio, norad_base=min(t.norad_id for t in tles))
+    satellites = tuple(
+        Satellite(tle=tle if tle.name else tle.with_name(
+            f"{name}-{i + 1:02d}"),
+            constellation_name=name, radio=radio)
+        for i, tle in enumerate(tles))
+    return Constellation(spec=spec, satellites=satellites)

@@ -1,0 +1,119 @@
+"""Synthetic constellation shell generator.
+
+Real element sets for the measured constellations are not redistributable,
+so we synthesise TLEs from the orbital parameters published in paper
+Table 3 (altitude band, inclination, satellite count).  Satellites are
+spread Walker-style across planes with deterministic phasing so that
+campaigns are reproducible; a seeded jitter keeps the geometry from being
+artificially regular (these are rideshare CubeSats, not a designed Walker
+constellation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..orbits.kepler import mean_motion_rev_day_from_altitude
+from ..orbits.tle import TLE
+
+__all__ = ["ShellSpec", "generate_shell_tles"]
+
+
+@dataclass(frozen=True)
+class ShellSpec:
+    """One orbital shell of a constellation (one row of paper Table 3)."""
+
+    name: str
+    count: int
+    altitude_min_km: float
+    altitude_max_km: float
+    inclination_deg: float
+    planes: Optional[int] = None
+    eccentricity: float = 0.0008
+    bstar: float = 2.0e-5
+    raan_offset_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("shell must contain at least one satellite")
+        if self.altitude_max_km < self.altitude_min_km:
+            raise ValueError("altitude_max_km < altitude_min_km")
+        if not 0.0 <= self.inclination_deg <= 180.0:
+            raise ValueError("inclination out of range")
+        if not 0.0 <= self.eccentricity < 0.05:
+            raise ValueError("shells model near-circular LEO orbits only")
+
+    @property
+    def mean_altitude_km(self) -> float:
+        return 0.5 * (self.altitude_min_km + self.altitude_max_km)
+
+    def plane_count(self) -> int:
+        if self.planes is not None:
+            if self.planes <= 0:
+                raise ValueError("plane count must be positive")
+            return min(self.planes, self.count)
+        # Default: roughly sqrt(N) planes, at least one.
+        return max(1, int(round(math.sqrt(self.count))))
+
+
+def generate_shell_tles(spec: ShellSpec,
+                        epochyr: int,
+                        epochdays: float,
+                        norad_base: int,
+                        seed: int = 0,
+                        raan_jitter_deg: float = 8.0,
+                        phase_jitter_deg: float = 15.0) -> List[TLE]:
+    """Generate one TLE per satellite in the shell.
+
+    Altitudes are spread evenly across the shell's altitude band (matching
+    the min-max ranges the paper reports), planes are spread in RAAN, and
+    satellites within a plane are phased in mean anomaly.  ``seed`` feeds a
+    dedicated RNG so repeated calls are bit-identical.
+    """
+    rng = np.random.default_rng(seed ^ (norad_base * 2654435761 % 2 ** 31))
+    planes = spec.plane_count()
+    sats_per_plane = int(math.ceil(spec.count / planes))
+
+    if spec.count == 1:
+        altitudes = [spec.mean_altitude_km]
+    else:
+        altitudes = list(np.linspace(spec.altitude_min_km,
+                                     spec.altitude_max_km, spec.count))
+
+    tles: List[TLE] = []
+    for idx in range(spec.count):
+        plane = idx // sats_per_plane
+        slot = idx % sats_per_plane
+        raan = (spec.raan_offset_deg + 360.0 * plane / planes
+                + float(rng.uniform(-raan_jitter_deg, raan_jitter_deg)))
+        mean_anom = (360.0 * slot / sats_per_plane
+                     + 360.0 * plane / (planes * sats_per_plane)
+                     + float(rng.uniform(-phase_jitter_deg,
+                                         phase_jitter_deg)))
+        n_rev_day = mean_motion_rev_day_from_altitude(altitudes[idx])
+        tles.append(TLE(
+            name=f"{spec.name}-{idx + 1:02d}",
+            norad_id=norad_base + idx,
+            classification="U",
+            intl_designator=f"{epochyr:02d}{(norad_base % 900) + 1:03d}"
+                            f"{chr(ord('A') + idx % 26)}",
+            epochyr=epochyr,
+            epochdays=epochdays,
+            ndot=0.0,
+            nddot=0.0,
+            bstar=spec.bstar,
+            ephemeris_type=0,
+            element_set_no=999,
+            inclination_deg=spec.inclination_deg,
+            raan_deg=raan % 360.0,
+            eccentricity=spec.eccentricity,
+            argp_deg=float(rng.uniform(0.0, 360.0)),
+            mean_anomaly_deg=mean_anom % 360.0,
+            mean_motion_rev_day=n_rev_day,
+            rev_number=1,
+        ))
+    return tles

@@ -1,0 +1,54 @@
+"""Measurement core: the paper's campaigns and analyses."""
+
+from .active import (ActiveCampaign, ActiveCampaignConfig,
+                     ActiveCampaignResult, YUNNAN_PLANTATION)
+from .availability import (RssiStats, daily_presence_hours, presence_by_site,
+                           rssi_stats, rssi_vs_distance)
+from .beacon_loss import LossAttribution, attribute_losses
+from .capacity import CapacityEstimate, estimate_regional_capacity
+from .campaign import (PassiveCampaign, PassiveCampaignConfig,
+                       PassiveCampaignResult, SiteResult)
+from .contacts import (ContactWindowStats, aggregate_stats,
+                       analyze_contacts, mid_window_fraction,
+                       reception_rates_by_weather, trace_distances_km,
+                       window_position_fractions)
+from .fleet import (FleetModel, congested_mac_config,
+                    delivery_delay_under_load_s)
+from .longitudinal import (LongitudinalCampaign, LongitudinalResult,
+                           WeeklySample)
+from .validation import CheckResult, run_self_checks
+from .energy_analysis import EnergyComparison, compare_energy, mode_table
+from .performance import (SystemComparison, compare_systems,
+                          per_node_reliability, reliability_by_concurrency,
+                          retransmission_histogram)
+from .report import format_kv, format_table
+from .summary import ReportScale, full_report
+from .sites import CONTINENT_SITES, SITES, MeasurementSite
+from .stats import (Summary, bootstrap_mean_ci, empirical_cdf, interval_gaps,
+                    merge_intervals, summarize, total_length)
+
+__all__ = [
+    "ActiveCampaign", "ActiveCampaignConfig", "ActiveCampaignResult",
+    "YUNNAN_PLANTATION",
+    "RssiStats", "daily_presence_hours", "presence_by_site", "rssi_stats",
+    "rssi_vs_distance",
+    "PassiveCampaign", "PassiveCampaignConfig", "PassiveCampaignResult",
+    "SiteResult",
+    "ContactWindowStats", "aggregate_stats", "analyze_contacts",
+    "mid_window_fraction",
+    "LossAttribution", "attribute_losses",
+    "CapacityEstimate", "estimate_regional_capacity",
+    "FleetModel", "congested_mac_config", "delivery_delay_under_load_s",
+    "LongitudinalCampaign", "LongitudinalResult", "WeeklySample",
+    "CheckResult", "run_self_checks",
+    "reception_rates_by_weather", "trace_distances_km",
+    "window_position_fractions",
+    "EnergyComparison", "compare_energy", "mode_table",
+    "SystemComparison", "compare_systems", "per_node_reliability",
+    "reliability_by_concurrency", "retransmission_histogram",
+    "format_kv", "format_table",
+    "ReportScale", "full_report",
+    "CONTINENT_SITES", "SITES", "MeasurementSite",
+    "Summary", "bootstrap_mean_ci", "empirical_cdf", "interval_gaps",
+    "merge_intervals", "summarize", "total_length",
+]

@@ -1,0 +1,150 @@
+"""Beacon-loss attribution (paper Appendix C).
+
+The paper names three loss factors — long communication distances, the
+Doppler effect, and limited device capability — without quantifying
+their shares.  Because the simulator knows every deterministic link
+term per beacon, it *can* quantify them: this module re-simulates a
+campaign's passes while toggling individual impairments off, and
+reports how much reception each factor costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..groundstation.receiver import PassReception
+from ..phy.link_budget import free_space_path_loss_db
+
+__all__ = ["LossAttribution", "attribute_losses"]
+
+
+@dataclass(frozen=True)
+class LossAttribution:
+    """Where receptions were lost, by deterministic link regime."""
+
+    total_beacons: int
+    received: int
+    #: Beacons whose *median* link (before fading) was already below
+    #: the demod threshold due to distance alone.
+    lost_to_distance: int
+    #: Beacons above threshold at their range but pushed under by the
+    #: low-elevation excess term.
+    lost_to_elevation: int
+    #: Beacons whose deterministic link was fine; fading killed them.
+    lost_to_fading: int
+
+    @property
+    def reception_rate(self) -> float:
+        if self.total_beacons == 0:
+            return float("nan")
+        return self.received / self.total_beacons
+
+    def shares(self) -> Dict[str, float]:
+        lost = self.total_beacons - self.received
+        if lost <= 0:
+            return {"distance": 0.0, "elevation": 0.0, "fading": 0.0}
+        return {
+            "distance": self.lost_to_distance / lost,
+            "elevation": self.lost_to_elevation / lost,
+            "fading": self.lost_to_fading / lost,
+        }
+
+
+def attribute_losses(receptions: Sequence[PassReception],
+                     eirp_dbm: float,
+                     frequency_hz: float,
+                     rx_gain_dbi: float = 1.65,
+                     sensitivity_dbm: float = -132.0,
+                     horizon_excess_db: float = 12.0,
+                     excess_scale_deg: float = 8.0,
+                     implementation_loss_db: float = 1.0,
+                     ) -> LossAttribution:
+    """Attribute every lost beacon of a campaign to a link regime.
+
+    For each beacon slot of each pass (reconstructed from the pass's
+    beacon count and window), the deterministic median RSSI is split
+    into its distance and elevation components:
+
+    * below sensitivity on free-space loss alone → *distance*;
+    * above on FSPL but below once the low-elevation excess applies →
+      *elevation*;
+    * above threshold deterministically but not received → *fading*
+      (shadowing/fast fading/Doppler draw).
+    """
+    total = 0
+    received = 0
+    lost_distance = 0
+    lost_elevation = 0
+    lost_fading = 0
+
+    for reception in receptions:
+        window = reception.scheduled.window
+        n = reception.beacons_sent
+        if n == 0:
+            continue
+        total += n
+        received += reception.beacons_received
+
+        # Reconstruct per-slot geometry on a uniform grid (the beacon
+        # train is periodic; the phase offset is immaterial for the
+        # attribution statistics).
+        times = np.linspace(window.rise_s, window.set_s, n)
+        predictor_angles = _interp_pass_geometry(reception, times)
+        elevation, rng_km = predictor_angles
+
+        fspl = free_space_path_loss_db(np.maximum(rng_km, 1.0),
+                                       frequency_hz)
+        base = eirp_dbm + rx_gain_dbi - implementation_loss_db
+        rssi_distance_only = base - fspl
+        excess = horizon_excess_db * np.exp(
+            -np.clip(elevation, 0.0, 90.0) / excess_scale_deg)
+        rssi_full = rssi_distance_only - excess
+
+        below_on_distance = rssi_distance_only < sensitivity_dbm
+        below_on_elevation = (~below_on_distance) \
+            & (rssi_full < sensitivity_dbm)
+        deterministically_fine = ~(below_on_distance
+                                   | below_on_elevation)
+
+        lost = n - reception.beacons_received
+        # Deterministic regimes bound the attribution; residual losses
+        # among the deterministically fine slots are fading.
+        d = int(below_on_distance.sum())
+        e = int(below_on_elevation.sum())
+        f = max(lost - d - e, 0)
+        # Cannot lose more than were lost.
+        d = min(d, lost)
+        e = min(e, lost - d)
+        lost_distance += d
+        lost_elevation += e
+        lost_fading += f
+
+    return LossAttribution(
+        total_beacons=total, received=received,
+        lost_to_distance=lost_distance,
+        lost_to_elevation=lost_elevation,
+        lost_to_fading=lost_fading)
+
+
+def _interp_pass_geometry(reception: PassReception, times: np.ndarray):
+    """Approximate elevation/range along a pass.
+
+    Uses a symmetric-parabola elevation profile anchored at the window's
+    maximum elevation and the spherical slant-range relation — accurate
+    to a few percent, which is ample for regime attribution.
+    """
+    from ..constellations.footprint import slant_range_km
+
+    window = reception.scheduled.window
+    max_el = window.max_elevation_deg
+    duration = max(window.duration_s, 1.0)
+    x = (times - window.rise_s) / duration  # 0..1
+    elevation = np.maximum(max_el * (1.0 - (2.0 * x - 1.0) ** 2), 0.0)
+
+    altitude = reception.scheduled.satellite.mean_altitude_km
+    rng_km = np.asarray([slant_range_km(altitude, float(el))
+                         for el in elevation])
+    return elevation, rng_km

@@ -1,0 +1,166 @@
+"""Passive measurement campaign orchestration (paper Section 2.2).
+
+Deploys TinyGS-style stations at the configured sites, schedules them
+against every satellite of the target constellations with the customized
+scheduler, simulates beacon reception through each contact window under
+the site's weather, and collects the packet-trace dataset that all of
+Section 3.1's analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..constellations.catalog import Constellation, build_all_constellations
+from ..groundstation.receiver import BeaconReceiver, PassReception
+from ..groundstation.scheduler import PassSchedule, Scheduler
+from ..groundstation.station import GroundStation
+from ..groundstation.traces import TraceDataset
+from ..orbits.timebase import Epoch
+from ..phy.channel import ChannelParams
+from ..sim.rng import RngStreams
+from ..sim.weather import WeatherProcess
+from .sites import CONTINENT_SITES, SITES, MeasurementSite
+
+__all__ = ["PassiveCampaignConfig", "SiteResult", "PassiveCampaignResult",
+           "PassiveCampaign"]
+
+DEFAULT_CONSTELLATIONS = ("tianqi", "fossa", "pico", "cstp")
+
+
+@dataclass(frozen=True)
+class PassiveCampaignConfig:
+    """Configuration of one passive campaign run."""
+
+    sites: Sequence[str] = tuple(CONTINENT_SITES)
+    constellations: Sequence[str] = DEFAULT_CONSTELLATIONS
+    days: float = 3.0
+    #: Campaign start, in days after the element-set epoch.  Lets a
+    #: longitudinal study sample disjoint weeks of the same catalog.
+    start_day_offset: float = 0.0
+    seed: int = 42
+    min_elevation_deg: float = 0.0
+    coarse_step_s: float = 30.0
+    channel_params: Optional[ChannelParams] = None
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("campaign must span a positive number of days")
+        unknown = [s for s in self.sites if s not in SITES]
+        if unknown:
+            raise ValueError(f"unknown sites: {unknown}")
+        from ..constellations.catalog import CONSTELLATION_SPECS
+        bad = [c for c in self.constellations
+               if c.lower() not in CONSTELLATION_SPECS]
+        if bad or not self.constellations:
+            raise ValueError(f"unknown constellations: {bad}")
+
+    @property
+    def duration_s(self) -> float:
+        return self.days * 86400.0
+
+
+@dataclass
+class SiteResult:
+    """Everything recorded at one site."""
+
+    site: MeasurementSite
+    stations: List[GroundStation]
+    schedule: PassSchedule
+    receptions: List[PassReception]
+    weather: WeatherProcess
+
+    @property
+    def trace_count(self) -> int:
+        return sum(len(r.traces) for r in self.receptions)
+
+    def receptions_by_constellation(self, name: str) -> List[PassReception]:
+        name = name.lower()
+        return [r for r in self.receptions
+                if r.scheduled.satellite.constellation_name.lower() == name]
+
+
+@dataclass
+class PassiveCampaignResult:
+    """Aggregate output of a passive campaign."""
+
+    config: PassiveCampaignConfig
+    epoch: Epoch
+    constellations: Dict[str, Constellation]
+    site_results: Dict[str, SiteResult]
+    dataset: TraceDataset = field(default_factory=TraceDataset)
+
+    @property
+    def duration_s(self) -> float:
+        return self.config.duration_s
+
+    @property
+    def total_traces(self) -> int:
+        return len(self.dataset)
+
+    def receptions(self, site: str, constellation: str,
+                   ) -> List[PassReception]:
+        return self.site_results[site].receptions_by_constellation(
+            constellation)
+
+
+class PassiveCampaign:
+    """Runs the passive measurement campaign."""
+
+    def __init__(self, config: Optional[PassiveCampaignConfig] = None) -> None:
+        self.config = config or PassiveCampaignConfig()
+
+    # ------------------------------------------------------------------
+    def _deploy_stations(self, site: MeasurementSite) -> List[GroundStation]:
+        return [GroundStation(station_id=f"{site.code}-{i + 1}",
+                              site=site.code, location=site.location)
+                for i in range(site.station_count)]
+
+    # ------------------------------------------------------------------
+    def run(self) -> PassiveCampaignResult:
+        cfg = self.config
+        streams = RngStreams(cfg.seed)
+        constellations = build_all_constellations(seed=cfg.seed)
+        constellations = {k: v for k, v in constellations.items()
+                          if k in {c.lower() for c in cfg.constellations}}
+        if not constellations:
+            raise ValueError("no constellations selected")
+        satellites = [sat for con in constellations.values() for sat in con]
+        epoch = satellites[0].tle.epoch + cfg.start_day_offset * 86400.0
+
+        result = PassiveCampaignResult(
+            config=cfg, epoch=epoch, constellations=constellations,
+            site_results={})
+
+        pass_id = 0
+        for code in cfg.sites:
+            site = SITES[code]
+            stations = self._deploy_stations(site)
+            scheduler = Scheduler(stations,
+                                  min_elevation_deg=cfg.min_elevation_deg)
+            schedule = scheduler.build_schedule(
+                satellites, epoch, cfg.duration_s,
+                coarse_step_s=cfg.coarse_step_s)
+            weather = WeatherProcess(site.weather, cfg.duration_s,
+                                     streams.get(f"weather/{code}"))
+            receiver = BeaconReceiver(
+                channel_params=cfg.channel_params,
+                link_overrides={
+                    "implementation_loss_db":
+                        1.0 + site.environment_loss_db})
+
+            receptions: List[PassReception] = []
+            for scheduled in schedule.assigned:
+                rng = streams.get(
+                    f"rx/{code}/{scheduled.satellite.norad_id}/{pass_id}")
+                reception = receiver.receive_pass(
+                    scheduled, epoch, pass_id, rng, weather=weather)
+                receptions.append(reception)
+                result.dataset.extend(reception.traces)
+                pass_id += 1
+
+            result.site_results[code] = SiteResult(
+                site=site, stations=stations, schedule=schedule,
+                receptions=receptions, weather=weather)
+        return result

@@ -1,0 +1,195 @@
+"""Contact-window analysis: theoretical vs effective (paper Section 3.1).
+
+Implements the paper's definitions:
+
+* **theoretical duration** — satellite above the horizon, from TLEs;
+* **effective duration** — span between the first and last beacon
+  actually received within a contact window;
+* **constellation contacts** — per-satellite windows merged (union), so a
+  "contact with the constellation" is any period with at least one
+  satellite usable; intervals are the gaps in between.
+
+These drive Figures 4a/4b, 8 and 9 and the headline shrinkage numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..groundstation.receiver import PassReception
+from .stats import (Summary, interval_gaps, merge_intervals, summarize,
+                    total_length)
+
+__all__ = ["ContactWindowStats", "analyze_contacts", "aggregate_stats",
+           "window_position_fractions", "mid_window_fraction",
+           "reception_rates_by_weather", "trace_distances_km"]
+
+
+@dataclass
+class ContactWindowStats:
+    """Paired theoretical/effective contact statistics for one
+    (site, constellation) pair over a campaign span."""
+
+    span_s: float
+    theoretical_durations_s: List[float]
+    effective_durations_s: List[float]
+    theoretical_intervals_s: List[float]
+    effective_intervals_s: List[float]
+    theoretical_daily_hours: float
+    effective_daily_hours: float
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_shrinkage(self) -> float:
+        """1 - sum(effective)/sum(theoretical); the paper reports
+        85.74-92.20 % for aggregated daily contact duration."""
+        total_theo = sum(self.theoretical_durations_s)
+        if total_theo <= 0:
+            return 0.0
+        return 1.0 - sum(self.effective_durations_s) / total_theo
+
+    @property
+    def mean_duration_shrinkage(self) -> float:
+        """1 - mean(effective)/mean(theoretical) over contacts
+        (paper Fig. 4a: 73.70-89.23 %)."""
+        theo = summarize(self.theoretical_durations_s).mean
+        eff = summarize(self.effective_durations_s).mean
+        if not theo or np.isnan(theo) or theo <= 0:
+            return 0.0
+        eff = 0.0 if np.isnan(eff) else eff
+        return 1.0 - eff / theo
+
+    @property
+    def interval_inflation(self) -> float:
+        """mean(effective intervals) / mean(theoretical intervals)
+        (paper Fig. 4b: 6.1-44.9x)."""
+        theo = summarize(self.theoretical_intervals_s).mean
+        eff = summarize(self.effective_intervals_s).mean
+        if not theo or np.isnan(theo) or theo <= 0 or np.isnan(eff):
+            return float("nan")
+        return eff / theo
+
+    def theoretical_summary(self) -> Summary:
+        return summarize(self.theoretical_durations_s)
+
+    def effective_summary(self) -> Summary:
+        return summarize(self.effective_durations_s)
+
+
+def analyze_contacts(receptions: Sequence[PassReception],
+                     span_s: float) -> ContactWindowStats:
+    """Build contact statistics from a set of pass receptions.
+
+    Windows clipped by the campaign span are excluded from duration
+    statistics (their true length is unknown) but still contribute to
+    the union used for daily-presence and interval computation.
+    """
+    theo_intervals: List[Tuple[float, float]] = []
+    eff_intervals: List[Tuple[float, float]] = []
+    theo_durations: List[float] = []
+    eff_durations: List[float] = []
+
+    for reception in receptions:
+        window = reception.scheduled.window
+        theo_intervals.append((window.rise_s, window.set_s))
+        if not (window.clipped_start or window.clipped_end):
+            theo_durations.append(window.duration_s)
+            eff_durations.append(reception.effective_duration_s)
+        if reception.heard_anything:
+            eff_intervals.append((reception.first_rx_s, reception.last_rx_s))
+
+    theo_merged = merge_intervals(theo_intervals)
+    eff_merged = merge_intervals(eff_intervals)
+
+    return ContactWindowStats(
+        span_s=span_s,
+        theoretical_durations_s=theo_durations,
+        effective_durations_s=eff_durations,
+        theoretical_intervals_s=interval_gaps(theo_merged, 0.0, span_s),
+        effective_intervals_s=interval_gaps(eff_merged, 0.0, span_s),
+        theoretical_daily_hours=(total_length(theo_merged)
+                                 / span_s * 24.0),
+        effective_daily_hours=(total_length(eff_merged)
+                               / span_s * 24.0),
+    )
+
+
+def aggregate_stats(per_site: Sequence[ContactWindowStats],
+                    ) -> ContactWindowStats:
+    """Combine per-site statistics for one constellation.
+
+    Contact windows exist per location, so daily presence is *averaged*
+    across sites (never unioned — two sites seeing the same satellite do
+    not double a spot's availability), while window durations and
+    intervals are pooled into one sample.
+    """
+    if not per_site:
+        raise ValueError("need at least one site's statistics")
+    span = per_site[0].span_s
+    if any(abs(s.span_s - span) > 1e-6 for s in per_site):
+        raise ValueError("sites were analysed over different spans")
+    return ContactWindowStats(
+        span_s=span,
+        theoretical_durations_s=[d for s in per_site
+                                 for d in s.theoretical_durations_s],
+        effective_durations_s=[d for s in per_site
+                               for d in s.effective_durations_s],
+        theoretical_intervals_s=[g for s in per_site
+                                 for g in s.theoretical_intervals_s],
+        effective_intervals_s=[g for s in per_site
+                               for g in s.effective_intervals_s],
+        theoretical_daily_hours=float(np.mean(
+            [s.theoretical_daily_hours for s in per_site])),
+        effective_daily_hours=float(np.mean(
+            [s.effective_daily_hours for s in per_site])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Beacon placement within windows (Figure 9) and loss factors.
+# ----------------------------------------------------------------------
+def window_position_fractions(receptions: Sequence[PassReception],
+                              ) -> np.ndarray:
+    """Normalized positions (0=rise, 1=set) of every received beacon."""
+    positions: List[float] = []
+    for reception in receptions:
+        window = reception.scheduled.window
+        if window.duration_s <= 0:
+            continue
+        for trace in reception.traces:
+            positions.append(window.normalized_position(trace.time_s))
+    return np.asarray(positions, dtype=float)
+
+
+def mid_window_fraction(receptions: Sequence[PassReception],
+                        lo: float = 0.3, hi: float = 0.7) -> float:
+    """Fraction of receptions within the middle portion of their window
+    (paper Appendix C: 70.4 % within 30-70 %)."""
+    positions = window_position_fractions(receptions)
+    if positions.size == 0:
+        return float("nan")
+    return float(np.mean((positions >= lo) & (positions <= hi)))
+
+
+def reception_rates_by_weather(receptions: Sequence[PassReception],
+                               min_beacons: int = 5,
+                               ) -> Tuple[List[float], List[float]]:
+    """Per-contact beacon reception rates split sunny/rainy (Fig. 3d)."""
+    sunny: List[float] = []
+    rainy: List[float] = []
+    for reception in receptions:
+        if reception.beacons_sent < min_beacons:
+            continue
+        bucket = rainy if reception.raining else sunny
+        bucket.append(reception.reception_rate)
+    return sunny, rainy
+
+
+def trace_distances_km(receptions: Sequence[PassReception]) -> np.ndarray:
+    """Slant ranges of all received beacons (Figure 8's CDF input)."""
+    return np.asarray([trace.range_km
+                       for reception in receptions
+                       for trace in reception.traces], dtype=float)

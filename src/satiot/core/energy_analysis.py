@@ -1,0 +1,73 @@
+"""Energy comparison between the node types (paper Figures 6, 10, 11).
+
+Derives the paper's headline energy claims from the campaign's mode
+timelines: the DtS transmit-power premium, the extended receive hang-on
+time, per-mode battery-drain shares, and battery lifetimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..energy.accounting import EnergyBreakdown
+from ..energy.battery import Battery
+from ..energy.profiles import (TERRESTRIAL_NODE_PROFILE,
+                               TIANQI_NODE_PROFILE, PowerProfile, RadioMode)
+
+__all__ = ["EnergyComparison", "compare_energy", "mode_table"]
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Satellite-vs-terrestrial energy headline numbers."""
+
+    tianqi_avg_power_mw: float
+    terrestrial_avg_power_mw: float
+    drain_ratio: float                  # paper: 14.9x
+    tx_power_ratio: float               # paper: 2.2x
+    rx_time_ratio: float
+    rx_energy_share_tianqi: float
+    rx_energy_share_terrestrial: float
+    tianqi_battery_days: float          # paper: 48 days
+    terrestrial_battery_days: float     # paper: 718 days
+
+
+def compare_energy(tianqi: EnergyBreakdown,
+                   terrestrial: EnergyBreakdown,
+                   battery: Battery = Battery(),
+                   tianqi_profile: PowerProfile = TIANQI_NODE_PROFILE,
+                   terrestrial_profile: PowerProfile
+                   = TERRESTRIAL_NODE_PROFILE) -> EnergyComparison:
+    tq_avg = tianqi.average_power_mw
+    terr_avg = terrestrial.average_power_mw
+    terr_rx_time = terrestrial.time_s[RadioMode.RX] \
+        + terrestrial.time_s[RadioMode.STANDBY]
+    tq_rx_time = tianqi.time_s[RadioMode.RX]
+    return EnergyComparison(
+        tianqi_avg_power_mw=tq_avg,
+        terrestrial_avg_power_mw=terr_avg,
+        drain_ratio=tq_avg / terr_avg,
+        tx_power_ratio=(tianqi_profile.tx_mw / terrestrial_profile.tx_mw),
+        rx_time_ratio=(tq_rx_time / terr_rx_time
+                       if terr_rx_time > 0 else float("inf")),
+        rx_energy_share_tianqi=tianqi.energy_fraction(RadioMode.RX),
+        rx_energy_share_terrestrial=terrestrial.energy_fraction(
+            RadioMode.RX),
+        tianqi_battery_days=battery.lifetime_days(tq_avg),
+        terrestrial_battery_days=battery.lifetime_days(terr_avg),
+    )
+
+
+def mode_table(breakdown: EnergyBreakdown) -> Dict[str, Dict[str, float]]:
+    """Per-mode time (h), time share, energy (mWh) and energy share —
+    the rows of paper Figures 6a-6c / 11."""
+    out: Dict[str, Dict[str, float]] = {}
+    for mode in RadioMode:
+        out[mode.value] = {
+            "time_h": breakdown.time_s[mode] / 3600.0,
+            "time_share": breakdown.time_fraction(mode),
+            "energy_mwh": breakdown.energy_mwh[mode],
+            "energy_share": breakdown.energy_fraction(mode),
+        }
+    return out

@@ -1,0 +1,98 @@
+"""Longitudinal measurement: sampling a months-long deployment.
+
+The paper's passive dataset spans seven months (Table 1).  Simulating
+every hour of that span is wasteful — orbital geometry repeats on
+day-to-week scales — so this module samples the campaign the way the
+analysis consumes it: one representative day per period (default a
+week), each propagated to its true epoch so nodal precession and drag
+act on the constellation between samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .campaign import PassiveCampaign, PassiveCampaignConfig
+from .contacts import ContactWindowStats, analyze_contacts
+
+__all__ = ["WeeklySample", "LongitudinalResult", "LongitudinalCampaign"]
+
+
+@dataclass(frozen=True)
+class WeeklySample:
+    """Metrics of one sampled day."""
+
+    week: int
+    start_day_offset: float
+    traces: int
+    stats_by_constellation: Dict[str, ContactWindowStats]
+
+    def shrinkage(self, constellation: str) -> float:
+        return self.stats_by_constellation[constellation] \
+            .duration_shrinkage
+
+
+@dataclass
+class LongitudinalResult:
+    """All weekly samples plus trend summaries."""
+
+    samples: List[WeeklySample] = field(default_factory=list)
+
+    def traces_per_week(self) -> List[int]:
+        return [s.traces for s in self.samples]
+
+    def shrinkage_series(self, constellation: str) -> List[float]:
+        return [s.shrinkage(constellation) for s in self.samples]
+
+    def shrinkage_stability(self, constellation: str) -> float:
+        """Peak-to-peak spread of the weekly shrinkage estimates."""
+        series = self.shrinkage_series(constellation)
+        if not series:
+            return float("nan")
+        return max(series) - min(series)
+
+
+class LongitudinalCampaign:
+    """Samples a long deployment one day per period."""
+
+    def __init__(self, weeks: int = 4, site: str = "HK",
+                 sample_days: float = 1.0,
+                 period_days: float = 7.0, seed: int = 42,
+                 constellations: Optional[Sequence[str]] = None) -> None:
+        if weeks <= 0:
+            raise ValueError("need at least one week")
+        if sample_days <= 0 or period_days < sample_days:
+            raise ValueError("sample must fit inside the period")
+        self.weeks = weeks
+        self.site = site
+        self.sample_days = sample_days
+        self.period_days = period_days
+        self.seed = seed
+        self.constellations = tuple(constellations
+                                    or ("tianqi", "fossa", "pico",
+                                        "cstp"))
+
+    def run(self) -> LongitudinalResult:
+        result = LongitudinalResult()
+        for week in range(self.weeks):
+            offset = week * self.period_days
+            config = PassiveCampaignConfig(
+                sites=(self.site,),
+                constellations=self.constellations,
+                days=self.sample_days,
+                start_day_offset=offset,
+                seed=self.seed + week)
+            campaign = PassiveCampaign(config).run()
+            stats = {
+                name: analyze_contacts(
+                    campaign.receptions(self.site, name),
+                    campaign.duration_s)
+                for name in self.constellations}
+            result.samples.append(WeeklySample(
+                week=week, start_day_offset=offset,
+                traces=campaign.total_traces,
+                stats_by_constellation=stats))
+        return result

@@ -1,0 +1,102 @@
+"""End-to-end performance analysis (paper Section 3.2, Figures 5 & 12).
+
+Reliability, latency and retransmission statistics of the satellite
+system versus the terrestrial baseline, plus the Appendix E analyses:
+reliability as a function of payload size and of how many nodes
+transmitted simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.packets import PacketRecord
+from ..network.server import (latency_decomposition_minutes,
+                              reliability_report)
+from ..network.terrestrial import TerrestrialRecord
+
+__all__ = ["SystemComparison", "compare_systems",
+           "retransmission_histogram", "reliability_by_concurrency",
+           "per_node_reliability"]
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """Headline terrestrial-vs-satellite numbers (Figures 5a/5c/5d)."""
+
+    satellite_reliability: float
+    terrestrial_reliability: float
+    satellite_latency_min: float
+    terrestrial_latency_min: float
+    latency_ratio: float
+    wait_min: float
+    dts_min: float
+    delivery_min: float
+
+
+def compare_systems(satellite_records: Sequence[PacketRecord],
+                    terrestrial_records: Sequence[TerrestrialRecord],
+                    ) -> SystemComparison:
+    sat_report = reliability_report(satellite_records)
+    decomposition = latency_decomposition_minutes(satellite_records)
+
+    terr_delivered = [r for r in terrestrial_records if r.delivered]
+    terr_rel = (len(terr_delivered) / len(terrestrial_records)
+                if terrestrial_records else float("nan"))
+    terr_lat = (float(np.mean([r.total_latency_s for r in terr_delivered]))
+                / 60.0 if terr_delivered else float("nan"))
+
+    sat_lat = decomposition["total_min"]
+    ratio = sat_lat / terr_lat if terr_lat and terr_lat > 0 \
+        else float("nan")
+    return SystemComparison(
+        satellite_reliability=sat_report.reliability,
+        terrestrial_reliability=terr_rel,
+        satellite_latency_min=sat_lat,
+        terrestrial_latency_min=terr_lat,
+        latency_ratio=ratio,
+        wait_min=decomposition["wait_min"],
+        dts_min=decomposition["dts_min"],
+        delivery_min=decomposition["delivery_min"],
+    )
+
+
+def retransmission_histogram(records: Sequence[PacketRecord],
+                             max_retx: int = 5) -> Dict[int, float]:
+    """Fraction of attempted packets needing k DtS retransmissions
+    (paper Figure 5b's CDF input)."""
+    counts = [r.retransmissions for r in records if r.attempts]
+    if not counts:
+        return {k: float("nan") for k in range(max_retx + 1)}
+    total = len(counts)
+    return {k: sum(1 for c in counts if c == k) / total
+            for k in range(max_retx + 1)}
+
+
+def reliability_by_concurrency(records: Sequence[PacketRecord],
+                               ) -> Dict[int, Tuple[float, int]]:
+    """End-to-end reliability grouped by how many nodes transmitted on
+    the packet's first attempt (paper Figure 12b).
+
+    Returns ``{concurrency: (reliability, sample_count)}``.
+    """
+    groups: Dict[int, List[PacketRecord]] = defaultdict(list)
+    for record in records:
+        if not record.attempts:
+            continue
+        groups[record.attempts[0].n_concurrent].append(record)
+    return {
+        k: (sum(1 for r in recs if r.delivered) / len(recs), len(recs))
+        for k, recs in sorted(groups.items())
+    }
+
+
+def per_node_reliability(records_by_node: Dict[str, Sequence[PacketRecord]],
+                         ) -> Dict[str, float]:
+    """Reliability per deployed node (spread across the three nodes)."""
+    return {node: reliability_report(list(recs)).reliability
+            for node, recs in records_by_node.items()}

@@ -1,0 +1,63 @@
+"""Plain-text table formatting for campaign reports and benchmarks.
+
+Every benchmark regenerating a paper table/figure prints through these
+helpers so outputs are uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_kv", "fmt"]
+
+Cell = Union[str, float, int, None]
+
+
+def fmt(value: Cell, precision: int = 2) -> str:
+    """Render one cell: floats to fixed precision, None to '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 precision: int = 2, title: Optional[str] = None) -> str:
+    """Monospace table with column alignment."""
+    rendered: List[List[str]] = [[fmt(c, precision) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_kv(pairs: Sequence[tuple], precision: int = 2,
+              title: Optional[str] = None) -> str:
+    """Aligned key: value listing."""
+    width = max((len(str(k)) for k, _v in pairs), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(width)} : {fmt(value, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Small statistics toolkit shared by the analysis modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["merge_intervals", "interval_gaps", "total_length",
+           "empirical_cdf", "Summary", "summarize", "bootstrap_mean_ci"]
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Union of possibly-overlapping [start, end] intervals."""
+    items = sorted((float(s), float(e)) for s, e in intervals)
+    merged: List[Interval] = []
+    for start, end in items:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {(start, end)}")
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def interval_gaps(merged: Sequence[Interval],
+                  span_start: float, span_end: float,
+                  include_edges: bool = False) -> List[float]:
+    """Durations of the gaps between merged intervals within a span.
+
+    With ``include_edges`` the lead-in before the first interval and the
+    tail after the last one count as gaps too.
+    """
+    if span_end < span_start:
+        raise ValueError("span ends before it starts")
+    gaps: List[float] = []
+    prev_end = span_start
+    first = True
+    for start, end in merged:
+        gap = start - prev_end
+        if gap > 0 and (include_edges or not first):
+            gaps.append(gap)
+        prev_end = max(prev_end, end)
+        first = False
+    if include_edges and span_end > prev_end:
+        gaps.append(span_end - prev_end)
+    return gaps
+
+
+def total_length(merged: Sequence[Interval]) -> float:
+    """Summed length of a set of (already merged) intervals."""
+    return float(sum(end - start for start, end in merged))
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    x = np.sort(np.asarray(values, dtype=float))
+    if len(x) == 0:
+        return x, x
+    p = np.arange(1, len(x) + 1) / len(x)
+    return x, p
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p10=float(np.percentile(arr, 10)),
+        p90=float(np.percentile(arr, 90)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_mean_ci(values: Sequence[float], confidence: float = 0.95,
+                      n_resamples: int = 1000,
+                      seed: int = 0) -> Tuple[float, float]:
+    """Bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    means = rng.choice(arr, size=(n_resamples, arr.size),
+                       replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.percentile(means, 100 * alpha)),
+            float(np.percentile(means, 100 * (1 - alpha))))

@@ -1,0 +1,117 @@
+"""Cross-implementation self-checks.
+
+With no reference ephemeris or testbed available offline, confidence in
+the simulator comes from *independent implementations agreeing*.  This
+module packages those cross-checks — SGP4 vs the analytic J2 propagator,
+pass prediction vs the coverage grid, airtime vs bitrate — into a
+machine-readable report (also exposed as ``python -m satiot`` users can
+run after modifying the physics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ..constellations.catalog import build_constellation
+from ..orbits.groundtrack import CoverageGrid
+from ..orbits.j2 import J2Propagator
+from ..orbits.kepler import KeplerianElements, semi_major_axis_km
+from ..orbits.passes import PassPredictor
+from ..orbits.sgp4 import SGP4
+from ..phy.lora import LoRaModulation
+from .availability import daily_presence_hours
+from .sites import SITES
+
+__all__ = ["CheckResult", "run_self_checks"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one self-check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_sgp4_vs_j2() -> CheckResult:
+    constellation = build_constellation("tianqi")
+    tle = constellation.satellites[0].tle
+    sgp4 = SGP4(tle)
+    elements = KeplerianElements(
+        semi_major_axis_km=semi_major_axis_km(tle.mean_motion_rev_day),
+        eccentricity=tle.eccentricity,
+        inclination_rad=tle.inclination_rad,
+        raan_rad=tle.raan_rad, argp_rad=tle.argp_rad,
+        mean_anomaly_rad=tle.mean_anomaly_rad)
+    j2 = J2Propagator(elements)
+    t = np.arange(0.0, 6100.0, 60.0)
+    r_a, _ = sgp4.propagate(t)
+    r_b, _ = j2.propagate(t)
+    divergence = float(np.linalg.norm(r_a - r_b, axis=1).max())
+    return CheckResult(
+        name="SGP4 vs analytic J2 over one orbit",
+        passed=divergence < 50.0,
+        detail=f"max divergence {divergence:.1f} km (limit 50)")
+
+
+def _check_passes_vs_coverage() -> CheckResult:
+    constellation = build_constellation("tianqi")
+    epoch = constellation.satellites[0].tle.epoch
+    location = SITES["HK"].location
+
+    hours_passes = daily_presence_hours(constellation, location, epoch)
+    grid = CoverageGrid.empty(5.0, 86400.0)
+    grid.accumulate_union([s.propagator for s in constellation], epoch,
+                          step_s=120.0)
+    hours_grid = grid.hours_at(location.latitude_deg,
+                               location.longitude_deg)
+    delta = abs(hours_passes - hours_grid)
+    return CheckResult(
+        name="pass prediction vs coverage grid (HK daily presence)",
+        passed=delta < 1.5,
+        detail=f"passes {hours_passes:.1f} h vs grid {hours_grid:.1f} h "
+               f"(|delta| {delta:.2f} h, limit 1.5)")
+
+
+def _check_airtime_vs_bitrate() -> CheckResult:
+    mod = LoRaModulation(spreading_factor=9,
+                         low_data_rate_optimize=False)
+    payload = 200
+    airtime = mod.airtime_s(payload)
+    # The payload body must transfer no faster than the raw bitrate.
+    implied_bps = 8 * payload / airtime
+    ok = implied_bps <= mod.bitrate_bps() * 1.05
+    return CheckResult(
+        name="LoRa airtime consistent with bitrate",
+        passed=ok,
+        detail=f"implied {implied_bps:.0f} bps <= "
+               f"raw {mod.bitrate_bps():.0f} bps")
+
+
+def _check_ground_speed() -> CheckResult:
+    constellation = build_constellation("fossa")
+    sat = constellation.satellites[0].propagator
+    _r, v = sat.propagate(np.arange(0.0, 5400.0, 60.0))
+    speed = float(np.linalg.norm(v, axis=1).mean())
+    # Paper Appendix C: LEO at ~500 km moves at ~7.6 km/s.
+    return CheckResult(
+        name="orbital speed at 510 km",
+        passed=abs(speed - 7.6) < 0.1,
+        detail=f"mean speed {speed:.2f} km/s (expect 7.6 +/- 0.1)")
+
+
+_CHECKS: List[Callable[[], CheckResult]] = [
+    _check_sgp4_vs_j2,
+    _check_passes_vs_coverage,
+    _check_airtime_vs_bitrate,
+    _check_ground_speed,
+]
+
+
+def run_self_checks() -> List[CheckResult]:
+    """Run every cross-check; failures are reported, not raised."""
+    return [check() for check in _CHECKS]

@@ -1,0 +1,93 @@
+"""Dataset archival in the paper's release layout.
+
+The paper publishes its traces as the *SINet* dataset (per-site files
+plus metadata).  This module writes a simulated campaign in the same
+shape — one traces CSV per site plus a JSON manifest — and loads such an
+archive back, so analyses can run on archived data without
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from .core.campaign import PassiveCampaignResult
+from .groundstation.traces import TraceDataset
+
+__all__ = ["DatasetManifest", "export_dataset", "load_dataset"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class DatasetManifest:
+    """Top-level metadata of an archived campaign."""
+
+    name: str
+    seed: int
+    days: float
+    sites: Dict[str, int]            # site code -> trace count
+    constellations: Dict[str, int]   # name -> satellite count
+    total_traces: int
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatasetManifest":
+        data = json.loads(text)
+        return cls(**data)
+
+
+def export_dataset(result: PassiveCampaignResult,
+                   root: Union[str, Path],
+                   name: str = "sinet-sim") -> DatasetManifest:
+    """Write a campaign as ``root/<SITE>/traces.csv`` + manifest."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    site_counts: Dict[str, int] = {}
+    for code, site_result in result.site_results.items():
+        site_dir = root / code
+        site_dir.mkdir(exist_ok=True)
+        dataset = result.dataset.by_site(code).sorted_by_time()
+        dataset.to_csv(site_dir / "traces.csv")
+        site_counts[code] = len(dataset)
+
+    manifest = DatasetManifest(
+        name=name,
+        seed=result.config.seed,
+        days=result.config.days,
+        sites=site_counts,
+        constellations={c.name: len(c)
+                        for c in result.constellations.values()},
+        total_traces=result.total_traces,
+    )
+    (root / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
+    return manifest
+
+
+def load_dataset(root: Union[str, Path],
+                 ) -> Tuple[DatasetManifest, Dict[str, TraceDataset]]:
+    """Load an archive written by :func:`export_dataset`."""
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+    manifest = DatasetManifest.from_json(manifest_path.read_text())
+
+    datasets: Dict[str, TraceDataset] = {}
+    for code, expected in manifest.sites.items():
+        csv_path = root / code / "traces.csv"
+        if not csv_path.exists():
+            raise FileNotFoundError(f"missing site file {csv_path}")
+        dataset = TraceDataset.from_csv(csv_path)
+        if len(dataset) != expected:
+            raise ValueError(
+                f"site {code}: manifest says {expected} traces, "
+                f"file has {len(dataset)}")
+        datasets[code] = dataset
+    return manifest, datasets

@@ -1,0 +1,13 @@
+"""Economics: device/infrastructure/operational cost models."""
+
+from .comparison import (ExpenditureRow, expenditure_table,
+                         tco_crossover_months, tco_usd)
+from .pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS, SatelliteCostModel,
+                      TerrestrialCostModel)
+
+__all__ = [
+    "ExpenditureRow", "expenditure_table", "tco_usd",
+    "tco_crossover_months",
+    "SatelliteCostModel", "TerrestrialCostModel",
+    "TIANQI_COSTS", "TERRESTRIAL_COSTS",
+]

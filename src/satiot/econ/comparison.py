@@ -1,0 +1,90 @@
+"""Expenditure comparison between the two paradigms (paper Table 2).
+
+Produces the same rows the paper reports — device cost, infrastructure
+cost, operational cost — plus a total-cost-of-ownership curve over time,
+which makes the crossover between "cheap hardware + gateway" and
+"expensive node + per-packet billing" explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS, SatelliteCostModel,
+                      TerrestrialCostModel)
+
+__all__ = ["ExpenditureRow", "expenditure_table", "tco_usd",
+           "tco_crossover_months"]
+
+
+@dataclass(frozen=True)
+class ExpenditureRow:
+    """One row of the Table 2 comparison."""
+
+    network: str
+    device_cost_usd: float
+    infrastructure_cost_usd: float
+    operational_usd_per_month: float
+
+
+def expenditure_table(packets_per_day: float = 48.0,
+                      payload_bytes: int = 20,
+                      satellite: SatelliteCostModel = TIANQI_COSTS,
+                      terrestrial: TerrestrialCostModel = TERRESTRIAL_COSTS,
+                      ) -> List[ExpenditureRow]:
+    """The paper's Table 2 for a given per-sensor traffic profile."""
+    return [
+        ExpenditureRow(
+            network="Terrestrial IoT",
+            device_cost_usd=terrestrial.end_node_cost_usd,
+            infrastructure_cost_usd=terrestrial.gateway_cost_usd,
+            operational_usd_per_month=terrestrial.monthly_data_cost_usd(1),
+        ),
+        ExpenditureRow(
+            network="Satellite IoT",
+            device_cost_usd=satellite.device_cost_usd,
+            infrastructure_cost_usd=0.0,
+            operational_usd_per_month=satellite.monthly_data_cost_usd(
+                packets_per_day, payload_bytes),
+        ),
+    ]
+
+
+def tco_usd(months: float, node_count: int = 1,
+            packets_per_day: float = 48.0, payload_bytes: int = 20,
+            satellite: SatelliteCostModel = TIANQI_COSTS,
+            terrestrial: TerrestrialCostModel = TERRESTRIAL_COSTS,
+            ) -> Dict[str, float]:
+    """Total cost of ownership of both systems after ``months``."""
+    if months < 0:
+        raise ValueError("months cannot be negative")
+    sat = (satellite.construction_cost_usd(node_count)
+           + months * node_count
+           * satellite.monthly_data_cost_usd(packets_per_day, payload_bytes))
+    terr = (terrestrial.construction_cost_usd(node_count)
+            + months * terrestrial.monthly_data_cost_usd(1))
+    return {"satellite_usd": sat, "terrestrial_usd": terr}
+
+
+def tco_crossover_months(node_count: int = 1, packets_per_day: float = 48.0,
+                         payload_bytes: int = 20,
+                         satellite: SatelliteCostModel = TIANQI_COSTS,
+                         terrestrial: TerrestrialCostModel
+                         = TERRESTRIAL_COSTS,
+                         horizon_months: int = 600) -> Tuple[bool, float]:
+    """When (if ever) the cheaper system flips within the horizon.
+
+    Returns ``(flips, months)``; ``months`` is ``inf`` when the initially
+    cheaper system stays cheaper for the whole horizon.
+    """
+    first = tco_usd(0, node_count, packets_per_day, payload_bytes,
+                    satellite, terrestrial)
+    sat_cheaper_at_start = first["satellite_usd"] < first["terrestrial_usd"]
+    for month in range(1, horizon_months + 1):
+        now = tco_usd(month, node_count, packets_per_day, payload_bytes,
+                      satellite, terrestrial)
+        if (now["satellite_usd"] < now["terrestrial_usd"]) \
+                != sat_cheaper_at_start:
+            return True, float(month)
+    return False, float("inf")

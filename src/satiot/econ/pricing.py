@@ -1,0 +1,77 @@
+"""Cost models for both IoT paradigms (paper Table 2).
+
+Tianqi bills per packet (16.5 USD per thousand packets, each carrying up
+to 120 bytes); the terrestrial system pays for hardware (end nodes and
+gateways) plus a flat LTE data plan for backhaul.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SatelliteCostModel", "TerrestrialCostModel",
+            "TIANQI_COSTS", "TERRESTRIAL_COSTS"]
+
+
+@dataclass(frozen=True)
+class SatelliteCostModel:
+    """Per-packet billed satellite IoT service."""
+
+    device_cost_usd: float = 220.0
+    usd_per_thousand_packets: float = 16.5
+    max_payload_bytes: int = 120
+
+    def packets_for_payload(self, payload_bytes: int) -> int:
+        """Billable packets needed to carry one reading."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        return math.ceil(payload_bytes / self.max_payload_bytes)
+
+    def monthly_data_cost_usd(self, packets_per_day: float,
+                              payload_bytes: int = 20,
+                              days_per_month: float = 30.0) -> float:
+        """Monthly service charge for one sensor."""
+        if packets_per_day < 0:
+            raise ValueError("packet rate cannot be negative")
+        billable = packets_per_day * self.packets_for_payload(payload_bytes)
+        return (billable * days_per_month / 1000.0
+                * self.usd_per_thousand_packets)
+
+    def construction_cost_usd(self, node_count: int) -> float:
+        if node_count <= 0:
+            raise ValueError("need at least one node")
+        return node_count * self.device_cost_usd
+
+
+@dataclass(frozen=True)
+class TerrestrialCostModel:
+    """Gateway-based terrestrial IoT with an LTE backhaul plan."""
+
+    end_node_cost_usd: float = 35.0
+    gateway_cost_usd: float = 219.0
+    lte_plan_usd_per_month: float = 4.9
+    lte_bandwidth_mbps: float = 42.0
+    nodes_per_gateway: int = 500
+
+    def construction_cost_usd(self, node_count: int,
+                              gateway_count: int = None) -> float:
+        if node_count <= 0:
+            raise ValueError("need at least one node")
+        if gateway_count is None:
+            gateway_count = max(
+                1, math.ceil(node_count / self.nodes_per_gateway))
+        if gateway_count <= 0:
+            raise ValueError("need at least one gateway")
+        return (node_count * self.end_node_cost_usd
+                + gateway_count * self.gateway_cost_usd)
+
+    def monthly_data_cost_usd(self, gateway_count: int = 1) -> float:
+        if gateway_count <= 0:
+            raise ValueError("need at least one gateway")
+        return gateway_count * self.lte_plan_usd_per_month
+
+
+#: The paper's concrete deployments.
+TIANQI_COSTS = SatelliteCostModel()
+TERRESTRIAL_COSTS = TerrestrialCostModel()

@@ -1,0 +1,17 @@
+"""Energy substrate: mode profiles, accounting, batteries, behaviors."""
+
+from .accounting import EnergyBreakdown, ModeTimeline
+from .battery import DEFAULT_BATTERY_MWH, Battery
+from .behavior import TerrestrialBehavior, TianqiBehavior
+from .optimizer import WakePlan, plan_wake_windows
+from .profiles import (TERRESTRIAL_NODE_PROFILE, TIANQI_NODE_PROFILE,
+                       PowerProfile, RadioMode)
+
+__all__ = [
+    "EnergyBreakdown", "ModeTimeline",
+    "Battery", "DEFAULT_BATTERY_MWH",
+    "TerrestrialBehavior", "TianqiBehavior",
+    "WakePlan", "plan_wake_windows",
+    "PowerProfile", "RadioMode",
+    "TERRESTRIAL_NODE_PROFILE", "TIANQI_NODE_PROFILE",
+]

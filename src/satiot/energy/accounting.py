@@ -1,0 +1,74 @@
+"""Mode-timeline energy accounting.
+
+A :class:`ModeTimeline` accumulates how long a node spent in each radio
+mode over a campaign and converts that to energy through a
+:class:`~satiot.energy.profiles.PowerProfile` — exactly the quantity the
+paper's power meter integrated (Figures 6 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .profiles import PowerProfile, RadioMode
+
+__all__ = ["ModeTimeline", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-mode time, energy, and their shares."""
+
+    time_s: Dict[RadioMode, float]
+    energy_mwh: Dict[RadioMode, float]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.time_s.values())
+
+    @property
+    def total_energy_mwh(self) -> float:
+        return sum(self.energy_mwh.values())
+
+    @property
+    def average_power_mw(self) -> float:
+        total_time = self.total_time_s
+        if total_time <= 0:
+            return float("nan")
+        return self.total_energy_mwh * 3600.0 * 1000.0 / (total_time * 1000.0)
+
+    def time_fraction(self, mode: RadioMode) -> float:
+        total = self.total_time_s
+        return self.time_s[mode] / total if total > 0 else float("nan")
+
+    def energy_fraction(self, mode: RadioMode) -> float:
+        total = self.total_energy_mwh
+        return self.energy_mwh[mode] / total if total > 0 else float("nan")
+
+
+class ModeTimeline:
+    """Accumulates (mode, duration) segments for one node."""
+
+    def __init__(self, profile: PowerProfile) -> None:
+        self.profile = profile
+        self._time_s: Dict[RadioMode, float] = {m: 0.0 for m in RadioMode}
+
+    def add(self, mode: RadioMode, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ValueError("durations cannot be negative")
+        self._time_s[mode] += duration_s
+
+    def time_in(self, mode: RadioMode) -> float:
+        return self._time_s[mode]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self._time_s.values())
+
+    def breakdown(self) -> EnergyBreakdown:
+        energy = {
+            mode: self.profile.power_mw(mode) * seconds / 3600.0
+            for mode, seconds in self._time_s.items()
+        }
+        return EnergyBreakdown(time_s=dict(self._time_s), energy_mwh=energy)

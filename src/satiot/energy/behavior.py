@@ -1,0 +1,105 @@
+"""Duty-cycle builders: protocol activity → mode timelines.
+
+Translates what each system actually did during the campaign (packets
+sent, retransmissions, satellite monitoring) into per-mode radio time.
+
+Terrestrial LoRaWAN (Class A): wake to standby, transmit, open two
+1-second receive windows, sleep — 95 % of life asleep (paper Fig. 11).
+
+Tianqi DtS node: keeps its receiver on while a constellation satellite
+is predicted overhead so it can catch beacons and switch to transmit
+quickly (paper Section 3.2's explanation of the extended Rx hang-on
+time), transmits with the high-power DtS PA, sleeps otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..phy.lora import LoRaModulation
+from .accounting import ModeTimeline
+from .profiles import (TERRESTRIAL_NODE_PROFILE, TIANQI_NODE_PROFILE,
+                       PowerProfile, RadioMode)
+
+__all__ = ["TerrestrialBehavior", "TianqiBehavior"]
+
+
+@dataclass(frozen=True)
+class TerrestrialBehavior:
+    """Class-A LoRaWAN duty cycle."""
+
+    profile: PowerProfile = TERRESTRIAL_NODE_PROFILE
+    modulation: LoRaModulation = LoRaModulation(
+        spreading_factor=9, bandwidth_hz=125_000.0,
+        low_data_rate_optimize=False)
+    standby_per_packet_s: float = 2.0     # wake, sense, encode
+    rx_window_s: float = 2.0              # RX1 + RX2
+
+    def timeline(self, duration_s: float,
+                 payload_sizes: Iterable[int]) -> ModeTimeline:
+        """Mode timeline for a span in which the given packets were sent."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        tl = ModeTimeline(self.profile)
+        active = 0.0
+        for payload in payload_sizes:
+            airtime = self.modulation.airtime_s(payload)
+            tl.add(RadioMode.STANDBY, self.standby_per_packet_s)
+            tl.add(RadioMode.TX, airtime)
+            tl.add(RadioMode.RX, self.rx_window_s)
+            active += self.standby_per_packet_s + airtime + self.rx_window_s
+        if active > duration_s:
+            raise ValueError("activity exceeds the span duration")
+        tl.add(RadioMode.SLEEP, duration_s - active)
+        return tl
+
+
+@dataclass(frozen=True)
+class TianqiBehavior:
+    """Tianqi DtS node duty cycle."""
+
+    profile: PowerProfile = TIANQI_NODE_PROFILE
+    modulation: LoRaModulation = LoRaModulation(
+        spreading_factor=10, bandwidth_hz=125_000.0)
+    standby_per_packet_s: float = 2.0
+
+    def timeline(self, duration_s: float,
+                 monitoring_rx_s: float,
+                 attempts: Sequence[Tuple[float, int]],
+                 ) -> ModeTimeline:
+        """Mode timeline of a Tianqi node.
+
+        Parameters
+        ----------
+        duration_s:
+            Campaign span.
+        monitoring_rx_s:
+            Total receiver-on time spent monitoring for satellite
+            beacons (time with a constellation satellite predicted
+            overhead).
+        attempts:
+            ``(time_s, payload_bytes)`` of every DtS transmission
+            attempt, including retransmissions.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if monitoring_rx_s < 0 or monitoring_rx_s > duration_s:
+            raise ValueError("monitoring time must fit inside the span")
+        tl = ModeTimeline(self.profile)
+        tx_time = 0.0
+        standby_time = 0.0
+        for _t, payload in attempts:
+            tx_time += self.modulation.airtime_s(payload)
+            standby_time += self.standby_per_packet_s
+        # Transmissions happen while the radio would otherwise be in
+        # monitoring Rx, so carve Tx/standby out of the Rx budget first.
+        rx_time = max(monitoring_rx_s - tx_time - standby_time, 0.0)
+        active = rx_time + tx_time + standby_time
+        if active > duration_s:
+            raise ValueError("activity exceeds the span duration")
+        tl.add(RadioMode.TX, tx_time)
+        tl.add(RadioMode.STANDBY, standby_time)
+        tl.add(RadioMode.RX, rx_time)
+        tl.add(RadioMode.SLEEP, duration_s - active)
+        return tl

@@ -1,0 +1,15 @@
+"""Ground segment: stations, scheduler, beacon receiver, trace datasets."""
+
+from .community import COMMUNITY_HUBS, CommunityNetwork
+from .receiver import BeaconReceiver, PassReception
+from .scheduler import PassSchedule, ScheduledPass, Scheduler
+from .station import GroundStation, StationHardware
+from .traces import BeaconTrace, TraceDataset
+
+__all__ = [
+    "CommunityNetwork", "COMMUNITY_HUBS",
+    "BeaconReceiver", "PassReception",
+    "PassSchedule", "ScheduledPass", "Scheduler",
+    "GroundStation", "StationHardware",
+    "BeaconTrace", "TraceDataset",
+]

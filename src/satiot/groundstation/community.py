@@ -1,0 +1,144 @@
+"""The crowd-sourced TinyGS community network (paper Section 2.2).
+
+TinyGS has ~1,800 volunteer stations worldwide; the paper's cited
+works (L2D2, community ground stations) use exactly such networks as a
+low-cost distributed downlink.  This module synthesizes a plausible
+global station population — clustered on land and toward population
+centres, as the real map is — and answers coverage questions: how long
+until a satellite is heard by *someone*, and how much of its orbit is
+within range of the community.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constellations.footprint import earth_central_angle_rad
+from ..orbits.frames import GeodeticPoint
+from ..orbits.groundtrack import ground_track
+from ..orbits.sgp4 import SGP4
+from ..orbits.timebase import Epoch
+from .station import GroundStation
+
+__all__ = ["CommunityNetwork", "COMMUNITY_HUBS"]
+
+#: Rough population hubs the volunteer map clusters around:
+#: (latitude, longitude, weight).
+COMMUNITY_HUBS: Tuple[Tuple[float, float, float], ...] = (
+    (48.0, 10.0, 0.30),    # central Europe — the densest region
+    (40.0, -95.0, 0.20),   # north America
+    (35.0, 115.0, 0.15),   # east Asia
+    (22.0, 78.0, 0.08),    # south Asia
+    (-25.0, 135.0, 0.07),  # Australia
+    (-15.0, -55.0, 0.07),  # south America
+    (52.0, 37.0, 0.07),    # eastern Europe / Russia
+    (0.0, 20.0, 0.06),     # Africa
+)
+
+
+@dataclass
+class CommunityNetwork:
+    """A synthesized population of volunteer ground stations."""
+
+    stations: List[GroundStation]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthesize(cls, count: int = 1800, seed: int = 0,
+                   hubs: Sequence[Tuple[float, float, float]]
+                   = COMMUNITY_HUBS,
+                   spread_deg: float = 12.0) -> "CommunityNetwork":
+        """Draw stations clustered around population hubs."""
+        if count <= 0:
+            raise ValueError("need at least one station")
+        if not hubs:
+            raise ValueError("need at least one hub")
+        rng = np.random.default_rng(seed)
+        weights = np.asarray([w for _la, _lo, w in hubs], dtype=float)
+        weights = weights / weights.sum()
+        chosen = rng.choice(len(hubs), size=count, p=weights)
+
+        stations: List[GroundStation] = []
+        for i, hub_index in enumerate(chosen):
+            hub_lat, hub_lon, _w = hubs[hub_index]
+            lat = float(np.clip(rng.normal(hub_lat, spread_deg),
+                                -84.0, 84.0))
+            lon = float((rng.normal(hub_lon, 1.6 * spread_deg) + 180.0)
+                        % 360.0 - 180.0)
+            stations.append(GroundStation(
+                station_id=f"tinygs-{i + 1:04d}", site="community",
+                location=GeodeticPoint(lat, lon)))
+        return cls(stations=stations)
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    # ------------------------------------------------------------------
+    def visibility_fraction(self, propagator: SGP4, epoch: Epoch,
+                            span_s: float = 86400.0,
+                            step_s: float = 60.0,
+                            min_elevation_deg: float = 0.0) -> float:
+        """Fraction of the span during which *someone* hears the satellite.
+
+        Vectorized: the satellite's sub-track is tested against every
+        station with the spherical footprint condition.
+        """
+        offsets = np.arange(0.0, span_s, step_s)
+        lat, lon, alt = ground_track(propagator, epoch, offsets)
+        lam = np.asarray([earth_central_angle_rad(float(a),
+                                                  min_elevation_deg)
+                          for a in np.atleast_1d(alt)])
+        cos_lam = np.cos(lam)
+
+        sat_lat = np.radians(np.asarray(lat))
+        sat_lon = np.radians(np.asarray(lon))
+        st_lat = np.radians(np.asarray(
+            [s.location.latitude_deg for s in self.stations]))
+        st_lon = np.radians(np.asarray(
+            [s.location.longitude_deg for s in self.stations]))
+
+        covered = np.zeros(len(offsets), dtype=bool)
+        chunk = 256
+        for start in range(0, len(self.stations), chunk):
+            sl = slice(start, start + chunk)
+            cos_d = (np.sin(st_lat[sl])[:, None] * np.sin(sat_lat)
+                     + np.cos(st_lat[sl])[:, None] * np.cos(sat_lat)
+                     * np.cos(st_lon[sl][:, None] - sat_lon))
+            covered |= np.any(cos_d >= cos_lam, axis=0)
+        return float(np.mean(covered))
+
+    def mean_gap_to_contact_s(self, propagator: SGP4, epoch: Epoch,
+                              span_s: float = 86400.0,
+                              step_s: float = 60.0) -> float:
+        """Mean stretch with nobody in range (the community-downlink
+        latency bound of L2D2-style systems)."""
+        offsets = np.arange(0.0, span_s, step_s)
+        lat, lon, alt = ground_track(propagator, epoch, offsets)
+        lam = earth_central_angle_rad(float(np.mean(alt)))
+        cos_lam = np.cos(lam)
+        sat_lat = np.radians(np.asarray(lat))
+        sat_lon = np.radians(np.asarray(lon))
+        st_lat = np.radians(np.asarray(
+            [s.location.latitude_deg for s in self.stations]))
+        st_lon = np.radians(np.asarray(
+            [s.location.longitude_deg for s in self.stations]))
+        cos_d = (np.sin(st_lat)[:, None] * np.sin(sat_lat)
+                 + np.cos(st_lat)[:, None] * np.cos(sat_lat)
+                 * np.cos(st_lon[:, None] - sat_lon))
+        covered = np.any(cos_d >= cos_lam, axis=0)
+
+        gaps: List[float] = []
+        run = 0
+        for c in covered:
+            if c:
+                if run:
+                    gaps.append(run * step_s)
+                run = 0
+            else:
+                run += 1
+        if run:
+            gaps.append(run * step_s)
+        return float(np.mean(gaps)) if gaps else 0.0

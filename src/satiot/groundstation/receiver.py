@@ -1,0 +1,147 @@
+"""Beacon reception simulation for one scheduled pass.
+
+For every beacon the satellite broadcasts inside a contact window, the
+receiver evaluates the stochastic DtS downlink and logs a
+:class:`~satiot.groundstation.traces.BeaconTrace` when the packet
+decodes.  The per-pass summary (first/last reception) is what defines
+the paper's *effective duration* of a contact window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..network.beacon import build_beacon_train
+from ..orbits.timebase import Epoch
+from ..phy.channel import ChannelParams, DtSChannel
+from ..phy.link_budget import LinkBudget
+from ..phy.lora import LoRaModulation
+from ..sim.weather import WeatherProcess
+from .scheduler import ScheduledPass
+from .traces import BeaconTrace
+
+__all__ = ["PassReception", "BeaconReceiver"]
+
+
+@dataclass
+class PassReception:
+    """Outcome of listening to one scheduled pass."""
+
+    scheduled: ScheduledPass
+    pass_id: int
+    beacons_sent: int
+    beacons_received: int
+    first_rx_s: Optional[float]
+    last_rx_s: Optional[float]
+    raining: bool
+    traces: List[BeaconTrace] = field(default_factory=list)
+
+    @property
+    def effective_duration_s(self) -> float:
+        """Span between first and last received beacon (paper Sec. 3.1)."""
+        if self.first_rx_s is None or self.last_rx_s is None:
+            return 0.0
+        return self.last_rx_s - self.first_rx_s
+
+    @property
+    def reception_rate(self) -> float:
+        if self.beacons_sent == 0:
+            return 0.0
+        return self.beacons_received / self.beacons_sent
+
+    @property
+    def heard_anything(self) -> bool:
+        return self.beacons_received > 0
+
+
+class BeaconReceiver:
+    """Simulates a ground station listening through scheduled passes."""
+
+    def __init__(self, channel_params: Optional[ChannelParams] = None,
+                 link_overrides: Optional[dict] = None) -> None:
+        self.channel_params = channel_params or ChannelParams()
+        self.link_overrides = dict(link_overrides or {})
+
+    # ------------------------------------------------------------------
+    def _build_channel(self, scheduled: ScheduledPass) -> DtSChannel:
+        radio = scheduled.satellite.radio
+        budget = LinkBudget(
+            eirp_dbm=radio.beacon_eirp_dbm,
+            frequency_hz=radio.frequency_hz,
+            **self.link_overrides)
+        modulation = LoRaModulation(
+            spreading_factor=radio.spreading_factor,
+            bandwidth_hz=radio.bandwidth_hz,
+            coding_rate=radio.coding_rate,
+            preamble_symbols=radio.preamble_symbols,
+            explicit_header=radio.explicit_header,
+            low_data_rate_optimize=radio.low_data_rate_optimize)
+        return DtSChannel(budget, modulation, self.channel_params)
+
+    # ------------------------------------------------------------------
+    def receive_pass(self, scheduled: ScheduledPass, epoch: Epoch,
+                     pass_id: int, rng: np.random.Generator,
+                     weather: Optional[WeatherProcess] = None,
+                     ) -> PassReception:
+        """Simulate all beacon receptions within one scheduled pass."""
+        radio = scheduled.satellite.radio
+        window = scheduled.window
+        station = scheduled.station
+
+        train = build_beacon_train(scheduled.satellite, window,
+                                   station.location, epoch, rng)
+        times = train.times_s
+        raining = bool(weather.is_raining(window.midpoint_s)) \
+            if weather is not None else False
+        if len(times) == 0:
+            return PassReception(scheduled, pass_id, 0, 0, None, None,
+                                 raining)
+
+        elevation = train.elevation_deg
+        rng_km = train.range_km
+        shift = train.doppler_shift_hz
+
+        channel = self._build_channel(scheduled)
+        samples = channel.simulate_packets(
+            times_s=times,
+            elevation_deg=elevation,
+            range_km=rng_km,
+            doppler_shift_hz=shift,
+            doppler_rate_hz_s=train.doppler_rate_hz_s,
+            payload_bytes=radio.beacon_payload_bytes,
+            rng=rng,
+            rx_gain_dbi=station.rx_gain_dbi(elevation),
+            raining=raining)
+
+        received_idx = np.nonzero(samples.received)[0]
+        traces = [
+            BeaconTrace(
+                time_s=float(times[i]),
+                station_id=station.station_id,
+                site=station.site,
+                constellation=scheduled.satellite.constellation_name,
+                satellite=scheduled.satellite.name,
+                norad_id=scheduled.satellite.norad_id,
+                frequency_hz=radio.frequency_hz,
+                rssi_dbm=float(samples.rssi_dbm[i]),
+                snr_db=float(samples.snr_db[i]),
+                elevation_deg=float(elevation[i]),
+                azimuth_deg=float(train.azimuth_deg[i]),
+                range_km=float(rng_km[i]),
+                doppler_hz=float(shift[i]),
+                raining=raining,
+                pass_id=pass_id,
+            )
+            for i in received_idx
+        ]
+        first_rx = float(times[received_idx[0]]) if len(received_idx) else None
+        last_rx = float(times[received_idx[-1]]) if len(received_idx) else None
+        return PassReception(
+            scheduled=scheduled, pass_id=pass_id,
+            beacons_sent=len(times),
+            beacons_received=int(len(received_idx)),
+            first_rx_s=first_rx, last_rx_s=last_rx,
+            raining=raining, traces=traces)

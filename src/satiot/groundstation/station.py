@@ -1,0 +1,51 @@
+"""Ground-station model — the paper's $30 TinyGS-style node.
+
+A station is a LILYGO board with an SX1262 radio and a small antenna at a
+known location.  It can be tuned to one satellite's DtS frequency at a
+time, which is why the campaign needs a scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..orbits.frames import GeodeticPoint
+from ..phy.antennas import DIPOLE, Antenna
+
+__all__ = ["StationHardware", "GroundStation"]
+
+
+@dataclass(frozen=True)
+class StationHardware:
+    """Receiver hardware characteristics (defaults: LILYGO + SX1262)."""
+
+    model: str = "LILYGO T3 / SX1262"
+    noise_figure_db: float = 6.0
+    cable_loss_db: float = 0.5
+    frequency_min_hz: float = 400.0e6
+    frequency_max_hz: float = 450.0e6
+    cost_usd: float = 30.0
+
+    def supports_frequency(self, frequency_hz: float) -> bool:
+        return self.frequency_min_hz <= frequency_hz <= self.frequency_max_hz
+
+
+@dataclass(frozen=True)
+class GroundStation:
+    """One deployed passive measurement station."""
+
+    station_id: str
+    site: str
+    location: GeodeticPoint
+    antenna: Antenna = DIPOLE
+    hardware: StationHardware = field(default_factory=StationHardware)
+
+    def __post_init__(self) -> None:
+        if not self.station_id:
+            raise ValueError("station_id must be non-empty")
+
+    def rx_gain_dbi(self, elevation_deg) -> float:
+        """Net receive gain toward the given elevation (antenna - cable)."""
+        return self.antenna.gain_dbi(elevation_deg) \
+            - self.hardware.cable_loss_db

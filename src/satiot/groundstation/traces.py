@@ -1,0 +1,132 @@
+"""Packet-trace records and dataset I/O.
+
+A :class:`BeaconTrace` mirrors one row of the paper's passive dataset:
+timestamp, RSSI, SNR and sender-satellite metadata extracted from a
+received beacon (Section 2.2).  Datasets serialise to CSV and JSON-lines
+so campaigns can be archived and re-analysed without re-simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Union
+
+__all__ = ["BeaconTrace", "TraceDataset"]
+
+
+@dataclass(frozen=True)
+class BeaconTrace:
+    """One received beacon, as logged by a ground station."""
+
+    time_s: float              # seconds since campaign start
+    station_id: str
+    site: str
+    constellation: str
+    satellite: str
+    norad_id: int
+    frequency_hz: float
+    rssi_dbm: float
+    snr_db: float
+    elevation_deg: float
+    azimuth_deg: float
+    range_km: float
+    doppler_hz: float
+    raining: bool
+    pass_id: int               # index of the contact window this belongs to
+
+    def to_row(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_row(cls, row: dict) -> "BeaconTrace":
+        kwargs = {}
+        for f in fields(cls):
+            value = row[f.name]
+            if f.type in ("float", float):
+                value = float(value)
+            elif f.type in ("int", int):
+                value = int(value)
+            elif f.type in ("bool", bool):
+                value = value in (True, "True", "true", "1", 1)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+
+class TraceDataset:
+    """An append-only collection of beacon traces with query helpers."""
+
+    def __init__(self, traces: Optional[Iterable[BeaconTrace]] = None) -> None:
+        self._traces: List[BeaconTrace] = list(traces or [])
+
+    # ------------------------------------------------------------------
+    def append(self, trace: BeaconTrace) -> None:
+        self._traces.append(trace)
+
+    def extend(self, traces: Iterable[BeaconTrace]) -> None:
+        self._traces.extend(traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[BeaconTrace]:
+        return iter(self._traces)
+
+    def __getitem__(self, idx: int) -> BeaconTrace:
+        return self._traces[idx]
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[BeaconTrace], bool],
+               ) -> "TraceDataset":
+        return TraceDataset(t for t in self._traces if predicate(t))
+
+    def by_constellation(self, name: str) -> "TraceDataset":
+        name = name.lower()
+        return self.filter(lambda t: t.constellation.lower() == name)
+
+    def by_site(self, site: str) -> "TraceDataset":
+        return self.filter(lambda t: t.site == site)
+
+    def by_satellite(self, norad_id: int) -> "TraceDataset":
+        return self.filter(lambda t: t.norad_id == norad_id)
+
+    def sites(self) -> List[str]:
+        return sorted({t.site for t in self._traces})
+
+    def constellations(self) -> List[str]:
+        return sorted({t.constellation for t in self._traces})
+
+    def sorted_by_time(self) -> "TraceDataset":
+        return TraceDataset(sorted(self._traces, key=lambda t: t.time_s))
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        names = [f.name for f in fields(BeaconTrace)]
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=names)
+            writer.writeheader()
+            for trace in self._traces:
+                writer.writerow(trace.to_row())
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "TraceDataset":
+        path = Path(path)
+        with path.open() as fh:
+            reader = csv.DictReader(fh)
+            return cls(BeaconTrace.from_row(row) for row in reader)
+
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w") as fh:
+            for trace in self._traces:
+                fh.write(json.dumps(trace.to_row()) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TraceDataset":
+        path = Path(path)
+        with path.open() as fh:
+            return cls(BeaconTrace.from_row(json.loads(line))
+                       for line in fh if line.strip())

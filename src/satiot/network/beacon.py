@@ -1,0 +1,90 @@
+"""Beacon-train generation.
+
+One satellite transmits one beacon train per pass; both the passive
+receiver and the active campaign sample it.  Centralising the train
+construction keeps their timing conventions identical: a random phase
+within one period (the node does not know the satellite's schedule),
+then strictly periodic beacons until the window closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..constellations.catalog import DtSRadioProfile, Satellite
+from ..orbits.doppler import doppler_rate_hz_s, doppler_shift_hz
+from ..orbits.frames import GeodeticPoint
+from ..orbits.passes import ContactWindow, PassPredictor
+from ..orbits.timebase import Epoch
+
+__all__ = ["BeaconTrain", "build_beacon_train"]
+
+
+@dataclass(frozen=True)
+class BeaconTrain:
+    """The beacons of one pass with their link geometry."""
+
+    satellite_norad: int
+    frequency_hz: float
+    times_s: np.ndarray
+    elevation_deg: np.ndarray
+    azimuth_deg: np.ndarray
+    range_km: np.ndarray
+    range_rate_km_s: np.ndarray
+    doppler_shift_hz: np.ndarray
+    doppler_rate_hz_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def __post_init__(self) -> None:
+        n = len(self.times_s)
+        for name in ("elevation_deg", "azimuth_deg", "range_km",
+                     "range_rate_km_s", "doppler_shift_hz",
+                     "doppler_rate_hz_s"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch")
+
+
+def build_beacon_train(satellite: Satellite, window: ContactWindow,
+                       observer: GeodeticPoint, epoch: Epoch,
+                       rng: np.random.Generator,
+                       radio: Optional[DtSRadioProfile] = None,
+                       ) -> BeaconTrain:
+    """Beacon times and per-beacon geometry for one pass.
+
+    The phase of the train within the window is drawn from ``rng`` (one
+    uniform over a beacon period), so a shared generator reproduces the
+    same train for every observer of the pass.
+    """
+    radio = radio or satellite.radio
+    period = radio.beacon_period_s
+    phase = float(rng.uniform(0.0, period))
+    times = np.arange(window.rise_s + phase, window.set_s, period)
+
+    if len(times) == 0:
+        empty = np.empty(0)
+        return BeaconTrain(satellite.norad_id, radio.frequency_hz,
+                           empty, empty, empty, empty, empty, empty,
+                           empty)
+
+    predictor = PassPredictor(satellite.propagator, observer)
+    look = predictor.look_angles_at(epoch, times)
+    range_rate = np.asarray(look.range_rate_km_s)
+    shift = np.asarray(doppler_shift_hz(range_rate, radio.frequency_hz))
+    rate = (doppler_rate_hz_s(range_rate, period, radio.frequency_hz)
+            if len(times) >= 2 else np.zeros_like(times))
+    return BeaconTrain(
+        satellite_norad=satellite.norad_id,
+        frequency_hz=radio.frequency_hz,
+        times_s=times,
+        elevation_deg=np.asarray(look.elevation_deg),
+        azimuth_deg=np.asarray(look.azimuth_deg),
+        range_km=np.asarray(look.range_km),
+        range_rate_km_s=range_rate,
+        doppler_shift_hz=shift,
+        doppler_rate_hz_s=np.asarray(rate),
+    )

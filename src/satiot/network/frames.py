@@ -1,0 +1,161 @@
+"""Byte-level DtS frame codec.
+
+The simulator mostly reasons about packets abstractly, but a deployable
+stack needs a wire format.  This module defines compact binary layouts
+for the three DtS frame types the paper's protocol implies — satellite
+beacons, node data uplinks, and satellite ACKs — with CRC-16/CCITT
+integrity, and round-trip encoders/decoders.
+
+Layouts (big-endian):
+
+``BeaconFrame``   magic(1) type(1) norad(4) seq(2) flags(1) crc(2)
+``UplinkFrame``   magic(1) type(1) node(8) seq(2) len(1) payload(N) crc(2)
+``AckFrame``      magic(1) type(1) node(8) seq(2) crc(2)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["FrameError", "crc16_ccitt", "BeaconFrame", "UplinkFrame",
+           "AckFrame", "decode_frame"]
+
+MAGIC = 0xD7
+TYPE_BEACON = 0x01
+TYPE_UPLINK = 0x02
+TYPE_ACK = 0x03
+
+MAX_PAYLOAD = 120  # the Tianqi billing unit (paper Table 2)
+
+
+class FrameError(ValueError):
+    """Raised on malformed or corrupted frames."""
+
+
+def crc16_ccitt(data: bytes, seed: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE, the LoRa-ecosystem default."""
+    crc = seed
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def _node_bytes(node_id: str) -> bytes:
+    raw = node_id.encode("utf-8")
+    if len(raw) > 8:
+        raise FrameError(f"node id too long for the wire: {node_id!r}")
+    return raw.ljust(8, b"\x00")
+
+
+def _node_str(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf-8")
+
+
+@dataclass(frozen=True)
+class BeaconFrame:
+    """Periodic satellite broadcast inviting uplinks."""
+
+    norad_id: int
+    beacon_seq: int
+    congested: bool = False   # flags bit 0: satellite asks for backoff
+
+    def encode(self) -> bytes:
+        if not 0 <= self.norad_id <= 0xFFFFFFFF:
+            raise FrameError("norad id out of range")
+        if not 0 <= self.beacon_seq <= 0xFFFF:
+            raise FrameError("beacon sequence out of range")
+        body = struct.pack(">BBIHB", MAGIC, TYPE_BEACON, self.norad_id,
+                           self.beacon_seq, 1 if self.congested else 0)
+        return body + struct.pack(">H", crc16_ccitt(body))
+
+    WIRE_SIZE = 11
+
+
+@dataclass(frozen=True)
+class UplinkFrame:
+    """Node data uplink carrying one application reading."""
+
+    node_id: str
+    seq: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        if not 0 <= self.seq <= 0xFFFF:
+            raise FrameError("sequence out of range")
+        if len(self.payload) == 0 or len(self.payload) > MAX_PAYLOAD:
+            raise FrameError(
+                f"payload must be 1..{MAX_PAYLOAD} bytes")
+        body = struct.pack(">BB8sHB", MAGIC, TYPE_UPLINK,
+                           _node_bytes(self.node_id), self.seq,
+                           len(self.payload)) + self.payload
+        return body + struct.pack(">H", crc16_ccitt(body))
+
+    @property
+    def wire_size(self) -> int:
+        return 13 + len(self.payload) + 2
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Satellite acknowledgement of one uplink."""
+
+    node_id: str
+    seq: int
+
+    def encode(self) -> bytes:
+        if not 0 <= self.seq <= 0xFFFF:
+            raise FrameError("sequence out of range")
+        body = struct.pack(">BB8sH", MAGIC, TYPE_ACK,
+                           _node_bytes(self.node_id), self.seq)
+        return body + struct.pack(">H", crc16_ccitt(body))
+
+    WIRE_SIZE = 14
+
+
+Frame = Union[BeaconFrame, UplinkFrame, AckFrame]
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode any DtS frame, verifying magic, type, length and CRC."""
+    if len(data) < 4:
+        raise FrameError("frame too short")
+    body, crc_bytes = data[:-2], data[-2:]
+    (expected,) = struct.unpack(">H", crc_bytes)
+    if crc16_ccitt(body) != expected:
+        raise FrameError("CRC mismatch")
+    if body[0] != MAGIC:
+        raise FrameError(f"bad magic byte 0x{body[0]:02x}")
+    frame_type = body[1]
+
+    if frame_type == TYPE_BEACON:
+        if len(data) != BeaconFrame.WIRE_SIZE:
+            raise FrameError("bad beacon length")
+        _m, _t, norad, seq, flags = struct.unpack(">BBIHB", body)
+        return BeaconFrame(norad_id=norad, beacon_seq=seq,
+                           congested=bool(flags & 0x01))
+
+    if frame_type == TYPE_UPLINK:
+        if len(body) < 13:
+            raise FrameError("bad uplink length")
+        _m, _t, node_raw, seq, length = struct.unpack(">BB8sHB",
+                                                      body[:13])
+        payload = body[13:]
+        if len(payload) != length:
+            raise FrameError("uplink length field mismatch")
+        return UplinkFrame(node_id=_node_str(node_raw), seq=seq,
+                           payload=payload)
+
+    if frame_type == TYPE_ACK:
+        if len(data) != AckFrame.WIRE_SIZE:
+            raise FrameError("bad ack length")
+        _m, _t, node_raw, seq = struct.unpack(">BB8sH", body)
+        return AckFrame(node_id=_node_str(node_raw), seq=seq)
+
+    raise FrameError(f"unknown frame type 0x{frame_type:02x}")

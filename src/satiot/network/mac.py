@@ -1,0 +1,250 @@
+"""Beacon-triggered DtS MAC with ACKs and bounded retransmissions.
+
+Implements the satellite IoT uplink protocol the paper describes
+(Section 3.2 and the Appendix F discussion): application data may be
+transmitted only upon successfully receiving a beacon — which gates
+transmissions to good link conditions — after which the satellite
+returns an ACK; a lost ACK triggers an unnecessary retransmission, the
+effect behind the paper's Figure 5b / 5a contrast.
+
+Multiple co-located nodes hearing the same beacon transmit
+simultaneously; concurrent uplinks survive with a capture probability,
+reproducing the mild degradation of paper Figure 12b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from .packets import AttemptOutcome, PacketRecord, SensorReading
+from .store_forward import BufferedPacket, SatelliteBuffer
+
+__all__ = ["BeaconOpportunity", "MacConfig", "NodeState", "DtSMac"]
+
+
+@dataclass(frozen=True)
+class BeaconOpportunity:
+    """A beacon this node decoded, with the link quality at that instant.
+
+    ``p_uplink`` / ``p_ack`` are the conditional success probabilities of
+    the node's data uplink and of the satellite's ACK downlink, evaluated
+    by the PHY for the geometry and channel state of this beacon.
+    """
+
+    time_s: float
+    satellite_norad: int
+    p_uplink: float
+    p_ack: float
+    pass_index: int = 0
+
+    def __post_init__(self) -> None:
+        for name, p in (("p_uplink", self.p_uplink), ("p_ack", self.p_ack)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Protocol parameters of the DtS MAC."""
+
+    max_retransmissions: int = 5
+    #: Probability a transmission survives when k nodes collide
+    #: (index = number of concurrent transmitters; capture effect).
+    capture_probability: Dict[int, float] = field(
+        default_factory=lambda: {1: 1.0, 2: 0.90, 3: 0.80})
+    #: Extra satellite-side loss (processing/congestion), applied to
+    #: every uplink independently.
+    satellite_loss_probability: float = 0.01
+    #: Minimum spacing between a node's successive attempts (s); beacons
+    #: arriving sooner are skipped (radio busy / turnaround).
+    turnaround_s: float = 2.0
+    #: Back-off before retransmitting after a missing ACK (s).  Spreads
+    #: retries across the pass — and often onto the *next* pass — which
+    #: is what stretches the paper's DtS latency segment to minutes.
+    retry_backoff_s: float = 480.0
+    #: Optional node-side transmit policy (see
+    #: :mod:`satiot.network.policies`).  ``None`` means the paper's
+    #: measured ALOHA behaviour: transmit whenever data is pending.
+    transmit_policy: object = None
+
+    def __post_init__(self) -> None:
+        if self.max_retransmissions < 0:
+            raise ValueError("max_retransmissions cannot be negative")
+        if not 0.0 <= self.satellite_loss_probability < 1.0:
+            raise ValueError("satellite loss must be a probability")
+
+    def capture(self, k: int) -> float:
+        if k <= 1:
+            return 1.0
+        known = self.capture_probability
+        if k in known:
+            return known[k]
+        return known.get(max(known), 0.5) ** (k - 1)
+
+
+@dataclass
+class NodeState:
+    """Run-time state of one IoT node in the MAC simulation."""
+
+    node_id: str
+    queue: List[PacketRecord] = field(default_factory=list)
+    last_attempt_s: float = float("-inf")
+    records: List[PacketRecord] = field(default_factory=list)
+
+    def next_eligible(self, now: float, turnaround_s: float,
+                      retry_backoff_s: float) -> Optional[PacketRecord]:
+        """First buffered packet allowed to transmit at ``now``.
+
+        Fresh packets go out as soon as the radio has turned around;
+        packets awaiting a retransmission honour their own back-off, so
+        a missing ACK never head-of-line-blocks the rest of the buffer.
+        """
+        if now - self.last_attempt_s < turnaround_s:
+            return None
+        for record in self.queue:
+            if not record.attempts:
+                return record
+            if now - record.attempts[-1].time_s >= retry_backoff_s:
+                return record
+        return None
+
+    def remove(self, record: PacketRecord) -> None:
+        self.queue.remove(record)
+
+
+class DtSMac:
+    """Joint MAC simulation of co-located nodes sharing beacons.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters.
+    buffers:
+        Per-satellite on-board buffers packets are stored into.
+    """
+
+    def __init__(self, config: MacConfig,
+                 buffers: Dict[int, SatelliteBuffer]) -> None:
+        self.config = config
+        self.buffers = buffers
+        # Per-pass physical-beacon counters for slot-based policies:
+        # every node sees the same index for the same beacon, as if the
+        # slot number were carried in the beacon payload.
+        self._beacon_index: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self,
+            readings: Dict[str, Sequence[SensorReading]],
+            beacons: Dict[str, Sequence[BeaconOpportunity]],
+            rng: np.random.Generator,
+            duration_s: float) -> Dict[str, List[PacketRecord]]:
+        """Run the protocol over the campaign span.
+
+        ``readings`` and ``beacons`` map node-id to its time-sorted
+        sensor readings and decoded beacons.  Returns the per-node packet
+        records (every reading gets one, delivered or not).
+        """
+        sim = Simulator()
+        nodes: Dict[str, NodeState] = {
+            node_id: NodeState(node_id) for node_id in readings}
+
+        # Schedule data generation.
+        for node_id, node_readings in readings.items():
+            state = nodes[node_id]
+            for reading in node_readings:
+                record = PacketRecord(reading=reading)
+                state.records.append(record)
+
+                def enqueue(state=state, record=record) -> None:
+                    state.queue.append(record)
+
+                sim.at(reading.created_s, enqueue)
+
+        # Group beacons heard by several nodes at the same instant from
+        # the same satellite: these produce simultaneous transmissions.
+        grouped: Dict[tuple, List[tuple]] = {}
+        for node_id, opportunities in beacons.items():
+            for opp in opportunities:
+                key = (round(opp.time_s, 3), opp.satellite_norad)
+                grouped.setdefault(key, []).append((node_id, opp))
+
+        for (time_s, _norad), members in sorted(grouped.items()):
+            def handle(members=members) -> None:
+                self._beacon_event(sim, nodes, members, rng)
+
+            sim.at(float(time_s), handle)
+
+        sim.run_until(duration_s)
+        return {node_id: state.records for node_id, state in nodes.items()}
+
+    # ------------------------------------------------------------------
+    def _beacon_event(self, sim: Simulator, nodes: Dict[str, NodeState],
+                      members: List[tuple],
+                      rng: np.random.Generator) -> None:
+        """All nodes that decoded this beacon and have data transmit."""
+        transmitters: List[tuple] = []
+        policy = self.config.transmit_policy
+        pass_key = members[0][1].pass_index
+        beacon_index = self._beacon_index.get(pass_key, 0)
+        self._beacon_index[pass_key] = beacon_index + 1
+        seen_nodes = set()
+        for node_id, opp in members:
+            # A node transmits at most once per beacon event, even if
+            # two opportunities collapsed onto the same instant.
+            if node_id in seen_nodes:
+                continue
+            seen_nodes.add(node_id)
+            state = nodes[node_id]
+            record = state.next_eligible(sim.now,
+                                         self.config.turnaround_s,
+                                         self.config.retry_backoff_s)
+            if record is None:
+                continue
+            if policy is not None and not policy.should_transmit(
+                    node_id, opp, beacon_index, len(state.queue), rng):
+                continue
+            transmitters.append((state, opp, record))
+
+        k = len(transmitters)
+        if k == 0:
+            return
+        capture_p = self.config.capture(k)
+
+        for state, opp, record in transmitters:
+            state.last_attempt_s = sim.now
+            collided = k > 1 and rng.random() > capture_p
+            uplink_ok = (not collided
+                         and rng.random() < opp.p_uplink
+                         and rng.random()
+                         >= self.config.satellite_loss_probability)
+            ack_ok = bool(uplink_ok and rng.random() < opp.p_ack)
+
+            record.attempts.append(AttemptOutcome(
+                time_s=sim.now, satellite_norad=opp.satellite_norad,
+                uplink_ok=uplink_ok, ack_ok=ack_ok,
+                collided=collided, n_concurrent=k))
+
+            if uplink_ok:
+                buffer = self.buffers.get(opp.satellite_norad)
+                if buffer is not None:
+                    stored = buffer.store(BufferedPacket(
+                        node_id=record.node_id, seq=record.seq,
+                        stored_s=sim.now,
+                        payload_bytes=record.reading.payload_bytes))
+                    if stored and record.satellite_received_s is None:
+                        record.satellite_received_s = sim.now
+                        record.satellite_norad = opp.satellite_norad
+
+            if ack_ok:
+                state.remove(record)
+            elif len(record.attempts) \
+                    >= self.config.max_retransmissions + 1:
+                # Out of attempts: the node gives up on this packet (it
+                # may nevertheless have reached the satellite — the ACKs
+                # were what got lost).
+                record.abandoned = record.satellite_received_s is None
+                state.remove(record)

@@ -1,0 +1,114 @@
+"""Application packets and their end-to-end delivery records.
+
+Every sensor reading gets a unique (node, sequence) identity — the paper
+estimates reliability by comparing sent and received sequence IDs — and
+a :class:`PacketRecord` accumulates every timestamp along the
+store-and-forward path so latency can be decomposed exactly as in paper
+Figure 5d: waiting for a pass, DtS (re)transmissions, and delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SensorReading", "PacketRecord", "AttemptOutcome"]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One application-layer datum produced by an on-site sensor."""
+
+    node_id: str
+    seq: int
+    created_s: float
+    payload_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0 or self.payload_bytes > 120:
+            raise ValueError(
+                "Tianqi packets carry 1..120 bytes of payload")
+        if self.seq < 0:
+            raise ValueError("sequence numbers are non-negative")
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """One DtS transmission attempt of a packet."""
+
+    time_s: float
+    satellite_norad: int
+    uplink_ok: bool
+    ack_ok: bool
+    collided: bool = False
+    n_concurrent: int = 1      # nodes transmitting on the same beacon
+
+
+@dataclass
+class PacketRecord:
+    """Lifecycle of one reading through the satellite IoT system."""
+
+    reading: SensorReading
+    attempts: List[AttemptOutcome] = field(default_factory=list)
+    satellite_received_s: Optional[float] = None
+    satellite_norad: Optional[int] = None
+    delivered_s: Optional[float] = None
+    abandoned: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.reading.node_id
+
+    @property
+    def seq(self) -> int:
+        return self.reading.seq
+
+    @property
+    def created_s(self) -> float:
+        return self.reading.created_s
+
+    @property
+    def first_attempt_s(self) -> Optional[float]:
+        return self.attempts[0].time_s if self.attempts else None
+
+    @property
+    def retransmissions(self) -> int:
+        """DtS retransmissions (attempts beyond the first)."""
+        return max(len(self.attempts) - 1, 0)
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_s is not None
+
+    # ------------------------------------------------------------------
+    # Latency decomposition (paper Figure 5d).
+    # ------------------------------------------------------------------
+    @property
+    def wait_delay_s(self) -> Optional[float]:
+        """Segment 1: data creation until the first DtS attempt."""
+        first = self.first_attempt_s
+        if first is None:
+            return None
+        return first - self.created_s
+
+    @property
+    def dts_delay_s(self) -> Optional[float]:
+        """Segment 2: first attempt until the satellite stored the packet."""
+        first = self.first_attempt_s
+        if first is None or self.satellite_received_s is None:
+            return None
+        return self.satellite_received_s - first
+
+    @property
+    def delivery_delay_s(self) -> Optional[float]:
+        """Segment 3: satellite storage until server arrival."""
+        if self.satellite_received_s is None or self.delivered_s is None:
+            return None
+        return self.delivered_s - self.satellite_received_s
+
+    @property
+    def total_latency_s(self) -> Optional[float]:
+        if self.delivered_s is None:
+            return None
+        return self.delivered_s - self.created_s

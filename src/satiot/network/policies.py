@@ -1,0 +1,132 @@
+"""Transmission policies for the DtS MAC.
+
+The paper's takeaway calls for "collision management and congestion
+control strategies for satellite IoTs", citing constellation-aware MAC
+designs (CosMAC).  This module implements a family of node-side
+transmit policies that plug into :class:`~satiot.network.mac.DtSMac`:
+
+* :class:`AlohaPolicy` — the measured Tianqi behaviour: transmit on any
+  usable beacon whenever data is pending.
+* :class:`SlottedPolicy` — co-located nodes hash themselves onto
+  disjoint beacon slots, eliminating same-beacon collisions at the cost
+  of longer waits.
+* :class:`ElevationGatePolicy` — spend the PA only on passes whose
+  current SNR clears a quality bar (fewer retransmissions, longer
+  waits).
+* :class:`BackpressurePolicy` — congestion control: the transmit
+  probability decays with how many other nodes share the beacon,
+  ALOHA-style p-persistence.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from .mac import BeaconOpportunity
+
+__all__ = ["TransmitPolicy", "AlohaPolicy", "SlottedPolicy",
+           "ElevationGatePolicy", "BackpressurePolicy"]
+
+
+class TransmitPolicy(Protocol):
+    """Decides whether a node uses a decoded beacon to transmit."""
+
+    def should_transmit(self, node_id: str, opportunity: BeaconOpportunity,
+                        beacon_index: int, queue_length: int,
+                        rng: np.random.Generator) -> bool:
+        """Return True to transmit on this beacon."""
+        ...  # pragma: no cover - Protocol definition
+
+
+@dataclass(frozen=True)
+class AlohaPolicy:
+    """Transmit whenever data is pending (the paper's measured MAC)."""
+
+    def should_transmit(self, node_id: str, opportunity: BeaconOpportunity,
+                        beacon_index: int, queue_length: int,
+                        rng: np.random.Generator) -> bool:
+        return queue_length > 0
+
+
+@dataclass(frozen=True)
+class SlottedPolicy:
+    """Assign nodes to disjoint beacon slots within each pass.
+
+    With ``slot_count`` >= the number of co-located nodes and distinct
+    slots, no two nodes ever answer the same beacon, removing collisions
+    entirely.  Slots come from ``slot_map`` when given (a deployment-time
+    assignment, like CosMAC's coordinator would issue) and otherwise
+    from a hash of the node id (which can collide).
+    """
+
+    slot_count: int = 3
+    slot_map: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.slot_count <= 0:
+            raise ValueError("slot count must be positive")
+        if self.slot_map is not None:
+            bad = [v for v in self.slot_map.values()
+                   if not 0 <= v < self.slot_count]
+            if bad:
+                raise ValueError(f"slot assignments out of range: {bad}")
+
+    def slot_of(self, node_id: str) -> int:
+        if self.slot_map is not None and node_id in self.slot_map:
+            return self.slot_map[node_id]
+        return zlib.crc32(node_id.encode("utf-8")) % self.slot_count
+
+    def should_transmit(self, node_id: str, opportunity: BeaconOpportunity,
+                        beacon_index: int, queue_length: int,
+                        rng: np.random.Generator) -> bool:
+        if queue_length == 0:
+            return False
+        return beacon_index % self.slot_count == self.slot_of(node_id)
+
+
+@dataclass(frozen=True)
+class ElevationGatePolicy:
+    """Only transmit on high-quality beacons (link-quality gating).
+
+    ``min_p_uplink`` gates on the PHY's own uplink success estimate, so
+    the policy is exactly "don't waste the PA on marginal geometry".
+    """
+
+    min_p_uplink: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_p_uplink <= 1.0:
+            raise ValueError("min_p_uplink must be a probability")
+
+    def should_transmit(self, node_id: str, opportunity: BeaconOpportunity,
+                        beacon_index: int, queue_length: int,
+                        rng: np.random.Generator) -> bool:
+        if queue_length == 0:
+            return False
+        return opportunity.p_uplink >= self.min_p_uplink
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """p-persistent congestion control.
+
+    Each node transmits with probability ``1/expected_contenders``,
+    spreading co-located load across a pass's beacon train.
+    """
+
+    expected_contenders: int = 3
+
+    def __post_init__(self) -> None:
+        if self.expected_contenders <= 0:
+            raise ValueError("expected contenders must be positive")
+
+    def should_transmit(self, node_id: str, opportunity: BeaconOpportunity,
+                        beacon_index: int, queue_length: int,
+                        rng: np.random.Generator) -> bool:
+        if queue_length == 0:
+            return False
+        return rng.random() < 1.0 / self.expected_contenders

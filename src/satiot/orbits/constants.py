@@ -1,0 +1,101 @@
+"""Physical and geodetic constants used by the astrodynamics substrate.
+
+Two gravity models are provided.  SGP4 historically uses WGS-72 constants
+(this is what the distributed TLEs are fitted against), while coordinate
+conversions between Earth-fixed and geodetic frames use the WGS-84
+ellipsoid.  Mixing the two in this way mirrors standard practice
+(Vallado, *Revisiting Spacetrack Report #3*, 2006).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GravityModel",
+    "WGS72",
+    "WGS84",
+    "EARTH_RADIUS_KM",
+    "EARTH_FLATTENING",
+    "EARTH_ROTATION_RAD_S",
+    "SPEED_OF_LIGHT_M_S",
+    "MU_EARTH_KM3_S2",
+    "SECONDS_PER_DAY",
+    "MINUTES_PER_DAY",
+    "TWO_PI",
+    "DEG2RAD",
+    "RAD2DEG",
+]
+
+TWO_PI = 2.0 * math.pi
+DEG2RAD = math.pi / 180.0
+RAD2DEG = 180.0 / math.pi
+
+SECONDS_PER_DAY = 86400.0
+MINUTES_PER_DAY = 1440.0
+
+#: Speed of light, used for Doppler and propagation delays.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: WGS-84 rotation rate of the Earth (rad/s), used for ECEF velocity.
+EARTH_ROTATION_RAD_S = 7.292115e-5
+
+#: WGS-84 equatorial radius (km) and flattening, used for geodetic frames.
+EARTH_RADIUS_KM = 6378.137
+EARTH_FLATTENING = 1.0 / 298.257223563
+
+#: WGS-84 gravitational parameter (km^3/s^2); used for circular-orbit sizing.
+MU_EARTH_KM3_S2 = 398600.4418
+
+
+@dataclass(frozen=True)
+class GravityModel:
+    """Constant set consumed by the SGP4 propagator.
+
+    Attributes mirror the naming of the reference implementation:
+
+    * ``mu`` — gravitational parameter, km^3/s^2
+    * ``radiusearthkm`` — equatorial radius, km
+    * ``xke`` — sqrt(mu) in Earth-radii^1.5 per minute
+    * ``tumin`` — minutes per time unit (1/xke)
+    * ``j2``, ``j3``, ``j4`` — zonal harmonics
+    """
+
+    mu: float
+    radiusearthkm: float
+    xke: float
+    tumin: float
+    j2: float
+    j3: float
+    j4: float
+
+    @property
+    def j3oj2(self) -> float:
+        return self.j3 / self.j2
+
+    @classmethod
+    def from_mu(cls, mu: float, radiusearthkm: float,
+                j2: float, j3: float, j4: float) -> "GravityModel":
+        xke = 60.0 / math.sqrt(radiusearthkm ** 3 / mu)
+        return cls(mu=mu, radiusearthkm=radiusearthkm, xke=xke,
+                   tumin=1.0 / xke, j2=j2, j3=j3, j4=j4)
+
+
+#: WGS-72 constants — the canonical SGP4 gravity model.
+WGS72 = GravityModel.from_mu(
+    mu=398600.8,
+    radiusearthkm=6378.135,
+    j2=0.001082616,
+    j3=-0.00000253881,
+    j4=-0.00000165597,
+)
+
+#: WGS-84 constants, offered for completeness / cross-checks.
+WGS84 = GravityModel.from_mu(
+    mu=398600.5,
+    radiusearthkm=6378.137,
+    j2=0.00108262998905,
+    j3=-0.00000253215306,
+    j4=-0.00000161098761,
+)

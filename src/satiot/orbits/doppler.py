@@ -1,0 +1,50 @@
+"""Doppler shift and Doppler-rate models for DtS links.
+
+LoRa receptions tolerate a static carrier offset of roughly a quarter of
+the bandwidth, but the *rate of change* of the Doppler shift during a
+packet smears chirps across bins; both quantities are exposed here so
+the PHY error model can penalise fast overhead passes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .constants import SPEED_OF_LIGHT_M_S
+
+__all__ = ["doppler_shift_hz", "doppler_rate_hz_s", "max_doppler_shift_hz"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def doppler_shift_hz(range_rate_km_s: ArrayLike,
+                     carrier_hz: float) -> ArrayLike:
+    """Doppler shift (Hz) seen by the receiver.
+
+    Positive range rate (satellite receding) produces a negative shift.
+    """
+    if carrier_hz <= 0.0:
+        raise ValueError("carrier frequency must be positive")
+    rr = np.asarray(range_rate_km_s, dtype=float) * 1000.0
+    shift = -rr / SPEED_OF_LIGHT_M_S * carrier_hz
+    if np.ndim(range_rate_km_s) == 0:
+        return float(shift)
+    return shift
+
+
+def doppler_rate_hz_s(range_rate_km_s: np.ndarray,
+                      sample_spacing_s: float,
+                      carrier_hz: float) -> np.ndarray:
+    """Finite-difference Doppler rate (Hz/s) along a sampled pass."""
+    if sample_spacing_s <= 0.0:
+        raise ValueError("sample spacing must be positive")
+    shift = np.asarray(doppler_shift_hz(range_rate_km_s, carrier_hz))
+    return np.gradient(shift, sample_spacing_s)
+
+
+def max_doppler_shift_hz(orbital_speed_km_s: float,
+                         carrier_hz: float) -> float:
+    """Worst-case shift magnitude when the satellite is on the horizon."""
+    return orbital_speed_km_s * 1000.0 / SPEED_OF_LIGHT_M_S * carrier_hz

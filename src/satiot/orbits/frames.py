@@ -1,0 +1,138 @@
+"""Reference-frame conversions: TEME → ECEF → geodetic.
+
+TEME (true equator, mean equinox) is the frame SGP4 states are expressed
+in.  We convert to an Earth-fixed frame by rotating through Greenwich
+Mean Sidereal Time; polar motion (a few metres) is neglected, consistent
+with the fidelity of a link-budget study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from .constants import (DEG2RAD, EARTH_FLATTENING, EARTH_RADIUS_KM,
+                        EARTH_ROTATION_RAD_S, RAD2DEG)
+from .timebase import gmst
+
+__all__ = [
+    "GeodeticPoint",
+    "teme_to_ecef",
+    "ecef_to_geodetic",
+    "geodetic_to_ecef",
+    "ecef_velocity_from_teme",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+_E2 = EARTH_FLATTENING * (2.0 - EARTH_FLATTENING)  # first eccentricity^2
+
+
+@dataclass(frozen=True)
+class GeodeticPoint:
+    """A point on/above the WGS-84 ellipsoid (degrees, km)."""
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_km: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude_deg}")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude_deg}")
+
+    @property
+    def latitude_rad(self) -> float:
+        return self.latitude_deg * DEG2RAD
+
+    @property
+    def longitude_rad(self) -> float:
+        return self.longitude_deg * DEG2RAD
+
+    def ecef(self) -> np.ndarray:
+        """ECEF position of this point (km)."""
+        return geodetic_to_ecef(self.latitude_deg, self.longitude_deg,
+                                self.altitude_km)
+
+
+def teme_to_ecef(r_teme: np.ndarray, jd_ut1: ArrayLike) -> np.ndarray:
+    """Rotate TEME position(s) of shape (..., 3) into ECEF.
+
+    ``jd_ut1`` must broadcast against the leading dimensions of ``r_teme``.
+    """
+    r = np.asarray(r_teme, dtype=float)
+    theta = np.asarray(gmst(jd_ut1), dtype=float)
+    cos_t = np.cos(theta)
+    sin_t = np.sin(theta)
+    x = cos_t * r[..., 0] + sin_t * r[..., 1]
+    y = -sin_t * r[..., 0] + cos_t * r[..., 1]
+    return np.stack([x, y, r[..., 2]], axis=-1)
+
+
+def ecef_velocity_from_teme(r_teme: np.ndarray, v_teme: np.ndarray,
+                            jd_ut1: ArrayLike) -> np.ndarray:
+    """ECEF-relative velocity (km/s) from TEME state.
+
+    Subtracts the Earth-rotation transport term ``omega x r`` so the result
+    is the velocity seen by a ground observer (used for Doppler).
+    """
+    v_rot = teme_to_ecef(np.asarray(v_teme, dtype=float), jd_ut1)
+    r_ecef = teme_to_ecef(np.asarray(r_teme, dtype=float), jd_ut1)
+    omega = EARTH_ROTATION_RAD_S
+    vx = v_rot[..., 0] + omega * r_ecef[..., 1]
+    vy = v_rot[..., 1] - omega * r_ecef[..., 0]
+    return np.stack([vx, vy, v_rot[..., 2]], axis=-1)
+
+
+def geodetic_to_ecef(latitude_deg: ArrayLike, longitude_deg: ArrayLike,
+                     altitude_km: ArrayLike = 0.0) -> np.ndarray:
+    """ECEF position(s) (km) of geodetic coordinates on WGS-84."""
+    lat = np.asarray(latitude_deg, dtype=float) * DEG2RAD
+    lon = np.asarray(longitude_deg, dtype=float) * DEG2RAD
+    alt = np.asarray(altitude_km, dtype=float)
+    sin_lat = np.sin(lat)
+    n = EARTH_RADIUS_KM / np.sqrt(1.0 - _E2 * sin_lat ** 2)
+    x = (n + alt) * np.cos(lat) * np.cos(lon)
+    y = (n + alt) * np.cos(lat) * np.sin(lon)
+    z = (n * (1.0 - _E2) + alt) * sin_lat
+    return np.stack([x, y, z], axis=-1)
+
+
+def ecef_to_geodetic(r_ecef: np.ndarray,
+                     max_iter: int = 10) -> Tuple[ArrayLike, ArrayLike, ArrayLike]:
+    """Geodetic latitude/longitude (deg) and altitude (km) of ECEF points.
+
+    Iterative Bowring-style solution; converges to sub-millimetre in a
+    few iterations for any LEO/ground point.
+    """
+    r = np.asarray(r_ecef, dtype=float)
+    x, y, z = r[..., 0], r[..., 1], r[..., 2]
+    lon = np.arctan2(y, x)
+    p = np.hypot(x, y)
+    # Initial guess: spherical latitude.
+    lat = np.arctan2(z, p * (1.0 - _E2))
+    for _ in range(max_iter):
+        sin_lat = np.sin(lat)
+        n = EARTH_RADIUS_KM / np.sqrt(1.0 - _E2 * sin_lat ** 2)
+        lat_new = np.arctan2(z + n * _E2 * sin_lat, p)
+        if np.max(np.abs(lat_new - lat)) < 1.0e-12:
+            lat = lat_new
+            break
+        lat = lat_new
+    sin_lat = np.sin(lat)
+    n = EARTH_RADIUS_KM / np.sqrt(1.0 - _E2 * sin_lat ** 2)
+    cos_lat = np.cos(lat)
+    # Altitude from the dominant component to stay stable near the poles.
+    alt = np.where(np.abs(cos_lat) > 1e-8,
+                   p / np.maximum(cos_lat, 1e-12) - n,
+                   z / np.where(np.abs(sin_lat) > 1e-12, sin_lat, 1.0)
+                   - n * (1.0 - _E2))
+    lat_deg = lat * RAD2DEG
+    lon_deg = lon * RAD2DEG
+    if r.ndim == 1:
+        return float(lat_deg), float(lon_deg), float(alt)
+    return lat_deg, lon_deg, alt

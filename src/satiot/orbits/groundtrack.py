@@ -1,0 +1,175 @@
+"""Ground tracks and global coverage grids.
+
+Supports the paper's global-accessibility claims (Figure 2 / Section 1:
+"a small constellation ... can provide global coverage effectively") by
+computing sub-satellite tracks and the fraction of the Earth with DtS
+access over a time span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..orbits.constants import DEG2RAD, EARTH_RADIUS_KM
+from .frames import ecef_to_geodetic, teme_to_ecef
+from .sgp4 import SGP4
+from .timebase import Epoch
+
+__all__ = ["ground_track", "CoverageGrid"]
+
+
+def ground_track(propagator: SGP4, epoch: Epoch,
+                 offsets_s: np.ndarray,
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sub-satellite latitude/longitude (deg) and altitude (km)."""
+    offsets = np.asarray(offsets_s, dtype=float)
+    tsince = float(epoch - propagator.tle.epoch) + offsets
+    r, _v = propagator.propagate(tsince)
+    r_ecef = teme_to_ecef(r, epoch.offset_jd(offsets))
+    return ecef_to_geodetic(r_ecef)
+
+
+@dataclass
+class CoverageGrid:
+    """Equal-angle lat/lon grid accumulating DtS access time.
+
+    ``hours[i, j]`` is the accumulated time (hours) during which at
+    least one satellite's footprint covered the cell centred at
+    ``lats[i], lons[j]``.
+    """
+
+    lats: np.ndarray
+    lons: np.ndarray
+    hours: np.ndarray
+    span_s: float
+
+    @classmethod
+    def empty(cls, step_deg: float, span_s: float) -> "CoverageGrid":
+        if step_deg <= 0 or step_deg > 45:
+            raise ValueError("grid step must be in (0, 45] degrees")
+        lats = np.arange(-90.0 + step_deg / 2, 90.0, step_deg)
+        lons = np.arange(-180.0 + step_deg / 2, 180.0, step_deg)
+        return cls(lats=lats, lons=lons,
+                   hours=np.zeros((len(lats), len(lons))), span_s=span_s)
+
+    # ------------------------------------------------------------------
+    def accumulate(self, propagator: SGP4, epoch: Epoch,
+                   step_s: float = 60.0,
+                   min_elevation_deg: float = 0.0) -> None:
+        """Add one satellite's coverage over the grid's span."""
+        offsets = np.arange(0.0, self.span_s, step_s)
+        lat, lon, alt = ground_track(propagator, epoch, offsets)
+
+        # Footprint half-angle per sample (altitude varies slightly).
+        el = min_elevation_deg * DEG2RAD
+        ratio = (EARTH_RADIUS_KM * np.cos(el)
+                 / (EARTH_RADIUS_KM + np.asarray(alt)))
+        lam = np.arccos(np.clip(ratio, -1.0, 1.0)) - el
+
+        # Great-circle distance from every grid cell to every sample,
+        # via the spherical law of cosines on unit vectors.
+        grid_lat = np.radians(self.lats)[:, None]
+        grid_lon = np.radians(self.lons)[None, :]
+        cos_glat = np.cos(grid_lat)
+        sin_glat = np.sin(grid_lat)
+
+        sat_lat = np.radians(np.asarray(lat))
+        sat_lon = np.radians(np.asarray(lon))
+        hours_per_sample = step_s / 3600.0
+
+        # Chunk over samples to bound memory.
+        chunk = 512
+        for start in range(0, len(offsets), chunk):
+            sl = slice(start, start + chunk)
+            cos_d = (sin_glat[..., None] * np.sin(sat_lat[sl])
+                     + cos_glat[..., None] * np.cos(sat_lat[sl])
+                     * np.cos(grid_lon[..., None] - sat_lon[sl]))
+            covered = cos_d >= np.cos(lam[sl])
+            self.hours += covered.sum(axis=-1) * hours_per_sample
+
+    def accumulate_union(self, propagators, epoch: Epoch,
+                         step_s: float = 60.0,
+                         min_elevation_deg: float = 0.0) -> None:
+        """Add *union* coverage of several satellites (at-least-one).
+
+        Unlike calling :meth:`accumulate` per satellite — which counts
+        satellite-hours and double-counts overlapping footprints — this
+        ORs the footprints at each sample, matching the paper's "at
+        least one satellite overhead" availability definition.
+        """
+        offsets = np.arange(0.0, self.span_s, step_s)
+        el = min_elevation_deg * DEG2RAD
+        grid_lat = np.radians(self.lats)[:, None]
+        grid_lon = np.radians(self.lons)[None, :]
+        cos_glat = np.cos(grid_lat)
+        sin_glat = np.sin(grid_lat)
+        hours_per_sample = step_s / 3600.0
+
+        tracks = []
+        for propagator in propagators:
+            lat, lon, alt = ground_track(propagator, epoch, offsets)
+            ratio = (EARTH_RADIUS_KM * np.cos(el)
+                     / (EARTH_RADIUS_KM + np.asarray(alt)))
+            lam = np.arccos(np.clip(ratio, -1.0, 1.0)) - el
+            tracks.append((np.radians(np.asarray(lat)),
+                           np.radians(np.asarray(lon)), np.cos(lam)))
+
+        chunk = 256
+        for start in range(0, len(offsets), chunk):
+            sl = slice(start, min(start + chunk, len(offsets)))
+            union = None
+            for sat_lat, sat_lon, cos_lam in tracks:
+                cos_d = (sin_glat[..., None] * np.sin(sat_lat[sl])
+                         + cos_glat[..., None] * np.cos(sat_lat[sl])
+                         * np.cos(grid_lon[..., None] - sat_lon[sl]))
+                covered = cos_d >= cos_lam[sl]
+                union = covered if union is None else (union | covered)
+            if union is not None:
+                self.hours += union.sum(axis=-1) * hours_per_sample
+
+    # ------------------------------------------------------------------
+    def covered_fraction(self, min_hours: float = 0.0) -> float:
+        """Area-weighted fraction of Earth with more than ``min_hours``
+        of access over the span."""
+        weights = np.cos(np.radians(self.lats))[:, None] \
+            * np.ones_like(self.hours)
+        covered = self.hours > min_hours
+        return float((weights * covered).sum() / weights.sum())
+
+    def mean_daily_hours(self) -> float:
+        """Area-weighted mean access hours per day."""
+        weights = np.cos(np.radians(self.lats))[:, None]
+        days = self.span_s / 86400.0
+        weighted = (self.hours * weights).sum() / (weights.sum()
+                                                   * self.hours.shape[1])
+        return float(weighted / days)
+
+    def render_ascii(self, levels: str = " .:-=+*#%@") -> str:
+        """Render the grid as an ASCII map (rows north to south).
+
+        Each cell maps its accumulated hours onto ``levels`` linearly;
+        useful for eyeballing coverage from a terminal.
+        """
+        if not levels:
+            raise ValueError("need at least one level character")
+        peak = float(self.hours.max())
+        lines = []
+        for i in range(len(self.lats) - 1, -1, -1):
+            chars = []
+            for j in range(len(self.lons)):
+                if peak <= 0:
+                    chars.append(levels[0])
+                    continue
+                idx = int(self.hours[i, j] / peak * (len(levels) - 1))
+                chars.append(levels[idx])
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+    def hours_at(self, latitude_deg: float, longitude_deg: float) -> float:
+        """Accumulated access hours of the cell containing a point."""
+        i = int(np.argmin(np.abs(self.lats - latitude_deg)))
+        j = int(np.argmin(np.abs(self.lons - longitude_deg)))
+        return float(self.hours[i, j])

@@ -1,0 +1,105 @@
+"""Independent J2 secular propagator used to cross-validate SGP4.
+
+This is a deliberately simple model: two-body motion plus the secular
+(orbit-averaged) J2 rates on RAAN, argument of perigee and mean anomaly.
+It shares no code with :mod:`satiot.orbits.sgp4`, so agreement between
+the two on near-circular LEO orbits is strong evidence that neither has
+a sign or unit error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+import numpy as np
+
+from .constants import EARTH_RADIUS_KM, MU_EARTH_KM3_S2, TWO_PI
+from .kepler import (KeplerianElements, eccentric_from_true, solve_kepler,
+                     true_from_eccentric)
+
+__all__ = ["J2Propagator", "J2_EARTH"]
+
+ArrayLike = Union[float, np.ndarray]
+
+J2_EARTH = 0.00108262998905
+
+
+class J2Propagator:
+    """Analytic two-body + secular-J2 propagator.
+
+    Parameters
+    ----------
+    elements:
+        Osculating elements at the epoch.
+    """
+
+    def __init__(self, elements: KeplerianElements,
+                 j2: float = J2_EARTH,
+                 mu: float = MU_EARTH_KM3_S2,
+                 earth_radius_km: float = EARTH_RADIUS_KM) -> None:
+        self.elements = elements
+        a = elements.semi_major_axis_km
+        e = elements.eccentricity
+        i = elements.inclination_rad
+        n = math.sqrt(mu / a ** 3)  # rad/s
+        p = a * (1.0 - e * e)
+        factor = 1.5 * j2 * (earth_radius_km / p) ** 2 * n
+        cos_i = math.cos(i)
+
+        self.mu = mu
+        self.n = n
+        #: Secular nodal regression rate (rad/s).
+        self.raan_dot = -factor * cos_i
+        #: Secular apsidal rotation rate (rad/s).
+        self.argp_dot = factor * (2.0 - 2.5 * math.sin(i) ** 2)
+        #: Secular mean-anomaly correction (rad/s).
+        self.m_dot = n + factor * math.sqrt(1.0 - e * e) \
+            * (1.0 - 1.5 * math.sin(i) ** 2)
+
+    def propagate(self, tsince_s: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Inertial position (km) and velocity (km/s) at offsets from epoch."""
+        t = np.atleast_1d(np.asarray(tsince_s, dtype=float))
+        el = self.elements
+        e = el.eccentricity
+        a = el.semi_major_axis_km
+        raan = el.raan_rad + self.raan_dot * t
+        argp = el.argp_rad + self.argp_dot * t
+        m = el.mean_anomaly_rad + self.m_dot * t
+
+        big_e = solve_kepler(m, np.full_like(t, e))
+        nu = true_from_eccentric(big_e, np.full_like(t, e))
+        p = a * (1.0 - e * e)
+        r_mag = p / (1.0 + e * np.cos(nu))
+
+        cos_nu, sin_nu = np.cos(nu), np.sin(nu)
+        r_pqw = np.stack([r_mag * cos_nu, r_mag * sin_nu,
+                          np.zeros_like(nu)], axis=-1)
+        coef = math.sqrt(self.mu / p)
+        v_pqw = np.stack([-coef * sin_nu, coef * (e + cos_nu),
+                          np.zeros_like(nu)], axis=-1)
+
+        cr, sr = np.cos(raan), np.sin(raan)
+        ci = math.cos(el.inclination_rad)
+        si = math.sin(el.inclination_rad)
+        cw, sw = np.cos(argp), np.sin(argp)
+
+        # Row-wise rotation PQW -> inertial with time-varying raan/argp.
+        r11 = cr * cw - sr * sw * ci
+        r12 = -cr * sw - sr * cw * ci
+        r21 = sr * cw + cr * sw * ci
+        r22 = -sr * sw + cr * cw * ci
+        r31 = sw * si
+        r32 = cw * si
+
+        def rotate(vec: np.ndarray) -> np.ndarray:
+            x = r11 * vec[..., 0] + r12 * vec[..., 1]
+            y = r21 * vec[..., 0] + r22 * vec[..., 1]
+            z = r31 * vec[..., 0] + r32 * vec[..., 1]
+            return np.stack([x, y, z], axis=-1)
+
+        r_out = rotate(r_pqw)
+        v_out = rotate(v_pqw)
+        if np.ndim(tsince_s) == 0:
+            return r_out[0], v_out[0]
+        return r_out, v_out

@@ -1,0 +1,266 @@
+"""Keplerian element utilities and the elliptic Kepler equation solver.
+
+These routines back both the synthetic-TLE generator (sizing orbits from
+altitudes) and the independent J2 secular propagator used to cross-check
+SGP4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from .constants import (EARTH_RADIUS_KM, MINUTES_PER_DAY, MU_EARTH_KM3_S2,
+                        SECONDS_PER_DAY, TWO_PI)
+
+__all__ = [
+    "solve_kepler",
+    "true_from_eccentric",
+    "eccentric_from_true",
+    "mean_motion_rad_s",
+    "semi_major_axis_km",
+    "mean_motion_rev_day_from_altitude",
+    "orbital_period_s",
+    "circular_velocity_km_s",
+    "KeplerianElements",
+    "elements_from_state",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def solve_kepler(mean_anomaly: ArrayLike, eccentricity: ArrayLike,
+                 tol: float = 1e-12, max_iter: int = 25) -> ArrayLike:
+    """Solve Kepler's equation ``M = E - e sin E`` for the eccentric anomaly.
+
+    Vectorized Newton-Raphson with a third-order starter; converges in a
+    handful of iterations for any elliptic eccentricity.
+    """
+    m = np.remainder(np.asarray(mean_anomaly, dtype=float), TWO_PI)
+    e = np.asarray(eccentricity, dtype=float)
+    if np.any(e < 0.0) or np.any(e >= 1.0):
+        raise ValueError("eccentricity must be in [0, 1)")
+
+    # Starter: E0 = M + e sin M gives quadratic convergence everywhere
+    # except very high e near M=0, where Newton still converges.
+    ecc_anom = m + e * np.sin(m)
+    for _ in range(max_iter):
+        f = ecc_anom - e * np.sin(ecc_anom) - m
+        fp = 1.0 - e * np.cos(ecc_anom)
+        delta = f / fp
+        ecc_anom = ecc_anom - delta
+        if np.max(np.abs(delta)) < tol:
+            break
+    if np.ndim(mean_anomaly) == 0 and np.ndim(eccentricity) == 0:
+        return float(ecc_anom)
+    return ecc_anom
+
+
+def true_from_eccentric(ecc_anom: ArrayLike, eccentricity: ArrayLike) -> ArrayLike:
+    """True anomaly from eccentric anomaly."""
+    e = np.asarray(eccentricity, dtype=float)
+    big_e = np.asarray(ecc_anom, dtype=float)
+    beta = np.sqrt((1.0 + e) / (1.0 - e))
+    nu = 2.0 * np.arctan2(beta * np.sin(big_e / 2.0), np.cos(big_e / 2.0))
+    if np.ndim(ecc_anom) == 0 and np.ndim(eccentricity) == 0:
+        return float(nu)
+    return nu
+
+
+def eccentric_from_true(true_anom: ArrayLike, eccentricity: ArrayLike) -> ArrayLike:
+    """Eccentric anomaly from true anomaly (inverse of the above)."""
+    e = np.asarray(eccentricity, dtype=float)
+    nu = np.asarray(true_anom, dtype=float)
+    beta = np.sqrt((1.0 - e) / (1.0 + e))
+    big_e = 2.0 * np.arctan2(beta * np.sin(nu / 2.0), np.cos(nu / 2.0))
+    if np.ndim(true_anom) == 0 and np.ndim(eccentricity) == 0:
+        return float(big_e)
+    return big_e
+
+
+def mean_motion_rad_s(semi_major_axis: float,
+                      mu: float = MU_EARTH_KM3_S2) -> float:
+    """Mean motion (rad/s) of an orbit with the given semi-major axis (km)."""
+    if semi_major_axis <= 0.0:
+        raise ValueError("semi-major axis must be positive")
+    return math.sqrt(mu / semi_major_axis ** 3)
+
+
+def semi_major_axis_km(mean_motion_rev_day: float,
+                       mu: float = MU_EARTH_KM3_S2) -> float:
+    """Semi-major axis (km) from mean motion in revolutions per day."""
+    if mean_motion_rev_day <= 0.0:
+        raise ValueError("mean motion must be positive")
+    n_rad_s = mean_motion_rev_day * TWO_PI / SECONDS_PER_DAY
+    return (mu / n_rad_s ** 2) ** (1.0 / 3.0)
+
+
+def mean_motion_rev_day_from_altitude(altitude_km: float,
+                                      mu: float = MU_EARTH_KM3_S2,
+                                      earth_radius_km: float = EARTH_RADIUS_KM,
+                                      ) -> float:
+    """Mean motion (rev/day) of a circular orbit at the given altitude."""
+    a = earth_radius_km + altitude_km
+    n = mean_motion_rad_s(a, mu)
+    return n * SECONDS_PER_DAY / TWO_PI
+
+
+def orbital_period_s(semi_major_axis: float,
+                     mu: float = MU_EARTH_KM3_S2) -> float:
+    """Orbital period (seconds) for the given semi-major axis (km)."""
+    return TWO_PI / mean_motion_rad_s(semi_major_axis, mu)
+
+
+def circular_velocity_km_s(altitude_km: float,
+                           mu: float = MU_EARTH_KM3_S2,
+                           earth_radius_km: float = EARTH_RADIUS_KM) -> float:
+    """Circular orbital speed (km/s) at the given altitude."""
+    return math.sqrt(mu / (earth_radius_km + altitude_km))
+
+
+@dataclass(frozen=True)
+class KeplerianElements:
+    """Classical orbital elements (angles in radians, lengths in km)."""
+
+    semi_major_axis_km: float
+    eccentricity: float
+    inclination_rad: float
+    raan_rad: float
+    argp_rad: float
+    mean_anomaly_rad: float
+
+    def __post_init__(self) -> None:
+        if self.semi_major_axis_km <= 0.0:
+            raise ValueError("semi-major axis must be positive")
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ValueError("eccentricity must be in [0, 1)")
+
+    @property
+    def mean_motion_rad_s(self) -> float:
+        return mean_motion_rad_s(self.semi_major_axis_km)
+
+    @property
+    def mean_motion_rev_day(self) -> float:
+        return self.mean_motion_rad_s * SECONDS_PER_DAY / TWO_PI
+
+    @property
+    def period_minutes(self) -> float:
+        return MINUTES_PER_DAY / self.mean_motion_rev_day
+
+    @property
+    def perigee_altitude_km(self) -> float:
+        return (self.semi_major_axis_km * (1.0 - self.eccentricity)
+                - EARTH_RADIUS_KM)
+
+    @property
+    def apogee_altitude_km(self) -> float:
+        return (self.semi_major_axis_km * (1.0 + self.eccentricity)
+                - EARTH_RADIUS_KM)
+
+    def to_perifocal(self, at_mean_anomaly: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Position/velocity (km, km/s) in the perifocal (PQW) frame."""
+        e = self.eccentricity
+        big_e = solve_kepler(at_mean_anomaly, e)
+        nu = true_from_eccentric(big_e, e)
+        p = self.semi_major_axis_km * (1.0 - e * e)
+        r = p / (1.0 + e * math.cos(nu))
+        pos = np.array([r * math.cos(nu), r * math.sin(nu), 0.0])
+        coef = math.sqrt(MU_EARTH_KM3_S2 / p)
+        vel = np.array([-coef * math.sin(nu), coef * (e + math.cos(nu)), 0.0])
+        return pos, vel
+
+    def to_inertial(self, at_mean_anomaly: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Position/velocity in the parent inertial frame (km, km/s)."""
+        pos_pqw, vel_pqw = self.to_perifocal(at_mean_anomaly)
+        rot = _pqw_to_eci(self.raan_rad, self.inclination_rad, self.argp_rad)
+        return rot @ pos_pqw, rot @ vel_pqw
+
+
+def _pqw_to_eci(raan: float, incl: float, argp: float) -> np.ndarray:
+    cr, sr = math.cos(raan), math.sin(raan)
+    ci, si = math.cos(incl), math.sin(incl)
+    cw, sw = math.cos(argp), math.sin(argp)
+    return np.array([
+        [cr * cw - sr * sw * ci, -cr * sw - sr * cw * ci, sr * si],
+        [sr * cw + cr * sw * ci, -sr * sw + cr * cw * ci, -cr * si],
+        [sw * si, cw * si, ci],
+    ])
+
+
+def elements_from_state(position_km: np.ndarray,
+                        velocity_km_s: np.ndarray,
+                        mu: float = MU_EARTH_KM3_S2) -> KeplerianElements:
+    """Classical orbital elements from an inertial state vector (RV→COE).
+
+    Standard vector derivation (angular momentum, node and eccentricity
+    vectors); valid for elliptic, non-degenerate orbits.  Closes the
+    loop with :meth:`KeplerianElements.to_inertial`, which the tests use
+    as a round-trip check on both implementations.
+    """
+    r = np.asarray(position_km, dtype=float)
+    v = np.asarray(velocity_km_s, dtype=float)
+    if r.shape != (3,) or v.shape != (3,):
+        raise ValueError("state vectors must have shape (3,)")
+    r_mag = float(np.linalg.norm(r))
+    v_mag = float(np.linalg.norm(v))
+    if r_mag <= 0.0:
+        raise ValueError("position vector is zero")
+
+    h_vec = np.cross(r, v)
+    h_mag = float(np.linalg.norm(h_vec))
+    if h_mag < 1e-9:
+        raise ValueError("degenerate (rectilinear) orbit")
+    k_hat = np.array([0.0, 0.0, 1.0])
+    n_vec = np.cross(k_hat, h_vec)
+    n_mag = float(np.linalg.norm(n_vec))
+
+    e_vec = (np.cross(v, h_vec) / mu) - r / r_mag
+    ecc = float(np.linalg.norm(e_vec))
+    if ecc >= 1.0:
+        raise ValueError(f"orbit is not elliptic (e={ecc:.4f})")
+
+    energy = 0.5 * v_mag ** 2 - mu / r_mag
+    a = -mu / (2.0 * energy)
+
+    incl = math.acos(max(-1.0, min(1.0, h_vec[2] / h_mag)))
+
+    # RAAN; for equatorial orbits the node is undefined — use 0.
+    if n_mag > 1e-11:
+        raan = math.acos(max(-1.0, min(1.0, n_vec[0] / n_mag)))
+        if n_vec[1] < 0.0:
+            raan = TWO_PI - raan
+    else:
+        raan = 0.0
+        n_vec = np.array([1.0, 0.0, 0.0])
+        n_mag = 1.0
+
+    # Argument of perigee; for circular orbits it is undefined — use 0.
+    if ecc > 1e-11:
+        argp = math.acos(max(-1.0, min(1.0,
+                                       float(np.dot(n_vec, e_vec))
+                                       / (n_mag * ecc))))
+        if e_vec[2] < 0.0:
+            argp = TWO_PI - argp
+        nu = math.acos(max(-1.0, min(1.0,
+                                     float(np.dot(e_vec, r))
+                                     / (ecc * r_mag))))
+        if float(np.dot(r, v)) < 0.0:
+            nu = TWO_PI - nu
+    else:
+        argp = 0.0
+        nu = math.acos(max(-1.0, min(1.0,
+                                     float(np.dot(n_vec, r))
+                                     / (n_mag * r_mag))))
+        if r[2] < 0.0:
+            nu = TWO_PI - nu
+
+    big_e = eccentric_from_true(nu, ecc)
+    mean_anom = (big_e - ecc * math.sin(big_e)) % TWO_PI
+
+    return KeplerianElements(
+        semi_major_axis_km=a, eccentricity=ecc, inclination_rad=incl,
+        raan_rad=raan % TWO_PI, argp_rad=argp % TWO_PI,
+        mean_anomaly_rad=mean_anom)

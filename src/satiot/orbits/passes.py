@@ -1,0 +1,188 @@
+"""Contact-window (pass) prediction for a satellite over a ground site.
+
+This implements the paper's notion of a *theoretical contact window*: the
+span during which a satellite is above the observer's elevation mask,
+computed from TLEs via SGP4 — the quantity Figure 3a/4a compare effective
+measurements against.
+
+The finder samples elevation on a coarse grid (vectorized SGP4), then
+refines each horizon crossing by bisection to sub-second accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .frames import GeodeticPoint
+from .sgp4 import SGP4
+from .timebase import Epoch
+from .topocentric import LookAngles, look_angles
+
+__all__ = ["ContactWindow", "PassPredictor"]
+
+
+@dataclass(frozen=True)
+class ContactWindow:
+    """One theoretical pass of a satellite over an observer.
+
+    Times are seconds relative to the prediction epoch.
+    """
+
+    rise_s: float
+    set_s: float
+    culmination_s: float
+    max_elevation_deg: float
+    norad_id: int = 0
+    clipped_start: bool = False
+    clipped_end: bool = False
+
+    def __post_init__(self) -> None:
+        if self.set_s < self.rise_s:
+            raise ValueError("contact window ends before it begins")
+
+    @property
+    def duration_s(self) -> float:
+        return self.set_s - self.rise_s
+
+    @property
+    def midpoint_s(self) -> float:
+        return 0.5 * (self.rise_s + self.set_s)
+
+    def contains(self, t_s: float) -> bool:
+        return self.rise_s <= t_s <= self.set_s
+
+    def normalized_position(self, t_s: float) -> float:
+        """Position of an instant within the window, 0 at rise, 1 at set."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return (t_s - self.rise_s) / self.duration_s
+
+
+class PassPredictor:
+    """Predicts contact windows of one satellite over one observer.
+
+    Parameters
+    ----------
+    propagator:
+        Bound SGP4 instance for the satellite.
+    observer:
+        Ground-site geodetic location.
+    min_elevation_deg:
+        Elevation mask defining the theoretical window (paper uses the
+        visibility horizon; TinyGS antennas see essentially to 0 deg).
+    """
+
+    def __init__(self, propagator: SGP4, observer: GeodeticPoint,
+                 min_elevation_deg: float = 0.0) -> None:
+        if min_elevation_deg < -5.0 or min_elevation_deg >= 90.0:
+            raise ValueError("unreasonable elevation mask")
+        self.propagator = propagator
+        self.observer = observer
+        self.min_elevation_deg = min_elevation_deg
+
+    # ------------------------------------------------------------------
+    def look_angles_at(self, epoch: Epoch, offsets_s) -> LookAngles:
+        """Vectorized look angles at ``epoch + offsets_s`` seconds."""
+        offsets = np.asarray(offsets_s, dtype=float)
+        tsince = float(epoch - self.propagator.tle.epoch) + offsets
+        r, v = self.propagator.propagate(tsince)
+        jd = epoch.offset_jd(offsets)
+        return look_angles(self.observer, r, v, jd)
+
+    def elevation_at(self, epoch: Epoch, offset_s: float) -> float:
+        return float(self.look_angles_at(epoch, float(offset_s)).elevation_deg)
+
+    # ------------------------------------------------------------------
+    def find_passes(self, epoch: Epoch, duration_s: float,
+                    coarse_step_s: float = 30.0,
+                    refine_tol_s: float = 0.5) -> List[ContactWindow]:
+        """All contact windows within ``[epoch, epoch + duration_s]``.
+
+        Windows in progress at the span boundaries are clipped and
+        flagged via ``clipped_start`` / ``clipped_end``.
+        """
+        if duration_s <= 0.0:
+            raise ValueError("duration must be positive")
+        if coarse_step_s <= 0.0:
+            raise ValueError("coarse step must be positive")
+
+        offsets = np.arange(0.0, duration_s + coarse_step_s, coarse_step_s)
+        offsets = offsets[offsets <= duration_s]
+        if offsets[-1] < duration_s:
+            offsets = np.append(offsets, duration_s)
+        elev = np.asarray(
+            self.look_angles_at(epoch, offsets).elevation_deg)
+        above = elev > self.min_elevation_deg
+
+        windows: List[ContactWindow] = []
+        i = 0
+        n = len(offsets)
+        while i < n:
+            if not above[i]:
+                i += 1
+                continue
+            # Segment [i, j) is above the mask.
+            j = i
+            while j < n and above[j]:
+                j += 1
+
+            clipped_start = i == 0
+            clipped_end = j == n
+            rise = offsets[i] if clipped_start else self._bisect_crossing(
+                epoch, offsets[i - 1], offsets[i], rising=True,
+                tol=refine_tol_s)
+            set_ = offsets[j - 1] if clipped_end else self._bisect_crossing(
+                epoch, offsets[j - 1], offsets[j], rising=False,
+                tol=refine_tol_s)
+
+            culm_s, max_el = self._refine_culmination(
+                epoch, offsets[i:j], elev[i:j], rise, set_)
+            windows.append(ContactWindow(
+                rise_s=float(rise), set_s=float(set_),
+                culmination_s=float(culm_s),
+                max_elevation_deg=float(max_el),
+                norad_id=self.propagator.tle.norad_id,
+                clipped_start=clipped_start, clipped_end=clipped_end))
+            i = j
+        return windows
+
+    # ------------------------------------------------------------------
+    def _bisect_crossing(self, epoch: Epoch, t_lo: float, t_hi: float,
+                         rising: bool, tol: float) -> float:
+        """Bisect the instant where elevation crosses the mask."""
+        lo, hi = float(t_lo), float(t_hi)
+        for _ in range(64):
+            if hi - lo <= tol:
+                break
+            mid = 0.5 * (lo + hi)
+            above = self.elevation_at(epoch, mid) > self.min_elevation_deg
+            if above == rising:
+                # rising: above at mid means crossing is earlier.
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    def _refine_culmination(self, epoch: Epoch, seg_offsets: np.ndarray,
+                            seg_elev: np.ndarray, rise: float,
+                            set_: float) -> tuple:
+        """Parabolic refinement of the elevation maximum inside a segment."""
+        k = int(np.argmax(seg_elev))
+        t_best = float(seg_offsets[k])
+        el_best = float(seg_elev[k])
+        if 0 < k < len(seg_offsets) - 1:
+            t0, t1, t2 = seg_offsets[k - 1:k + 2]
+            e0, e1, e2 = seg_elev[k - 1:k + 2]
+            denom = (e0 - 2.0 * e1 + e2)
+            if abs(denom) > 1e-12:
+                t_para = float(t1 + 0.5 * (t1 - t0) * (e0 - e2) / denom)
+                t_para = min(max(t_para, float(seg_offsets[0])),
+                             float(seg_offsets[-1]))
+                el_para = self.elevation_at(epoch, t_para)
+                if el_para > el_best:
+                    t_best, el_best = t_para, el_para
+        t_best = min(max(t_best, rise), set_)
+        return t_best, el_best

@@ -1,0 +1,151 @@
+"""Time-scale utilities: Julian dates, epochs and sidereal time.
+
+The simulator runs on a single scalar timebase — **seconds since an epoch**
+expressed as a Julian date (UTC).  We deliberately ignore the UT1/UTC and
+leap-second distinctions: they shift ground tracks by well under a
+kilometre, far below the fidelity a link-budget study needs.
+
+GMST uses the IAU 1982 model, which is what classic TLE tooling pairs
+with the TEME frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from .constants import SECONDS_PER_DAY, TWO_PI
+
+__all__ = [
+    "jday",
+    "invjday",
+    "days_in_year",
+    "epoch_from_tle_date",
+    "gmst",
+    "Epoch",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+_DAYS_PER_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_year(year: int) -> int:
+    """Number of days in a Gregorian calendar year."""
+    return 366 if _is_leap(year) else 365
+
+
+def jday(year: int, month: int, day: int,
+         hour: int = 0, minute: int = 0, second: float = 0.0) -> float:
+    """Julian date (UTC) of a Gregorian calendar instant.
+
+    Valid for years 1901-2099, which covers every TLE epoch.
+    """
+    if not 1 <= month <= 12:
+        raise ValueError(f"month out of range: {month}")
+    jd = (367.0 * year
+          - math.floor(7.0 * (year + math.floor((month + 9) / 12.0)) * 0.25)
+          + math.floor(275.0 * month / 9.0)
+          + day + 1721013.5)
+    frac = (second + minute * 60.0 + hour * 3600.0) / SECONDS_PER_DAY
+    return jd + frac
+
+
+def invjday(jd: float) -> Tuple[int, int, int, int, int, float]:
+    """Inverse of :func:`jday` — Gregorian calendar date of a Julian date."""
+    temp = jd - 2415019.5
+    tu = temp / 365.25
+    year = 1900 + int(math.floor(tu))
+    leapyrs = int(math.floor((year - 1901) * 0.25))
+    days = temp - ((year - 1900) * 365.0 + leapyrs)
+    if days < 1.0:
+        year -= 1
+        leapyrs = int(math.floor((year - 1901) * 0.25))
+        days = temp - ((year - 1900) * 365.0 + leapyrs)
+
+    dayofyr = int(math.floor(days))
+    # Month/day from day of year.
+    lmonth = list(_DAYS_PER_MONTH)
+    if _is_leap(year):
+        lmonth[1] = 29
+    i, inttemp = 0, 0
+    while i < 11 and dayofyr > inttemp + lmonth[i]:
+        inttemp += lmonth[i]
+        i += 1
+    month = i + 1
+    day = dayofyr - inttemp
+
+    temp = (days - dayofyr) * 24.0
+    hour = int(math.floor(temp))
+    temp = (temp - hour) * 60.0
+    minute = int(math.floor(temp))
+    second = (temp - minute) * 60.0
+    return year, month, day, hour, minute, second
+
+
+def epoch_from_tle_date(epochyr: int, epochdays: float) -> float:
+    """Julian date from a TLE two-digit year and fractional day-of-year."""
+    year = epochyr + 2000 if epochyr < 57 else epochyr + 1900
+    jd_jan0 = jday(year, 1, 1) - 1.0
+    return jd_jan0 + epochdays
+
+
+def gmst(jd_ut1: ArrayLike) -> ArrayLike:
+    """Greenwich Mean Sidereal Time (radians), IAU 1982 model.
+
+    Accepts scalars or numpy arrays of Julian dates.
+    """
+    tut1 = (np.asarray(jd_ut1, dtype=float) - 2451545.0) / 36525.0
+    temp = (-6.2e-6 * tut1 ** 3 + 0.093104 * tut1 ** 2
+            + (876600.0 * 3600.0 + 8640184.812866) * tut1 + 67310.54841)
+    theta = np.remainder(temp * TWO_PI / SECONDS_PER_DAY, TWO_PI)
+    theta = np.where(theta < 0.0, theta + TWO_PI, theta)
+    if np.ndim(jd_ut1) == 0:
+        return float(theta)
+    return theta
+
+
+@dataclass(frozen=True, order=True)
+class Epoch:
+    """An absolute instant, stored as a Julian date (UTC).
+
+    Thin value type used throughout the simulator; arithmetic is in
+    seconds so protocol code never touches Julian-date fractions.
+    """
+
+    jd: float
+
+    @classmethod
+    def from_calendar(cls, year: int, month: int, day: int,
+                      hour: int = 0, minute: int = 0,
+                      second: float = 0.0) -> "Epoch":
+        return cls(jday(year, month, day, hour, minute, second))
+
+    def __add__(self, seconds: float) -> "Epoch":
+        return Epoch(self.jd + seconds / SECONDS_PER_DAY)
+
+    def __sub__(self, other: Union["Epoch", float]) -> Union[float, "Epoch"]:
+        if isinstance(other, Epoch):
+            return (self.jd - other.jd) * SECONDS_PER_DAY
+        return Epoch(self.jd - other / SECONDS_PER_DAY)
+
+    def offset_jd(self, seconds: ArrayLike) -> ArrayLike:
+        """Julian date(s) at ``self + seconds`` (vectorized)."""
+        return self.jd + np.asarray(seconds, dtype=float) / SECONDS_PER_DAY
+
+    def calendar(self) -> Tuple[int, int, int, int, int, float]:
+        return invjday(self.jd)
+
+    def isoformat(self) -> str:
+        y, mo, d, h, mi, s = self.calendar()
+        return f"{y:04d}-{mo:02d}-{d:02d}T{h:02d}:{mi:02d}:{s:06.3f}Z"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Epoch({self.isoformat()})"

@@ -1,0 +1,252 @@
+"""Two-Line Element (TLE) codec.
+
+Parses and formats NORAD two-line element sets, including the fixed-point
+"assumed decimal" notation used for B*, n-dot/n-ddot and eccentricity, plus
+the modulo-10 line checksum.  The :class:`TLE` value type is the interchange
+format between the constellation generator and the SGP4 propagator.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .constants import DEG2RAD, MINUTES_PER_DAY, TWO_PI
+from .timebase import Epoch, epoch_from_tle_date
+
+__all__ = ["TLE", "TLEError", "checksum", "parse_tle", "parse_tle_file",
+           "format_tle"]
+
+
+class TLEError(ValueError):
+    """Raised for malformed TLE lines."""
+
+
+def checksum(line: str) -> int:
+    """Modulo-10 TLE checksum of the first 68 columns.
+
+    Digits count as their value; minus signs count as 1; everything else
+    counts as 0.
+    """
+    total = 0
+    for ch in line[:68]:
+        if ch.isdigit():
+            total += int(ch)
+        elif ch == "-":
+            total += 1
+    return total % 10
+
+
+def _parse_exp_field(field: str) -> float:
+    """Parse the TLE 'assumed decimal with exponent' notation, e.g. ' 12345-4'."""
+    field = field.strip()
+    if not field or set(field) <= {"0", "+", "-", " "}:
+        return 0.0
+    sign = -1.0 if field[0] == "-" else 1.0
+    body = field[1:] if field[0] in "+-" else field
+    match = re.fullmatch(r"(\d+)([+-]\d)", body)
+    if match is None:
+        raise TLEError(f"bad exponent field: {field!r}")
+    mantissa, exponent = match.groups()
+    return sign * float(f"0.{mantissa}") * 10.0 ** int(exponent)
+
+
+def _format_exp_field(value: float) -> str:
+    """Inverse of :func:`_parse_exp_field`, producing an 8-column field."""
+    if value == 0.0:
+        return " 00000+0"
+    sign = "-" if value < 0 else " "
+    mag = abs(value)
+    exponent = int(math.floor(math.log10(mag))) + 1
+    mantissa = mag / 10.0 ** exponent
+    mantissa_digits = int(round(mantissa * 1e5))
+    if mantissa_digits >= 100000:  # rounding carried over, e.g. 0.999999
+        mantissa_digits = 10000
+        exponent += 1
+    exp_str = f"{exponent:+d}"
+    return f"{sign}{mantissa_digits:05d}{exp_str}"
+
+
+@dataclass(frozen=True)
+class TLE:
+    """A parsed two-line element set.
+
+    Angles are stored in **degrees** and mean motion in **revolutions per
+    day**, exactly as written in the element set; use the ``*_rad`` /
+    :meth:`no_kozai_rad_min` accessors for propagation units.
+    """
+
+    name: str
+    norad_id: int
+    classification: str
+    intl_designator: str
+    epochyr: int          # two-digit year
+    epochdays: float      # fractional day of year (1.0 = Jan 1, 00:00)
+    ndot: float           # rev/day^2 / 2 (as written in the TLE)
+    nddot: float          # rev/day^3 / 6
+    bstar: float          # 1/earth-radii
+    ephemeris_type: int
+    element_set_no: int
+    inclination_deg: float
+    raan_deg: float
+    eccentricity: float
+    argp_deg: float
+    mean_anomaly_deg: float
+    mean_motion_rev_day: float
+    rev_number: int
+
+    # ------------------------------------------------------------------
+    # Derived accessors
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Epoch:
+        return Epoch(epoch_from_tle_date(self.epochyr, self.epochdays))
+
+    @property
+    def inclination_rad(self) -> float:
+        return self.inclination_deg * DEG2RAD
+
+    @property
+    def raan_rad(self) -> float:
+        return self.raan_deg * DEG2RAD
+
+    @property
+    def argp_rad(self) -> float:
+        return self.argp_deg * DEG2RAD
+
+    @property
+    def mean_anomaly_rad(self) -> float:
+        return self.mean_anomaly_deg * DEG2RAD
+
+    @property
+    def no_kozai_rad_min(self) -> float:
+        """Mean motion in radians per minute (the SGP4 input unit)."""
+        return self.mean_motion_rev_day * TWO_PI / MINUTES_PER_DAY
+
+    @property
+    def period_minutes(self) -> float:
+        return MINUTES_PER_DAY / self.mean_motion_rev_day
+
+    def with_name(self, name: str) -> "TLE":
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_lines(self) -> Tuple[str, str]:
+        return format_tle(self)
+
+    def __str__(self) -> str:
+        line1, line2 = self.to_lines()
+        return f"{self.name}\n{line1}\n{line2}"
+
+
+def parse_tle(line1: str, line2: str, name: str = "",
+              validate_checksum: bool = True) -> TLE:
+    """Parse a TLE from its two element lines."""
+    line1 = line1.rstrip("\n")
+    line2 = line2.rstrip("\n")
+    if len(line1) < 69 or len(line2) < 69:
+        raise TLEError("TLE lines must be at least 69 columns")
+    if line1[0] != "1" or line2[0] != "2":
+        raise TLEError("TLE line numbers must be 1 and 2")
+    if validate_checksum:
+        for line in (line1, line2):
+            expected = checksum(line)
+            actual = int(line[68])
+            if expected != actual:
+                raise TLEError(
+                    f"checksum mismatch on line {line[0]}: "
+                    f"expected {expected}, found {actual}")
+
+    norad1 = int(line1[2:7])
+    norad2 = int(line2[2:7])
+    if norad1 != norad2:
+        raise TLEError(f"catalog number mismatch: {norad1} vs {norad2}")
+
+    try:
+        tle = TLE(
+            name=name.strip(),
+            norad_id=norad1,
+            classification=line1[7],
+            intl_designator=line1[9:17].strip(),
+            epochyr=int(line1[18:20]),
+            epochdays=float(line1[20:32]),
+            ndot=float(line1[33:43]),
+            nddot=_parse_exp_field(line1[44:52]),
+            bstar=_parse_exp_field(line1[53:61]),
+            ephemeris_type=int(line1[62]) if line1[62].strip() else 0,
+            element_set_no=int(line1[64:68]),
+            inclination_deg=float(line2[8:16]),
+            raan_deg=float(line2[17:25]),
+            eccentricity=float("0." + line2[26:33].strip()),
+            argp_deg=float(line2[34:42]),
+            mean_anomaly_deg=float(line2[43:51]),
+            mean_motion_rev_day=float(line2[52:63]),
+            rev_number=int(line2[63:68]),
+        )
+    except ValueError as exc:
+        raise TLEError(f"malformed TLE field: {exc}") from exc
+
+    if not 0.0 <= tle.eccentricity < 1.0:
+        raise TLEError(f"eccentricity out of range: {tle.eccentricity}")
+    if tle.mean_motion_rev_day <= 0.0:
+        raise TLEError("mean motion must be positive")
+    return tle
+
+
+def format_tle(tle: TLE) -> Tuple[str, str]:
+    """Render a :class:`TLE` back to its two 69-column lines."""
+    if not 0 <= tle.norad_id <= 99999:
+        raise TLEError(f"catalog number out of range: {tle.norad_id}")
+    # First-derivative field is written ' .00001234' / '-.00001234':
+    # a sign column followed by the fraction with its leading zero dropped.
+    sign = "-" if tle.ndot < 0 else " "
+    ndot_str = sign + f"{abs(tle.ndot):.8f}"[1:]
+
+    line1 = (f"1 {tle.norad_id:05d}{tle.classification} "
+             f"{tle.intl_designator:<8s} "
+             f"{tle.epochyr:02d}{tle.epochdays:012.8f} "
+             f"{ndot_str} "
+             f"{_format_exp_field(tle.nddot)} "
+             f"{_format_exp_field(tle.bstar)} "
+             f"{tle.ephemeris_type:d} "
+             f"{tle.element_set_no:4d}")
+    line1 = f"{line1}{checksum(line1)}"
+
+    ecc_str = f"{tle.eccentricity:.7f}"[2:]
+    line2 = (f"2 {tle.norad_id:05d} "
+             f"{tle.inclination_deg:8.4f} "
+             f"{tle.raan_deg:8.4f} "
+             f"{ecc_str} "
+             f"{tle.argp_deg:8.4f} "
+             f"{tle.mean_anomaly_deg:8.4f} "
+             f"{tle.mean_motion_rev_day:11.8f}"
+             f"{tle.rev_number:5d}")
+    line2 = f"{line2}{checksum(line2)}"
+
+    if len(line1) != 69 or len(line2) != 69:
+        raise TLEError("internal error: formatted line width != 69")
+    return line1, line2
+
+
+def parse_tle_file(lines: Iterable[str],
+                   validate_checksum: bool = True) -> List[TLE]:
+    """Parse a 2-line or 3-line (named) element file."""
+    out: List[TLE] = []
+    pending_name = ""
+    it: Iterator[str] = iter([ln.rstrip("\n") for ln in lines if ln.strip()])
+    for line in it:
+        if line.startswith("1 ") and len(line) >= 69:
+            try:
+                line2 = next(it)
+            except StopIteration:
+                raise TLEError("dangling line 1 at end of file") from None
+            out.append(parse_tle(line, line2, name=pending_name,
+                                 validate_checksum=validate_checksum))
+            pending_name = ""
+        else:
+            pending_name = line.strip()
+    return out

@@ -1,0 +1,76 @@
+"""Topocentric geometry: look angles, slant range and range rate.
+
+All the link-budget quantities of the study derive from this module:
+elevation angle gates contact windows, slant range sets path loss, and
+range rate sets Doppler shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from .constants import RAD2DEG
+from .frames import GeodeticPoint, ecef_velocity_from_teme, teme_to_ecef
+
+__all__ = ["LookAngles", "look_angles", "sez_rotation"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LookAngles:
+    """Observer-relative geometry of a satellite sample (vectorized).
+
+    ``azimuth_deg``/``elevation_deg`` in degrees, ``range_km`` in km,
+    ``range_rate_km_s`` in km/s (positive = receding).
+    """
+
+    azimuth_deg: ArrayLike
+    elevation_deg: ArrayLike
+    range_km: ArrayLike
+    range_rate_km_s: ArrayLike
+
+
+def sez_rotation(latitude_rad: float, longitude_rad: float) -> np.ndarray:
+    """Rotation matrix from ECEF into the observer's SEZ frame."""
+    sin_lat, cos_lat = np.sin(latitude_rad), np.cos(latitude_rad)
+    sin_lon, cos_lon = np.sin(longitude_rad), np.cos(longitude_rad)
+    return np.array([
+        [sin_lat * cos_lon, sin_lat * sin_lon, -cos_lat],
+        [-sin_lon, cos_lon, 0.0],
+        [cos_lat * cos_lon, cos_lat * sin_lon, sin_lat],
+    ])
+
+
+def look_angles(observer: GeodeticPoint,
+                r_teme: np.ndarray,
+                v_teme: np.ndarray,
+                jd_ut1: ArrayLike) -> LookAngles:
+    """Compute az/el/range/range-rate of TEME state(s) from an observer.
+
+    Accepts single states of shape (3,) or batched states of shape (N, 3)
+    with matching ``jd_ut1`` of shape () or (N,).
+    """
+    r_ecef = teme_to_ecef(r_teme, jd_ut1)
+    v_ecef = ecef_velocity_from_teme(r_teme, v_teme, jd_ut1)
+
+    site = observer.ecef()
+    rho_ecef = r_ecef - site
+
+    rot = sez_rotation(observer.latitude_rad, observer.longitude_rad)
+    rho_sez = rho_ecef @ rot.T
+    drho_sez = v_ecef @ rot.T  # site is fixed in ECEF, so d(rho)=v_ecef
+
+    s, e, z = rho_sez[..., 0], rho_sez[..., 1], rho_sez[..., 2]
+    rng = np.sqrt(s * s + e * e + z * z)
+    elevation = np.arcsin(np.clip(z / rng, -1.0, 1.0)) * RAD2DEG
+    azimuth = np.remainder(np.arctan2(e, -s) * RAD2DEG, 360.0)
+    range_rate = np.sum(rho_sez * drho_sez, axis=-1) / rng
+
+    if np.ndim(rng) == 0:
+        return LookAngles(float(azimuth), float(elevation),
+                          float(rng), float(range_rate))
+    return LookAngles(azimuth, elevation, rng, range_rate)

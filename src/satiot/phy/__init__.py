@@ -1,0 +1,33 @@
+"""LoRa PHY substrate: modulation, antennas, link budget, channel."""
+
+from .adaptation import (SfOperatingPoint, select_spreading_factor,
+                         sf_trade_table)
+from .antennas import (ANTENNAS_BY_NAME, DIPOLE, FIVE_EIGHTHS_WAVE,
+                       QUARTER_WAVE, Antenna)
+from .channel import (ChannelParams, DtSChannel, PacketSamples,
+                      ar1_shadowing_db)
+from .doppler_compensation import (CompensationErrorBudget,
+                                   DopplerCompensator)
+from .error_model import packet_error_rate, reception_probability
+from .interference import CaptureModel
+from .regulatory import (ETSI_433, ETSI_868_G1, BandPlan,
+                         DutyCycleLimiter)
+from .link_budget import (LinkBudget, elevation_excess_loss_db,
+                          free_space_path_loss_db)
+from .lora import (SNR_LIMIT_DB, LoRaModulation, noise_floor_dbm,
+                   sensitivity_dbm)
+from .nbiot import REPETITIONS, NbIotUplink
+
+__all__ = [
+    "SfOperatingPoint", "select_spreading_factor", "sf_trade_table",
+    "Antenna", "DIPOLE", "QUARTER_WAVE", "FIVE_EIGHTHS_WAVE",
+    "ANTENNAS_BY_NAME",
+    "ChannelParams", "DtSChannel", "PacketSamples", "ar1_shadowing_db",
+    "packet_error_rate", "reception_probability",
+    "CaptureModel",
+    "BandPlan", "DutyCycleLimiter", "ETSI_433", "ETSI_868_G1",
+    "CompensationErrorBudget", "DopplerCompensator",
+    "LinkBudget", "free_space_path_loss_db", "elevation_excess_loss_db",
+    "LoRaModulation", "SNR_LIMIT_DB", "noise_floor_dbm", "sensitivity_dbm",
+    "NbIotUplink", "REPETITIONS",
+]

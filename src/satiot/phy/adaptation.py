@@ -1,0 +1,90 @@
+"""Spreading-factor trade-offs and adaptive selection.
+
+DtS operators fix one spreading factor per fleet; the works the paper
+cites (Spectrumize, ADR-style schemes) adapt it.  This module exposes
+the whole trade surface — sensitivity vs airtime vs transmit energy vs
+collision exposure — and a margin-based selector a node with a link
+estimate could run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .lora import SNR_LIMIT_DB, LoRaModulation
+
+__all__ = ["SfOperatingPoint", "sf_trade_table", "select_spreading_factor"]
+
+
+@dataclass(frozen=True)
+class SfOperatingPoint:
+    """The cost/benefit of one spreading factor for a given payload."""
+
+    spreading_factor: int
+    snr_limit_db: float
+    airtime_s: float
+    tx_energy_j: float             # joules at the given PA power
+    relative_sensitivity_db: float  # gain over SF7
+
+    @property
+    def collision_exposure(self) -> float:
+        """Airtime normalised to SF7 — the contention-window multiplier."""
+        return self.airtime_s / _sf7_airtime_cache[0] \
+            if _sf7_airtime_cache else 1.0
+
+
+_sf7_airtime_cache: List[float] = []
+
+
+def sf_trade_table(payload_bytes: int = 20,
+                   bandwidth_hz: float = 125_000.0,
+                   tx_power_mw: float = 3586.0,
+                   ) -> Dict[int, SfOperatingPoint]:
+    """Operating points for SF7..SF12 at a payload size.
+
+    ``tx_energy_j`` uses the DtS PA power so the table directly feeds
+    the energy model (joules = mW·s / 1000).
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload must be positive")
+    if tx_power_mw <= 0:
+        raise ValueError("transmit power must be positive")
+    sf7_airtime = LoRaModulation(
+        spreading_factor=7, bandwidth_hz=bandwidth_hz,
+        low_data_rate_optimize=False).airtime_s(payload_bytes)
+    _sf7_airtime_cache.clear()
+    _sf7_airtime_cache.append(sf7_airtime)
+
+    table: Dict[int, SfOperatingPoint] = {}
+    for sf in range(7, 13):
+        modulation = LoRaModulation(
+            spreading_factor=sf, bandwidth_hz=bandwidth_hz,
+            low_data_rate_optimize=sf >= 11)
+        airtime = modulation.airtime_s(payload_bytes)
+        table[sf] = SfOperatingPoint(
+            spreading_factor=sf,
+            snr_limit_db=SNR_LIMIT_DB[sf],
+            airtime_s=airtime,
+            tx_energy_j=airtime * tx_power_mw / 1000.0,
+            relative_sensitivity_db=SNR_LIMIT_DB[7] - SNR_LIMIT_DB[sf],
+        )
+    return table
+
+
+def select_spreading_factor(estimated_snr_sf7_db: float,
+                            margin_db: float = 2.0,
+                            payload_bytes: int = 20,
+                            ) -> Optional[int]:
+    """Lowest (cheapest) SF whose threshold the link clears with margin.
+
+    ``estimated_snr_sf7_db`` is the link SNR in the 125 kHz channel (the
+    SF does not change the SNR, only the demod threshold).  Returns
+    ``None`` when even SF12 cannot close the link.
+    """
+    if margin_db < 0:
+        raise ValueError("margin cannot be negative")
+    for sf in range(7, 13):
+        if estimated_snr_sf7_db >= SNR_LIMIT_DB[sf] + margin_db:
+            return sf
+    return None

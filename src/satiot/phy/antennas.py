@@ -1,0 +1,68 @@
+"""Ground antenna models.
+
+The paper compares 1/4-wavelength and 5/8-wavelength whip antennas on
+the Tianqi nodes (Figure 5b) and uses simple dipoles on TinyGS stations.
+We model each as a peak gain plus a smooth elevation pattern; whips have
+a null toward zenith and their maximum near mid elevations, which is the
+behaviour that matters for DtS geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = ["Antenna", "DIPOLE", "QUARTER_WAVE", "FIVE_EIGHTHS_WAVE",
+           "ANTENNAS_BY_NAME"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """An antenna with an elevation-dependent gain pattern.
+
+    ``gain_dbi(el)`` =  peak_gain_dbi - zenith_rolloff * sin^2(el)
+                        - horizon_rolloff * (1 - sin(el))^2
+
+    The two roll-off terms shape the classic monopole doughnut: whips
+    lose gain straight up (zenith_rolloff) and every ground antenna
+    suffers ground-plane/multipath loss right at the horizon
+    (horizon_rolloff).
+    """
+
+    name: str
+    peak_gain_dbi: float
+    zenith_rolloff_db: float = 0.0
+    horizon_rolloff_db: float = 0.0
+
+    def gain_dbi(self, elevation_deg: ArrayLike) -> ArrayLike:
+        el = np.radians(np.clip(np.asarray(elevation_deg, dtype=float),
+                                0.0, 90.0))
+        s = np.sin(el)
+        gain = (self.peak_gain_dbi
+                - self.zenith_rolloff_db * s * s
+                - self.horizon_rolloff_db * (1.0 - s) ** 2)
+        if np.ndim(elevation_deg) == 0:
+            return float(gain)
+        return gain
+
+
+#: TinyGS-style half-wave dipole, fairly flat pattern.
+DIPOLE = Antenna("dipole", peak_gain_dbi=2.15,
+                 zenith_rolloff_db=1.5, horizon_rolloff_db=2.0)
+
+#: 1/4-wave whip: modest gain, strong zenith null, poor near horizon.
+QUARTER_WAVE = Antenna("quarter_wave", peak_gain_dbi=1.8,
+                       zenith_rolloff_db=5.0, horizon_rolloff_db=3.5)
+
+#: 5/8-wave whip: the paper's best performer — higher gain, flatter.
+FIVE_EIGHTHS_WAVE = Antenna("five_eighths_wave", peak_gain_dbi=3.5,
+                            zenith_rolloff_db=4.0, horizon_rolloff_db=2.0)
+
+ANTENNAS_BY_NAME = {
+    ant.name: ant for ant in (DIPOLE, QUARTER_WAVE, FIVE_EIGHTHS_WAVE)
+}

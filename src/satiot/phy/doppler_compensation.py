@@ -1,0 +1,100 @@
+"""Predictive Doppler pre-compensation.
+
+One of the paper's optimization directions: since TLEs predict a pass's
+range-rate profile, a node (or satellite) can pre-shift its carrier so
+the *residual* offset and drift at the receiver shrink by orders of
+magnitude.  The residual is limited by ephemeris error and clock drift,
+both modelled here, and feeds the same Doppler-rate penalty the channel
+applies — so the benefit shows up directly in reception statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..orbits.doppler import doppler_shift_hz
+
+__all__ = ["CompensationErrorBudget", "DopplerCompensator"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CompensationErrorBudget:
+    """Imperfections limiting predictive compensation."""
+
+    #: Along-track ephemeris error translates to a range-rate error.
+    range_rate_error_km_s: float = 0.02
+    #: Oscillator accuracy of the IoT node (parts per million).
+    clock_ppm: float = 2.0
+    #: Time-tag error when applying the predicted profile (s).
+    timing_error_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.range_rate_error_km_s < 0 or self.clock_ppm < 0 \
+                or self.timing_error_s < 0:
+            raise ValueError("error-budget terms must be non-negative")
+
+
+class DopplerCompensator:
+    """Applies predicted Doppler profiles and reports residuals."""
+
+    def __init__(self, carrier_hz: float,
+                 budget: CompensationErrorBudget
+                 = CompensationErrorBudget()) -> None:
+        if carrier_hz <= 0:
+            raise ValueError("carrier must be positive")
+        self.carrier_hz = carrier_hz
+        self.budget = budget
+
+    # ------------------------------------------------------------------
+    def residual_shift_hz(self, true_range_rate_km_s: ArrayLike,
+                          ) -> ArrayLike:
+        """Residual carrier offset after pre-compensation.
+
+        The prediction removes the bulk shift; what remains is the
+        ephemeris range-rate error plus the node's oscillator offset.
+        """
+        rr_err = self.budget.range_rate_error_km_s
+        ephemeris_term = np.abs(
+            doppler_shift_hz(rr_err, self.carrier_hz))
+        clock_term = self.carrier_hz * self.budget.clock_ppm * 1e-6
+        residual = ephemeris_term + clock_term
+        shape = np.shape(true_range_rate_km_s)
+        if shape == ():
+            return float(residual)
+        return np.full(shape, residual)
+
+    def residual_rate_hz_s(self, true_rate_hz_s: ArrayLike) -> ArrayLike:
+        """Residual Doppler *rate* after pre-compensation.
+
+        The profile is applied with a small time-tag error, so a
+        fraction of the true rate curvature survives: the residual rate
+        is ``rate * timing_error / coherence`` — approximated here as
+        the rate scaled by the timing error over one second.
+        """
+        rate = np.asarray(true_rate_hz_s, dtype=float)
+        residual = np.abs(rate) * min(self.budget.timing_error_s, 1.0) \
+            * self.budget.timing_error_s
+        if np.ndim(true_rate_hz_s) == 0:
+            return float(residual)
+        return residual
+
+    # ------------------------------------------------------------------
+    def improvement_summary(self, range_rate_km_s: np.ndarray,
+                            rate_hz_s: np.ndarray,
+                            ) -> Tuple[float, float]:
+        """(shift reduction factor, rate reduction factor) on a pass."""
+        raw_shift = np.abs(doppler_shift_hz(range_rate_km_s,
+                                            self.carrier_hz))
+        res_shift = np.asarray(self.residual_shift_hz(range_rate_km_s))
+        raw_rate = np.abs(np.asarray(rate_hz_s, dtype=float))
+        res_rate = np.asarray(self.residual_rate_hz_s(rate_hz_s))
+        shift_factor = float(np.mean(raw_shift)
+                             / max(np.mean(res_shift), 1e-9))
+        rate_factor = float(np.mean(raw_rate)
+                            / max(np.mean(res_rate), 1e-9))
+        return shift_factor, rate_factor

@@ -1,0 +1,42 @@
+"""Packet-error models for LoRa receptions.
+
+The demodulator's packet success probability is modelled as a logistic
+function of the SNR margin above the per-SF demodulation threshold — the
+standard waterfall approximation to measured LoRa PER curves.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["reception_probability", "packet_error_rate"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def reception_probability(snr_db: ArrayLike, snr_limit_db: float,
+                          slope_db: float = 1.0) -> ArrayLike:
+    """Probability that a packet at the given SNR is decoded.
+
+    A logistic waterfall centred one slope above the demod threshold:
+    ~12 % at the threshold itself, >98 % two slopes above, ~0 below.
+    """
+    if slope_db <= 0:
+        raise ValueError("slope must be positive")
+    snr = np.asarray(snr_db, dtype=float)
+    margin = snr - (snr_limit_db + slope_db)
+    p = 1.0 / (1.0 + np.exp(-margin / (0.5 * slope_db)))
+    if np.ndim(snr_db) == 0:
+        return float(p)
+    return p
+
+
+def packet_error_rate(snr_db: ArrayLike, snr_limit_db: float,
+                      slope_db: float = 1.0) -> ArrayLike:
+    """Complement of :func:`reception_probability`."""
+    p = reception_probability(snr_db, snr_limit_db, slope_db)
+    if np.ndim(snr_db) == 0:
+        return 1.0 - float(p)
+    return 1.0 - np.asarray(p)

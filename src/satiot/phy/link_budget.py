@@ -1,0 +1,89 @@
+"""Deterministic link-budget arithmetic for DtS links.
+
+Free-space path loss plus the deterministic excess terms (elevation-
+dependent tropospheric/multipath loss, rain attenuation).  The stochastic
+parts — shadowing and fast fading — live in :mod:`satiot.phy.channel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "free_space_path_loss_db",
+    "elevation_excess_loss_db",
+    "LinkBudget",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def free_space_path_loss_db(distance_km: ArrayLike,
+                            frequency_hz: float) -> ArrayLike:
+    """Free-space path loss (dB): 32.44 + 20 log10(d_km) + 20 log10(f_MHz)."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    d = np.asarray(distance_km, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be positive")
+    f_mhz = frequency_hz / 1e6
+    loss = 32.44 + 20.0 * np.log10(d) + 20.0 * np.log10(f_mhz)
+    if np.ndim(distance_km) == 0:
+        return float(loss)
+    return loss
+
+
+def elevation_excess_loss_db(elevation_deg: ArrayLike,
+                             horizon_loss_db: float = 12.0,
+                             scale_deg: float = 10.0) -> ArrayLike:
+    """Excess loss at low elevation angles.
+
+    Models the combined effect of longer tropospheric paths, ground
+    multipath, polarization mismatch and obstruction near the horizon —
+    the paper's Appendix C attributes the high beacon losses at window
+    edges to exactly this regime.  The loss decays exponentially with
+    elevation: ``L = horizon_loss_db * exp(-el / scale_deg)``.
+    """
+    if scale_deg <= 0:
+        raise ValueError("scale must be positive")
+    el = np.clip(np.asarray(elevation_deg, dtype=float), 0.0, 90.0)
+    loss = horizon_loss_db * np.exp(-el / scale_deg)
+    if np.ndim(elevation_deg) == 0:
+        return float(loss)
+    return loss
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link-budget configuration for one direction of a DtS link."""
+
+    eirp_dbm: float
+    rx_gain_peak_dbi: float = 0.0    # used when no antenna pattern is given
+    frequency_hz: float = 400.45e6
+    horizon_excess_db: float = 12.0
+    excess_scale_deg: float = 8.0
+    rain_attenuation_db: float = 3.0
+    implementation_loss_db: float = 1.0
+
+    def mean_rssi_dbm(self, distance_km: ArrayLike,
+                      elevation_deg: ArrayLike,
+                      rx_gain_dbi: ArrayLike = None,
+                      raining: ArrayLike = False) -> ArrayLike:
+        """Median received power (dBm) before stochastic fading."""
+        fspl = free_space_path_loss_db(distance_km, self.frequency_hz)
+        excess = elevation_excess_loss_db(elevation_deg,
+                                          self.horizon_excess_db,
+                                          self.excess_scale_deg)
+        gain = (self.rx_gain_peak_dbi if rx_gain_dbi is None
+                else np.asarray(rx_gain_dbi, dtype=float))
+        rain = np.where(np.asarray(raining, dtype=bool),
+                        self.rain_attenuation_db, 0.0)
+        rssi = (self.eirp_dbm + gain - fspl - excess - rain
+                - self.implementation_loss_db)
+        if np.ndim(rssi) == 0:
+            return float(rssi)
+        return rssi

@@ -1,0 +1,128 @@
+"""LoRa modulation model: airtime, data rate, and demodulation limits.
+
+Implements the Semtech airtime formula (SX126x datasheet / AN1200.13)
+and the canonical per-SF SNR demodulation thresholds that determine
+receiver sensitivity.  Every DtS transmission in the simulator — beacons,
+uplink data, ACKs — is costed through this module, which is also what
+the energy model uses for radio-on durations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "LoRaModulation",
+    "SNR_LIMIT_DB",
+    "sensitivity_dbm",
+    "noise_floor_dbm",
+]
+
+#: Minimum demodulation SNR (dB) per spreading factor (Semtech AN1200.22).
+SNR_LIMIT_DB = {
+    5: -2.5,
+    6: -5.0,
+    7: -7.5,
+    8: -10.0,
+    9: -12.5,
+    10: -15.0,
+    11: -17.5,
+    12: -20.0,
+}
+
+#: Typical SX126x receiver noise figure (dB).
+DEFAULT_NOISE_FIGURE_DB = 6.0
+
+THERMAL_NOISE_DBM_HZ = -174.0
+
+
+def noise_floor_dbm(bandwidth_hz: float,
+                    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB) -> float:
+    """Receiver noise floor (dBm) for the given bandwidth."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return THERMAL_NOISE_DBM_HZ + 10.0 * math.log10(bandwidth_hz) \
+        + noise_figure_db
+
+
+def sensitivity_dbm(spreading_factor: int, bandwidth_hz: float,
+                    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB) -> float:
+    """Packet sensitivity (dBm): noise floor plus the SF demod threshold."""
+    if spreading_factor not in SNR_LIMIT_DB:
+        raise ValueError(f"unsupported spreading factor {spreading_factor}")
+    return noise_floor_dbm(bandwidth_hz, noise_figure_db) \
+        + SNR_LIMIT_DB[spreading_factor]
+
+
+@dataclass(frozen=True)
+class LoRaModulation:
+    """A concrete LoRa modulation configuration.
+
+    ``coding_rate`` is the denominator of the 4/x code (5..8).
+    """
+
+    spreading_factor: int
+    bandwidth_hz: float = 125_000.0
+    coding_rate: int = 5
+    preamble_symbols: int = 8
+    explicit_header: bool = True
+    low_data_rate_optimize: bool = True
+    crc_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.spreading_factor not in SNR_LIMIT_DB:
+            raise ValueError(
+                f"unsupported spreading factor {self.spreading_factor}")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 5 <= self.coding_rate <= 8:
+            raise ValueError("coding rate denominator must be in 5..8")
+        if self.preamble_symbols < 4:
+            raise ValueError("preamble must be at least 4 symbols")
+
+    # ------------------------------------------------------------------
+    @property
+    def symbol_time_s(self) -> float:
+        """Duration of one LoRa chirp symbol."""
+        return (2 ** self.spreading_factor) / self.bandwidth_hz
+
+    @property
+    def snr_limit_db(self) -> float:
+        return SNR_LIMIT_DB[self.spreading_factor]
+
+    @property
+    def bin_width_hz(self) -> float:
+        """FFT bin width of the demodulator — the Doppler tolerance scale."""
+        return self.bandwidth_hz / (2 ** self.spreading_factor)
+
+    def sensitivity_dbm(self,
+                        noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+                        ) -> float:
+        return sensitivity_dbm(self.spreading_factor, self.bandwidth_hz,
+                               noise_figure_db)
+
+    # ------------------------------------------------------------------
+    def payload_symbols(self, payload_bytes: int) -> int:
+        """Number of payload symbols (Semtech airtime formula)."""
+        if payload_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+        sf = self.spreading_factor
+        de = 1 if self.low_data_rate_optimize else 0
+        ih = 0 if self.explicit_header else 1
+        crc = 1 if self.crc_enabled else 0
+        cr = self.coding_rate - 4
+        numerator = 8 * payload_bytes - 4 * sf + 28 + 16 * crc - 20 * ih
+        n_extra = max(math.ceil(numerator / (4 * (sf - 2 * de))) * (cr + 4), 0)
+        return 8 + n_extra
+
+    def airtime_s(self, payload_bytes: int) -> float:
+        """Total time-on-air of a packet with the given payload size."""
+        t_preamble = (self.preamble_symbols + 4.25) * self.symbol_time_s
+        t_payload = self.payload_symbols(payload_bytes) * self.symbol_time_s
+        return t_preamble + t_payload
+
+    def bitrate_bps(self) -> float:
+        """Raw LoRa bit rate (bits/s) of this configuration."""
+        sf = self.spreading_factor
+        return sf * (4.0 / self.coding_rate) / self.symbol_time_s

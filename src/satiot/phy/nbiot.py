@@ -1,0 +1,103 @@
+"""NB-IoT as an alternative DtS physical layer.
+
+The paper's introduction names two terrestrial technologies that reach
+LEO altitudes directly: LoRa and NB-IoT (3GPP Release 13+, deployed for
+satellite in Release 17 NTN).  This module models the NB-IoT uplink
+(NPUSCH) well enough to compare it against the LoRa links the measured
+constellations use: single-tone transmission, coverage extension by
+repetition, and the coupling-loss budget.
+
+The model follows the standard engineering abstractions (Wang et al.,
+"A Primer on 3GPP Narrowband Internet of Things", cited by the paper):
+a single-tone 15 kHz uplink delivers ~17 kbps at reference coverage and
+trades data rate 1:1 for link budget through repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["NbIotUplink", "REPETITIONS"]
+
+#: Valid NPUSCH repetition values (3GPP 36.211).
+REPETITIONS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class NbIotUplink:
+    """A single-tone NPUSCH uplink configuration."""
+
+    repetitions: int = 1
+    subcarrier_spacing_hz: float = 15_000.0
+    #: Physical-layer rate of a single-tone transmission at one
+    #: repetition (bits/s); ~16.9 kbps for 15 kHz, ~4.2 kbps for
+    #: 3.75 kHz tones.
+    base_rate_bps: float = 16_900.0
+    #: SNR needed at one repetition for ~10 % BLER.
+    base_snr_db: float = -2.0
+    noise_figure_db: float = 5.0
+    #: Protocol overhead per transport block (headers, CRC, DCI).
+    overhead_bytes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.repetitions not in REPETITIONS:
+            raise ValueError(
+                f"repetitions must be one of {REPETITIONS}")
+        if self.subcarrier_spacing_hz not in (3750.0, 15_000.0):
+            raise ValueError("NB-IoT tones are 3.75 or 15 kHz")
+        if self.base_rate_bps <= 0:
+            raise ValueError("base rate must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_rate_bps(self) -> float:
+        """Throughput after repetition (each block sent R times)."""
+        return self.base_rate_bps / self.repetitions
+
+    @property
+    def required_snr_db(self) -> float:
+        """SNR threshold; repetitions combine coherently-ish
+        (10 log10 R gain, the standard planning figure)."""
+        return self.base_snr_db - 10.0 * math.log10(self.repetitions)
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        return (-174.0
+                + 10.0 * math.log10(self.subcarrier_spacing_hz)
+                + self.noise_figure_db)
+
+    @property
+    def sensitivity_dbm(self) -> float:
+        return self.noise_floor_dbm + self.required_snr_db
+
+    # ------------------------------------------------------------------
+    def airtime_s(self, payload_bytes: int) -> float:
+        """Time on air for one reading, including overhead."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        bits = 8 * (payload_bytes + self.overhead_bytes)
+        return bits / self.effective_rate_bps
+
+    def tx_energy_j(self, payload_bytes: int,
+                     tx_power_mw: float = 700.0) -> float:
+        """Transmit energy in joules (23 dBm PA ≈ 700 mW DC draw)."""
+        if tx_power_mw <= 0:
+            raise ValueError("transmit power must be positive")
+        return self.airtime_s(payload_bytes) * tx_power_mw / 1000.0
+
+    def max_coupling_loss_db(self, eirp_dbm: float = 23.0) -> float:
+        """Link budget: EIRP minus sensitivity."""
+        return eirp_dbm - self.sensitivity_dbm
+
+    @classmethod
+    def for_coupling_loss(cls, target_mcl_db: float,
+                          eirp_dbm: float = 23.0,
+                          **kwargs) -> Optional["NbIotUplink"]:
+        """Cheapest repetition level that closes a link budget."""
+        for reps in REPETITIONS:
+            uplink = cls(repetitions=reps, **kwargs)
+            if uplink.max_coupling_loss_db(eirp_dbm) >= target_mcl_db:
+                return uplink
+        return None

@@ -1,0 +1,111 @@
+"""ISM-band regulatory constraints.
+
+The DtS links of every measured constellation run in sub-GHz unlicensed
+ISM bands (paper Section 2.2), where regulators cap transmitter duty
+cycle — ETSI allows 1 % (some sub-bands 10 %) in the 433 MHz band.
+These caps bound how often a node may retransmit and how densely a
+satellite may beacon, so the protocol layer consults this module before
+keying the PA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Tuple
+
+__all__ = ["BandPlan", "ETSI_433", "ETSI_868_G1", "DutyCycleLimiter"]
+
+
+@dataclass(frozen=True)
+class BandPlan:
+    """One regulatory sub-band."""
+
+    name: str
+    low_hz: float
+    high_hz: float
+    duty_cycle: float              # e.g. 0.01 for 1 %
+    max_eirp_dbm: float
+
+    def __post_init__(self) -> None:
+        if self.high_hz <= self.low_hz:
+            raise ValueError("band upper edge must exceed lower edge")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+
+    def contains(self, frequency_hz: float) -> bool:
+        return self.low_hz <= frequency_hz <= self.high_hz
+
+
+#: ETSI EN 300 220: 433.05-434.79 MHz, 10 mW e.r.p., 1 % duty cycle
+#: (the 436-438 MHz amateur-satellite allocations used by PICO/CSTP are
+#: coordinated separately; the cap is a reasonable stand-in).
+ETSI_433 = BandPlan("ETSI 433 MHz", 433.05e6, 434.79e6,
+                    duty_cycle=0.01, max_eirp_dbm=10.0)
+
+#: ETSI g1 sub-band at 868 MHz: 1 % duty, 25 mW.
+ETSI_868_G1 = BandPlan("ETSI 868.0-868.6 MHz", 868.0e6, 868.6e6,
+                       duty_cycle=0.01, max_eirp_dbm=14.0)
+
+
+@dataclass
+class DutyCycleLimiter:
+    """Sliding-window duty-cycle accounting for one transmitter.
+
+    Tracks airtime within a rolling window (regulators evaluate over an
+    hour) and answers whether another transmission fits.
+    """
+
+    duty_cycle: float = 0.01
+    window_s: float = 3600.0
+    _history: Deque[Tuple[float, float]] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+
+    # ------------------------------------------------------------------
+    def _prune(self, now_s: float) -> None:
+        # A transmission at t leaves the accounting window at exactly
+        # t + window (closed-open interval), so prune on <=.
+        cutoff = now_s - self.window_s
+        while self._history and self._history[0][0] <= cutoff:
+            self._history.popleft()
+
+    def airtime_used_s(self, now_s: float) -> float:
+        self._prune(now_s)
+        return sum(duration for _t, duration in self._history)
+
+    @property
+    def budget_s(self) -> float:
+        return self.duty_cycle * self.window_s
+
+    def can_transmit(self, now_s: float, airtime_s: float) -> bool:
+        """Would a transmission of this airtime stay within the cap?"""
+        if airtime_s < 0:
+            raise ValueError("airtime cannot be negative")
+        return self.airtime_used_s(now_s) + airtime_s <= self.budget_s
+
+    def record(self, now_s: float, airtime_s: float) -> None:
+        """Account a transmission that was made."""
+        if airtime_s < 0:
+            raise ValueError("airtime cannot be negative")
+        if self._history and now_s < self._history[-1][0]:
+            raise ValueError("transmissions must be recorded in order")
+        self._history.append((now_s, airtime_s))
+
+    def next_allowed_s(self, now_s: float, airtime_s: float) -> float:
+        """Earliest instant the transmission would fit the budget."""
+        if self.can_transmit(now_s, airtime_s):
+            return now_s
+        self._prune(now_s)
+        needed = (self.airtime_used_s(now_s) + airtime_s
+                  - self.budget_s)
+        freed = 0.0
+        for start, duration in self._history:
+            freed += duration
+            if freed >= needed:
+                return start + self.window_s
+        return now_s + self.window_s

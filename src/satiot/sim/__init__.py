@@ -1,0 +1,8 @@
+"""Simulation kernel: event engine, RNG streams, weather process."""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .rng import RngStreams
+from .weather import WeatherParams, WeatherProcess
+
+__all__ = ["Simulator", "EventHandle", "SimulationError",
+           "RngStreams", "WeatherParams", "WeatherProcess"]

@@ -1,0 +1,127 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal heap-based scheduler: events fire in (time, sequence) order, so
+simultaneous events run in scheduling order and runs are bit-reproducible.
+The active-measurement campaign (nodes, MAC, store-and-forward) runs on
+this engine; the passive campaign is vectorized and does not need it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """Event loop with a float time axis (seconds from campaign start)."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[_Entry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}")
+        entry = _Entry(time=time, seq=next(self._seq), fn=fn)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def after(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, fn)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.fn()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with time <= end_time, then advance to it."""
+        if end_time < self._now:
+            raise SimulationError("end time is in the past")
+        while self._queue:
+            entry = self._queue[0]
+            if entry.time > end_time:
+                break
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.fn()
+            self._events_processed += 1
+        self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Drain the event queue (optionally bounded by ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "possible runaway event loop")

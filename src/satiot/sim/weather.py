@@ -1,0 +1,92 @@
+"""Two-state (sunny/rainy) weather process per measurement site.
+
+The paper only distinguishes sunny vs rainy conditions (Figures 3d, 5b),
+so weather is a two-state semi-Markov process with exponentially
+distributed dwell times.  Episodes are pre-sampled for the campaign span
+so lookups are O(log n) and deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+__all__ = ["WeatherParams", "WeatherProcess"]
+
+
+@dataclass(frozen=True)
+class WeatherParams:
+    """Climate of a site: mean dwell times of dry and rainy episodes."""
+
+    mean_dry_hours: float = 40.0
+    mean_rain_hours: float = 6.0
+    start_raining: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mean_dry_hours <= 0 or self.mean_rain_hours <= 0:
+            raise ValueError("mean dwell times must be positive")
+
+    @property
+    def rain_fraction(self) -> float:
+        """Long-run fraction of time spent raining."""
+        return self.mean_rain_hours / (self.mean_rain_hours
+                                       + self.mean_dry_hours)
+
+
+class WeatherProcess:
+    """Pre-sampled weather timeline over ``[0, duration_s]``."""
+
+    def __init__(self, params: WeatherParams, duration_s: float,
+                 rng: np.random.Generator) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.params = params
+        self.duration_s = duration_s
+
+        # transition_times[i] is the instant the state flips for the i-th
+        # time; state before transition_times[0] is params.start_raining.
+        times: List[float] = []
+        t = 0.0
+        raining = params.start_raining
+        while t < duration_s:
+            mean_h = (params.mean_rain_hours if raining
+                      else params.mean_dry_hours)
+            dwell = float(rng.exponential(mean_h * 3600.0))
+            t += max(dwell, 60.0)  # episodes last at least a minute
+            times.append(t)
+            raining = not raining
+        self._transitions = times
+
+    def is_raining(self, t_s: Union[float, np.ndarray]):
+        """Weather state at time(s) ``t_s`` (seconds from campaign start)."""
+        t = np.asarray(t_s, dtype=float)
+        if np.any(t < 0) or np.any(t > self.duration_s):
+            raise ValueError("query outside the sampled weather span")
+        idx = np.searchsorted(self._transitions, t, side="right")
+        raining = (idx % 2 == 1) != self.params.start_raining
+        # XOR above: even index -> start state, odd -> flipped.
+        if np.ndim(t_s) == 0:
+            return bool(raining)
+        return raining
+
+    def rainy_fraction_sampled(self, step_s: float = 600.0) -> float:
+        """Empirical rainy fraction of this realisation (for tests)."""
+        ts = np.arange(0.0, self.duration_s, step_s)
+        return float(np.mean(self.is_raining(ts)))
+
+    def episodes(self) -> List[Tuple[float, float, bool]]:
+        """(start, end, raining) tuples covering the span."""
+        out = []
+        start = 0.0
+        raining = self.params.start_raining
+        for t in self._transitions:
+            end = min(t, self.duration_s)
+            out.append((start, end, raining))
+            if t >= self.duration_s:
+                break
+            start = t
+            raining = not raining
+        return out

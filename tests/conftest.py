@@ -1,0 +1,54 @@
+"""Shared fixtures: small campaign runs reused across test modules.
+
+Campaigns are session-scoped because they are the expensive part of the
+suite; analyses on top of them are cheap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from satiot.core.active import ActiveCampaign, ActiveCampaignConfig
+from satiot.core.campaign import PassiveCampaign, PassiveCampaignConfig
+from satiot.orbits.kepler import mean_motion_rev_day_from_altitude
+from satiot.orbits.tle import TLE
+
+
+def make_test_tle(altitude_km: float = 850.0,
+                  inclination_deg: float = 49.97,
+                  eccentricity: float = 0.001,
+                  norad_id: int = 44001,
+                  bstar: float = 1.0e-5,
+                  raan_deg: float = 120.0,
+                  mean_anomaly_deg: float = 10.0) -> TLE:
+    """A synthetic near-circular LEO element set for unit tests."""
+    return TLE(
+        name="TEST-SAT", norad_id=norad_id, classification="U",
+        intl_designator="24001A", epochyr=24, epochdays=250.5,
+        ndot=0.0, nddot=0.0, bstar=bstar, ephemeris_type=0,
+        element_set_no=999, inclination_deg=inclination_deg,
+        raan_deg=raan_deg, eccentricity=eccentricity, argp_deg=30.0,
+        mean_anomaly_deg=mean_anomaly_deg,
+        mean_motion_rev_day=mean_motion_rev_day_from_altitude(altitude_km),
+        rev_number=1)
+
+
+@pytest.fixture(scope="session")
+def leo_tle() -> TLE:
+    return make_test_tle()
+
+
+@pytest.fixture(scope="session")
+def passive_result_small():
+    """One-day single-site campaign over all four constellations."""
+    config = PassiveCampaignConfig(sites=("HK",), days=1.0, seed=11)
+    return PassiveCampaign(config).run()
+
+
+@pytest.fixture(scope="session")
+def active_result_small():
+    """Two-day active Tianqi campaign."""
+    config = ActiveCampaignConfig(days=2.0, seed=11)
+    return ActiveCampaign(config).run()

@@ -1,0 +1,106 @@
+"""Tests for the constellation catalog (paper Table 3)."""
+
+import pytest
+
+from satiot.constellations.catalog import (CONSTELLATION_SPECS,
+                                           DtSRadioProfile,
+                                           build_all_constellations,
+                                           build_constellation)
+
+
+class TestSpecsMatchPaperTable3:
+    def test_four_constellations(self):
+        assert set(CONSTELLATION_SPECS) == {"tianqi", "fossa", "pico",
+                                            "cstp"}
+
+    @pytest.mark.parametrize("name,count", [
+        ("tianqi", 22), ("fossa", 3), ("pico", 9), ("cstp", 5)])
+    def test_satellite_counts(self, name, count):
+        assert CONSTELLATION_SPECS[name].satellite_count == count
+
+    @pytest.mark.parametrize("name,freq_mhz", [
+        ("tianqi", 400.45), ("fossa", 401.7),
+        ("pico", 436.26), ("cstp", 437.985)])
+    def test_dts_frequencies(self, name, freq_mhz):
+        spec = CONSTELLATION_SPECS[name]
+        assert spec.radio.frequency_hz == pytest.approx(freq_mhz * 1e6)
+
+    def test_tianqi_shells(self):
+        shells = CONSTELLATION_SPECS["tianqi"].shells
+        assert [s.count for s in shells] == [16, 4, 2]
+        assert [s.inclination_deg for s in shells] == [49.97, 35.00, 97.61]
+        assert shells[0].altitude_min_km == 815.7
+        assert shells[0].altitude_max_km == 897.5
+
+    def test_regions(self):
+        regions = {k: v.operator_region
+                   for k, v in CONSTELLATION_SPECS.items()}
+        assert regions == {"tianqi": "China", "fossa": "EU",
+                           "pico": "US", "cstp": "Russia"}
+
+
+class TestBuild:
+    def test_build_all(self):
+        cons = build_all_constellations()
+        assert sum(len(c) for c in cons.values()) == 39  # paper: 39 sats
+
+    def test_case_insensitive(self):
+        assert build_constellation("Tianqi").name == "Tianqi"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown constellation"):
+            build_constellation("starlink")
+
+    def test_satellite_names_unique(self):
+        con = build_constellation("tianqi")
+        names = [s.name for s in con]
+        assert len(set(names)) == len(names)
+
+    def test_satellite_by_norad(self):
+        con = build_constellation("pico")
+        sat = con.satellites[3]
+        assert con.satellite_by_norad(sat.norad_id) is sat
+        with pytest.raises(KeyError):
+            con.satellite_by_norad(1)
+
+    def test_norad_ranges_disjoint(self):
+        cons = build_all_constellations()
+        ids = [s.norad_id for c in cons.values() for s in c]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic(self):
+        a = build_constellation("cstp", seed=3)
+        b = build_constellation("cstp", seed=3)
+        assert [s.tle.to_lines() for s in a] == [s.tle.to_lines() for s in b]
+
+    def test_footprints_match_paper_scale(self):
+        # Paper Table 3 footprints: Tianqi main shell 3.27e7 km^2,
+        # FOSSA 1.27e7, PICO 1.31e7, CSTP 1.24e7.  The paper mixes 0-5
+        # degree masks, so allow a generous band around each.
+        tq = build_constellation("tianqi").footprint_areas_km2()
+        assert 2.4e7 < tq["TQ-A"] < 3.6e7
+        fossa = build_constellation("fossa").footprint_areas_km2()
+        assert 1.0e7 < fossa["FOSSA"] < 2.1e7
+
+    def test_satellite_altitude_accessor(self):
+        con = build_constellation("fossa")
+        for sat in con:
+            assert 500.0 < sat.mean_altitude_km < 520.0
+
+    def test_propagator_cached(self):
+        sat = build_constellation("fossa").satellites[0]
+        assert sat.propagator is sat.propagator
+
+
+class TestRadioProfileValidation:
+    def test_bad_sf(self):
+        with pytest.raises(ValueError):
+            DtSRadioProfile(frequency_hz=400e6, spreading_factor=4)
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            DtSRadioProfile(frequency_hz=0.0)
+
+    def test_bad_beacon_period(self):
+        with pytest.raises(ValueError):
+            DtSRadioProfile(frequency_hz=400e6, beacon_period_s=0.0)

@@ -1,0 +1,78 @@
+"""Tests for footprint geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.constellations.footprint import (earth_central_angle_rad,
+                                             footprint_area_km2,
+                                             footprint_radius_km,
+                                             slant_range_km)
+from satiot.orbits.constants import EARTH_RADIUS_KM
+
+
+class TestCentralAngle:
+    def test_horizon_value(self):
+        lam = earth_central_angle_rad(850.0, 0.0)
+        expected = math.acos(EARTH_RADIUS_KM / (EARTH_RADIUS_KM + 850.0))
+        assert lam == pytest.approx(expected)
+
+    @given(alt=st.floats(200.0, 2000.0), el=st.floats(0.0, 60.0))
+    @settings(max_examples=100)
+    def test_mask_shrinks_angle(self, alt, el):
+        assert earth_central_angle_rad(alt, el) \
+            <= earth_central_angle_rad(alt, 0.0) + 1e-12
+
+    def test_invalid_altitude(self):
+        with pytest.raises(ValueError):
+            earth_central_angle_rad(0.0)
+
+
+class TestFootprintArea:
+    def test_monotonic_in_altitude(self):
+        assert footprint_area_km2(900.0) > footprint_area_km2(500.0)
+
+    def test_tianqi_shell_scale(self):
+        # Paper Table 3: ~3.27e7 km^2 for the 815-898 km shell.
+        area = footprint_area_km2(856.6)
+        assert 2.8e7 < area < 3.4e7
+
+    def test_fraction_of_earth(self):
+        # A 500 km satellite sees a few percent of the Earth's surface.
+        earth = 4 * math.pi * EARTH_RADIUS_KM ** 2
+        assert 0.02 < footprint_area_km2(500.0) / earth < 0.05
+
+    def test_radius_consistent_with_area(self):
+        # Small-cap approximation: area ~ pi * radius^2 within ~10 %.
+        area = footprint_area_km2(500.0)
+        radius = footprint_radius_km(500.0)
+        assert area == pytest.approx(math.pi * radius ** 2, rel=0.1)
+
+
+class TestSlantRange:
+    def test_zenith_equals_altitude(self):
+        assert slant_range_km(850.0, 90.0) == pytest.approx(850.0)
+
+    def test_horizon_longer_than_altitude(self):
+        assert slant_range_km(850.0, 0.0) > 2.5 * 850.0
+
+    def test_paper_distances(self):
+        # Paper Fig. 8: 500 km satellites are 600-2,000 km away for most
+        # receptions; Tianqi (~900 km) reaches 3,500 km at low elevation.
+        assert 2000.0 < slant_range_km(500.0, 2.0) < 2800.0
+        assert 3000.0 < slant_range_km(900.0, 2.0) < 3700.0
+
+    @given(alt=st.floats(300.0, 1500.0),
+           el1=st.floats(0.0, 89.0))
+    @settings(max_examples=100)
+    def test_monotonic_decreasing_in_elevation(self, alt, el1):
+        el2 = min(el1 + 1.0, 90.0)
+        assert slant_range_km(alt, el1) >= slant_range_km(alt, el2) - 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            slant_range_km(-100.0, 45.0)
+        with pytest.raises(ValueError):
+            slant_range_km(500.0, 95.0)

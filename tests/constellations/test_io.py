@@ -1,0 +1,48 @@
+"""Tests for constellation TLE import/export."""
+
+import pytest
+
+from satiot.constellations.catalog import DtSRadioProfile, \
+    build_constellation
+from satiot.constellations.io import export_tle_file, import_tle_file
+
+
+class TestRoundTrip:
+    def test_export_import(self, tmp_path):
+        original = build_constellation("pico")
+        path = tmp_path / "pico.tle"
+        count = export_tle_file(original, path)
+        assert count == 9
+
+        back = import_tle_file(path, "PICO",
+                               radio=original.radio)
+        assert len(back) == len(original)
+        for a, b in zip(original, back):
+            assert a.norad_id == b.norad_id
+            assert a.tle.inclination_deg \
+                == pytest.approx(b.tle.inclination_deg, abs=1e-4)
+            assert a.tle.mean_motion_rev_day \
+                == pytest.approx(b.tle.mean_motion_rev_day, abs=1e-7)
+
+    def test_imported_names(self, tmp_path):
+        original = build_constellation("fossa")
+        path = tmp_path / "fossa.tle"
+        export_tle_file(original, path)
+        back = import_tle_file(path, "FOSSA", radio=original.radio)
+        assert [s.name for s in back] == [s.name for s in original]
+
+    def test_imported_satellites_propagate(self, tmp_path):
+        import numpy as np
+        original = build_constellation("cstp")
+        path = tmp_path / "cstp.tle"
+        export_tle_file(original, path)
+        back = import_tle_file(path, "CSTP", radio=original.radio)
+        r, _ = back.satellites[0].propagator.propagate(3600.0)
+        assert 6700.0 < np.linalg.norm(r) < 7000.0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tle"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no element sets"):
+            import_tle_file(path, "X",
+                            radio=DtSRadioProfile(frequency_hz=400e6))

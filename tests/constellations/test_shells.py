@@ -1,0 +1,89 @@
+"""Tests for the synthetic shell generator."""
+
+import numpy as np
+import pytest
+
+from satiot.constellations.shells import ShellSpec, generate_shell_tles
+from satiot.orbits.sgp4 import SGP4
+
+
+def make_spec(**kwargs):
+    defaults = dict(name="TEST", count=8, altitude_min_km=500.0,
+                    altitude_max_km=550.0, inclination_deg=97.5)
+    defaults.update(kwargs)
+    return ShellSpec(**defaults)
+
+
+class TestShellSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(count=0)
+        with pytest.raises(ValueError):
+            make_spec(altitude_max_km=400.0)
+        with pytest.raises(ValueError):
+            make_spec(inclination_deg=190.0)
+        with pytest.raises(ValueError):
+            make_spec(eccentricity=0.2)
+
+    def test_mean_altitude(self):
+        assert make_spec().mean_altitude_km == 525.0
+
+    def test_plane_count_default(self):
+        assert make_spec(count=9).plane_count() == 3
+        assert make_spec(count=1).plane_count() == 1
+
+    def test_plane_count_explicit(self):
+        assert make_spec(count=8, planes=4).plane_count() == 4
+        with pytest.raises(ValueError):
+            make_spec(planes=0).plane_count()
+
+
+class TestGenerateShellTles:
+    def test_count_and_identity(self):
+        tles = generate_shell_tles(make_spec(), 24, 250.0, norad_base=50000)
+        assert len(tles) == 8
+        assert sorted(t.norad_id for t in tles) == list(range(50000, 50008))
+        assert len({t.norad_id for t in tles}) == 8
+
+    def test_altitude_band_respected(self):
+        from satiot.orbits.kepler import semi_major_axis_km
+        from satiot.orbits.constants import EARTH_RADIUS_KM
+        tles = generate_shell_tles(make_spec(), 24, 250.0, norad_base=50000)
+        altitudes = [semi_major_axis_km(t.mean_motion_rev_day)
+                     - EARTH_RADIUS_KM for t in tles]
+        assert min(altitudes) == pytest.approx(500.0, abs=1.0)
+        assert max(altitudes) == pytest.approx(550.0, abs=1.0)
+
+    def test_inclination_uniform(self):
+        tles = generate_shell_tles(make_spec(), 24, 250.0, norad_base=50000)
+        assert all(t.inclination_deg == pytest.approx(97.5) for t in tles)
+
+    def test_deterministic(self):
+        a = generate_shell_tles(make_spec(), 24, 250.0, 50000, seed=5)
+        b = generate_shell_tles(make_spec(), 24, 250.0, 50000, seed=5)
+        assert [t.to_lines() for t in a] == [t.to_lines() for t in b]
+
+    def test_seed_changes_geometry(self):
+        a = generate_shell_tles(make_spec(), 24, 250.0, 50000, seed=5)
+        b = generate_shell_tles(make_spec(), 24, 250.0, 50000, seed=6)
+        assert any(x.raan_deg != y.raan_deg for x, y in zip(a, b))
+
+    def test_raan_spread(self):
+        # Eight satellites on ~3 planes should span a wide RAAN range.
+        tles = generate_shell_tles(make_spec(count=9), 24, 250.0, 50000)
+        raans = sorted(t.raan_deg for t in tles)
+        assert raans[-1] - raans[0] > 90.0
+
+    def test_all_propagatable(self):
+        tles = generate_shell_tles(make_spec(), 24, 250.0, 50000)
+        for tle in tles:
+            r, _ = SGP4(tle).propagate(3600.0)
+            assert 6800.0 < np.linalg.norm(r) < 7000.0
+
+    def test_single_satellite_mid_altitude(self):
+        from satiot.orbits.kepler import semi_major_axis_km
+        from satiot.orbits.constants import EARTH_RADIUS_KM
+        tles = generate_shell_tles(make_spec(count=1), 24, 250.0, 50000)
+        alt = semi_major_axis_km(tles[0].mean_motion_rev_day) \
+            - EARTH_RADIUS_KM
+        assert alt == pytest.approx(525.0, abs=1.0)

@@ -1,0 +1,65 @@
+"""Tests for multi-site contact-statistics aggregation."""
+
+import pytest
+
+from satiot.core.contacts import ContactWindowStats, aggregate_stats
+
+
+def make_stats(span=86400.0, theo_daily=10.0, eff_daily=2.0,
+               durations=(600.0,), eff_durations=(100.0,),
+               intervals=(1000.0,), eff_intervals=(4000.0,)):
+    return ContactWindowStats(
+        span_s=span,
+        theoretical_durations_s=list(durations),
+        effective_durations_s=list(eff_durations),
+        theoretical_intervals_s=list(intervals),
+        effective_intervals_s=list(eff_intervals),
+        theoretical_daily_hours=theo_daily,
+        effective_daily_hours=eff_daily)
+
+
+class TestAggregateStats:
+    def test_daily_hours_averaged_not_summed(self):
+        combined = aggregate_stats([
+            make_stats(theo_daily=10.0, eff_daily=2.0),
+            make_stats(theo_daily=20.0, eff_daily=4.0),
+        ])
+        assert combined.theoretical_daily_hours == pytest.approx(15.0)
+        assert combined.effective_daily_hours == pytest.approx(3.0)
+
+    def test_durations_pooled(self):
+        combined = aggregate_stats([
+            make_stats(durations=(600.0, 700.0)),
+            make_stats(durations=(500.0,)),
+        ])
+        assert sorted(combined.theoretical_durations_s) \
+            == [500.0, 600.0, 700.0]
+
+    def test_intervals_pooled(self):
+        combined = aggregate_stats([
+            make_stats(eff_intervals=(4000.0,)),
+            make_stats(eff_intervals=(8000.0, 2000.0)),
+        ])
+        assert len(combined.effective_intervals_s) == 3
+
+    def test_single_site_identity(self):
+        single = make_stats()
+        combined = aggregate_stats([single])
+        assert combined.theoretical_daily_hours \
+            == single.theoretical_daily_hours
+        assert combined.theoretical_durations_s \
+            == single.theoretical_durations_s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+    def test_mismatched_spans_rejected(self):
+        with pytest.raises(ValueError, match="different spans"):
+            aggregate_stats([make_stats(span=86400.0),
+                             make_stats(span=43200.0)])
+
+    def test_derived_metrics_still_work(self):
+        combined = aggregate_stats([make_stats(), make_stats()])
+        assert 0.0 < combined.duration_shrinkage < 1.0
+        assert combined.interval_inflation > 1.0

@@ -1,0 +1,51 @@
+"""Tests for the Appendix C loss-attribution analysis."""
+
+import pytest
+
+from satiot.core.beacon_loss import attribute_losses
+
+
+@pytest.fixture(scope="module")
+def attribution(passive_result_small):
+    receptions = passive_result_small.receptions("HK", "tianqi")
+    radio = passive_result_small.constellations["tianqi"].radio
+    return attribute_losses(receptions,
+                            eirp_dbm=radio.beacon_eirp_dbm,
+                            frequency_hz=radio.frequency_hz)
+
+
+class TestAttribution:
+    def test_conservation(self, attribution):
+        lost = attribution.total_beacons - attribution.received
+        attributed = (attribution.lost_to_distance
+                      + attribution.lost_to_elevation
+                      + attribution.lost_to_fading)
+        assert attributed == lost
+
+    def test_counts_match_campaign(self, attribution,
+                                   passive_result_small):
+        receptions = passive_result_small.receptions("HK", "tianqi")
+        assert attribution.total_beacons \
+            == sum(r.beacons_sent for r in receptions)
+        assert attribution.received \
+            == sum(r.beacons_received for r in receptions)
+
+    def test_heavy_loss_regime(self, attribution):
+        # The calibrated channel drops most beacons (paper Fig. 3d).
+        assert attribution.reception_rate < 0.5
+
+    def test_deterministic_factors_dominate(self, attribution):
+        # Appendix C: distance and low elevation are the main causes.
+        shares = attribution.shares()
+        assert shares["distance"] + shares["elevation"] > 0.3
+        assert shares["fading"] > 0.0
+
+    def test_shares_sum_to_one(self, attribution):
+        shares = attribution.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        result = attribute_losses([], eirp_dbm=10.0, frequency_hz=400e6)
+        assert result.total_beacons == 0
+        import math
+        assert math.isnan(result.reception_rate)

@@ -1,0 +1,72 @@
+"""Tests for the passive campaign orchestration."""
+
+import pytest
+
+from satiot.core.campaign import PassiveCampaignConfig
+
+
+class TestConfigValidation:
+    def test_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown sites"):
+            PassiveCampaignConfig(sites=("ATLANTIS",))
+
+    def test_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            PassiveCampaignConfig(days=0.0)
+
+    def test_duration(self):
+        assert PassiveCampaignConfig(days=2.0).duration_s == 172800.0
+
+
+class TestCampaignResult:
+    def test_station_count_matches_site(self, passive_result_small):
+        site_result = passive_result_small.site_results["HK"]
+        assert len(site_result.stations) == 6  # paper Table 1: HK has 6
+
+    def test_all_constellations_observed(self, passive_result_small):
+        constellations = {
+            r.scheduled.satellite.constellation_name
+            for r in passive_result_small.site_results["HK"].receptions}
+        assert constellations == {"Tianqi", "FOSSA", "PICO", "CSTP"}
+
+    def test_dataset_collects_all_traces(self, passive_result_small):
+        per_site = sum(sr.trace_count for sr
+                       in passive_result_small.site_results.values())
+        assert passive_result_small.total_traces == per_site
+        assert passive_result_small.total_traces > 100
+
+    def test_trace_sites_consistent(self, passive_result_small):
+        assert passive_result_small.dataset.sites() == ["HK"]
+
+    def test_pass_ids_unique(self, passive_result_small):
+        ids = [r.pass_id for sr
+               in passive_result_small.site_results.values()
+               for r in sr.receptions]
+        assert len(ids) == len(set(ids))
+
+    def test_receptions_filter(self, passive_result_small):
+        tianqi = passive_result_small.receptions("HK", "tianqi")
+        assert all(r.scheduled.satellite.constellation_name == "Tianqi"
+                   for r in tianqi)
+        assert len(tianqi) > 0
+
+    def test_weather_process_spans_campaign(self, passive_result_small):
+        weather = passive_result_small.site_results["HK"].weather
+        assert weather.duration_s \
+            == passive_result_small.config.duration_s
+
+    def test_deterministic_rerun(self):
+        from satiot.core.campaign import PassiveCampaign
+        config = PassiveCampaignConfig(sites=("HK",),
+                                       constellations=("fossa",),
+                                       days=0.5, seed=3)
+        a = PassiveCampaign(config).run()
+        b = PassiveCampaign(config).run()
+        assert a.total_traces == b.total_traces
+        if a.total_traces:
+            assert a.dataset[0] == b.dataset[0]
+
+    def test_empty_constellation_selection(self):
+        with pytest.raises(ValueError):
+            PassiveCampaignConfig(sites=("HK",),
+                                  constellations=("nope",))

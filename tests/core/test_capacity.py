@@ -1,0 +1,60 @@
+"""Tests for constellation capacity estimation."""
+
+import pytest
+
+from satiot.core.capacity import estimate_regional_capacity
+from satiot.phy.lora import LoRaModulation
+
+
+class TestEstimateRegionalCapacity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_regional_capacity(-1.0)
+        with pytest.raises(ValueError):
+            estimate_regional_capacity(3600.0, aloha_efficiency=0.0)
+        with pytest.raises(ValueError):
+            estimate_regional_capacity(3600.0, guard_factor=0.5)
+        with pytest.raises(ValueError):
+            estimate_regional_capacity(3600.0,
+                                       packets_per_device_day=0.0)
+
+    def test_paper_scale_tianqi(self):
+        # Tianqi's measured ~1.8 h/day effective contact at SF10/20 B
+        # under ALOHA supports only a few hundred paper-profile sensors
+        # per region — quantifying the paper's capacity concern.
+        estimate = estimate_regional_capacity(1.8 * 3600.0)
+        assert 1000.0 < estimate.packets_per_day < 10_000.0
+        assert 20.0 < estimate.supported_devices < 200.0
+
+    def test_more_contact_more_capacity(self):
+        small = estimate_regional_capacity(1800.0)
+        large = estimate_regional_capacity(7200.0)
+        assert large.packets_per_day == pytest.approx(
+            4 * small.packets_per_day)
+
+    def test_coordinated_mac_multiplier(self):
+        aloha = estimate_regional_capacity(3600.0,
+                                           aloha_efficiency=0.18)
+        slotted = estimate_regional_capacity(3600.0,
+                                             aloha_efficiency=0.9)
+        assert slotted.packets_per_day \
+            == pytest.approx(5 * aloha.packets_per_day)
+
+    def test_bigger_payload_less_capacity(self):
+        small = estimate_regional_capacity(3600.0, payload_bytes=10)
+        large = estimate_regional_capacity(3600.0, payload_bytes=120)
+        assert large.packets_per_day < small.packets_per_day
+
+    def test_faster_sf_more_capacity(self):
+        sf10 = estimate_regional_capacity(
+            3600.0, modulation=LoRaModulation(spreading_factor=10))
+        sf7 = estimate_regional_capacity(
+            3600.0, modulation=LoRaModulation(
+                spreading_factor=7, low_data_rate_optimize=False))
+        assert sf7.packets_per_day > 3 * sf10.packets_per_day
+
+    def test_utilisation(self):
+        estimate = estimate_regional_capacity(1.8 * 3600.0)
+        half = estimate.utilisation(
+            int(estimate.supported_devices // 2), 48.0)
+        assert 0.4 < half < 0.6

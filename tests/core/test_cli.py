@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from satiot.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_constellation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tle", "starlink"])
+
+
+class TestTleCommand:
+    def test_prints_element_sets(self, capsys):
+        assert main(["tle", "fossa"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln]
+        assert len(lines) == 9  # 3 satellites x 3 lines
+        assert lines[1].startswith("1 ")
+        assert lines[2].startswith("2 ")
+
+
+class TestPassesCommand:
+    def test_site_lookup(self, capsys):
+        assert main(["passes", "fossa", "--site", "HK",
+                     "--days", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "FOSSA passes" in out
+        assert "passes" in out.splitlines()[-1]
+
+    def test_lat_lon(self, capsys):
+        assert main(["passes", "fossa", "--lat", "0.0", "--lon", "0.0",
+                     "--days", "0.25"]) == 0
+
+    def test_missing_location(self):
+        with pytest.raises(SystemExit):
+            main(["passes", "fossa", "--days", "0.5"])
+
+
+class TestPresenceCommand:
+    def test_table_printed(self, capsys):
+        assert main(["presence", "--site", "HK", "--days", "0.5"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Tianqi", "FOSSA", "PICO", "CSTP"):
+            assert name in out
+
+
+class TestPassiveCommand:
+    def test_runs_and_writes_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "traces.csv"
+        assert main(["passive", "--sites", "HK", "--days", "0.25",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "collected" in out
+        assert out_file.exists()
+
+
+class TestCoverageCommand:
+    def test_fossa_coverage(self, capsys):
+        assert main(["coverage", "fossa", "--hours", "3",
+                     "--grid", "20", "--step", "240"]) == 0
+        out = capsys.readouterr().out
+        assert "covered fraction" in out
+
+
+class TestActiveCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["active", "--days", "0.5", "--retx", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "satellite reliability" in out
+        assert "latency ratio" in out
+
+
+class TestValidateCommand:
+    def test_all_checks_pass(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 checks passed" in out
+
+
+class TestCoverageMap:
+    def test_ascii_map_printed(self, capsys):
+        assert main(["coverage", "fossa", "--hours", "2",
+                     "--grid", "30", "--step", "300", "--map"]) == 0
+        out = capsys.readouterr().out
+        # Map rows follow the summary: 6 rows for a 30-degree grid.
+        lines = out.splitlines()
+        map_rows = [ln for ln in lines if ln and set(ln) <= set(" .:-=+*#%@")]
+        assert len(map_rows) >= 6

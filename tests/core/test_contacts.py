@@ -1,0 +1,93 @@
+"""Tests for contact-window analysis on a small campaign fixture."""
+
+import numpy as np
+import pytest
+
+from satiot.core.contacts import (analyze_contacts, mid_window_fraction,
+                                  reception_rates_by_weather,
+                                  trace_distances_km,
+                                  window_position_fractions)
+
+
+@pytest.fixture(scope="module")
+def tianqi_receptions(passive_result_small):
+    return passive_result_small.receptions("HK", "tianqi")
+
+
+@pytest.fixture(scope="module")
+def stats(passive_result_small, tianqi_receptions):
+    return analyze_contacts(tianqi_receptions,
+                            passive_result_small.duration_s)
+
+
+class TestAnalyzeContacts:
+    def test_effective_below_theoretical_daily(self, stats):
+        assert stats.effective_daily_hours < stats.theoretical_daily_hours
+
+    def test_daily_hours_bounded(self, stats):
+        assert 0.0 <= stats.effective_daily_hours <= 24.0
+        assert 0.0 < stats.theoretical_daily_hours <= 24.0
+
+    def test_shrinkage_in_unit_interval(self, stats):
+        assert 0.0 < stats.duration_shrinkage < 1.0
+        assert 0.0 < stats.mean_duration_shrinkage < 1.0
+
+    def test_paper_shape_heavy_shrinkage(self, stats):
+        # Paper Sec. 3.1: effective durations shrink by >70 %.
+        assert stats.duration_shrinkage > 0.6
+
+    def test_intervals_inflate(self, stats):
+        # Paper Fig. 4b: effective intervals are several times longer.
+        assert stats.interval_inflation > 1.5
+
+    def test_every_unclipped_window_counted(self, stats,
+                                            tianqi_receptions):
+        unclipped = [r for r in tianqi_receptions
+                     if not (r.scheduled.window.clipped_start
+                             or r.scheduled.window.clipped_end)]
+        assert len(stats.theoretical_durations_s) == len(unclipped)
+        assert len(stats.effective_durations_s) == len(unclipped)
+
+    def test_summaries(self, stats):
+        theo = stats.theoretical_summary()
+        eff = stats.effective_summary()
+        assert theo.mean > eff.mean
+        assert theo.count == eff.count
+
+
+class TestWindowPositions:
+    def test_positions_in_unit_interval(self, tianqi_receptions):
+        positions = window_position_fractions(tianqi_receptions)
+        assert len(positions) > 0
+        assert np.all(positions >= 0.0) and np.all(positions <= 1.0)
+
+    def test_mid_window_concentration(self, tianqi_receptions):
+        # Paper Appendix C: ~70 % of receptions in the middle 30-70 %.
+        fraction = mid_window_fraction(tianqi_receptions)
+        assert fraction > 0.5
+
+    def test_empty_gives_nan(self):
+        import math
+        assert math.isnan(mid_window_fraction([]))
+
+
+class TestWeatherSplit:
+    def test_rates_bounded(self, tianqi_receptions):
+        sunny, rainy = reception_rates_by_weather(tianqi_receptions)
+        for rate in sunny + rainy:
+            assert 0.0 <= rate <= 1.0
+        assert len(sunny) + len(rainy) > 0
+
+    def test_high_loss_even_sunny(self, tianqi_receptions):
+        # Paper Fig. 3d: >50 % of beacons dropped even on sunny days.
+        sunny, _rainy = reception_rates_by_weather(tianqi_receptions)
+        assert np.mean(sunny) < 0.5
+
+
+class TestTraceDistances:
+    def test_paper_distance_band(self, tianqi_receptions):
+        # Paper Appendix C: Tianqi beacons arrive from 1,100-3,500 km.
+        distances = trace_distances_km(tianqi_receptions)
+        assert len(distances) > 0
+        assert np.percentile(distances, 10) > 500.0
+        assert np.percentile(distances, 90) < 3600.0

@@ -1,0 +1,53 @@
+"""Tests for dataset archival in the SINet layout."""
+
+import json
+
+import pytest
+
+from satiot.datasets import (DatasetManifest, export_dataset,
+                             load_dataset)
+
+
+class TestExportLoad:
+    def test_roundtrip(self, passive_result_small, tmp_path):
+        manifest = export_dataset(passive_result_small, tmp_path)
+        assert manifest.total_traces == passive_result_small.total_traces
+        assert set(manifest.sites) == {"HK"}
+
+        loaded_manifest, datasets = load_dataset(tmp_path)
+        assert loaded_manifest == manifest
+        assert len(datasets["HK"]) == manifest.sites["HK"]
+
+    def test_layout_on_disk(self, passive_result_small, tmp_path):
+        export_dataset(passive_result_small, tmp_path, name="my-run")
+        assert (tmp_path / "manifest.json").exists()
+        assert (tmp_path / "HK" / "traces.csv").exists()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["name"] == "my-run"
+        assert manifest["seed"] == passive_result_small.config.seed
+
+    def test_traces_sorted_by_time(self, passive_result_small, tmp_path):
+        export_dataset(passive_result_small, tmp_path)
+        _manifest, datasets = load_dataset(tmp_path)
+        times = [t.time_s for t in datasets["HK"]]
+        assert times == sorted(times)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path)
+
+    def test_count_mismatch_detected(self, passive_result_small,
+                                     tmp_path):
+        export_dataset(passive_result_small, tmp_path)
+        # Corrupt the site file by truncating one line.
+        csv_path = tmp_path / "HK" / "traces.csv"
+        lines = csv_path.read_text().splitlines()
+        csv_path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="manifest says"):
+            load_dataset(tmp_path)
+
+    def test_manifest_json_roundtrip(self):
+        manifest = DatasetManifest(
+            name="x", seed=1, days=2.0, sites={"HK": 10},
+            constellations={"Tianqi": 22}, total_traces=10)
+        assert DatasetManifest.from_json(manifest.to_json()) == manifest

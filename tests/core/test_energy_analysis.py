@@ -1,0 +1,58 @@
+"""Tests for the energy comparison (paper Figures 6, 10, 11)."""
+
+import pytest
+
+from satiot.core.energy_analysis import compare_energy, mode_table
+from satiot.energy.profiles import RadioMode
+
+
+@pytest.fixture(scope="module")
+def energy_pair(active_result_small):
+    tianqi = next(iter(active_result_small.tianqi_energy.values()))
+    terrestrial = next(iter(
+        active_result_small.terrestrial_energy.values()))
+    return tianqi, terrestrial
+
+
+class TestCompareEnergy:
+    def test_drain_ratio_paper_scale(self, energy_pair):
+        comparison = compare_energy(*energy_pair)
+        # Paper: 14.9x greater battery drain.
+        assert 8.0 < comparison.drain_ratio < 25.0
+
+    def test_tx_power_ratio(self, energy_pair):
+        comparison = compare_energy(*energy_pair)
+        assert comparison.tx_power_ratio == pytest.approx(2.2, abs=0.01)
+
+    def test_battery_lifetimes_paper_scale(self, energy_pair):
+        comparison = compare_energy(*energy_pair)
+        # Paper Fig. 6d: 48 days vs 718 days.
+        assert 25.0 < comparison.tianqi_battery_days < 90.0
+        assert 500.0 < comparison.terrestrial_battery_days < 900.0
+
+    def test_satellite_rx_time_much_longer(self, energy_pair):
+        comparison = compare_energy(*energy_pair)
+        # The DtS node keeps its receiver on waiting for passes.
+        assert comparison.rx_time_ratio > 10.0
+
+    def test_rx_dominates_tianqi_energy(self, energy_pair):
+        comparison = compare_energy(*energy_pair)
+        assert comparison.rx_energy_share_tianqi > 0.5
+
+
+class TestModeTable:
+    def test_structure(self, energy_pair):
+        tianqi, _ = energy_pair
+        table = mode_table(tianqi)
+        assert set(table) == {m.value for m in RadioMode}
+        for row in table.values():
+            assert set(row) == {"time_h", "time_share", "energy_mwh",
+                                "energy_share"}
+
+    def test_shares_sum(self, energy_pair):
+        tianqi, _ = energy_pair
+        table = mode_table(tianqi)
+        assert sum(r["time_share"] for r in table.values()) \
+            == pytest.approx(1.0)
+        assert sum(r["energy_share"] for r in table.values()) \
+            == pytest.approx(1.0)

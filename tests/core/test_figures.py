@@ -1,0 +1,96 @@
+"""Tests for the plottable figure-series builders."""
+
+import numpy as np
+import pytest
+
+from satiot.core.figures import (FigureSeries, fig3a_presence_bars,
+                                 fig3b_rssi_cdfs,
+                                 fig3c_rssi_vs_distance_curve,
+                                 fig4a_duration_cdfs, fig4b_interval_cdfs,
+                                 fig5b_retransmission_cdf,
+                                 fig5c_latency_cdfs, fig8_distance_cdfs,
+                                 fig9_window_histogram)
+
+
+def assert_valid_cdf(x, p):
+    assert np.all(np.diff(x) >= 0)
+    assert np.all(np.diff(p) > 0)
+    assert p[-1] == pytest.approx(1.0)
+
+
+class TestFigureSeries:
+    def test_shape_mismatch_rejected(self):
+        fig = FigureSeries("x", "a", "b")
+        with pytest.raises(ValueError):
+            fig.add("s", np.zeros(3), np.zeros(4))
+
+    def test_names(self):
+        fig = FigureSeries("x", "a", "b")
+        fig.add("s", np.zeros(3), np.zeros(3))
+        assert fig.names() == ["s"]
+
+
+class TestPassiveFigures:
+    def test_fig3a(self, passive_result_small):
+        fig = fig3a_presence_bars(passive_result_small)
+        assert len(fig.series) == 4
+        for x, hours in fig.series.values():
+            assert np.all(hours >= 0.0) and np.all(hours <= 24.0)
+
+    def test_fig3b(self, passive_result_small):
+        fig = fig3b_rssi_cdfs(passive_result_small)
+        assert "Tianqi" in fig.series
+        for x, p in fig.series.values():
+            assert_valid_cdf(x, p)
+            assert x.max() < -90.0  # weak-signal regime
+
+    def test_fig3c(self, passive_result_small):
+        fig = fig3c_rssi_vs_distance_curve(passive_result_small)
+        x, medians = fig.series["Tianqi"]
+        assert len(x) >= 3
+        assert medians[0] > medians[-1]  # decline with distance
+
+    def test_fig4a(self, passive_result_small):
+        fig = fig4a_duration_cdfs(passive_result_small)
+        assert "Tianqi theoretical" in fig.series
+        assert "Tianqi effective" in fig.series
+        theo_x, _ = fig.series["Tianqi theoretical"]
+        eff_x, _ = fig.series["Tianqi effective"]
+        # Effective durations stochastically dominate downward.
+        assert np.median(eff_x) < np.median(theo_x)
+
+    def test_fig4b(self, passive_result_small):
+        fig = fig4b_interval_cdfs(passive_result_small)
+        theo_x, _ = fig.series["Tianqi theoretical"]
+        eff_x, _ = fig.series["Tianqi effective"]
+        assert np.mean(eff_x) > np.mean(theo_x)
+
+    def test_fig8(self, passive_result_small):
+        fig = fig8_distance_cdfs(passive_result_small)
+        for x, p in fig.series.values():
+            assert_valid_cdf(x, p)
+            assert x.min() > 400.0
+
+    def test_fig9(self, passive_result_small):
+        fig = fig9_window_histogram(passive_result_small)
+        centers, fractions = fig.series["all constellations"]
+        assert fractions.sum() == pytest.approx(1.0)
+        # Middle bins dominate the edges (paper Appendix C).
+        assert fractions[4] + fractions[5] > fractions[0] + fractions[-1]
+
+
+class TestActiveFigures:
+    def test_fig5b(self, active_result_small):
+        fig = fig5b_retransmission_cdf(
+            active_result_small.all_satellite_records())
+        x, p = fig.series["Tianqi"]
+        assert_valid_cdf(x, p)
+        assert x.min() >= 0
+
+    def test_fig5c(self, active_result_small):
+        fig = fig5c_latency_cdfs(
+            active_result_small.all_satellite_records(),
+            active_result_small.all_terrestrial_records())
+        sat_x, _ = fig.series["satellite"]
+        terr_x, _ = fig.series["terrestrial"]
+        assert np.median(sat_x) > 50 * np.median(terr_x)

@@ -1,0 +1,108 @@
+"""Tests for the fleet-congestion model."""
+
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.core.fleet import (FleetModel, congested_mac_config,
+                               delivery_delay_under_load_s)
+from satiot.network.downlink import DownlinkConfig
+from satiot.network.mac import MacConfig
+from satiot.network.store_forward import GroundSegment
+
+
+@pytest.fixture(scope="module")
+def segment():
+    constellation = build_constellation("tianqi")
+    epoch = constellation.satellites[0].tle.epoch
+    return constellation, GroundSegment(constellation, epoch, 86400.0)
+
+
+class TestFleetModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetModel(device_density_per_mkm2=-1.0)
+        with pytest.raises(ValueError):
+            FleetModel(duty_factor=1.5)
+
+    def test_footprint_scaling(self):
+        fleet = FleetModel(device_density_per_mkm2=100.0)
+        # Tianqi main shell footprint ~3e7 km^2 -> ~3000 devices.
+        devices = fleet.devices_in_footprint(856.0)
+        assert 2000.0 < devices < 4000.0
+
+    def test_higher_orbit_more_contenders(self):
+        fleet = FleetModel()
+        assert fleet.expected_contenders(900.0) \
+            > fleet.expected_contenders(500.0)
+
+    def test_load_proportional_to_density(self):
+        low = FleetModel(device_density_per_mkm2=10.0)
+        high = FleetModel(device_density_per_mkm2=100.0)
+        assert high.uplink_packets_per_hour(850.0) \
+            == pytest.approx(10 * low.uplink_packets_per_hour(850.0))
+
+
+class TestCongestedMac:
+    def test_capture_degrades_with_fleet(self):
+        base = MacConfig()
+        sparse = congested_mac_config(
+            FleetModel(device_density_per_mkm2=1.0), 850.0, base)
+        dense = congested_mac_config(
+            FleetModel(device_density_per_mkm2=500.0), 850.0, base)
+        assert dense.capture_probability[1] \
+            < sparse.capture_probability[1] \
+            <= base.capture_probability[1]
+
+    def test_satellite_loss_grows_and_caps(self):
+        base = MacConfig()
+        extreme = congested_mac_config(
+            FleetModel(device_density_per_mkm2=1e7,
+                       packets_per_hour=100.0), 850.0, base)
+        assert base.satellite_loss_probability \
+            < extreme.satellite_loss_probability <= 0.5
+
+    def test_zero_fleet_is_identity(self):
+        base = MacConfig()
+        out = congested_mac_config(
+            FleetModel(device_density_per_mkm2=0.0), 850.0, base)
+        assert out.capture_probability == base.capture_probability
+        assert out.satellite_loss_probability \
+            == base.satellite_loss_probability
+
+
+class TestDeliveryUnderLoad:
+    def test_load_delays_delivery(self):
+        # Compare without data-centre batching, which otherwise rounds
+        # both arrivals to the same release slot.
+        constellation = build_constellation("tianqi")
+        epoch = constellation.satellites[0].tle.epoch
+        ground_segment = GroundSegment(constellation, epoch, 86400.0,
+                                       processing_batch_s=0.0)
+        norad = constellation.satellites[0].norad_id
+        quiet = delivery_delay_under_load_s(
+            ground_segment, FleetModel(device_density_per_mkm2=0.0),
+            constellation, 1000.0, norad)
+        busy = delivery_delay_under_load_s(
+            ground_segment,
+            FleetModel(device_density_per_mkm2=2000.0,
+                       packets_per_hour=10.0),
+            constellation, 1000.0, norad,
+            downlink=DownlinkConfig(throughput_bytes_s=1000.0))
+        assert quiet is not None and busy is not None
+        assert busy > quiet + 600.0  # queueing adds tens of minutes
+
+    def test_quiet_fleet_matches_base_segment(self, segment):
+        constellation, ground_segment = segment
+        norad = constellation.satellites[0].norad_id
+        base = ground_segment.delivery_time_s(norad, 1000.0)
+        quiet = delivery_delay_under_load_s(
+            ground_segment, FleetModel(device_density_per_mkm2=0.0),
+            constellation, 1000.0, norad)
+        assert quiet == pytest.approx(base)
+
+    def test_past_span_returns_none(self, segment):
+        constellation, ground_segment = segment
+        norad = constellation.satellites[0].norad_id
+        assert delivery_delay_under_load_s(
+            ground_segment, FleetModel(), constellation,
+            90_000.0, norad) is None

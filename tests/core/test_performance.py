@@ -1,0 +1,83 @@
+"""Tests for end-to-end performance analysis on the active fixture."""
+
+import numpy as np
+import pytest
+
+from satiot.core.performance import (compare_systems, per_node_reliability,
+                                     reliability_by_concurrency,
+                                     retransmission_histogram)
+
+
+@pytest.fixture(scope="module")
+def comparison(active_result_small):
+    return compare_systems(active_result_small.all_satellite_records(),
+                           active_result_small.all_terrestrial_records())
+
+
+class TestCompareSystems:
+    def test_terrestrial_near_perfect(self, comparison):
+        assert comparison.terrestrial_reliability > 0.99
+
+    def test_satellite_reliability_high_but_lower(self, comparison):
+        # Paper Fig. 5a: >90 % but below terrestrial.
+        assert 0.7 < comparison.satellite_reliability \
+            <= comparison.terrestrial_reliability
+
+    def test_latency_orders_of_magnitude(self, comparison):
+        # Paper Fig. 5c: 643.6x. Any two-orders-plus gap is on shape.
+        assert comparison.latency_ratio > 100.0
+        assert comparison.terrestrial_latency_min < 1.0
+        assert comparison.satellite_latency_min > 30.0
+
+    def test_decomposition_sums(self, comparison):
+        total = (comparison.wait_min + comparison.dts_min
+                 + comparison.delivery_min)
+        assert total == pytest.approx(comparison.satellite_latency_min,
+                                      rel=0.01)
+
+    def test_wait_and_delivery_dominate(self, comparison):
+        # Paper Fig. 5d: waiting for a pass and the operator's delivery
+        # are the big segments; the DtS hop itself is minutes.
+        assert comparison.wait_min > comparison.dts_min
+        assert comparison.delivery_min > comparison.dts_min
+
+
+class TestRetransmissionHistogram:
+    def test_fractions_sum_to_one(self, active_result_small):
+        hist = retransmission_histogram(
+            active_result_small.all_satellite_records())
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_substantial_zero_retx_share(self, active_result_small):
+        # Paper Fig. 5b: around half of packets need no retransmission.
+        hist = retransmission_histogram(
+            active_result_small.all_satellite_records())
+        assert 0.2 < hist[0] < 0.8
+
+    def test_empty(self):
+        hist = retransmission_histogram([])
+        assert all(np.isnan(v) for v in hist.values())
+
+
+class TestConcurrency:
+    def test_groups_present(self, active_result_small):
+        groups = reliability_by_concurrency(
+            active_result_small.all_satellite_records())
+        assert 1 in groups
+        for rel, count in groups.values():
+            assert 0.0 <= rel <= 1.0
+            assert count > 0
+
+    def test_single_node_reliability_high(self, active_result_small):
+        groups = reliability_by_concurrency(
+            active_result_small.all_satellite_records())
+        rel, _count = groups[1]
+        assert rel > 0.7  # paper Fig. 12b: 94 %
+
+
+class TestPerNode:
+    def test_three_nodes(self, active_result_small):
+        rel = per_node_reliability(active_result_small.satellite_records)
+        assert len(rel) == 3
+        for value in rel.values():
+            assert 0.5 < value <= 1.0

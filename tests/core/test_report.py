@@ -1,0 +1,55 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from satiot.core.report import fmt, format_kv, format_table
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(3.14159, 2) == "3.14"
+
+    def test_none_dash(self):
+        assert fmt(None) == "-"
+
+    def test_nan(self):
+        assert fmt(float("nan")) == "nan"
+
+    def test_bool(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+
+    def test_int_passthrough(self):
+        assert fmt(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"],
+                           [["a", 1.0], ["longer", 123.456]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_contains_values(self):
+        out = format_table(["metric"], [[3.14159]], precision=3)
+        assert "3.142" in out
+
+
+class TestFormatKv:
+    def test_aligned(self):
+        out = format_kv([("short", 1), ("a longer key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv([]) == ""

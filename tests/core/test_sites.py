@@ -1,0 +1,55 @@
+"""Tests for the measurement-site registry (paper Table 1)."""
+
+import pytest
+
+from satiot.core.sites import (CONTINENT_SITES, SITES, deployment_months)
+
+
+class TestSitesMatchPaperTable1:
+    def test_eight_sites(self):
+        assert len(SITES) == 8
+        assert set(SITES) == {"HK", "SYD", "LDN", "PGH", "SH", "GZ",
+                              "NC", "YC"}
+
+    def test_twenty_seven_stations_total(self):
+        assert sum(s.station_count for s in SITES.values()) == 27
+
+    @pytest.mark.parametrize("code,count", [
+        ("PGH", 3), ("LDN", 5), ("SH", 2), ("GZ", 2),
+        ("SYD", 4), ("HK", 6), ("NC", 1), ("YC", 4)])
+    def test_station_counts(self, code, count):
+        assert SITES[code].station_count == count
+
+    def test_paper_trace_counts_total(self):
+        total = sum(s.paper_trace_count for s in SITES.values())
+        assert total == 121744  # paper Section 2.2
+
+    def test_continent_representatives(self):
+        assert set(CONTINENT_SITES) == {"HK", "SYD", "LDN", "PGH"}
+        continents = {SITES[c].continent for c in CONTINENT_SITES}
+        assert continents == {"Asia", "Australia", "Europe",
+                              "North America"}
+
+    def test_four_continents_overall(self):
+        continents = {s.continent for s in SITES.values()}
+        assert len(continents) == 4
+
+    def test_coordinates_plausible(self):
+        assert SITES["SYD"].location.latitude_deg < 0  # southern
+        assert SITES["LDN"].location.longitude_deg < 5
+        assert SITES["HK"].location.latitude_deg == pytest.approx(22.3,
+                                                                  abs=0.5)
+
+
+class TestDeploymentMonths:
+    def test_hk_seven_months(self):
+        # HK started 2024/09; campaign ended 2025/03.
+        assert SITES["HK"].deployment_months == 6
+
+    def test_late_sites_shorter(self):
+        assert SITES["LDN"].deployment_months \
+            < SITES["YC"].deployment_months
+
+    def test_future_start_rejected(self):
+        with pytest.raises(ValueError):
+            deployment_months(2026, 1)

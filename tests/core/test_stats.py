@@ -1,0 +1,130 @@
+"""Tests for the statistics toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.core.stats import (bootstrap_mean_ci, empirical_cdf,
+                               interval_gaps, merge_intervals, summarize,
+                               total_length)
+
+interval_strategy = st.lists(
+    st.tuples(st.floats(0.0, 1000.0), st.floats(0.0, 500.0)).map(
+        lambda p: (p[0], p[0] + p[1])),
+    max_size=30)
+
+
+class TestMergeIntervals:
+    def test_overlapping_merge(self):
+        assert merge_intervals([(0, 10), (5, 15)]) == [(0, 15)]
+
+    def test_touching_merge(self):
+        assert merge_intervals([(0, 10), (10, 20)]) == [(0, 20)]
+
+    def test_disjoint_preserved(self):
+        assert merge_intervals([(0, 1), (5, 6)]) == [(0, 1), (5, 6)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(5, 1)])
+
+    @given(interval_strategy)
+    @settings(max_examples=200)
+    def test_properties(self, intervals):
+        merged = merge_intervals(intervals)
+        # Output is sorted and strictly disjoint.
+        for a, b in zip(merged, merged[1:]):
+            assert a[1] < b[0]
+        # Total length never exceeds the sum of the inputs and never
+        # shrinks below the longest single input.
+        if intervals:
+            assert total_length(merged) \
+                <= sum(e - s for s, e in intervals) + 1e-9
+            assert total_length(merged) \
+                >= max(e - s for s, e in intervals) - 1e-9
+        # Every input point stays covered.
+        for s, e in intervals:
+            assert any(ms <= s and e <= me for ms, me in merged)
+
+
+class TestIntervalGaps:
+    def test_interior_gaps(self):
+        merged = [(10.0, 20.0), (30.0, 40.0), (70.0, 80.0)]
+        assert interval_gaps(merged, 0.0, 100.0) == [10.0, 30.0]
+
+    def test_edges_included(self):
+        merged = [(10.0, 20.0)]
+        gaps = interval_gaps(merged, 0.0, 100.0, include_edges=True)
+        assert gaps == [10.0, 80.0]
+
+    def test_empty_intervals(self):
+        assert interval_gaps([], 0.0, 100.0) == []
+        assert interval_gaps([], 0.0, 100.0, include_edges=True) == [100.0]
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            interval_gaps([], 10.0, 0.0)
+
+    @given(interval_strategy)
+    @settings(max_examples=100)
+    def test_gaps_plus_intervals_cover_span(self, intervals):
+        merged = merge_intervals(intervals)
+        span = 2000.0
+        merged = [(s, min(e, span)) for s, e in merged if s < span]
+        gaps = interval_gaps(merged, 0.0, span, include_edges=True)
+        assert sum(gaps) + total_length(merged) \
+            == pytest.approx(span, abs=1e-6)
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        x, p = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, p = empirical_cdf([])
+        assert len(x) == 0 and len(p) == 0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_properties(self, values):
+        x, p = empirical_cdf(values)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+
+    def test_empty_is_nan(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_mean_ci(sample, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)

@@ -1,0 +1,42 @@
+"""Tests for the one-call reproduction report."""
+
+import pytest
+
+from satiot.core.summary import ReportScale, full_report
+
+
+class TestReportScale:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReportScale(passive_days=0.0)
+        with pytest.raises(ValueError):
+            ReportScale(active_days=-1.0)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return full_report(ReportScale(passive_days=0.5,
+                                       active_days=1.0, seed=7))
+
+    def test_contains_all_sections(self, report):
+        assert "Network availability" in report
+        assert "Tianqi agriculture deployment" in report
+        assert "Energy (paper Fig. 6)" in report
+        assert "Costs (paper Table 2)" in report
+
+    def test_mentions_all_constellations(self, report):
+        for name in ("Tianqi", "FOSSA", "PICO", "CSTP"):
+            assert name in report
+
+    def test_paper_anchors_present(self, report):
+        assert "85.7-92.2" in report
+        assert "643.6x" in report
+        assert "14.9x" in report
+
+    def test_renders_values_not_placeholders(self, report):
+        # Every key: value line carries a number or a slash triple.
+        for line in report.splitlines():
+            if " : " in line:
+                value = line.split(" : ", 1)[1].strip()
+                assert value and value != "nan", line

@@ -1,0 +1,23 @@
+"""Tests for the cross-implementation self-checks."""
+
+from satiot.core.validation import CheckResult, run_self_checks
+
+
+class TestSelfChecks:
+    def test_all_pass(self):
+        results = run_self_checks()
+        failing = [r for r in results if not r.passed]
+        assert failing == [], [f"{r.name}: {r.detail}" for r in failing]
+
+    def test_reports_are_descriptive(self):
+        for result in run_self_checks():
+            assert isinstance(result, CheckResult)
+            assert result.name
+            assert result.detail
+
+    def test_covers_the_four_axes(self):
+        names = " ".join(r.name for r in run_self_checks())
+        assert "SGP4" in names
+        assert "coverage" in names
+        assert "airtime" in names
+        assert "speed" in names

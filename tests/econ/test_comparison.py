@@ -1,0 +1,54 @@
+"""Tests for the expenditure comparison and TCO curves."""
+
+import math
+
+import pytest
+
+from satiot.econ.comparison import (expenditure_table, tco_crossover_months,
+                                    tco_usd)
+
+
+class TestExpenditureTable:
+    def test_reproduces_paper_rows(self):
+        rows = {r.network: r for r in expenditure_table()}
+        terr = rows["Terrestrial IoT"]
+        sat = rows["Satellite IoT"]
+        assert terr.device_cost_usd == 35.0
+        assert terr.infrastructure_cost_usd == 219.0
+        assert terr.operational_usd_per_month == pytest.approx(4.9)
+        assert sat.device_cost_usd == 220.0
+        assert sat.infrastructure_cost_usd == 0.0
+        assert sat.operational_usd_per_month == pytest.approx(23.76)
+
+
+class TestTco:
+    def test_zero_months_is_construction_only(self):
+        tco = tco_usd(0, node_count=1)
+        assert tco["satellite_usd"] == pytest.approx(220.0)
+        assert tco["terrestrial_usd"] == pytest.approx(35.0 + 219.0)
+
+    def test_monotonic_in_time(self):
+        a = tco_usd(1)
+        b = tco_usd(12)
+        assert b["satellite_usd"] > a["satellite_usd"]
+        assert b["terrestrial_usd"] > a["terrestrial_usd"]
+
+    def test_satellite_starts_cheaper_then_flips(self):
+        # Single node: satellite saves the gateway up-front (paper's
+        # "saves infrastructure construction costs") but the per-packet
+        # billing overtakes within a couple of months.
+        start = tco_usd(0)
+        assert start["satellite_usd"] < start["terrestrial_usd"]
+        flips, month = tco_crossover_months()
+        assert flips
+        assert 1 <= month <= 6
+
+    def test_negative_months_rejected(self):
+        with pytest.raises(ValueError):
+            tco_usd(-1)
+
+    def test_many_nodes_terrestrial_wins_immediately(self):
+        # Ten nodes share one gateway: terrestrial construction is
+        # already cheaper than ten satellite devices.
+        tco = tco_usd(0, node_count=10)
+        assert tco["terrestrial_usd"] < tco["satellite_usd"]

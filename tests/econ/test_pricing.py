@@ -1,0 +1,59 @@
+"""Tests for the cost models (paper Table 2)."""
+
+import pytest
+
+from satiot.econ.pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS,
+                                 SatelliteCostModel, TerrestrialCostModel)
+
+
+class TestSatelliteCosts:
+    def test_paper_monthly_charge(self):
+        # Paper: 48 packets/day at 16.5 USD per thousand packets
+        # -> 23.76 USD per month per sensor.
+        monthly = TIANQI_COSTS.monthly_data_cost_usd(48.0, 20)
+        assert monthly == pytest.approx(23.76)
+
+    def test_device_cost(self):
+        assert TIANQI_COSTS.device_cost_usd == 220.0
+
+    def test_payload_over_max_bills_extra_packets(self):
+        assert TIANQI_COSTS.packets_for_payload(120) == 1
+        assert TIANQI_COSTS.packets_for_payload(121) == 2
+        assert TIANQI_COSTS.packets_for_payload(240) == 2
+
+    def test_construction(self):
+        assert TIANQI_COSTS.construction_cost_usd(3) == pytest.approx(660.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TIANQI_COSTS.packets_for_payload(0)
+        with pytest.raises(ValueError):
+            TIANQI_COSTS.monthly_data_cost_usd(-1.0)
+        with pytest.raises(ValueError):
+            TIANQI_COSTS.construction_cost_usd(0)
+
+
+class TestTerrestrialCosts:
+    def test_paper_values(self):
+        assert TERRESTRIAL_COSTS.end_node_cost_usd == 35.0
+        assert TERRESTRIAL_COSTS.gateway_cost_usd == 219.0
+        assert TERRESTRIAL_COSTS.lte_plan_usd_per_month == 4.9
+        assert TERRESTRIAL_COSTS.lte_bandwidth_mbps == 42.0
+
+    def test_construction_includes_gateway(self):
+        cost = TERRESTRIAL_COSTS.construction_cost_usd(3, gateway_count=3)
+        assert cost == pytest.approx(3 * 35.0 + 3 * 219.0)
+
+    def test_gateway_autoscaling(self):
+        cost = TERRESTRIAL_COSTS.construction_cost_usd(600)
+        assert cost == pytest.approx(600 * 35.0 + 2 * 219.0)
+
+    def test_monthly(self):
+        assert TERRESTRIAL_COSTS.monthly_data_cost_usd(2) \
+            == pytest.approx(9.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TERRESTRIAL_COSTS.construction_cost_usd(0)
+        with pytest.raises(ValueError):
+            TERRESTRIAL_COSTS.monthly_data_cost_usd(0)

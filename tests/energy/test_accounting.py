@@ -1,0 +1,56 @@
+"""Tests for mode-timeline energy accounting."""
+
+import pytest
+
+from satiot.energy.accounting import ModeTimeline
+from satiot.energy.profiles import TERRESTRIAL_NODE_PROFILE, RadioMode
+
+
+class TestModeTimeline:
+    def test_accumulates(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.SLEEP, 100.0)
+        tl.add(RadioMode.SLEEP, 50.0)
+        assert tl.time_in(RadioMode.SLEEP) == 150.0
+        assert tl.total_time_s == 150.0
+
+    def test_negative_duration_rejected(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        with pytest.raises(ValueError):
+            tl.add(RadioMode.TX, -1.0)
+
+    def test_energy_from_power_and_time(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.TX, 3600.0)  # one hour of Tx
+        breakdown = tl.breakdown()
+        assert breakdown.energy_mwh[RadioMode.TX] == pytest.approx(1630.0)
+
+    def test_average_power(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.SLEEP, 1800.0)
+        tl.add(RadioMode.RX, 1800.0)
+        breakdown = tl.breakdown()
+        assert breakdown.average_power_mw \
+            == pytest.approx(0.5 * (19.1 + 265.0))
+
+    def test_fractions_sum_to_one(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.SLEEP, 1000.0)
+        tl.add(RadioMode.STANDBY, 200.0)
+        tl.add(RadioMode.RX, 100.0)
+        tl.add(RadioMode.TX, 10.0)
+        breakdown = tl.breakdown()
+        assert sum(breakdown.time_fraction(m) for m in RadioMode) \
+            == pytest.approx(1.0)
+        assert sum(breakdown.energy_fraction(m) for m in RadioMode) \
+            == pytest.approx(1.0)
+
+    def test_tx_dominates_energy_despite_short_time(self):
+        # The paper's Fig. 11 effect: Tx+Rx take >70 % of energy from
+        # <5 % of time.
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.SLEEP, 95000.0)
+        tl.add(RadioMode.TX, 1000.0)
+        breakdown = tl.breakdown()
+        assert breakdown.time_fraction(RadioMode.TX) < 0.05
+        assert breakdown.energy_fraction(RadioMode.TX) > 0.4

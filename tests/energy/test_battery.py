@@ -1,0 +1,37 @@
+"""Tests for battery lifetime estimation."""
+
+import pytest
+
+from satiot.energy.accounting import ModeTimeline
+from satiot.energy.battery import DEFAULT_BATTERY_MWH, Battery
+from satiot.energy.profiles import TERRESTRIAL_NODE_PROFILE, RadioMode
+
+
+class TestBattery:
+    def test_lifetime_arithmetic(self):
+        battery = Battery(capacity_mwh=2400.0)
+        # 100 mW drain: 24 hours -> one day.
+        assert battery.lifetime_days(100.0) == pytest.approx(1.0)
+
+    def test_higher_drain_shorter_life(self):
+        battery = Battery()
+        assert battery.lifetime_days(300.0) < battery.lifetime_days(20.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mwh=0.0)
+        with pytest.raises(ValueError):
+            Battery().lifetime_days(0.0)
+
+    def test_default_capacity_calibration(self):
+        # A node idling near the terrestrial average draw (~19.8 mW)
+        # lasts about the paper's 718 days on the default pack.
+        days = Battery().lifetime_days(19.8)
+        assert days == pytest.approx(718.0, rel=0.02)
+
+    def test_from_breakdown(self):
+        tl = ModeTimeline(TERRESTRIAL_NODE_PROFILE)
+        tl.add(RadioMode.SLEEP, 86400.0)
+        battery = Battery()
+        days = battery.lifetime_days_from_breakdown(tl.breakdown())
+        assert days == pytest.approx(DEFAULT_BATTERY_MWH / 19.1 / 24.0)

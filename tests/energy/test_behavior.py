@@ -1,0 +1,81 @@
+"""Tests for duty-cycle builders."""
+
+import pytest
+
+from satiot.energy.behavior import TerrestrialBehavior, TianqiBehavior
+from satiot.energy.profiles import RadioMode
+
+DAY = 86400.0
+
+
+class TestTerrestrialBehavior:
+    def test_mostly_asleep(self):
+        # Paper Fig. 11: 95 % of terrestrial node time is sleep/standby.
+        behavior = TerrestrialBehavior()
+        tl = behavior.timeline(DAY, [20] * 48)
+        breakdown = tl.breakdown()
+        low_power = (breakdown.time_fraction(RadioMode.SLEEP)
+                     + breakdown.time_fraction(RadioMode.STANDBY))
+        assert low_power > 0.95
+
+    def test_radio_energy_share_dominates(self):
+        # >70 % of battery goes to Tx+Rx despite the tiny duty cycle...
+        # for our 48-packet/day profile the share is lower but still
+        # disproportionate versus the time share.
+        behavior = TerrestrialBehavior()
+        breakdown = behavior.timeline(DAY, [20] * 48).breakdown()
+        radio_energy = (breakdown.energy_fraction(RadioMode.TX)
+                        + breakdown.energy_fraction(RadioMode.RX))
+        radio_time = (breakdown.time_fraction(RadioMode.TX)
+                      + breakdown.time_fraction(RadioMode.RX))
+        assert radio_energy > 5 * radio_time
+
+    def test_total_time_preserved(self):
+        behavior = TerrestrialBehavior()
+        tl = behavior.timeline(DAY, [20] * 48)
+        assert tl.total_time_s == pytest.approx(DAY)
+
+    def test_activity_exceeding_span_rejected(self):
+        behavior = TerrestrialBehavior()
+        with pytest.raises(ValueError):
+            behavior.timeline(100.0, [20] * 1000)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            TerrestrialBehavior().timeline(0.0, [])
+
+
+class TestTianqiBehavior:
+    def test_monitoring_dominates_rx(self):
+        behavior = TianqiBehavior()
+        tl = behavior.timeline(DAY, monitoring_rx_s=0.8 * DAY,
+                               attempts=[(i * 1800.0, 20)
+                                         for i in range(48)])
+        breakdown = tl.breakdown()
+        assert breakdown.time_fraction(RadioMode.RX) > 0.7
+
+    def test_tx_time_scales_with_attempts(self):
+        behavior = TianqiBehavior()
+        few = behavior.timeline(DAY, 0.5 * DAY, [(0.0, 20)] * 10)
+        many = behavior.timeline(DAY, 0.5 * DAY, [(0.0, 20)] * 100)
+        assert many.time_in(RadioMode.TX) \
+            == pytest.approx(10 * few.time_in(RadioMode.TX))
+
+    def test_tx_carved_from_monitoring(self):
+        behavior = TianqiBehavior()
+        tl = behavior.timeline(DAY, 0.5 * DAY, [(0.0, 20)] * 50)
+        active = (tl.time_in(RadioMode.RX) + tl.time_in(RadioMode.TX)
+                  + tl.time_in(RadioMode.STANDBY))
+        assert active == pytest.approx(0.5 * DAY)
+
+    def test_monitoring_bounds(self):
+        behavior = TianqiBehavior()
+        with pytest.raises(ValueError):
+            behavior.timeline(DAY, -1.0, [])
+        with pytest.raises(ValueError):
+            behavior.timeline(DAY, 2 * DAY, [])
+
+    def test_total_time_preserved(self):
+        behavior = TianqiBehavior()
+        tl = behavior.timeline(DAY, 0.7 * DAY, [(0.0, 20)] * 20)
+        assert tl.total_time_s == pytest.approx(DAY)

@@ -1,0 +1,79 @@
+"""Tests for the receiver wake-plan optimizer."""
+
+import pytest
+
+from satiot.energy.optimizer import WakePlan, plan_wake_windows
+from satiot.orbits.passes import ContactWindow
+
+DAY = 86400.0
+
+
+def window(rise, duration=600.0, max_el=45.0):
+    return ContactWindow(rise_s=rise, set_s=rise + duration,
+                         culmination_s=rise + duration / 2,
+                         max_elevation_deg=max_el)
+
+
+def hourly_windows(count=24, max_el=45.0):
+    return [window(3600.0 * i + 600.0, max_el=max_el)
+            for i in range(count)]
+
+
+class TestPlanWakeWindows:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_wake_windows([], 0.0, 3600.0)
+        with pytest.raises(ValueError):
+            plan_wake_windows([], DAY, 0.0)
+        with pytest.raises(ValueError):
+            plan_wake_windows([], DAY, 3600.0, guard_s=-1.0)
+
+    def test_latency_budget_respected_when_feasible(self):
+        windows = hourly_windows()
+        plan = plan_wake_windows(windows, DAY, latency_budget_s=4 * 3600.0)
+        assert plan.worst_gap_s() <= 4 * 3600.0 + 1200.0
+
+    def test_tighter_budget_more_wakes(self):
+        windows = hourly_windows()
+        loose = plan_wake_windows(windows, DAY, 8 * 3600.0)
+        tight = plan_wake_windows(windows, DAY, 2 * 3600.0)
+        assert len(tight.selected) > len(loose.selected)
+        assert tight.rx_on_s > loose.rx_on_s
+
+    def test_duty_cycle_far_below_always_on(self):
+        windows = hourly_windows()
+        plan = plan_wake_windows(windows, DAY, 4 * 3600.0)
+        # The whole point: a few passes per day instead of 78 % Rx duty.
+        assert plan.rx_duty_cycle < 0.2
+
+    def test_low_elevation_passes_skipped(self):
+        windows = hourly_windows(max_el=5.0)
+        plan = plan_wake_windows(windows, DAY, 4 * 3600.0,
+                                 min_max_elevation_deg=10.0)
+        assert plan.selected == []
+        assert plan.worst_gap_s() == DAY
+
+    def test_prefers_high_elevation(self):
+        low = window(1000.0, max_el=15.0)
+        high = window(2000.0, max_el=80.0)
+        plan = plan_wake_windows([low, high], 10_000.0,
+                                 latency_budget_s=10_000.0)
+        assert plan.selected == [high]
+
+    def test_selected_ordered_disjoint(self):
+        windows = hourly_windows()
+        plan = plan_wake_windows(windows, DAY, 3 * 3600.0)
+        for a, b in zip(plan.selected, plan.selected[1:]):
+            assert a.set_s <= b.rise_s
+
+
+class TestWakePlan:
+    def test_rx_on_includes_guard(self):
+        plan = WakePlan(span_s=DAY, selected=[window(0.0, 600.0)],
+                        guard_s=60.0)
+        assert plan.rx_on_s == pytest.approx(600.0 + 120.0)
+
+    def test_empty_plan_gap_is_span(self):
+        plan = WakePlan(span_s=DAY, selected=[], guard_s=60.0)
+        assert plan.worst_gap_s() == DAY
+        assert plan.rx_duty_cycle == 0.0

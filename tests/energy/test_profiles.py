@@ -1,0 +1,42 @@
+"""Tests for power profiles."""
+
+import pytest
+
+from satiot.energy.profiles import (TERRESTRIAL_NODE_PROFILE,
+                                    TIANQI_NODE_PROFILE, PowerProfile,
+                                    RadioMode)
+
+
+class TestPaperValues:
+    def test_terrestrial_matches_figure_10(self):
+        p = TERRESTRIAL_NODE_PROFILE
+        assert p.tx_mw == pytest.approx(1630.0)
+        assert p.rx_mw == pytest.approx(265.0)
+        assert p.standby_mw == pytest.approx(146.0)
+        assert p.sleep_mw == pytest.approx(19.1)
+
+    def test_tianqi_tx_premium(self):
+        # Paper Section 3.2: the DtS transmit draws 2.2x more power.
+        ratio = TIANQI_NODE_PROFILE.tx_mw / TERRESTRIAL_NODE_PROFILE.tx_mw
+        assert ratio == pytest.approx(2.2, abs=0.01)
+
+
+class TestPowerProfile:
+    def test_mode_lookup(self):
+        p = TERRESTRIAL_NODE_PROFILE
+        assert p.power_mw(RadioMode.TX) == p.tx_mw
+        assert p.power_mw(RadioMode.SLEEP) == p.sleep_mw
+
+    def test_as_dict(self):
+        d = TERRESTRIAL_NODE_PROFILE.as_dict()
+        assert set(d) == {"sleep", "standby", "rx", "tx"}
+
+    def test_validation_positive(self):
+        with pytest.raises(ValueError):
+            PowerProfile("x", sleep_mw=0.0, standby_mw=1.0, rx_mw=2.0,
+                         tx_mw=3.0)
+
+    def test_validation_ordering(self):
+        with pytest.raises(ValueError):
+            PowerProfile("x", sleep_mw=10.0, standby_mw=5.0, rx_mw=20.0,
+                         tx_mw=30.0)

@@ -1,0 +1,82 @@
+"""Tests for the crowd-sourced community network model."""
+
+import numpy as np
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.groundstation.community import (COMMUNITY_HUBS,
+                                            CommunityNetwork)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return CommunityNetwork.synthesize(count=400, seed=1)
+
+
+@pytest.fixture(scope="module")
+def satellite():
+    return build_constellation("pico").satellites[0]
+
+
+class TestSynthesize:
+    def test_count(self, network):
+        assert len(network) == 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommunityNetwork.synthesize(count=0)
+        with pytest.raises(ValueError):
+            CommunityNetwork.synthesize(count=10, hubs=())
+
+    def test_deterministic(self):
+        a = CommunityNetwork.synthesize(count=50, seed=3)
+        b = CommunityNetwork.synthesize(count=50, seed=3)
+        assert [s.location for s in a.stations] \
+            == [s.location for s in b.stations]
+
+    def test_coordinates_valid(self, network):
+        for station in network.stations:
+            assert -90.0 <= station.location.latitude_deg <= 90.0
+            assert -180.0 <= station.location.longitude_deg <= 180.0
+
+    def test_northern_hemisphere_bias(self, network):
+        # The volunteer map skews heavily north, as do the hubs.
+        lats = [s.location.latitude_deg for s in network.stations]
+        assert np.mean([lat > 0 for lat in lats]) > 0.6
+
+    def test_hub_weights_sum_to_one(self):
+        total = sum(w for _la, _lo, w in COMMUNITY_HUBS)
+        assert total == pytest.approx(1.0)
+
+
+class TestVisibility:
+    def test_fraction_bounds(self, network, satellite):
+        frac = network.visibility_fraction(
+            satellite.propagator, satellite.tle.epoch,
+            span_s=6 * 3600.0, step_s=120.0)
+        assert 0.0 < frac < 1.0
+
+    def test_more_stations_more_visibility(self, satellite):
+        small = CommunityNetwork.synthesize(count=30, seed=2)
+        large = CommunityNetwork.synthesize(count=600, seed=2)
+        args = (satellite.propagator, satellite.tle.epoch,
+                6 * 3600.0, 120.0)
+        assert large.visibility_fraction(*args) \
+            >= small.visibility_fraction(*args)
+
+    def test_community_scale_visibility_is_high(self, satellite):
+        # ~1,800 stations hear a polar LEO satellite for a large share
+        # of its orbit — the premise of community downlink systems.
+        network = CommunityNetwork.synthesize(count=1800, seed=0)
+        frac = network.visibility_fraction(
+            satellite.propagator, satellite.tle.epoch,
+            span_s=6 * 3600.0, step_s=120.0)
+        assert frac > 0.4
+
+    def test_gap_shrinks_with_network_size(self, satellite):
+        small = CommunityNetwork.synthesize(count=30, seed=2)
+        large = CommunityNetwork.synthesize(count=600, seed=2)
+        args = (satellite.propagator, satellite.tle.epoch,
+                6 * 3600.0, 120.0)
+        assert large.mean_gap_to_contact_s(*args) \
+            <= small.mean_gap_to_contact_s(*args)

@@ -1,0 +1,104 @@
+"""Tests for the beacon receiver simulation."""
+
+import numpy as np
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.groundstation.receiver import BeaconReceiver
+from satiot.groundstation.scheduler import Scheduler
+from satiot.groundstation.station import GroundStation
+from satiot.orbits.frames import GeodeticPoint
+from satiot.sim.rng import RngStreams
+
+HK = GeodeticPoint(22.30, 114.17)
+
+
+@pytest.fixture(scope="module")
+def scheduled_passes():
+    tianqi = build_constellation("tianqi")
+    stations = [GroundStation(f"HK-{i}", "HK", HK) for i in range(6)]
+    epoch = tianqi.satellites[0].tle.epoch
+    schedule = Scheduler(stations).build_schedule(list(tianqi), epoch,
+                                                  43200.0)
+    return epoch, schedule.assigned
+
+
+@pytest.fixture(scope="module")
+def receptions(scheduled_passes):
+    epoch, assigned = scheduled_passes
+    receiver = BeaconReceiver()
+    streams = RngStreams(5)
+    return [receiver.receive_pass(sp, epoch, i, streams.get(f"p/{i}"))
+            for i, sp in enumerate(assigned)]
+
+
+class TestPassReception:
+    def test_effective_within_theoretical(self, receptions):
+        for pr in receptions:
+            assert pr.effective_duration_s \
+                <= pr.scheduled.window.duration_s + 1e-6
+
+    def test_silent_pass_zero_effective(self, receptions):
+        silent = [pr for pr in receptions if not pr.heard_anything]
+        for pr in silent:
+            assert pr.effective_duration_s == 0.0
+            assert pr.first_rx_s is None and pr.last_rx_s is None
+            assert pr.traces == []
+
+    def test_reception_rate_bounds(self, receptions):
+        for pr in receptions:
+            assert 0.0 <= pr.reception_rate <= 1.0
+            assert pr.beacons_received <= pr.beacons_sent
+
+    def test_beacon_count_matches_period(self, receptions):
+        for pr in receptions:
+            period = pr.scheduled.satellite.radio.beacon_period_s
+            expected = pr.scheduled.window.duration_s / period
+            assert abs(pr.beacons_sent - expected) <= 1.0
+
+    def test_traces_sorted_and_inside_window(self, receptions):
+        for pr in receptions:
+            times = [t.time_s for t in pr.traces]
+            assert times == sorted(times)
+            for t in pr.traces:
+                assert pr.scheduled.window.contains(t.time_s)
+
+    def test_trace_metadata(self, receptions):
+        for pr in receptions[:20]:
+            for t in pr.traces:
+                assert t.constellation == "Tianqi"
+                assert t.range_km > 400.0
+                assert -90.0 <= t.elevation_deg <= 90.0
+                assert t.pass_id == pr.pass_id
+
+    def test_some_passes_heard(self, receptions):
+        heard = [pr for pr in receptions if pr.heard_anything]
+        # The calibrated channel hears roughly a third of Tianqi windows.
+        assert 0.1 < len(heard) / len(receptions) < 0.7
+
+    def test_deterministic(self, scheduled_passes):
+        epoch, assigned = scheduled_passes
+        receiver = BeaconReceiver()
+        a = receiver.receive_pass(assigned[0], epoch, 0,
+                                  RngStreams(5).get("p/0"))
+        b = receiver.receive_pass(assigned[0], epoch, 0,
+                                  RngStreams(5).get("p/0"))
+        assert a.beacons_received == b.beacons_received
+        assert [t.rssi_dbm for t in a.traces] \
+            == [t.rssi_dbm for t in b.traces]
+
+    def test_environment_loss_reduces_receptions(self, scheduled_passes):
+        epoch, assigned = scheduled_passes
+        clean = BeaconReceiver()
+        noisy = BeaconReceiver(
+            link_overrides={"implementation_loss_db": 11.0})
+        streams_a, streams_b = RngStreams(5), RngStreams(5)
+        total_clean = sum(
+            clean.receive_pass(sp, epoch, i,
+                               streams_a.get(f"p/{i}")).beacons_received
+            for i, sp in enumerate(assigned[:40]))
+        total_noisy = sum(
+            noisy.receive_pass(sp, epoch, i,
+                               streams_b.get(f"p/{i}")).beacons_received
+            for i, sp in enumerate(assigned[:40]))
+        assert total_noisy < total_clean

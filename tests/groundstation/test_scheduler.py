@@ -1,0 +1,101 @@
+"""Tests for the customized pass scheduler."""
+
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.groundstation.scheduler import Scheduler
+from satiot.groundstation.station import GroundStation, StationHardware
+from satiot.orbits.frames import GeodeticPoint
+
+HK = GeodeticPoint(22.30, 114.17)
+
+
+def make_stations(n, site="HK", **hw_kwargs):
+    hardware = StationHardware(**hw_kwargs) if hw_kwargs \
+        else StationHardware()
+    return [GroundStation(f"{site}-{i + 1}", site, HK, hardware=hardware)
+            for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def tianqi():
+    return build_constellation("tianqi")
+
+
+class TestSchedulerConstruction:
+    def test_needs_stations(self):
+        with pytest.raises(ValueError):
+            Scheduler([])
+
+    def test_negative_guard_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(make_stations(1), guard_time_s=-1.0)
+
+
+class TestScheduling(object):
+    def test_no_station_double_booked(self, tianqi):
+        scheduler = Scheduler(make_stations(3), guard_time_s=30.0)
+        epoch = tianqi.satellites[0].tle.epoch
+        schedule = scheduler.build_schedule(list(tianqi), epoch, 43200.0)
+        by_station = {}
+        for sp in schedule.assigned:
+            by_station.setdefault(sp.station.station_id, []).append(
+                sp.window)
+        for windows in by_station.values():
+            windows.sort(key=lambda w: w.rise_s)
+            for a, b in zip(windows, windows[1:]):
+                assert a.set_s + 30.0 <= b.rise_s
+
+    def test_more_stations_more_coverage(self, tianqi):
+        epoch = tianqi.satellites[0].tle.epoch
+        few = Scheduler(make_stations(1)).build_schedule(
+            list(tianqi), epoch, 43200.0)
+        many = Scheduler(make_stations(6)).build_schedule(
+            list(tianqi), epoch, 43200.0)
+        assert many.coverage >= few.coverage
+        assert len(many.assigned) >= len(few.assigned)
+
+    def test_six_stations_cover_everything(self, tianqi):
+        # The paper deployed up to 6 stations per site to track all
+        # target satellites; with 6 the greedy schedule drops nothing.
+        epoch = tianqi.satellites[0].tle.epoch
+        schedule = Scheduler(make_stations(6)).build_schedule(
+            list(tianqi), epoch, 86400.0)
+        assert schedule.dropped == []
+        assert schedule.coverage == 1.0
+
+    def test_unsupported_frequency_dropped(self, tianqi):
+        # Stations whose radio cannot tune the constellation's band
+        # never get assigned.
+        stations = make_stations(2, frequency_min_hz=800e6,
+                                 frequency_max_hz=900e6)
+        epoch = tianqi.satellites[0].tle.epoch
+        schedule = Scheduler(stations).build_schedule(
+            list(tianqi), epoch, 21600.0)
+        assert schedule.assigned == []
+        assert len(schedule.dropped) > 0
+
+    def test_windows_sorted_by_rise(self, tianqi):
+        epoch = tianqi.satellites[0].tle.epoch
+        scheduler = Scheduler(make_stations(2))
+        windows = scheduler.predict_windows(list(tianqi), epoch, 43200.0)
+        rises = [w.rise_s for _s, w in windows]
+        assert rises == sorted(rises)
+
+    def test_for_station_filter(self, tianqi):
+        epoch = tianqi.satellites[0].tle.epoch
+        schedule = Scheduler(make_stations(3)).build_schedule(
+            list(tianqi), epoch, 43200.0)
+        for sp in schedule.for_station("HK-1"):
+            assert sp.station.station_id == "HK-1"
+
+    def test_scheduled_pass_frequency(self, tianqi):
+        epoch = tianqi.satellites[0].tle.epoch
+        schedule = Scheduler(make_stations(6)).build_schedule(
+            list(tianqi), epoch, 21600.0)
+        assert all(sp.frequency_hz == pytest.approx(400.45e6)
+                   for sp in schedule.assigned)
+
+    def test_empty_schedule_coverage_is_one(self):
+        from satiot.groundstation.scheduler import PassSchedule
+        assert PassSchedule(assigned=[], dropped=[]).coverage == 1.0

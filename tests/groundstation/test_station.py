@@ -1,0 +1,32 @@
+"""Tests for the ground-station model."""
+
+import pytest
+
+from satiot.groundstation.station import GroundStation, StationHardware
+from satiot.orbits.frames import GeodeticPoint
+from satiot.phy.antennas import DIPOLE
+
+
+class TestStationHardware:
+    def test_defaults_are_tinygs(self):
+        hw = StationHardware()
+        assert "SX1262" in hw.model
+        assert hw.cost_usd == pytest.approx(30.0)  # paper: ~$30 stations
+
+    def test_frequency_support(self):
+        hw = StationHardware()
+        assert hw.supports_frequency(400.45e6)
+        assert hw.supports_frequency(437.985e6)
+        assert not hw.supports_frequency(868e6)
+        assert not hw.supports_frequency(137e6)
+
+
+class TestGroundStation:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            GroundStation("", "HK", GeodeticPoint(22.3, 114.17))
+
+    def test_rx_gain_subtracts_cable_loss(self):
+        st = GroundStation("HK-1", "HK", GeodeticPoint(22.3, 114.17))
+        assert st.rx_gain_dbi(45.0) \
+            == pytest.approx(DIPOLE.gain_dbi(45.0) - 0.5)

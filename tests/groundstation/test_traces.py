@@ -1,0 +1,82 @@
+"""Tests for beacon-trace records and dataset I/O."""
+
+import pytest
+
+from satiot.groundstation.traces import BeaconTrace, TraceDataset
+
+
+def make_trace(**kwargs):
+    defaults = dict(time_s=100.0, station_id="HK-1", site="HK",
+                    constellation="Tianqi", satellite="Tianqi-TQ-A-01",
+                    norad_id=44100, frequency_hz=400.45e6,
+                    rssi_dbm=-128.5, snr_db=-11.4, elevation_deg=42.0,
+                    azimuth_deg=183.0, range_km=1120.0, doppler_hz=-4200.0,
+                    raining=False, pass_id=3)
+    defaults.update(kwargs)
+    return BeaconTrace(**defaults)
+
+
+class TestBeaconTrace:
+    def test_row_roundtrip(self):
+        trace = make_trace()
+        assert BeaconTrace.from_row(trace.to_row()) == trace
+
+    def test_from_row_parses_strings(self):
+        row = {k: str(v) for k, v in make_trace().to_row().items()}
+        back = BeaconTrace.from_row(row)
+        assert back.rssi_dbm == pytest.approx(-128.5)
+        assert back.norad_id == 44100
+        assert back.raining is False
+
+
+class TestTraceDataset:
+    def make_dataset(self):
+        return TraceDataset([
+            make_trace(time_s=3.0, site="HK", constellation="Tianqi"),
+            make_trace(time_s=1.0, site="HK", constellation="FOSSA",
+                       norad_id=52700),
+            make_trace(time_s=2.0, site="SYD", constellation="Tianqi",
+                       station_id="SYD-1"),
+        ])
+
+    def test_len_iter_getitem(self):
+        ds = self.make_dataset()
+        assert len(ds) == 3
+        assert len(list(ds)) == 3
+        assert ds[0].time_s == 3.0
+
+    def test_filters(self):
+        ds = self.make_dataset()
+        assert len(ds.by_constellation("tianqi")) == 2
+        assert len(ds.by_site("HK")) == 2
+        assert len(ds.by_satellite(52700)) == 1
+
+    def test_site_and_constellation_listing(self):
+        ds = self.make_dataset()
+        assert ds.sites() == ["HK", "SYD"]
+        assert ds.constellations() == ["FOSSA", "Tianqi"]
+
+    def test_sorted_by_time(self):
+        times = [t.time_s for t in self.make_dataset().sorted_by_time()]
+        assert times == sorted(times)
+
+    def test_append_extend(self):
+        ds = TraceDataset()
+        ds.append(make_trace())
+        ds.extend([make_trace(time_s=5.0)])
+        assert len(ds) == 2
+
+    def test_csv_roundtrip(self, tmp_path):
+        ds = self.make_dataset()
+        path = tmp_path / "traces.csv"
+        ds.to_csv(path)
+        back = TraceDataset.from_csv(path)
+        assert len(back) == len(ds)
+        assert list(back)[0] == list(ds)[0]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        ds = self.make_dataset()
+        path = tmp_path / "traces.jsonl"
+        ds.to_jsonl(path)
+        back = TraceDataset.from_jsonl(path)
+        assert [t for t in back] == [t for t in ds]

@@ -1,0 +1,74 @@
+"""Integration tests: the active campaign reproduces the paper's
+qualitative Section 3.2 findings end-to-end."""
+
+import numpy as np
+import pytest
+
+from satiot.core.active import ActiveCampaignConfig
+from satiot.network.server import reliability_report
+
+
+class TestActiveCampaignShape:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ActiveCampaignConfig(days=0.0)
+        with pytest.raises(ValueError):
+            ActiveCampaignConfig(node_count=0)
+        with pytest.raises(ValueError):
+            ActiveCampaignConfig(antenna_name="yagi")
+        with pytest.raises(ValueError):
+            ActiveCampaignConfig(reading_interval_s=0.0)
+
+    def test_three_nodes_with_readings(self, active_result_small):
+        assert len(active_result_small.readings) == 3
+        for readings in active_result_small.readings.values():
+            # 30-minute cadence: ~48 readings per day.
+            per_day = len(readings) / active_result_small.config.days
+            assert 40.0 < per_day < 50.0
+
+    def test_sequence_ids_unique_per_node(self, active_result_small):
+        for readings in active_result_small.readings.values():
+            seqs = [r.seq for r in readings]
+            assert seqs == sorted(set(seqs))
+
+    def test_reliability_above_ninety(self, active_result_small):
+        report = reliability_report(
+            active_result_small.all_satellite_records())
+        assert report.reliability > 0.85  # paper: 96 % with 5 retx
+
+    def test_satellite_latency_hour_scale(self, active_result_small):
+        latencies = [r.total_latency_s / 60.0
+                     for r in active_result_small.all_satellite_records()
+                     if r.delivered]
+        # Paper: 135.2 minutes average.
+        assert 40.0 < np.mean(latencies) < 300.0
+
+    def test_monitoring_time_majority_of_day(self, active_result_small):
+        fraction = (active_result_small.monitoring_rx_s
+                    / active_result_small.config.duration_s)
+        # Tianqi presence at the site is most of the day (paper: 18.5 h).
+        assert 0.5 < fraction < 0.95
+
+    def test_records_reference_real_satellites(self, active_result_small):
+        norads = {s.norad_id
+                  for s in active_result_small.constellation}
+        for record in active_result_small.all_satellite_records():
+            if record.satellite_norad is not None:
+                assert record.satellite_norad in norads
+
+    def test_delivery_uses_ground_segment(self, active_result_small):
+        for record in active_result_small.all_satellite_records():
+            if record.delivered:
+                assert record.delivered_s > record.satellite_received_s
+
+    def test_duplicates_absorbed_somewhere(self, active_result_small):
+        # ACK losses should have produced at least some duplicate
+        # uplinks over two days (paper's spurious retransmissions).
+        retx = active_result_small.retransmission_counts()
+        assert sum(retx) > 0
+
+    def test_energy_accounted_for_all_nodes(self, active_result_small):
+        assert set(active_result_small.tianqi_energy) \
+            == set(active_result_small.readings)
+        assert set(active_result_small.terrestrial_energy) \
+            == set(active_result_small.readings)

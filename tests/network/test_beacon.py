@@ -1,0 +1,81 @@
+"""Tests for the shared beacon-train builder."""
+
+import numpy as np
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.network.beacon import build_beacon_train
+from satiot.orbits.frames import GeodeticPoint
+from satiot.orbits.passes import PassPredictor
+
+HK = GeodeticPoint(22.30, 114.17)
+
+
+@pytest.fixture(scope="module")
+def pass_setup():
+    constellation = build_constellation("tianqi")
+    satellite = constellation.satellites[0]
+    epoch = satellite.tle.epoch
+    predictor = PassPredictor(satellite.propagator, HK)
+    windows = predictor.find_passes(epoch, 86400.0)
+    window = max(windows, key=lambda w: w.max_elevation_deg)
+    return satellite, window, epoch
+
+
+class TestBuildBeaconTrain:
+    def test_times_within_window(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        train = build_beacon_train(satellite, window, HK, epoch,
+                                   np.random.default_rng(0))
+        assert np.all(train.times_s >= window.rise_s)
+        assert np.all(train.times_s < window.set_s)
+
+    def test_periodicity(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        train = build_beacon_train(satellite, window, HK, epoch,
+                                   np.random.default_rng(0))
+        period = satellite.radio.beacon_period_s
+        np.testing.assert_allclose(np.diff(train.times_s), period)
+
+    def test_geometry_lengths_match(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        train = build_beacon_train(satellite, window, HK, epoch,
+                                   np.random.default_rng(0))
+        n = len(train)
+        assert n > 10
+        for field in ("elevation_deg", "range_km", "doppler_shift_hz",
+                      "doppler_rate_hz_s"):
+            assert len(getattr(train, field)) == n
+
+    def test_elevation_positive_inside_window(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        train = build_beacon_train(satellite, window, HK, epoch,
+                                   np.random.default_rng(0))
+        assert np.all(train.elevation_deg > -0.5)
+
+    def test_doppler_sign_flip_at_culmination(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        train = build_beacon_train(satellite, window, HK, epoch,
+                                   np.random.default_rng(0))
+        # Approaching first (positive shift), receding after.
+        assert train.doppler_shift_hz[0] > 0.0
+        assert train.doppler_shift_hz[-1] < 0.0
+
+    def test_same_rng_same_train(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        a = build_beacon_train(satellite, window, HK, epoch,
+                               np.random.default_rng(7))
+        b = build_beacon_train(satellite, window, HK, epoch,
+                               np.random.default_rng(7))
+        np.testing.assert_array_equal(a.times_s, b.times_s)
+
+    def test_zero_length_window(self, pass_setup):
+        satellite, window, epoch = pass_setup
+        from satiot.orbits.passes import ContactWindow
+        tiny = ContactWindow(rise_s=window.rise_s,
+                             set_s=window.rise_s + 1.0,
+                             culmination_s=window.rise_s + 0.5,
+                             max_elevation_deg=0.1)
+        train = build_beacon_train(satellite, tiny, HK, epoch,
+                                   np.random.default_rng(3))
+        assert len(train) <= 1

@@ -1,0 +1,106 @@
+"""Tests for the capacity-limited downlink."""
+
+import pytest
+
+from satiot.network.downlink import DownlinkConfig, DownlinkSimulator
+from satiot.network.store_forward import BufferedPacket, SatelliteBuffer
+
+
+def fill(buffer, count, payload=20):
+    for seq in range(count):
+        buffer.store(BufferedPacket("n1", seq, float(seq), payload))
+
+
+class TestDownlinkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DownlinkConfig(throughput_bytes_s=0.0)
+        with pytest.raises(ValueError):
+            DownlinkConfig(setup_s=-1.0)
+
+    def test_packet_airtime(self):
+        config = DownlinkConfig(throughput_bytes_s=1000.0,
+                                per_packet_overhead_bytes=10)
+        assert config.packet_airtime_s(90) == pytest.approx(0.1)
+
+
+class TestRunSession:
+    def test_small_buffer_fully_drained(self):
+        buffer = SatelliteBuffer(44100)
+        fill(buffer, 10)
+        sim = DownlinkSimulator()
+        session = sim.run_session(buffer, (0.0, 300.0))
+        assert session.drained_count == 10
+        assert session.remaining == 0
+        assert len(buffer) == 0
+
+    def test_oldest_first(self):
+        buffer = SatelliteBuffer(44100)
+        for seq, stored in ((2, 30.0), (0, 10.0), (1, 20.0)):
+            buffer.store(BufferedPacket("n1", seq, stored, 20))
+        sim = DownlinkSimulator()
+        session = sim.run_session(buffer, (100.0, 400.0))
+        assert [p.seq for p in session.drained] == [0, 1, 2]
+
+    def test_capacity_limits_drain(self):
+        buffer = SatelliteBuffer(44100, capacity_packets=100_000)
+        fill(buffer, 50_000)
+        # 8 ms per packet at 4 kB/s -> ~33k packets in a 300 s window
+        # after setup.
+        sim = DownlinkSimulator()
+        session = sim.run_session(buffer, (0.0, 300.0))
+        assert 0 < session.drained_count < 50_000
+        assert session.remaining == 50_000 - session.drained_count
+        assert len(buffer) == session.remaining
+
+    def test_too_short_window_drains_nothing(self):
+        buffer = SatelliteBuffer(44100)
+        fill(buffer, 5)
+        sim = DownlinkSimulator(DownlinkConfig(setup_s=60.0))
+        session = sim.run_session(buffer, (0.0, 30.0))
+        assert session.drained_count == 0
+        assert len(buffer) == 5
+
+    def test_invalid_window(self):
+        sim = DownlinkSimulator()
+        with pytest.raises(ValueError):
+            sim.run_session(SatelliteBuffer(44100), (10.0, 5.0))
+
+
+class TestCompletionTime:
+    def test_sequential_completion(self):
+        buffer = SatelliteBuffer(44100)
+        fill(buffer, 3, payload=88)  # 100 bytes with overhead
+        config = DownlinkConfig(throughput_bytes_s=1000.0,
+                                per_packet_overhead_bytes=12,
+                                setup_s=10.0)
+        sim = DownlinkSimulator(config)
+        session = sim.run_session(buffer, (0.0, 100.0))
+        t0 = sim.completion_time_s(session, session.drained[0])
+        t2 = sim.completion_time_s(session, session.drained[2])
+        assert t0 == pytest.approx(10.1)
+        assert t2 == pytest.approx(10.3)
+
+    def test_unknown_packet_raises(self):
+        buffer = SatelliteBuffer(44100)
+        fill(buffer, 1)
+        sim = DownlinkSimulator()
+        session = sim.run_session(buffer, (0.0, 100.0))
+        with pytest.raises(KeyError):
+            sim.completion_time_s(
+                session, BufferedPacket("ghost", 99, 0.0, 20))
+
+
+class TestSessionsToEmpty:
+    def test_zero_backlog(self):
+        assert DownlinkSimulator().sessions_to_empty(0, 20, 300.0) == 0
+
+    def test_scales_with_backlog(self):
+        sim = DownlinkSimulator()
+        small = sim.sessions_to_empty(1000, 20, 300.0)
+        large = sim.sessions_to_empty(100_000, 20, 300.0)
+        assert large > small >= 1
+
+    def test_window_too_short(self):
+        sim = DownlinkSimulator(DownlinkConfig(setup_s=600.0))
+        assert sim.sessions_to_empty(10, 20, 300.0) == -1

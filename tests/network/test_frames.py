@@ -1,0 +1,118 @@
+"""Tests for the byte-level DtS frame codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.network.frames import (AckFrame, BeaconFrame, FrameError,
+                                   UplinkFrame, crc16_ccitt, decode_frame)
+
+
+class TestCrc:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_sensitivity(self):
+        assert crc16_ccitt(b"hello") != crc16_ccitt(b"hellp")
+
+
+class TestBeaconFrame:
+    def test_roundtrip(self):
+        frame = BeaconFrame(norad_id=44100, beacon_seq=1234,
+                            congested=True)
+        back = decode_frame(frame.encode())
+        assert back == frame
+
+    def test_wire_size(self):
+        assert len(BeaconFrame(44100, 0).encode()) \
+            == BeaconFrame.WIRE_SIZE
+
+    def test_range_checks(self):
+        with pytest.raises(FrameError):
+            BeaconFrame(-1, 0).encode()
+        with pytest.raises(FrameError):
+            BeaconFrame(44100, 70000).encode()
+
+    @given(norad=st.integers(0, 0xFFFFFFFF), seq=st.integers(0, 0xFFFF),
+           congested=st.booleans())
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, norad, seq, congested):
+        frame = BeaconFrame(norad, seq, congested)
+        assert decode_frame(frame.encode()) == frame
+
+
+class TestUplinkFrame:
+    def test_roundtrip(self):
+        frame = UplinkFrame("TQ-n-1", 42, b"\x01\x02\x03" * 5)
+        back = decode_frame(frame.encode())
+        assert back == frame
+
+    def test_wire_size_matches(self):
+        frame = UplinkFrame("n1", 0, b"x" * 20)
+        assert len(frame.encode()) == frame.wire_size
+
+    def test_payload_bounds(self):
+        with pytest.raises(FrameError):
+            UplinkFrame("n1", 0, b"").encode()
+        with pytest.raises(FrameError):
+            UplinkFrame("n1", 0, b"x" * 121).encode()
+        UplinkFrame("n1", 0, b"x" * 120).encode()  # boundary ok
+
+    def test_long_node_id_rejected(self):
+        with pytest.raises(FrameError):
+            UplinkFrame("a-very-long-node-name", 0, b"x").encode()
+
+    @given(seq=st.integers(0, 0xFFFF),
+           payload=st.binary(min_size=1, max_size=120))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, seq, payload):
+        frame = UplinkFrame("node-8", seq, payload)
+        assert decode_frame(frame.encode()) == frame
+
+
+class TestAckFrame:
+    def test_roundtrip(self):
+        frame = AckFrame("TQ-n-3", 999)
+        assert decode_frame(frame.encode()) == frame
+
+    def test_wire_size(self):
+        assert len(AckFrame("n", 0).encode()) == AckFrame.WIRE_SIZE
+
+
+class TestDecodeErrors:
+    def test_truncated(self):
+        with pytest.raises(FrameError, match="too short"):
+            decode_frame(b"\xd7\x01")
+
+    def test_corrupted_crc(self):
+        data = bytearray(BeaconFrame(44100, 7).encode())
+        data[4] ^= 0xFF
+        with pytest.raises(FrameError, match="CRC"):
+            decode_frame(bytes(data))
+
+    def test_bad_magic(self):
+        from satiot.network.frames import crc16_ccitt
+        import struct
+        body = struct.pack(">BBIHB", 0x00, 0x01, 1, 1, 0)
+        data = body + struct.pack(">H", crc16_ccitt(body))
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(data)
+
+    def test_unknown_type(self):
+        import struct
+        body = struct.pack(">BBIHB", 0xD7, 0x7F, 1, 1, 0)
+        data = body + struct.pack(">H", crc16_ccitt(body))
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_frame(data)
+
+    def test_uplink_length_mismatch(self):
+        import struct
+        body = struct.pack(">BB8sHB", 0xD7, 0x02, b"n1".ljust(8, b"\0"),
+                           0, 5) + b"xxx"  # says 5, carries 3
+        data = body + struct.pack(">H", crc16_ccitt(body))
+        with pytest.raises(FrameError, match="length field"):
+            decode_frame(data)

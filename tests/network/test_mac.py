@@ -1,0 +1,179 @@
+"""Tests for the beacon-triggered DtS MAC."""
+
+import numpy as np
+import pytest
+
+from satiot.network.mac import BeaconOpportunity, DtSMac, MacConfig
+from satiot.network.packets import SensorReading
+from satiot.network.store_forward import SatelliteBuffer
+
+SAT = 44100
+
+
+def beacons(times, p_uplink=1.0, p_ack=1.0, sat=SAT):
+    return [BeaconOpportunity(t, sat, p_uplink, p_ack) for t in times]
+
+
+def readings(node, times, payload=20):
+    return [SensorReading(node, i, t, payload) for i, t in enumerate(times)]
+
+
+def run_mac(reading_map, beacon_map, config=None, seed=0,
+            duration=100000.0):
+    buffers = {SAT: SatelliteBuffer(SAT)}
+    mac = DtSMac(config or MacConfig(), buffers)
+    records = mac.run(reading_map, beacon_map,
+                      np.random.default_rng(seed), duration)
+    return records, buffers[SAT]
+
+
+class TestBeaconOpportunity:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            BeaconOpportunity(0.0, SAT, 1.5, 0.5)
+        with pytest.raises(ValueError):
+            BeaconOpportunity(0.0, SAT, 0.5, -0.1)
+
+
+class TestMacConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacConfig(max_retransmissions=-1)
+        with pytest.raises(ValueError):
+            MacConfig(satellite_loss_probability=1.0)
+
+    def test_capture_extrapolation(self):
+        cfg = MacConfig()
+        assert cfg.capture(1) == 1.0
+        assert cfg.capture(2) == pytest.approx(0.90)
+        assert cfg.capture(5) <= cfg.capture(3)
+
+
+class TestPerfectLink:
+    def test_all_delivered_first_try(self):
+        reads = {"n1": readings("n1", [0.0, 100.0])}
+        opps = {"n1": beacons([50.0, 150.0, 250.0])}
+        cfg = MacConfig(satellite_loss_probability=0.0)
+        records, buffer = run_mac(reads, opps, cfg)
+        for r in records["n1"]:
+            assert r.satellite_received_s is not None
+            assert r.retransmissions == 0
+            assert not r.abandoned
+        assert len(buffer) == 2
+
+    def test_every_reading_gets_record(self):
+        reads = {"n1": readings("n1", [0.0, 100.0, 200.0])}
+        records, _ = run_mac(reads, {"n1": []})
+        assert len(records["n1"]) == 3
+        # No beacons: nothing attempted, nothing delivered.
+        assert all(not r.attempts for r in records["n1"])
+
+
+class TestAckLoss:
+    def test_lost_acks_cause_spurious_retransmissions(self):
+        # Uplink perfect, ACK never arrives: the node retransmits to the
+        # limit although the satellite got the packet (paper Fig. 5b's
+        # explanation).
+        reads = {"n1": readings("n1", [0.0])}
+        opps = {"n1": beacons(np.arange(100.0, 20000.0, 600.0),
+                              p_uplink=1.0, p_ack=0.0)}
+        cfg = MacConfig(max_retransmissions=3,
+                        satellite_loss_probability=0.0,
+                        retry_backoff_s=10.0)
+        records, buffer = run_mac(reads, opps, cfg)
+        record = records["n1"][0]
+        assert len(record.attempts) == 4  # 1 + 3 retransmissions
+        assert record.satellite_received_s is not None
+        assert not record.abandoned  # data did reach the satellite
+        assert buffer.duplicates_absorbed == 3
+
+    def test_abandoned_when_uplink_dead(self):
+        reads = {"n1": readings("n1", [0.0])}
+        opps = {"n1": beacons(np.arange(100.0, 20000.0, 600.0),
+                              p_uplink=0.0, p_ack=1.0)}
+        cfg = MacConfig(max_retransmissions=2,
+                        satellite_loss_probability=0.0,
+                        retry_backoff_s=10.0)
+        records, buffer = run_mac(reads, opps, cfg)
+        record = records["n1"][0]
+        assert record.abandoned
+        assert record.satellite_received_s is None
+        assert len(record.attempts) == 3
+        assert len(buffer) == 0
+
+
+class TestRetryBackoff:
+    def test_attempts_respect_backoff(self):
+        reads = {"n1": readings("n1", [0.0])}
+        opps = {"n1": beacons(np.arange(10.0, 5000.0, 5.0),
+                              p_uplink=1.0, p_ack=0.0)}
+        cfg = MacConfig(max_retransmissions=4,
+                        satellite_loss_probability=0.0,
+                        retry_backoff_s=300.0)
+        records, _ = run_mac(reads, opps, cfg)
+        attempts = records["n1"][0].attempts
+        for a, b in zip(attempts, attempts[1:]):
+            assert b.time_s - a.time_s >= 300.0
+
+    def test_fresh_packet_not_blocked_by_backoff(self):
+        # Packet 0 is waiting out its back-off; packet 1 arrives and
+        # should use the next beacon rather than wait behind it.
+        reads = {"n1": readings("n1", [0.0, 50.0])}
+        opps = {"n1": beacons([10.0, 60.0, 1000.0, 2000.0],
+                              p_uplink=1.0, p_ack=0.0)}
+        cfg = MacConfig(max_retransmissions=5,
+                        satellite_loss_probability=0.0,
+                        retry_backoff_s=900.0)
+        records, _ = run_mac(reads, opps, cfg)
+        seq1 = records["n1"][1]
+        assert seq1.attempts
+        assert seq1.first_attempt_s == pytest.approx(60.0)
+
+
+class TestCollisions:
+    def test_concurrent_transmissions_marked(self):
+        shared = np.arange(10.0, 400.0, 30.0)
+        reads = {f"n{i}": readings(f"n{i}", [0.0]) for i in (1, 2, 3)}
+        opps = {f"n{i}": beacons(shared, p_uplink=1.0, p_ack=1.0)
+                for i in (1, 2, 3)}
+        cfg = MacConfig(satellite_loss_probability=0.0)
+        records, _ = run_mac(reads, opps, cfg)
+        firsts = [records[n][0].attempts[0] for n in records]
+        assert all(a.n_concurrent == 3 for a in firsts)
+
+    def test_collisions_reduce_reliability(self):
+        # Capture probability zero: simultaneous transmissions all die.
+        shared = list(np.arange(10.0, 50000.0, 400.0))
+        reads = {f"n{i}": readings(f"n{i}", [0.0]) for i in (1, 2)}
+        opps = {f"n{i}": beacons(shared, p_uplink=1.0, p_ack=1.0)
+                for i in (1, 2)}
+        cfg = MacConfig(max_retransmissions=1,
+                        satellite_loss_probability=0.0,
+                        capture_probability={1: 1.0, 2: 0.0},
+                        retry_backoff_s=10.0)
+        records, _ = run_mac(reads, opps, cfg)
+        for node in records:
+            record = records[node][0]
+            assert all(a.collided for a in record.attempts)
+            assert record.abandoned
+
+    def test_single_node_never_collides(self):
+        reads = {"n1": readings("n1", [0.0])}
+        opps = {"n1": beacons([10.0], p_uplink=1.0, p_ack=1.0)}
+        cfg = MacConfig(satellite_loss_probability=0.0)
+        records, _ = run_mac(reads, opps, cfg)
+        assert not records["n1"][0].attempts[0].collided
+
+
+class TestSatelliteLoss:
+    def test_loss_probability_applied(self):
+        reads = {"n1": readings("n1", [float(t)
+                                       for t in range(0, 90000, 900)])}
+        opps = {"n1": beacons(np.arange(10.0, 100000.0, 450.0),
+                              p_uplink=1.0, p_ack=1.0)}
+        cfg = MacConfig(max_retransmissions=0,
+                        satellite_loss_probability=0.5)
+        records, _ = run_mac(reads, opps, cfg, seed=3)
+        received = [r.satellite_received_s is not None
+                    for r in records["n1"] if r.attempts]
+        assert 0.3 < np.mean(received) < 0.7

@@ -1,0 +1,105 @@
+"""Property-based invariants of the DtS MAC under random schedules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.network.mac import BeaconOpportunity, DtSMac, MacConfig
+from satiot.network.packets import SensorReading
+from satiot.network.store_forward import SatelliteBuffer
+
+SAT_A, SAT_B = 44100, 44101
+
+
+@st.composite
+def mac_scenario(draw):
+    """A random multi-node MAC scenario."""
+    n_nodes = draw(st.integers(1, 4))
+    max_retx = draw(st.integers(0, 4))
+    readings = {}
+    beacons = {}
+    for i in range(n_nodes):
+        node = f"n{i}"
+        n_read = draw(st.integers(0, 8))
+        readings[node] = [
+            SensorReading(node, seq, 50.0 * seq, 20)
+            for seq in range(n_read)]
+        beacon_times = sorted(draw(st.lists(
+            st.floats(0.0, 5000.0), min_size=0, max_size=25,
+            unique=True)))
+        beacons[node] = [
+            BeaconOpportunity(
+                t, draw(st.sampled_from([SAT_A, SAT_B])),
+                draw(st.floats(0.0, 1.0)), draw(st.floats(0.0, 1.0)),
+                pass_index=int(t // 600.0))
+            for t in beacon_times]
+    seed = draw(st.integers(0, 2 ** 16))
+    return readings, beacons, max_retx, seed
+
+
+class TestMacInvariants:
+    @given(mac_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_causality(self, scenario):
+        readings, beacons, max_retx, seed = scenario
+        buffers = {SAT_A: SatelliteBuffer(SAT_A),
+                   SAT_B: SatelliteBuffer(SAT_B)}
+        mac = DtSMac(MacConfig(max_retransmissions=max_retx,
+                               retry_backoff_s=60.0), buffers)
+        records = mac.run(readings, beacons,
+                          np.random.default_rng(seed), 10_000.0)
+
+        # Every reading yields exactly one record.
+        for node, node_readings in readings.items():
+            assert len(records[node]) == len(node_readings)
+
+        total_stored = sum(len(b) for b in buffers.values())
+        reached = 0
+        for node, node_records in records.items():
+            for record in node_records:
+                # Attempt budget respected.
+                assert len(record.attempts) <= max_retx + 1
+                # Attempts are causal and ordered.
+                times = [a.time_s for a in record.attempts]
+                assert times == sorted(times)
+                for attempt in record.attempts:
+                    assert attempt.time_s >= record.created_s
+                # Satellite receipt implies a successful attempt.
+                if record.satellite_received_s is not None:
+                    reached += 1
+                    assert any(a.uplink_ok for a in record.attempts)
+                    assert record.satellite_norad in (SAT_A, SAT_B)
+                else:
+                    assert not any(a.uplink_ok for a in record.attempts)
+                # Abandoned means: exhausted and never stored.
+                if record.abandoned:
+                    assert record.satellite_received_s is None
+                    assert len(record.attempts) == max_retx + 1
+
+        # Buffer conservation: distinct (node, seq) identities across
+        # all satellite buffers equal the records that reached a
+        # satellite.  (A post-ACK-loss retransmission may land a second
+        # copy on a *different* satellite; the data centre dedupes.)
+        identities = {(p.node_id, p.seq)
+                      for b in buffers.values() for p in b.packets()}
+        assert len(identities) == reached
+        assert total_stored >= reached
+
+    @given(mac_scenario())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_seed(self, scenario):
+        readings, beacons, max_retx, seed = scenario
+
+        def run():
+            buffers = {SAT_A: SatelliteBuffer(SAT_A),
+                       SAT_B: SatelliteBuffer(SAT_B)}
+            mac = DtSMac(MacConfig(max_retransmissions=max_retx), buffers)
+            return mac.run(readings, beacons,
+                           np.random.default_rng(seed), 10_000.0)
+
+        a, b = run(), run()
+        for node in a:
+            assert [len(r.attempts) for r in a[node]] \
+                == [len(r.attempts) for r in b[node]]
+            assert [r.satellite_received_s for r in a[node]] \
+                == [r.satellite_received_s for r in b[node]]

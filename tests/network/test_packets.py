@@ -1,0 +1,60 @@
+"""Tests for packet records and latency decomposition."""
+
+import pytest
+
+from satiot.network.packets import (AttemptOutcome, PacketRecord,
+                                    SensorReading)
+
+
+def make_record(created=0.0):
+    return PacketRecord(SensorReading("n1", 0, created, 20))
+
+
+class TestSensorReading:
+    def test_payload_bounds(self):
+        with pytest.raises(ValueError):
+            SensorReading("n", 0, 0.0, 0)
+        with pytest.raises(ValueError):
+            SensorReading("n", 0, 0.0, 121)
+        SensorReading("n", 0, 0.0, 120)  # boundary ok
+
+    def test_negative_seq(self):
+        with pytest.raises(ValueError):
+            SensorReading("n", -1, 0.0, 20)
+
+
+class TestPacketRecord:
+    def test_fresh_record(self):
+        r = make_record()
+        assert not r.delivered
+        assert r.retransmissions == 0
+        assert r.first_attempt_s is None
+        assert r.wait_delay_s is None
+        assert r.total_latency_s is None
+
+    def test_latency_decomposition_sums(self):
+        r = make_record(created=100.0)
+        r.attempts.append(AttemptOutcome(400.0, 44100, False, False))
+        r.attempts.append(AttemptOutcome(900.0, 44101, True, True))
+        r.satellite_received_s = 900.0
+        r.satellite_norad = 44101
+        r.delivered_s = 4000.0
+        assert r.wait_delay_s == pytest.approx(300.0)
+        assert r.dts_delay_s == pytest.approx(500.0)
+        assert r.delivery_delay_s == pytest.approx(3100.0)
+        assert r.total_latency_s == pytest.approx(
+            r.wait_delay_s + r.dts_delay_s + r.delivery_delay_s)
+
+    def test_retransmission_count(self):
+        r = make_record()
+        for t in (10.0, 20.0, 30.0):
+            r.attempts.append(AttemptOutcome(t, 44100, False, False))
+        assert r.retransmissions == 2
+
+    def test_undelivered_partial_decomposition(self):
+        r = make_record()
+        r.attempts.append(AttemptOutcome(50.0, 44100, True, False))
+        r.satellite_received_s = 50.0
+        assert r.dts_delay_s == pytest.approx(0.0)
+        assert r.delivery_delay_s is None
+        assert r.total_latency_s is None

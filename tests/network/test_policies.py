@@ -1,0 +1,135 @@
+"""Tests for MAC transmit policies."""
+
+import numpy as np
+import pytest
+
+from satiot.network.mac import BeaconOpportunity, DtSMac, MacConfig
+from satiot.network.packets import SensorReading
+from satiot.network.policies import (AlohaPolicy, BackpressurePolicy,
+                                     ElevationGatePolicy, SlottedPolicy)
+from satiot.network.store_forward import SatelliteBuffer
+
+SAT = 44100
+
+
+def opp(t, p_up=1.0, p_ack=1.0, pass_index=0):
+    return BeaconOpportunity(t, SAT, p_up, p_ack, pass_index)
+
+
+def run_with_policy(policy, n_nodes=3, beacons_per_pass=20,
+                    readings_per_node=4, seed=0):
+    config = MacConfig(transmit_policy=policy,
+                       satellite_loss_probability=0.0,
+                       retry_backoff_s=30.0)
+    buffers = {SAT: SatelliteBuffer(SAT)}
+    mac = DtSMac(config, buffers)
+    readings = {
+        f"n{i}": [SensorReading(f"n{i}", seq, seq * 100.0, 20)
+                  for seq in range(readings_per_node)]
+        for i in range(n_nodes)}
+    shared = [opp(1000.0 + 10.0 * j, pass_index=0)
+              for j in range(beacons_per_pass)]
+    beacons = {f"n{i}": shared for i in range(n_nodes)}
+    records = mac.run(readings, beacons, np.random.default_rng(seed),
+                      duration_s=10_000.0)
+    return records
+
+
+class TestAloha:
+    def test_default_always_transmits(self):
+        policy = AlohaPolicy()
+        rng = np.random.default_rng(0)
+        assert policy.should_transmit("n1", opp(0.0), 0, 1, rng)
+        assert not policy.should_transmit("n1", opp(0.0), 0, 0, rng)
+
+    def test_none_policy_equals_aloha(self):
+        with_aloha = run_with_policy(AlohaPolicy())
+        with_none = run_with_policy(None)
+        a = [len(r.attempts) for rs in with_aloha.values() for r in rs]
+        b = [len(r.attempts) for rs in with_none.values() for r in rs]
+        assert a == b
+
+
+class TestSlotted:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedPolicy(slot_count=0)
+
+    def test_disjoint_slots(self):
+        policy = SlottedPolicy(slot_count=3)
+        rng = np.random.default_rng(0)
+        # For any beacon index, at most the nodes sharing that slot
+        # transmit.
+        for index in range(9):
+            transmitters = [n for n in ("a", "b", "c", "d", "e", "f")
+                            if policy.should_transmit(n, opp(0.0), index,
+                                                      1, rng)]
+            slots = {policy.slot_of(n) for n in transmitters}
+            assert slots <= {index % 3}
+
+    def test_eliminates_collisions(self):
+        # Three distinct-slot node ids transmitting through a shared
+        # beacon train never collide.
+        policy = SlottedPolicy(slot_count=3)
+        names = []
+        candidate = 0
+        while len({policy.slot_of(f"n{i}") for i in names} # noqa
+                  if names else set()) < 3 and candidate < 100:
+            if policy.slot_of(f"n{candidate}") not in {
+                    policy.slot_of(f"n{i}") for i in names}:
+                names.append(candidate)
+            candidate += 1
+        assert len(names) == 3
+
+        config = MacConfig(transmit_policy=policy,
+                           satellite_loss_probability=0.0,
+                           retry_backoff_s=30.0)
+        buffers = {SAT: SatelliteBuffer(SAT)}
+        mac = DtSMac(config, buffers)
+        readings = {f"n{i}": [SensorReading(f"n{i}", 0, 0.0, 20)]
+                    for i in names}
+        shared = [opp(1000.0 + 10.0 * j) for j in range(30)]
+        beacons = {f"n{i}": shared for i in names}
+        records = mac.run(readings, beacons, np.random.default_rng(1),
+                          10_000.0)
+        for node_records in records.values():
+            for record in node_records:
+                assert all(a.n_concurrent == 1 for a in record.attempts)
+
+
+class TestElevationGate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElevationGatePolicy(min_p_uplink=1.5)
+
+    def test_gates_on_quality(self):
+        policy = ElevationGatePolicy(min_p_uplink=0.9)
+        rng = np.random.default_rng(0)
+        assert policy.should_transmit("n", opp(0.0, p_up=0.95), 0, 1, rng)
+        assert not policy.should_transmit("n", opp(0.0, p_up=0.5), 0, 1,
+                                          rng)
+
+
+class TestBackpressure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackpressurePolicy(expected_contenders=0)
+
+    def test_transmit_probability(self):
+        policy = BackpressurePolicy(expected_contenders=4)
+        rng = np.random.default_rng(0)
+        decisions = [policy.should_transmit("n", opp(0.0), 0, 1, rng)
+                     for _ in range(4000)]
+        assert np.mean(decisions) == pytest.approx(0.25, abs=0.03)
+
+    def test_reduces_concurrency(self):
+        aloha = run_with_policy(AlohaPolicy(), n_nodes=3)
+        backpressure = run_with_policy(
+            BackpressurePolicy(expected_contenders=3), n_nodes=3, seed=1)
+
+        def mean_concurrency(records):
+            ks = [a.n_concurrent for rs in records.values()
+                  for r in rs for a in r.attempts]
+            return np.mean(ks) if ks else 0.0
+
+        assert mean_concurrency(backpressure) < mean_concurrency(aloha)

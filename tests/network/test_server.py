@@ -1,0 +1,60 @@
+"""Tests for server-side accounting."""
+
+import math
+
+import pytest
+
+from satiot.network.packets import (AttemptOutcome, PacketRecord,
+                                    SensorReading)
+from satiot.network.server import (latency_decomposition_minutes,
+                                   reliability_report)
+
+
+def make_record(seq, delivered=True, reached_sat=True, abandoned=False):
+    record = PacketRecord(SensorReading("n1", seq, 100.0, 20))
+    record.attempts.append(AttemptOutcome(400.0, 44100, reached_sat,
+                                          delivered))
+    if reached_sat:
+        record.satellite_received_s = 400.0
+        record.satellite_norad = 44100
+    if delivered:
+        record.delivered_s = 4000.0
+    record.abandoned = abandoned
+    return record
+
+
+class TestReliabilityReport:
+    def test_counts(self):
+        records = [make_record(0), make_record(1, delivered=False),
+                   make_record(2, delivered=False, reached_sat=False,
+                               abandoned=True)]
+        report = reliability_report(records)
+        assert report.generated == 3
+        assert report.delivered == 1
+        assert report.reached_satellite == 2
+        assert report.abandoned == 1
+        assert report.reliability == pytest.approx(1 / 3)
+        assert report.dts_reliability == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        report = reliability_report([])
+        assert math.isnan(report.reliability)
+
+
+class TestLatencyDecomposition:
+    def test_segments_sum_to_total(self):
+        records = [make_record(i) for i in range(5)]
+        decomposition = latency_decomposition_minutes(records)
+        total = (decomposition["wait_min"] + decomposition["dts_min"]
+                 + decomposition["delivery_min"])
+        assert total == pytest.approx(decomposition["total_min"])
+
+    def test_only_delivered_counted(self):
+        records = [make_record(0), make_record(1, delivered=False)]
+        decomposition = latency_decomposition_minutes(records)
+        # The undelivered packet does not drag the average.
+        assert decomposition["total_min"] == pytest.approx(3900.0 / 60.0)
+
+    def test_empty_gives_nan(self):
+        decomposition = latency_decomposition_minutes([])
+        assert math.isnan(decomposition["total_min"])

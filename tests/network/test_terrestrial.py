@@ -1,0 +1,60 @@
+"""Tests for the terrestrial LoRaWAN path."""
+
+import numpy as np
+import pytest
+
+from satiot.network.packets import SensorReading
+from satiot.network.terrestrial import (TerrestrialConfig,
+                                        TerrestrialLoRaWAN)
+
+
+def make_readings(n=100, node="n1"):
+    return {node: [SensorReading(node, i, i * 1800.0, 20)
+                   for i in range(n)]}
+
+
+class TestTerrestrialConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TerrestrialConfig(link_success_probability=0.0)
+        with pytest.raises(ValueError):
+            TerrestrialConfig(backhaul_median_s=0.0)
+
+
+class TestTerrestrialLoRaWAN:
+    def test_near_perfect_reliability(self):
+        records = TerrestrialLoRaWAN().run(make_readings(500),
+                                           np.random.default_rng(0))
+        delivered = [r.delivered for r in records["n1"]]
+        # Paper Fig. 5a: terrestrial LoRaWAN is ~100 % reliable.
+        assert np.mean(delivered) > 0.99
+
+    def test_latency_seconds_scale(self):
+        records = TerrestrialLoRaWAN().run(make_readings(200),
+                                           np.random.default_rng(1))
+        latencies = [r.total_latency_s for r in records["n1"]
+                     if r.delivered]
+        # Paper Fig. 5c: average 0.2 minutes.
+        assert 2.0 < np.mean(latencies) < 60.0
+
+    def test_latency_positive(self):
+        records = TerrestrialLoRaWAN().run(make_readings(50),
+                                           np.random.default_rng(2))
+        for r in records["n1"]:
+            if r.delivered:
+                assert r.total_latency_s > 0.0
+
+    def test_deterministic(self):
+        a = TerrestrialLoRaWAN().run(make_readings(50),
+                                     np.random.default_rng(3))
+        b = TerrestrialLoRaWAN().run(make_readings(50),
+                                     np.random.default_rng(3))
+        assert [r.delivered_s for r in a["n1"]] \
+            == [r.delivered_s for r in b["n1"]]
+
+    def test_multiple_nodes(self):
+        readings = {**make_readings(10, "a"), **make_readings(10, "b")}
+        records = TerrestrialLoRaWAN().run(readings,
+                                           np.random.default_rng(4))
+        assert set(records) == {"a", "b"}
+        assert all(len(v) == 10 for v in records.values())

@@ -1,0 +1,64 @@
+"""Tests for Doppler computations."""
+
+import numpy as np
+import pytest
+
+from satiot.orbits.doppler import (doppler_rate_hz_s, doppler_shift_hz,
+                                   max_doppler_shift_hz)
+
+
+class TestDopplerShift:
+    def test_receding_negative_shift(self):
+        assert doppler_shift_hz(7.5, 400.45e6) < 0.0
+
+    def test_approaching_positive_shift(self):
+        assert doppler_shift_hz(-7.5, 400.45e6) > 0.0
+
+    def test_zero(self):
+        assert doppler_shift_hz(0.0, 400.45e6) == 0.0
+
+    def test_magnitude_at_400mhz(self):
+        # 7.5 km/s at 400 MHz is ~10 kHz (paper Appendix C scale).
+        shift = doppler_shift_hz(-7.5, 400.0e6)
+        assert shift == pytest.approx(10007.0, rel=0.01)
+
+    def test_linear_in_frequency(self):
+        a = doppler_shift_hz(-5.0, 400e6)
+        b = doppler_shift_hz(-5.0, 800e6)
+        assert b == pytest.approx(2 * a)
+
+    def test_vectorized(self):
+        rr = np.array([-7.5, 0.0, 7.5])
+        shifts = doppler_shift_hz(rr, 400e6)
+        assert shifts.shape == (3,)
+        assert shifts[0] > 0 > shifts[2]
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            doppler_shift_hz(1.0, 0.0)
+
+
+class TestDopplerRate:
+    def test_constant_range_rate_has_zero_rate(self):
+        rr = np.full(10, -3.0)
+        rate = doppler_rate_hz_s(rr, 1.0, 400e6)
+        np.testing.assert_allclose(rate, 0.0, atol=1e-9)
+
+    def test_linear_ramp(self):
+        # Range rate going from -7.5 to +7.5 km/s over 100 s: shift ramps
+        # down linearly; the rate is constant and negative.
+        rr = np.linspace(-7.5, 7.5, 101)
+        rate = doppler_rate_hz_s(rr, 1.0, 400e6)
+        expected = doppler_shift_hz(0.15, 400e6)  # per-second step
+        np.testing.assert_allclose(rate, expected, rtol=1e-6)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            doppler_rate_hz_s(np.zeros(5), 0.0, 400e6)
+
+
+class TestMaxShift:
+    def test_upper_bounds_actual(self):
+        bound = max_doppler_shift_hz(7.6, 400.45e6)
+        actual = abs(doppler_shift_hz(7.5, 400.45e6))
+        assert bound >= actual

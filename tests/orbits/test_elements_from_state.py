@@ -1,0 +1,81 @@
+"""Tests for the RV→COE conversion."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.orbits.kepler import KeplerianElements, elements_from_state
+
+
+class TestRoundTrip:
+    @given(
+        a=st.floats(6700.0, 9000.0),
+        e=st.floats(0.0005, 0.1),
+        incl=st.floats(0.1, math.pi - 0.1),
+        raan=st.floats(0.01, 2 * math.pi - 0.01),
+        argp=st.floats(0.01, 2 * math.pi - 0.01),
+        m=st.floats(0.01, 2 * math.pi - 0.01),
+    )
+    @settings(max_examples=150)
+    def test_coe_rv_coe(self, a, e, incl, raan, argp, m):
+        original = KeplerianElements(a, e, incl, raan, argp, m)
+        r, v = original.to_inertial(m)
+        back = elements_from_state(r, v)
+        assert back.semi_major_axis_km == pytest.approx(a, rel=1e-9)
+        assert back.eccentricity == pytest.approx(e, abs=1e-9)
+        assert back.inclination_rad == pytest.approx(incl, abs=1e-9)
+        assert back.raan_rad == pytest.approx(raan, abs=1e-7)
+        assert back.argp_rad == pytest.approx(argp, abs=2e-6)
+        assert back.mean_anomaly_rad == pytest.approx(m, abs=2e-6)
+
+    def test_circular_orbit_handled(self):
+        el = KeplerianElements(7228.0, 0.0, math.radians(50.0), 1.0, 0.0,
+                               0.7)
+        r, v = el.to_inertial(0.7)
+        back = elements_from_state(r, v)
+        assert back.eccentricity == pytest.approx(0.0, abs=1e-12)
+        assert back.semi_major_axis_km == pytest.approx(7228.0, rel=1e-9)
+        # argp undefined for circular orbits: convention sets it to 0
+        # and folds the phase into the anomaly.
+        assert back.argp_rad == 0.0
+
+
+class TestSgp4StateConsistency:
+    def test_sgp4_output_is_near_input_elements(self):
+        from satiot.orbits.sgp4 import SGP4
+        from tests.conftest import make_test_tle
+        tle = make_test_tle(altitude_km=850.0, eccentricity=0.001)
+        sat = SGP4(tle)
+        r, v = sat.propagate(0.0)
+        osculating = elements_from_state(r, v)
+        # Mean vs osculating elements differ by the J2 short-period
+        # terms — a few km and fractions of a degree, no more.
+        assert osculating.semi_major_axis_km \
+            == pytest.approx(7228.0, abs=20.0)
+        assert math.degrees(osculating.inclination_rad) \
+            == pytest.approx(49.97, abs=0.1)
+
+
+class TestErrors:
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            elements_from_state(np.zeros(2), np.zeros(3))
+
+    def test_zero_position(self):
+        with pytest.raises(ValueError):
+            elements_from_state(np.zeros(3), np.ones(3))
+
+    def test_hyperbolic_rejected(self):
+        r = np.array([7000.0, 0.0, 0.0])
+        v = np.array([0.0, 15.0, 0.0])  # way above escape velocity
+        with pytest.raises(ValueError, match="not elliptic"):
+            elements_from_state(r, v)
+
+    def test_rectilinear_rejected(self):
+        r = np.array([7000.0, 0.0, 0.0])
+        v = np.array([1.0, 0.0, 0.0])  # radial: no angular momentum
+        with pytest.raises(ValueError, match="rectilinear"):
+            elements_from_state(r, v)

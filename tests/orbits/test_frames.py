@@ -1,0 +1,108 @@
+"""Tests for frame conversions (TEME/ECEF/geodetic)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.orbits.constants import EARTH_RADIUS_KM
+from satiot.orbits.frames import (GeodeticPoint, ecef_to_geodetic,
+                                  ecef_velocity_from_teme, geodetic_to_ecef,
+                                  teme_to_ecef)
+from satiot.orbits.timebase import gmst
+
+
+class TestGeodeticPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeodeticPoint(95.0, 0.0)
+        with pytest.raises(ValueError):
+            GeodeticPoint(0.0, 200.0)
+
+    def test_ecef_equator_prime_meridian(self):
+        p = GeodeticPoint(0.0, 0.0, 0.0)
+        np.testing.assert_allclose(
+            p.ecef(), [EARTH_RADIUS_KM, 0.0, 0.0], atol=1e-9)
+
+    def test_ecef_north_pole(self):
+        p = GeodeticPoint(90.0, 0.0, 0.0)
+        x, y, z = p.ecef()
+        assert abs(x) < 1e-6 and abs(y) < 1e-6
+        # Polar radius is ~6356.75 km.
+        assert z == pytest.approx(6356.75, abs=0.01)
+
+
+class TestGeodeticRoundtrip:
+    @given(lat=st.floats(-89.0, 89.0), lon=st.floats(-179.9, 179.9),
+           alt=st.floats(0.0, 2000.0))
+    @settings(max_examples=200)
+    def test_roundtrip(self, lat, lon, alt):
+        r = geodetic_to_ecef(lat, lon, alt)
+        lat2, lon2, alt2 = ecef_to_geodetic(r)
+        assert lat2 == pytest.approx(lat, abs=1e-6)
+        assert lon2 == pytest.approx(lon, abs=1e-6)
+        assert alt2 == pytest.approx(alt, abs=1e-6)
+
+    def test_vectorized(self):
+        lats = np.array([0.0, 45.0, -60.0])
+        lons = np.array([0.0, 120.0, -80.0])
+        alts = np.array([0.0, 500.0, 850.0])
+        r = geodetic_to_ecef(lats, lons, alts)
+        assert r.shape == (3, 3)
+        lat2, lon2, alt2 = ecef_to_geodetic(r)
+        np.testing.assert_allclose(lat2, lats, atol=1e-6)
+        np.testing.assert_allclose(alt2, alts, atol=1e-6)
+
+
+class TestTemeToEcef:
+    def test_norm_preserved(self):
+        r = np.array([7000.0, 100.0, 500.0])
+        out = teme_to_ecef(r, 2460000.5)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(r))
+
+    def test_z_unchanged(self):
+        r = np.array([7000.0, 100.0, 500.0])
+        assert teme_to_ecef(r, 2460000.5)[2] == pytest.approx(500.0)
+
+    def test_rotation_angle(self):
+        # A point on the TEME x-axis lands at longitude -gmst.
+        jd = 2460000.5
+        out = teme_to_ecef(np.array([7000.0, 0.0, 0.0]), jd)
+        lon = math.atan2(out[1], out[0])
+        expected = -gmst(jd)
+        # Compare as angles modulo 2 pi.
+        diff = (lon - expected + math.pi) % (2 * math.pi) - math.pi
+        assert abs(diff) < 1e-9
+
+    def test_batched(self):
+        r = np.tile([7000.0, 0.0, 0.0], (4, 1))
+        jds = 2460000.5 + np.arange(4) / 24.0
+        out = teme_to_ecef(r, jds)
+        assert out.shape == (4, 3)
+        # Earth rotates under the fixed inertial point: ECEF longitude
+        # decreases hour over hour.
+        lons = np.degrees(np.arctan2(out[:, 1], out[:, 0]))
+        unwrapped = np.unwrap(np.radians(lons))
+        assert np.all(np.diff(unwrapped) < 0)
+
+
+class TestEcefVelocity:
+    def test_corotating_point_has_zero_velocity(self):
+        # An inertial point moving exactly with the Earth's rotation has
+        # no ECEF-relative velocity.
+        jd = 2460000.5
+        omega = 7.292115e-5
+        r_teme = np.array([7000.0, 0.0, 0.0])
+        v_teme = np.array([0.0, omega * 7000.0, 0.0])
+        v_ecef = ecef_velocity_from_teme(r_teme, v_teme, jd)
+        assert np.linalg.norm(v_ecef) < 1e-9
+
+    def test_stationary_inertial_point_moves_in_ecef(self):
+        jd = 2460000.5
+        v_ecef = ecef_velocity_from_teme(
+            np.array([7000.0, 0.0, 0.0]), np.zeros(3), jd)
+        # Speed = omega * r.
+        assert np.linalg.norm(v_ecef) \
+            == pytest.approx(7.292115e-5 * 7000.0, rel=1e-9)

@@ -1,0 +1,126 @@
+"""Tests for ground tracks and coverage grids."""
+
+import numpy as np
+import pytest
+
+from satiot.orbits.groundtrack import CoverageGrid, ground_track
+from satiot.orbits.sgp4 import SGP4
+
+from tests.conftest import make_test_tle
+
+
+@pytest.fixture(scope="module")
+def sat():
+    return SGP4(make_test_tle())
+
+
+class TestGroundTrack:
+    def test_latitude_bounded_by_inclination(self, sat):
+        lat, lon, alt = ground_track(sat, sat.tle.epoch,
+                                     np.arange(0.0, 86400.0, 30.0))
+        assert np.abs(lat).max() <= 49.97 + 0.3
+
+    def test_polar_orbit_reaches_high_latitude(self):
+        polar = SGP4(make_test_tle(inclination_deg=97.5))
+        lat, _lon, _alt = ground_track(polar, polar.tle.epoch,
+                                       np.arange(0.0, 86400.0, 30.0))
+        assert np.abs(lat).max() > 80.0
+
+    def test_altitude_near_orbit(self, sat):
+        _lat, _lon, alt = ground_track(sat, sat.tle.epoch,
+                                       np.arange(0.0, 6000.0, 60.0))
+        assert 820.0 < alt.min() and alt.max() < 900.0
+
+    def test_longitudes_in_range(self, sat):
+        _lat, lon, _alt = ground_track(sat, sat.tle.epoch,
+                                       np.arange(0.0, 6000.0, 60.0))
+        assert np.all(lon >= -180.0) and np.all(lon <= 180.0)
+
+
+class TestCoverageGrid:
+    def test_empty_grid_shape(self):
+        grid = CoverageGrid.empty(10.0, 3600.0)
+        assert grid.hours.shape == (18, 36)
+        assert grid.covered_fraction() == 0.0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            CoverageGrid.empty(0.0, 3600.0)
+
+    def test_single_satellite_partial_coverage(self, sat):
+        grid = CoverageGrid.empty(15.0, 6 * 3600.0)
+        grid.accumulate(sat, sat.tle.epoch, step_s=120.0)
+        frac = grid.covered_fraction()
+        # One LEO satellite over six hours covers a band, not the globe.
+        assert 0.1 < frac < 0.9
+
+    def test_inclination_limits_coverage_band(self, sat):
+        grid = CoverageGrid.empty(10.0, 12 * 3600.0)
+        grid.accumulate(sat, sat.tle.epoch, step_s=120.0)
+        # Cells well poleward of inclination + footprint stay dark.
+        polar_rows = np.abs(grid.lats) > 80.0
+        assert grid.hours[polar_rows].sum() == 0.0
+
+    def test_union_never_exceeds_span(self, sat):
+        sats = [SGP4(make_test_tle(norad_id=44001 + i,
+                                   raan_deg=60.0 * i))
+                for i in range(3)]
+        grid = CoverageGrid.empty(15.0, 4 * 3600.0)
+        grid.accumulate_union(sats, sats[0].tle.epoch, step_s=120.0)
+        assert grid.hours.max() <= 4.0 + 1e-9
+
+    def test_union_bounded_by_sum(self, sat):
+        sats = [SGP4(make_test_tle(norad_id=44001 + i,
+                                   mean_anomaly_deg=30.0 * i))
+                for i in range(3)]
+        epoch = sats[0].tle.epoch
+        union = CoverageGrid.empty(15.0, 4 * 3600.0)
+        union.accumulate_union(sats, epoch, step_s=180.0)
+        total = CoverageGrid.empty(15.0, 4 * 3600.0)
+        for s in sats:
+            total.accumulate(s, epoch, step_s=180.0)
+        assert np.all(union.hours <= total.hours + 1e-9)
+
+    def test_hours_at_lookup(self, sat):
+        grid = CoverageGrid.empty(15.0, 6 * 3600.0)
+        grid.accumulate(sat, sat.tle.epoch, step_s=120.0)
+        # Mid-latitude cell under a 50-degree orbit sees the satellite.
+        assert grid.hours_at(45.0, 0.0) >= 0.0
+        assert grid.hours_at(22.3, 114.2) >= 0.0
+
+    def test_mask_reduces_coverage(self, sat):
+        open_grid = CoverageGrid.empty(15.0, 6 * 3600.0)
+        open_grid.accumulate(sat, sat.tle.epoch, step_s=180.0)
+        masked = CoverageGrid.empty(15.0, 6 * 3600.0)
+        masked.accumulate(sat, sat.tle.epoch, step_s=180.0,
+                          min_elevation_deg=20.0)
+        assert masked.hours.sum() < open_grid.hours.sum()
+
+
+class TestRenderAscii:
+    def test_dimensions(self, sat):
+        grid = CoverageGrid.empty(15.0, 4 * 3600.0)
+        grid.accumulate(sat, sat.tle.epoch, step_s=300.0)
+        lines = grid.render_ascii().splitlines()
+        assert len(lines) == len(grid.lats)
+        assert all(len(line) == len(grid.lons) for line in lines)
+
+    def test_empty_grid_blank(self):
+        grid = CoverageGrid.empty(30.0, 3600.0)
+        rendered = grid.render_ascii()
+        assert set(rendered) <= {" ", "\n"}
+
+    def test_inclination_band_darker_than_poles(self, sat):
+        # A 50-degree orbit's map has its densest rows near +/-50 and
+        # blank rows at the poles.
+        grid = CoverageGrid.empty(10.0, 12 * 3600.0)
+        grid.accumulate(sat, sat.tle.epoch, step_s=240.0)
+        lines = grid.render_ascii().splitlines()
+        top_row = lines[0]      # ~85 N
+        assert set(top_row) == {" "}
+
+    def test_invalid_levels(self):
+        grid = CoverageGrid.empty(30.0, 3600.0)
+        import pytest
+        with pytest.raises(ValueError):
+            grid.render_ascii(levels="")

@@ -1,0 +1,60 @@
+"""Tests for the analytic J2 cross-check propagator itself."""
+
+import math
+
+import numpy as np
+import pytest
+
+from satiot.orbits.constants import MU_EARTH_KM3_S2
+from satiot.orbits.j2 import J2Propagator
+from satiot.orbits.kepler import KeplerianElements
+
+
+def make_elements(incl_deg=50.0, a=7228.0, e=0.001):
+    return KeplerianElements(
+        semi_major_axis_km=a, eccentricity=e,
+        inclination_rad=math.radians(incl_deg),
+        raan_rad=1.0, argp_rad=0.3, mean_anomaly_rad=0.0)
+
+
+class TestSecularRates:
+    def test_prograde_raan_regression(self):
+        assert J2Propagator(make_elements(50.0)).raan_dot < 0.0
+
+    def test_retrograde_raan_progression(self):
+        assert J2Propagator(make_elements(97.6)).raan_dot > 0.0
+
+    def test_sun_synchronous_rate(self):
+        # ~98 deg at 700 km is near sun-synchronous: RAAN advances about
+        # 0.9856 deg/day (2 pi per year).
+        el = KeplerianElements(
+            semi_major_axis_km=6378.137 + 700.0, eccentricity=0.001,
+            inclination_rad=math.radians(98.19),
+            raan_rad=0.0, argp_rad=0.0, mean_anomaly_rad=0.0)
+        rate_deg_day = math.degrees(J2Propagator(el).raan_dot) * 86400.0
+        assert rate_deg_day == pytest.approx(0.9856, abs=0.05)
+
+    def test_critical_inclination_freezes_perigee(self):
+        # At 63.43 deg the apsidal rate vanishes.
+        assert abs(J2Propagator(make_elements(63.43)).argp_dot) < 1e-9
+
+
+class TestPropagation:
+    def test_radius_band(self):
+        j2 = J2Propagator(make_elements())
+        r, _ = j2.propagate(np.arange(0.0, 20000.0, 60.0))
+        radius = np.linalg.norm(r, axis=1)
+        assert radius.min() > 7200.0 and radius.max() < 7260.0
+
+    def test_energy_consistency(self):
+        j2 = J2Propagator(make_elements())
+        r, v = j2.propagate(np.arange(0.0, 6000.0, 60.0))
+        radius = np.linalg.norm(r, axis=1)
+        speed = np.linalg.norm(v, axis=1)
+        energy = 0.5 * speed**2 - MU_EARTH_KM3_S2 / radius
+        expected = -MU_EARTH_KM3_S2 / (2 * 7228.0)
+        np.testing.assert_allclose(energy, expected, rtol=1e-3)
+
+    def test_scalar_shape(self):
+        r, v = J2Propagator(make_elements()).propagate(100.0)
+        assert r.shape == (3,) and v.shape == (3,)

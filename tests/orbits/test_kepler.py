@@ -1,0 +1,125 @@
+"""Tests for Keplerian utilities and the Kepler equation solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.orbits.constants import MU_EARTH_KM3_S2
+from satiot.orbits.kepler import (KeplerianElements, circular_velocity_km_s,
+                                  eccentric_from_true,
+                                  mean_motion_rev_day_from_altitude,
+                                  orbital_period_s, semi_major_axis_km,
+                                  solve_kepler, true_from_eccentric)
+
+
+class TestSolveKepler:
+    @given(m=st.floats(0.0, 2 * math.pi), e=st.floats(0.0, 0.95))
+    @settings(max_examples=300)
+    def test_residual_property(self, m, e):
+        big_e = solve_kepler(m, e)
+        # The solver wraps M into [0, 2 pi); compare residuals as angles.
+        residual = (big_e - e * math.sin(big_e) - m) % (2 * math.pi)
+        residual = min(residual, 2 * math.pi - residual)
+        assert residual < 1e-9
+
+    def test_circular_orbit_identity(self):
+        for m in (0.1, 1.0, 3.0, 6.0):
+            assert solve_kepler(m, 0.0) == pytest.approx(m)
+
+    def test_vectorized(self):
+        m = np.linspace(0, 2 * math.pi, 64, endpoint=False)
+        e = np.full_like(m, 0.3)
+        big_e = solve_kepler(m, e)
+        residual = big_e - 0.3 * np.sin(big_e) - m
+        assert np.max(np.abs(residual)) < 1e-9
+
+    def test_invalid_eccentricity(self):
+        with pytest.raises(ValueError):
+            solve_kepler(1.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_kepler(1.0, -0.1)
+
+
+class TestAnomalyConversions:
+    @given(nu=st.floats(-math.pi + 1e-6, math.pi - 1e-6),
+           e=st.floats(0.0, 0.9))
+    @settings(max_examples=200)
+    def test_roundtrip(self, nu, e):
+        big_e = eccentric_from_true(nu, e)
+        back = true_from_eccentric(big_e, e)
+        assert back == pytest.approx(nu, abs=1e-9)
+
+    def test_circular_identity(self):
+        assert true_from_eccentric(1.2, 0.0) == pytest.approx(1.2)
+
+
+class TestOrbitSizing:
+    def test_semi_major_axis_inverse(self):
+        a = 7228.0
+        n_rev_day = (86400.0
+                     / (2 * math.pi / math.sqrt(MU_EARTH_KM3_S2 / a ** 3)))
+        assert semi_major_axis_km(n_rev_day) == pytest.approx(a, rel=1e-9)
+
+    def test_geostationary_altitude(self):
+        # One rev/day corresponds to a ~42,164 km semi-major axis.
+        assert semi_major_axis_km(1.0027) == pytest.approx(42164.0, rel=1e-3)
+
+    def test_mean_motion_from_altitude(self):
+        # ISS-like: 420 km -> about 15.5 rev/day.
+        n = mean_motion_rev_day_from_altitude(420.0)
+        assert n == pytest.approx(15.49, abs=0.05)
+
+    def test_circular_velocity(self):
+        # Paper Appendix C: LEO at 500 km moves at ~7.6 km/s.
+        assert circular_velocity_km_s(500.0) == pytest.approx(7.61, abs=0.02)
+
+    def test_period(self):
+        assert orbital_period_s(6378.137 + 500.0) \
+            == pytest.approx(5677.0, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            semi_major_axis_km(0.0)
+        with pytest.raises(ValueError):
+            mean_motion_rev_day_from_altitude(-7000.0)
+
+
+class TestKeplerianElements:
+    def make(self, **kwargs):
+        defaults = dict(semi_major_axis_km=7228.0, eccentricity=0.001,
+                        inclination_rad=math.radians(50.0),
+                        raan_rad=1.0, argp_rad=0.5, mean_anomaly_rad=0.2)
+        defaults.update(kwargs)
+        return KeplerianElements(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(semi_major_axis_km=-1.0)
+        with pytest.raises(ValueError):
+            self.make(eccentricity=1.0)
+
+    def test_apsis_altitudes(self):
+        el = self.make(eccentricity=0.01)
+        assert el.apogee_altitude_km > el.perigee_altitude_km
+        mid = 0.5 * (el.apogee_altitude_km + el.perigee_altitude_km)
+        assert mid == pytest.approx(7228.0 - 6378.137, abs=0.1)
+
+    def test_inertial_radius(self):
+        el = self.make()
+        r, v = el.to_inertial(0.3)
+        radius = np.linalg.norm(r)
+        assert 7228.0 * 0.99 < radius < 7228.0 * 1.01
+        # Vis-viva check.
+        speed = np.linalg.norm(v)
+        expected = math.sqrt(MU_EARTH_KM3_S2 * (2.0 / radius - 1.0 / 7228.0))
+        assert speed == pytest.approx(expected, rel=1e-9)
+
+    def test_angular_momentum_direction(self):
+        el = self.make(inclination_rad=math.radians(90.0), raan_rad=0.0)
+        r, v = el.to_inertial(1.0)
+        h = np.cross(r, v)
+        # Polar orbit with RAAN 0: angular momentum has no z for i=90.
+        assert abs(h[2]) < 1e-6 * np.linalg.norm(h)

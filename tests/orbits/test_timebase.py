@@ -1,0 +1,123 @@
+"""Tests for Julian dates, GMST and the Epoch value type."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.orbits.timebase import (Epoch, epoch_from_tle_date, gmst,
+                                    invjday, jday)
+
+
+class TestJday:
+    def test_j2000_reference(self):
+        # J2000.0 is 2000-01-01 12:00 UTC = JD 2451545.0.
+        assert jday(2000, 1, 1, 12, 0, 0.0) == pytest.approx(2451545.0)
+
+    def test_unix_epoch(self):
+        assert jday(1970, 1, 1) == pytest.approx(2440587.5)
+
+    def test_day_increment(self):
+        assert jday(2024, 3, 1) - jday(2024, 2, 29) == pytest.approx(1.0)
+
+    def test_leap_year_february(self):
+        # 2024 is a leap year: Feb 29 exists and differs from Mar 1.
+        assert jday(2024, 3, 1) - jday(2024, 2, 28) == pytest.approx(2.0)
+
+    def test_non_leap_year(self):
+        # 2023 is not a leap year: Feb 28 is followed by Mar 1.
+        assert jday(2023, 3, 1) - jday(2023, 2, 28) == pytest.approx(1.0)
+
+    def test_invalid_month_raises(self):
+        with pytest.raises(ValueError):
+            jday(2024, 13, 1)
+
+    @given(
+        year=st.integers(1950, 2049),
+        month=st.integers(1, 12),
+        day=st.integers(1, 28),
+        hour=st.integers(0, 23),
+        minute=st.integers(0, 59),
+        second=st.floats(0, 59.999),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip(self, year, month, day, hour, minute, second):
+        jd = jday(year, month, day, hour, minute, second)
+        y, mo, d, h, mi, s = invjday(jd)
+        assert (y, mo, d) == (year, month, day)
+        back = h * 3600 + mi * 60 + s
+        forward = hour * 3600 + minute * 60 + second
+        assert back == pytest.approx(forward, abs=1e-3)
+
+
+class TestTleEpoch:
+    def test_century_split(self):
+        # Two-digit years < 57 are 20xx, >= 57 are 19xx.
+        jd_2024 = epoch_from_tle_date(24, 1.0)
+        jd_1999 = epoch_from_tle_date(99, 1.0)
+        assert invjday(jd_2024)[0] == 2024
+        assert invjday(jd_1999)[0] == 1999
+
+    def test_day_one_is_january_first(self):
+        jd = epoch_from_tle_date(24, 1.5)
+        y, mo, d, h, _mi, _s = invjday(jd)
+        assert (y, mo, d, h) == (2024, 1, 1, 12)
+
+
+class TestGmst:
+    def test_range(self):
+        for jd in np.linspace(2451545.0, 2460000.0, 50):
+            theta = gmst(float(jd))
+            assert 0.0 <= theta < 2.0 * math.pi
+
+    def test_j2000_value(self):
+        # GMST at J2000.0 is about 280.46 degrees.
+        theta = gmst(2451545.0)
+        assert math.degrees(theta) == pytest.approx(280.46, abs=0.01)
+
+    def test_sidereal_day_advance(self):
+        # After one solar day GMST advances ~0.9856 deg beyond a full turn.
+        t0 = gmst(2451545.0)
+        t1 = gmst(2451546.0)
+        delta = math.degrees((t1 - t0) % (2 * math.pi))
+        assert delta == pytest.approx(0.9856, abs=0.001)
+
+    def test_vectorized_matches_scalar(self):
+        jds = np.array([2451545.0, 2455000.25, 2460000.75])
+        vec = gmst(jds)
+        for i, jd in enumerate(jds):
+            assert vec[i] == pytest.approx(gmst(float(jd)))
+
+
+class TestEpoch:
+    def test_add_seconds(self):
+        e = Epoch.from_calendar(2024, 9, 6)
+        assert (e + 86400.0).jd == pytest.approx(e.jd + 1.0)
+
+    def test_subtract_epochs_gives_seconds(self):
+        a = Epoch.from_calendar(2024, 9, 6)
+        b = Epoch.from_calendar(2024, 9, 7, 12)
+        assert b - a == pytest.approx(1.5 * 86400.0)
+
+    def test_subtract_seconds_gives_epoch(self):
+        e = Epoch.from_calendar(2024, 9, 6)
+        assert isinstance(e - 60.0, Epoch)
+        assert (e - 60.0).jd == pytest.approx(e.jd - 60.0 / 86400.0)
+
+    def test_ordering(self):
+        early = Epoch.from_calendar(2024, 1, 1)
+        late = Epoch.from_calendar(2024, 6, 1)
+        assert early < late
+
+    def test_offset_jd_vectorized(self):
+        e = Epoch.from_calendar(2024, 9, 6)
+        offsets = np.array([0.0, 43200.0, 86400.0])
+        jds = e.offset_jd(offsets)
+        assert jds[0] == pytest.approx(e.jd)
+        assert jds[2] == pytest.approx(e.jd + 1.0)
+
+    def test_isoformat(self):
+        e = Epoch.from_calendar(2024, 9, 6, 1, 2, 3.0)
+        assert e.isoformat().startswith("2024-09-06T01:02:03")

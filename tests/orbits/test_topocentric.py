@@ -1,0 +1,93 @@
+"""Tests for topocentric look angles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from satiot.orbits.constants import EARTH_RADIUS_KM
+from satiot.orbits.frames import GeodeticPoint, geodetic_to_ecef
+from satiot.orbits.timebase import gmst
+from satiot.orbits.topocentric import look_angles, sez_rotation
+
+
+def teme_point_above(observer: GeodeticPoint, jd: float,
+                     altitude_km: float) -> np.ndarray:
+    """Inertial position directly above an observer at a given instant."""
+    r_ecef = geodetic_to_ecef(observer.latitude_deg, observer.longitude_deg,
+                              altitude_km)
+    # Rotate ECEF back to TEME (inverse of teme_to_ecef).
+    theta = gmst(jd)
+    c, s = math.cos(theta), math.sin(theta)
+    x = c * r_ecef[0] - s * r_ecef[1]
+    y = s * r_ecef[0] + c * r_ecef[1]
+    return np.array([x, y, r_ecef[2]])
+
+
+class TestSezRotation:
+    def test_orthonormal(self):
+        rot = sez_rotation(math.radians(40.0), math.radians(-80.0))
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+    def test_zenith_axis(self):
+        # At the north pole the SEZ z-axis is the ECEF z-axis.
+        rot = sez_rotation(math.radians(90.0), 0.0)
+        np.testing.assert_allclose(rot[2], [0.0, 0.0, 1.0], atol=1e-12)
+
+
+class TestLookAngles:
+    def test_satellite_at_zenith(self):
+        observer = GeodeticPoint(22.3, 114.17)
+        jd = 2460000.5
+        r = teme_point_above(observer, jd, 850.0)
+        look = look_angles(observer, r, np.zeros(3), jd)
+        assert look.elevation_deg == pytest.approx(90.0, abs=0.2)
+        assert look.range_km == pytest.approx(850.0, abs=2.0)
+
+    def test_low_elevation_long_range(self):
+        # Same altitude, but seen from a site ~20 degrees of arc away:
+        # elevation low, slant range several times the altitude.
+        target_site = GeodeticPoint(22.3, 114.17)
+        far_observer = GeodeticPoint(22.3, 134.17)
+        jd = 2460000.5
+        r = teme_point_above(target_site, jd, 850.0)
+        look = look_angles(far_observer, r, np.zeros(3), jd)
+        assert look.elevation_deg < 20.0
+        assert look.range_km > 2000.0
+
+    def test_azimuth_north(self):
+        # Satellite above a point due north of the observer.
+        observer = GeodeticPoint(20.0, 114.0)
+        north_site = GeodeticPoint(30.0, 114.0)
+        jd = 2460000.5
+        r = teme_point_above(north_site, jd, 850.0)
+        look = look_angles(observer, r, np.zeros(3), jd)
+        assert look.azimuth_deg == pytest.approx(0.0, abs=1.0) \
+            or look.azimuth_deg == pytest.approx(360.0, abs=1.0)
+
+    def test_azimuth_east(self):
+        observer = GeodeticPoint(0.0, 100.0)
+        east_site = GeodeticPoint(0.0, 110.0)
+        jd = 2460000.5
+        r = teme_point_above(east_site, jd, 850.0)
+        look = look_angles(observer, r, np.zeros(3), jd)
+        assert look.azimuth_deg == pytest.approx(90.0, abs=1.0)
+
+    def test_range_rate_sign(self):
+        # A satellite with velocity pointing away from the observer has
+        # positive range rate.
+        observer = GeodeticPoint(0.0, 0.0)
+        jd = 2460000.5
+        r = teme_point_above(observer, jd, 850.0)
+        direction = r / np.linalg.norm(r)
+        look_away = look_angles(observer, r, 7.5 * direction, jd)
+        assert look_away.range_rate_km_s > 7.0
+
+    def test_batched_shapes(self):
+        observer = GeodeticPoint(22.3, 114.17)
+        jd = 2460000.5
+        r = np.tile(teme_point_above(observer, jd, 850.0), (5, 1))
+        v = np.zeros((5, 3))
+        look = look_angles(observer, r, v, np.full(5, jd))
+        assert np.shape(look.elevation_deg) == (5,)
+        assert np.shape(look.range_km) == (5,)

@@ -1,0 +1,62 @@
+"""Tests for spreading-factor adaptation."""
+
+import pytest
+
+from satiot.phy.adaptation import (select_spreading_factor,
+                                   sf_trade_table)
+
+
+class TestSfTradeTable:
+    def test_covers_sf7_to_sf12(self):
+        table = sf_trade_table()
+        assert sorted(table) == [7, 8, 9, 10, 11, 12]
+
+    def test_airtime_grows_with_sf(self):
+        table = sf_trade_table()
+        airtimes = [table[sf].airtime_s for sf in range(7, 13)]
+        assert airtimes == sorted(airtimes)
+
+    def test_sensitivity_grows_with_sf(self):
+        table = sf_trade_table()
+        # SF12 threshold -20 dB vs SF7's -7.5 dB: 12.5 dB deeper.
+        assert table[12].relative_sensitivity_db == pytest.approx(12.5)
+        # SF7 baseline is zero by definition.
+        assert table[7].relative_sensitivity_db == 0.0
+
+    def test_energy_tracks_airtime(self):
+        table = sf_trade_table(tx_power_mw=1000.0)
+        for point in table.values():
+            assert point.tx_energy_j \
+                == pytest.approx(point.airtime_s * 1.0, rel=1e-9)
+
+    def test_collision_exposure_of_sf12(self):
+        table = sf_trade_table()
+        # SF12 occupies the channel an order of magnitude longer.
+        assert table[12].collision_exposure > 10.0
+        assert table[7].collision_exposure == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sf_trade_table(payload_bytes=0)
+        with pytest.raises(ValueError):
+            sf_trade_table(tx_power_mw=0.0)
+
+
+class TestSelectSpreadingFactor:
+    def test_strong_link_uses_cheapest(self):
+        assert select_spreading_factor(0.0) == 7
+
+    def test_weak_link_escalates(self):
+        assert select_spreading_factor(-12.0) in (10, 11)
+
+    def test_threshold_plus_margin(self):
+        # SNR exactly at SF10's threshold: needs the margin, so SF11.
+        assert select_spreading_factor(-15.0, margin_db=2.0) == 11
+        assert select_spreading_factor(-15.0, margin_db=0.0) == 10
+
+    def test_hopeless_link(self):
+        assert select_spreading_factor(-30.0) is None
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            select_spreading_factor(0.0, margin_db=-1.0)

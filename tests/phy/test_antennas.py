@@ -1,0 +1,42 @@
+"""Tests for antenna gain patterns."""
+
+import numpy as np
+import pytest
+
+from satiot.phy.antennas import (ANTENNAS_BY_NAME, DIPOLE,
+                                 FIVE_EIGHTHS_WAVE, QUARTER_WAVE)
+
+
+class TestPatterns:
+    def test_registry(self):
+        assert set(ANTENNAS_BY_NAME) == {"dipole", "quarter_wave",
+                                         "five_eighths_wave"}
+
+    def test_whip_zenith_null(self):
+        # Monopoles lose gain straight up.
+        for ant in (QUARTER_WAVE, FIVE_EIGHTHS_WAVE):
+            assert ant.gain_dbi(90.0) < ant.gain_dbi(30.0)
+
+    def test_five_eighths_beats_quarter_wave(self):
+        # Paper Fig. 5b: the 5/8-wave antenna outperforms the 1/4-wave.
+        for el in (10.0, 20.0, 40.0, 60.0):
+            assert FIVE_EIGHTHS_WAVE.gain_dbi(el) > QUARTER_WAVE.gain_dbi(el)
+
+    def test_dipole_relatively_flat(self):
+        gains = [DIPOLE.gain_dbi(el) for el in range(0, 91, 10)]
+        assert max(gains) - min(gains) < 4.0
+
+    def test_horizon_rolloff(self):
+        for ant in ANTENNAS_BY_NAME.values():
+            assert ant.gain_dbi(0.0) < ant.gain_dbi(25.0)
+
+    def test_vectorized(self):
+        els = np.array([0.0, 30.0, 60.0, 90.0])
+        gains = DIPOLE.gain_dbi(els)
+        assert gains.shape == (4,)
+        for i, el in enumerate(els):
+            assert gains[i] == pytest.approx(DIPOLE.gain_dbi(float(el)))
+
+    def test_out_of_range_clipped(self):
+        assert DIPOLE.gain_dbi(-10.0) == DIPOLE.gain_dbi(0.0)
+        assert DIPOLE.gain_dbi(100.0) == DIPOLE.gain_dbi(90.0)

@@ -1,0 +1,55 @@
+"""Tests for predictive Doppler compensation."""
+
+import numpy as np
+import pytest
+
+from satiot.orbits.doppler import doppler_shift_hz
+from satiot.phy.doppler_compensation import (CompensationErrorBudget,
+                                             DopplerCompensator)
+
+
+class TestErrorBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompensationErrorBudget(range_rate_error_km_s=-1.0)
+        with pytest.raises(ValueError):
+            CompensationErrorBudget(clock_ppm=-1.0)
+
+
+class TestCompensator:
+    def test_invalid_carrier(self):
+        with pytest.raises(ValueError):
+            DopplerCompensator(0.0)
+
+    def test_residual_much_smaller_than_raw(self):
+        comp = DopplerCompensator(400.45e6)
+        raw = abs(doppler_shift_hz(-7.5, 400.45e6))   # ~10 kHz
+        residual = comp.residual_shift_hz(-7.5)
+        assert residual < raw / 5.0
+
+    def test_residual_scales_with_clock_quality(self):
+        good = DopplerCompensator(400.45e6, CompensationErrorBudget(
+            clock_ppm=0.1))
+        bad = DopplerCompensator(400.45e6, CompensationErrorBudget(
+            clock_ppm=20.0))
+        assert good.residual_shift_hz(-7.5) < bad.residual_shift_hz(-7.5)
+
+    def test_vectorized_shapes(self):
+        comp = DopplerCompensator(400.45e6)
+        rr = np.linspace(-7.5, 7.5, 11)
+        assert np.shape(comp.residual_shift_hz(rr)) == (11,)
+        assert np.shape(comp.residual_rate_hz_s(rr)) == (11,)
+
+    def test_rate_residual_reduced(self):
+        comp = DopplerCompensator(400.45e6)
+        raw_rate = 120.0  # Hz/s at overhead pass
+        assert comp.residual_rate_hz_s(raw_rate) < raw_rate
+
+    def test_improvement_summary(self):
+        comp = DopplerCompensator(400.45e6)
+        rr = np.linspace(-7.0, 7.0, 50)
+        rate = np.gradient(
+            np.asarray(doppler_shift_hz(rr, 400.45e6)), 5.0)
+        shift_factor, rate_factor = comp.improvement_summary(rr, rate)
+        assert shift_factor > 2.0
+        assert rate_factor > 1.0

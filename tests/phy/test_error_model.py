@@ -1,0 +1,55 @@
+"""Tests for the logistic packet-error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.phy.error_model import packet_error_rate, reception_probability
+
+
+class TestReceptionProbability:
+    def test_far_below_threshold_zero(self):
+        assert reception_probability(-30.0, -15.0) < 0.001
+
+    def test_far_above_threshold_one(self):
+        assert reception_probability(0.0, -15.0) > 0.999
+
+    def test_waterfall_centre(self):
+        # Centre sits one slope above the demod threshold.
+        assert reception_probability(-14.0, -15.0, slope_db=1.0) \
+            == pytest.approx(0.5)
+
+    @given(snr=st.floats(-40.0, 20.0))
+    @settings(max_examples=100)
+    def test_valid_probability(self, snr):
+        p = reception_probability(snr, -15.0)
+        assert 0.0 <= p <= 1.0
+
+    @given(snr=st.floats(-40.0, 19.0))
+    @settings(max_examples=100)
+    def test_monotonic(self, snr):
+        assert reception_probability(snr + 1.0, -15.0) \
+            >= reception_probability(snr, -15.0)
+
+    def test_vectorized(self):
+        p = reception_probability(np.array([-30.0, -14.0, 0.0]), -15.0)
+        assert p.shape == (3,)
+        assert p[0] < p[1] < p[2]
+
+    def test_invalid_slope(self):
+        with pytest.raises(ValueError):
+            reception_probability(0.0, -15.0, slope_db=0.0)
+
+
+class TestPacketErrorRate:
+    def test_complement(self):
+        for snr in (-20.0, -14.0, -5.0):
+            assert packet_error_rate(snr, -15.0) \
+                == pytest.approx(1.0 - reception_probability(snr, -15.0))
+
+    def test_vectorized_complement(self):
+        snr = np.linspace(-25, 0, 10)
+        np.testing.assert_allclose(
+            packet_error_rate(snr, -15.0)
+            + reception_probability(snr, -15.0), 1.0)

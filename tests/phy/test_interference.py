@@ -1,0 +1,57 @@
+"""Tests for the physics-derived capture model."""
+
+import pytest
+
+from satiot.phy.interference import CaptureModel
+
+
+class TestCaptureModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaptureModel(capture_threshold_db=-1.0)
+        with pytest.raises(ValueError):
+            CaptureModel(samples=0)
+        with pytest.raises(ValueError):
+            CaptureModel().survival_probability(0)
+
+    def test_single_transmitter_always_survives(self):
+        assert CaptureModel().survival_probability(1) == 1.0
+
+    def test_monotone_decreasing_in_contenders(self):
+        model = CaptureModel()
+        probs = [model.survival_probability(k) for k in range(1, 7)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_two_way_overlap_plausible(self):
+        # 8 dB spread, 6 dB threshold: a two-way capture succeeds for
+        # the tagged signal roughly 20-40 % of the time.
+        p = CaptureModel().survival_probability(2)
+        assert 0.15 < p < 0.45
+
+    def test_wider_spread_helps_capture(self):
+        narrow = CaptureModel(power_spread_db=2.0)
+        wide = CaptureModel(power_spread_db=12.0)
+        assert wide.survival_probability(3) \
+            > narrow.survival_probability(3)
+
+    def test_lower_threshold_helps(self):
+        easy = CaptureModel(capture_threshold_db=0.0)
+        hard = CaptureModel(capture_threshold_db=10.0)
+        assert easy.survival_probability(2) \
+            > hard.survival_probability(2)
+
+    def test_deterministic(self):
+        a = CaptureModel().survival_probability(3)
+        b = CaptureModel().survival_probability(3)
+        assert a == b
+
+    def test_table_shape(self):
+        table = CaptureModel().capture_table(4)
+        assert set(table) == {1, 2, 3, 4}
+        assert table[1] == 1.0
+
+    def test_table_feeds_mac_config(self):
+        from satiot.network.mac import MacConfig
+        table = CaptureModel().capture_table(3)
+        config = MacConfig(capture_probability=table)
+        assert config.capture(2) == pytest.approx(table[2])

@@ -1,0 +1,113 @@
+"""Tests for the LoRa modulation model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.phy.lora import (SNR_LIMIT_DB, LoRaModulation, noise_floor_dbm,
+                             sensitivity_dbm)
+
+
+class TestNoiseFloor:
+    def test_125khz_value(self):
+        # -174 + 10 log10(125e3) + 6 = -117.03 dBm.
+        assert noise_floor_dbm(125e3) == pytest.approx(-117.03, abs=0.01)
+
+    def test_bandwidth_scaling(self):
+        assert noise_floor_dbm(250e3) - noise_floor_dbm(125e3) \
+            == pytest.approx(3.01, abs=0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            noise_floor_dbm(0.0)
+
+
+class TestSensitivity:
+    def test_sf10_value(self):
+        # Classic SX126x figure: about -132 dBm at SF10/125 kHz.
+        assert sensitivity_dbm(10, 125e3) == pytest.approx(-132.0, abs=0.5)
+
+    def test_monotonic_in_sf(self):
+        values = [sensitivity_dbm(sf, 125e3) for sf in range(7, 13)]
+        assert values == sorted(values, reverse=True)
+
+    def test_unsupported_sf(self):
+        with pytest.raises(ValueError):
+            sensitivity_dbm(4, 125e3)
+
+
+class TestModulationValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            LoRaModulation(spreading_factor=13)
+        with pytest.raises(ValueError):
+            LoRaModulation(spreading_factor=10, bandwidth_hz=0)
+        with pytest.raises(ValueError):
+            LoRaModulation(spreading_factor=10, coding_rate=9)
+        with pytest.raises(ValueError):
+            LoRaModulation(spreading_factor=10, preamble_symbols=2)
+
+
+class TestSymbolTime:
+    def test_sf10_125khz(self):
+        mod = LoRaModulation(spreading_factor=10)
+        assert mod.symbol_time_s == pytest.approx(1024 / 125e3)
+
+    def test_bin_width(self):
+        mod = LoRaModulation(spreading_factor=10)
+        assert mod.bin_width_hz == pytest.approx(125e3 / 1024)
+
+
+class TestAirtime:
+    def test_paper_scale(self):
+        # Paper Section 1: "a single transmission can last for hundreds
+        # to thousands of ms" — 20 bytes at SF10 is several hundred ms.
+        mod = LoRaModulation(spreading_factor=10)
+        assert 0.2 < mod.airtime_s(20) < 1.0
+
+    def test_sf12_longer_than_sf7(self):
+        sf7 = LoRaModulation(spreading_factor=7,
+                             low_data_rate_optimize=False)
+        sf12 = LoRaModulation(spreading_factor=12)
+        assert sf12.airtime_s(20) > 10 * sf7.airtime_s(20)
+
+    @given(payload=st.integers(0, 200))
+    @settings(max_examples=100)
+    def test_monotonic_in_payload(self, payload):
+        mod = LoRaModulation(spreading_factor=10)
+        assert mod.airtime_s(payload + 1) >= mod.airtime_s(payload)
+
+    def test_known_sf7_value(self):
+        # Semtech airtime formula by hand: preamble (8 + 4.25) symbols
+        # plus 43 payload symbols at 1.024 ms/symbol -> 56.58 ms.
+        mod = LoRaModulation(spreading_factor=7, bandwidth_hz=125e3,
+                             coding_rate=5, preamble_symbols=8,
+                             low_data_rate_optimize=False)
+        assert mod.airtime_s(20) * 1000 == pytest.approx(56.58, abs=0.5)
+
+    def test_preamble_only_floor(self):
+        mod = LoRaModulation(spreading_factor=10)
+        min_airtime = (8 + 4.25 + 8) * mod.symbol_time_s
+        assert mod.airtime_s(0) >= min_airtime
+
+    def test_negative_payload_raises(self):
+        with pytest.raises(ValueError):
+            LoRaModulation(spreading_factor=10).airtime_s(-1)
+
+    def test_ldro_lengthens(self):
+        on = LoRaModulation(spreading_factor=11, low_data_rate_optimize=True)
+        off = LoRaModulation(spreading_factor=11,
+                             low_data_rate_optimize=False)
+        assert on.airtime_s(50) >= off.airtime_s(50)
+
+
+class TestBitrate:
+    def test_sf7_headline_rate(self):
+        # SF7 / 125 kHz / CR 4/5 is the classic ~5.47 kbps LoRa rate.
+        mod = LoRaModulation(spreading_factor=7,
+                             low_data_rate_optimize=False)
+        assert mod.bitrate_bps() == pytest.approx(5470.0, rel=0.01)
+
+    def test_snr_limit_lookup(self):
+        assert LoRaModulation(spreading_factor=10).snr_limit_db \
+            == SNR_LIMIT_DB[10]

@@ -1,0 +1,102 @@
+"""Tests for the NB-IoT uplink model."""
+
+import math
+
+import pytest
+
+from satiot.phy.nbiot import REPETITIONS, NbIotUplink
+
+
+class TestValidation:
+    def test_repetitions(self):
+        with pytest.raises(ValueError):
+            NbIotUplink(repetitions=3)
+        for reps in REPETITIONS:
+            NbIotUplink(repetitions=reps)
+
+    def test_spacing(self):
+        with pytest.raises(ValueError):
+            NbIotUplink(subcarrier_spacing_hz=30_000.0)
+
+    def test_payload(self):
+        with pytest.raises(ValueError):
+            NbIotUplink().airtime_s(0)
+
+
+class TestLinkBudget:
+    def test_reference_mcl(self):
+        # NB-IoT's design target is 164 dB MCL at high repetition.
+        deep = NbIotUplink(repetitions=128)
+        assert deep.max_coupling_loss_db(23.0) > 160.0
+
+    def test_repetitions_deepen_coverage(self):
+        mcls = [NbIotUplink(repetitions=r).max_coupling_loss_db()
+                for r in REPETITIONS]
+        assert mcls == sorted(mcls)
+        # Each doubling buys ~3 dB.
+        assert mcls[1] - mcls[0] == pytest.approx(3.01, abs=0.01)
+
+    def test_sensitivity_below_noise_with_reps(self):
+        deep = NbIotUplink(repetitions=64)
+        assert deep.required_snr_db < -15.0
+
+    def test_for_coupling_loss_selects_cheapest(self):
+        uplink = NbIotUplink.for_coupling_loss(150.0)
+        assert uplink is not None
+        cheaper = NbIotUplink(
+            repetitions=REPETITIONS[
+                REPETITIONS.index(uplink.repetitions) - 1]) \
+            if uplink.repetitions > 1 else None
+        if cheaper is not None:
+            assert cheaper.max_coupling_loss_db() < 150.0
+
+    def test_impossible_budget(self):
+        assert NbIotUplink.for_coupling_loss(250.0) is None
+
+
+class TestAirtimeAndEnergy:
+    def test_rate_divides_by_repetitions(self):
+        base = NbIotUplink(repetitions=1)
+        deep = NbIotUplink(repetitions=16)
+        assert deep.effective_rate_bps \
+            == pytest.approx(base.effective_rate_bps / 16)
+
+    def test_airtime_scales(self):
+        base = NbIotUplink(repetitions=1)
+        deep = NbIotUplink(repetitions=16)
+        assert deep.airtime_s(20) == pytest.approx(16 * base.airtime_s(20))
+
+    def test_paper_profile_airtime(self):
+        # 20-byte reading at reference coverage: tens of ms — far
+        # quicker than LoRa SF10's 370 ms.
+        assert NbIotUplink().airtime_s(20) < 0.05
+
+    def test_deep_coverage_airtime_seconds(self):
+        # At the DtS-scale budget the repetitions push airtime to
+        # seconds, eroding NB-IoT's rate advantage.
+        deep = NbIotUplink(repetitions=128)
+        assert deep.airtime_s(20) > 1.0
+
+    def test_energy(self):
+        uplink = NbIotUplink(repetitions=4)
+        assert uplink.tx_energy_j(20, tx_power_mw=1000.0) \
+            == pytest.approx(uplink.airtime_s(20) * 1.0, rel=1e-9)
+        with pytest.raises(ValueError):
+            uplink.tx_energy_j(20, tx_power_mw=0.0)
+
+
+class TestDtSComparison:
+    def test_dts_budget_feasible_with_repetition(self):
+        # Mid-pass DtS stack: FSPL(1,400 km) plus excess/rain, antenna
+        # deficits and a fading margin ~ 161 dB coupling loss.  NB-IoT
+        # closes it, but only by spending repetitions (airtime/energy),
+        # mirroring LoRa's high-SF regime.
+        from satiot.phy.link_budget import free_space_path_loss_db
+        loss = (free_space_path_loss_db(1400.0, 400.45e6)
+                + 3.0   # excess / rain
+                + 6.0   # node antenna + pointing deficits
+                + 5.0)  # fading margin
+        uplink = NbIotUplink.for_coupling_loss(loss)
+        assert uplink is not None
+        assert uplink.repetitions >= 8
+        assert uplink.airtime_s(20) > 8 * NbIotUplink().airtime_s(20)

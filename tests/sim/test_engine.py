@@ -1,0 +1,127 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from satiot.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.at(3.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+        assert sim.now == 4.0
+
+    def test_after_relative(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.after(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.at(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        handle = sim.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        h1 = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        assert sim.pending == 2
+        h1.cancel()
+        assert sim.pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(5.0, lambda: log.append(5))
+        sim.run_until(3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run_until(10.0)
+        assert log == [1, 5]
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        log = []
+        sim.at(3.0, lambda: log.append(3))
+        sim.run_until(3.0)
+        assert log == [3]
+
+    def test_past_boundary_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+
+class TestRunawayGuard:
+    def test_max_events_raises(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.after(1.0, reschedule)
+
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

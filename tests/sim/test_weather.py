@@ -1,0 +1,78 @@
+"""Tests for the two-state weather process."""
+
+import numpy as np
+import pytest
+
+from satiot.sim.weather import WeatherParams, WeatherProcess
+
+
+class TestWeatherParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeatherParams(mean_dry_hours=0.0)
+        with pytest.raises(ValueError):
+            WeatherParams(mean_rain_hours=-1.0)
+
+    def test_rain_fraction(self):
+        params = WeatherParams(mean_dry_hours=30.0, mean_rain_hours=10.0)
+        assert params.rain_fraction == pytest.approx(0.25)
+
+
+class TestWeatherProcess:
+    def make(self, days=60.0, seed=0, **kwargs):
+        params = WeatherParams(**kwargs) if kwargs else WeatherParams()
+        rng = np.random.default_rng(seed)
+        return WeatherProcess(params, days * 86400.0, rng)
+
+    def test_long_run_fraction(self):
+        proc = self.make(days=900.0, mean_dry_hours=30.0,
+                         mean_rain_hours=10.0)
+        assert proc.rainy_fraction_sampled() == pytest.approx(0.25,
+                                                              abs=0.05)
+
+    def test_starts_in_configured_state(self):
+        dry = self.make(mean_dry_hours=40.0, mean_rain_hours=6.0,
+                        start_raining=False)
+        wet = self.make(mean_dry_hours=40.0, mean_rain_hours=6.0,
+                        start_raining=True)
+        assert dry.is_raining(0.0) is False
+        assert wet.is_raining(0.0) is True
+
+    def test_vectorized_matches_scalar(self):
+        proc = self.make(days=30.0)
+        ts = np.linspace(0.0, 30.0 * 86400.0, 97)
+        vec = proc.is_raining(ts)
+        for t, v in zip(ts, vec):
+            assert proc.is_raining(float(t)) == bool(v)
+
+    def test_query_out_of_span_raises(self):
+        proc = self.make(days=1.0)
+        with pytest.raises(ValueError):
+            proc.is_raining(-1.0)
+        with pytest.raises(ValueError):
+            proc.is_raining(2.0 * 86400.0)
+
+    def test_episodes_partition_span(self):
+        proc = self.make(days=30.0)
+        episodes = proc.episodes()
+        assert episodes[0][0] == 0.0
+        assert episodes[-1][1] == pytest.approx(30.0 * 86400.0)
+        for (s0, e0, r0), (s1, e1, r1) in zip(episodes, episodes[1:]):
+            assert e0 == pytest.approx(s1)
+            assert r0 != r1
+
+    def test_episodes_agree_with_queries(self):
+        proc = self.make(days=10.0)
+        for start, end, raining in proc.episodes():
+            mid = 0.5 * (start + end)
+            assert proc.is_raining(mid) == raining
+
+    def test_deterministic(self):
+        a = self.make(seed=9)
+        b = self.make(seed=9)
+        ts = np.linspace(0, 59 * 86400.0, 50)
+        np.testing.assert_array_equal(a.is_raining(ts), b.is_raining(ts))
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            WeatherProcess(WeatherParams(), 0.0, np.random.default_rng(0))
