@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-runtime bench bench-smoke validate clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-runtime:
+	$(PYTHON) -m pytest -x -q tests/runtime
+
+bench:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest --benchmark-only -q
+
+# Tiny-mode runtime scaling benchmark: seconds, not minutes.  Verifies
+# parallel == serial bit-identity and cache-warm < cache-cold.
+bench-smoke:
+	cd benchmarks && SATIOT_BENCH_TINY=1 PYTHONPATH=../src \
+		$(PYTHON) -m pytest bench_runtime_scaling.py -q -p no:cacheprovider
+
+validate:
+	$(PYTHON) -m satiot validate
+
+clean:
+	rm -rf benchmarks/output benchmarks/.ephemeris-cache \
+		.pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -37,7 +37,7 @@ def run_period(period_s: float):
         list(constellation), epoch, 43200.0)
     receiver = BeaconReceiver()
     streams = RngStreams(SEED)
-    receptions = [receiver.receive_pass(sp, epoch, i,
+    receptions = [receiver.receive_pass(sp, epoch, f"HK-{i}",
                                         streams.get(f"p{period_s}/{i}"))
                   for i, sp in enumerate(schedule.assigned)]
     received = sum(r.beacons_received for r in receptions)

@@ -10,6 +10,7 @@ the regenerated numbers are inspectable after a captured pytest run.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,12 +20,36 @@ from satiot.core.campaign import PassiveCampaign, PassiveCampaignConfig
 from satiot.constellations.catalog import build_constellation
 from satiot.network.store_forward import (TIANQI_GROUND_STATIONS,
                                           GroundSegment)
+from satiot.runtime.ephemeris_cache import EphemerisCache
 
 SEED = 42
 PASSIVE_DAYS = 2.0
 ACTIVE_DAYS = 4.0
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Disk-backed ephemeris cache shared by every benchmark invocation (and
+#: restored between CI runs via actions/cache) — warm runs skip all SGP4
+#: propagation and pass refinement.  Override the location with
+#: SATIOT_EPHEMERIS_CACHE_DIR; disable with SATIOT_EPHEMERIS_CACHE=0.
+CACHE_DIR = Path(os.environ.get("SATIOT_EPHEMERIS_CACHE_DIR")
+                 or Path(__file__).parent / ".ephemeris-cache")
+
+_bench_cache = None
+
+
+def bench_ephemeris_cache() -> EphemerisCache:
+    """The session-wide disk-backed ephemeris cache."""
+    global _bench_cache
+    if _bench_cache is None:
+        _bench_cache = EphemerisCache(disk_dir=CACHE_DIR)
+    return _bench_cache
+
+
+def run_passive(config: PassiveCampaignConfig):
+    """Run a passive campaign on the shared cache, workers from env."""
+    return PassiveCampaign(
+        config, ephemeris_cache=bench_ephemeris_cache()).run()
 
 
 def write_output(name: str, text: str) -> None:
@@ -39,7 +64,7 @@ def passive_continent():
     """Passive campaign over the four continent sites (Sec. 3.1)."""
     config = PassiveCampaignConfig(
         sites=("HK", "SYD", "LDN", "PGH"), days=PASSIVE_DAYS, seed=SEED)
-    return PassiveCampaign(config).run()
+    return run_passive(config)
 
 
 @pytest.fixture(scope="session")
@@ -48,7 +73,7 @@ def passive_all_sites():
     config = PassiveCampaignConfig(
         sites=tuple(sorted({"HK", "SYD", "LDN", "PGH", "SH", "GZ", "NC",
                             "YC"})), days=1.0, seed=SEED)
-    return PassiveCampaign(config).run()
+    return run_passive(config)
 
 
 @pytest.fixture(scope="session")

@@ -28,6 +28,8 @@ from .groundstation import (BeaconReceiver, BeaconTrace, GroundStation,
 from .orbits import (SGP4, TLE, ContactWindow, Epoch, GeodeticPoint,
                      PassPredictor, parse_tle, parse_tle_file)
 from .phy import DtSChannel, LinkBudget, LoRaModulation
+from .runtime import (CampaignTelemetry, EphemerisCache, Shard,
+                      ShardError, ShardExecutor, ShardTelemetry)
 
 __version__ = "1.0.0"
 
@@ -43,5 +45,7 @@ __all__ = [
     "SGP4", "TLE", "ContactWindow", "Epoch", "GeodeticPoint",
     "PassPredictor", "parse_tle", "parse_tle_file",
     "DtSChannel", "LinkBudget", "LoRaModulation",
+    "CampaignTelemetry", "EphemerisCache", "Shard", "ShardError",
+    "ShardExecutor", "ShardTelemetry",
     "__version__",
 ]

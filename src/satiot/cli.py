@@ -54,6 +54,18 @@ def _add_location_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lon", type=float, default=None)
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shard workers (default: $SATIOT_WORKERS or 1 = serial; "
+             "0 = one per CPU); parallel runs are bit-identical to "
+             "serial ones")
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="print per-shard runtime telemetry (wall time, events/s, "
+             "ephemeris-cache hit/miss)")
+
+
 # ----------------------------------------------------------------------
 def cmd_tle(args: argparse.Namespace) -> int:
     constellation = build_constellation(args.constellation,
@@ -108,9 +120,12 @@ def cmd_passive(args: argparse.Namespace) -> int:
     sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
     config = PassiveCampaignConfig(sites=sites, days=args.days,
                                    seed=args.seed)
-    result = PassiveCampaign(config).run()
+    result = PassiveCampaign(config, workers=args.workers).run()
     print(f"collected {result.total_traces} traces at "
           f"{len(sites)} site(s)")
+    if args.timing and result.telemetry is not None:
+        print()
+        print(result.telemetry.render())
     for name in sorted(result.constellations):
         for code in sites:
             stats = analyze_contacts(result.receptions(code, name),
@@ -150,7 +165,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .core.summary import ReportScale, full_report
     scale = ReportScale(passive_days=args.passive_days,
                         active_days=args.active_days, seed=args.seed)
-    print(full_report(scale))
+    print(full_report(scale, workers=args.workers,
+                      timing=args.timing))
     return 0
 
 
@@ -218,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated site codes")
     p.add_argument("--days", type=float, default=1.0)
     p.add_argument("--out", default=None, help="CSV trace output path")
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_passive)
 
     p = sub.add_parser("active", help="run the active Tianqi campaign")
@@ -230,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run both campaigns, print the findings")
     p.add_argument("--passive-days", type=float, default=1.0)
     p.add_argument("--active-days", type=float, default=2.0)
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("validate",

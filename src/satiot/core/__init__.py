@@ -13,7 +13,9 @@ from .contacts import (ContactWindowStats, aggregate_stats,
                        reception_rates_by_weather, trace_distances_km,
                        window_position_fractions)
 from .fleet import (FleetModel, congested_mac_config,
-                    delivery_delay_under_load_s)
+                    delivery_delay_under_load_s,
+                    fleet_pressure_by_constellation,
+                    passive_fleet_sweep)
 from .longitudinal import (LongitudinalCampaign, LongitudinalResult,
                            WeeklySample)
 from .validation import CheckResult, run_self_checks
@@ -39,6 +41,7 @@ __all__ = [
     "LossAttribution", "attribute_losses",
     "CapacityEstimate", "estimate_regional_capacity",
     "FleetModel", "congested_mac_config", "delivery_delay_under_load_s",
+    "fleet_pressure_by_constellation", "passive_fleet_sweep",
     "LongitudinalCampaign", "LongitudinalResult", "WeeklySample",
     "CheckResult", "run_self_checks",
     "reception_rates_by_weather", "trace_distances_km",

@@ -18,8 +18,8 @@ downlink sessions, delaying the measured nodes' deliveries.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,9 +28,13 @@ from ..constellations.footprint import footprint_area_km2
 from ..network.downlink import DownlinkConfig, DownlinkSimulator
 from ..network.mac import MacConfig
 from ..network.store_forward import GroundSegment
+from ..runtime.executor import Shard, ShardExecutor
+from .campaign import (PassiveCampaign, PassiveCampaignConfig,
+                       PassiveCampaignResult)
 
 __all__ = ["FleetModel", "congested_mac_config",
-           "delivery_delay_under_load_s"]
+           "delivery_delay_under_load_s", "passive_fleet_sweep",
+           "fleet_pressure_by_constellation"]
 
 
 @dataclass(frozen=True)
@@ -131,3 +135,71 @@ def delivery_delay_under_load_s(
     if batch > 0:
         base_arrival = math.ceil(base_arrival / batch) * batch
     return base_arrival
+
+
+# ----------------------------------------------------------------------
+# Fleet-sweep execution (per-constellation shards on the runtime)
+# ----------------------------------------------------------------------
+def _fleet_campaign_worker(shard: Shard) -> PassiveCampaignResult:
+    """Run one single-constellation passive campaign in a worker."""
+    config = shard.payload
+    # workers=1: the constellation is the unit of parallelism here.
+    return PassiveCampaign(config, workers=1).run()
+
+
+def passive_fleet_sweep(base_config: Optional[PassiveCampaignConfig]
+                        = None,
+                        workers: Optional[int] = None,
+                        ) -> Dict[str, PassiveCampaignResult]:
+    """One passive campaign per constellation, sharded per constellation.
+
+    Fleet studies compare constellations in isolation (each operator's
+    fleet pressures only its own satellites), so the sweep decomposes
+    into one independent single-constellation campaign per operator.
+    With ``workers > 1`` the campaigns run on the runtime's process pool
+    and, per the runtime determinism contract, each campaign's traces
+    are bit-identical to a serial single-constellation run with the
+    same seed.
+
+    Returns results keyed by constellation, in configured order.
+    """
+    base_config = base_config or PassiveCampaignConfig()
+    shards = []
+    for i, name in enumerate(base_config.constellations):
+        cfg = dc_replace(base_config, constellations=(name,))
+        shards.append(Shard(index=i, kind="constellation", key=name,
+                            payload=cfg))
+    executor = ShardExecutor(workers)
+    outcomes = executor.map(_fleet_campaign_worker, shards)
+    return {name: outcome.result
+            for name, outcome in zip(base_config.constellations,
+                                     outcomes)}
+
+
+def fleet_pressure_by_constellation(
+        results: Dict[str, PassiveCampaignResult],
+        fleet: Optional[FleetModel] = None,
+        ) -> Dict[str, Dict[str, float]]:
+    """Fleet-load summary per swept constellation.
+
+    For each constellation of a :func:`passive_fleet_sweep`, reports the
+    expected number of contending background devices per beacon and the
+    uplink packet load a satellite absorbs per hour, evaluated at the
+    constellation's mean altitude, alongside the sweep's observed trace
+    count.
+    """
+    fleet = fleet or FleetModel()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, result in results.items():
+        constellation = next(iter(result.constellations.values()))
+        altitudes = [sat.mean_altitude_km for sat in constellation]
+        altitude_km = float(np.mean(altitudes))
+        out[name] = {
+            "mean_altitude_km": altitude_km,
+            "expected_contenders": fleet.expected_contenders(
+                altitude_km),
+            "uplink_packets_per_hour": fleet.uplink_packets_per_hour(
+                altitude_km),
+            "traces": float(result.total_traces),
+        }
+    return out

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.executor import Shard, ShardExecutor
 from .campaign import PassiveCampaign, PassiveCampaignConfig
 from .contacts import ContactWindowStats, analyze_contacts
 
@@ -55,13 +56,33 @@ class LongitudinalResult:
         return max(series) - min(series)
 
 
+def _week_sample_worker(shard: Shard) -> WeeklySample:
+    """Compute one sampled week — pure function of the shard payload."""
+    week, offset, config, site, constellations = shard.payload
+    # workers=1: the week itself is the unit of parallelism here.
+    campaign = PassiveCampaign(config, workers=1).run()
+    stats = {
+        name: analyze_contacts(
+            campaign.receptions(site, name), campaign.duration_s)
+        for name in constellations}
+    return WeeklySample(week=week, start_day_offset=offset,
+                        traces=campaign.total_traces,
+                        stats_by_constellation=stats)
+
+
 class LongitudinalCampaign:
-    """Samples a long deployment one day per period."""
+    """Samples a long deployment one day per period.
+
+    Weekly samples are independent shards: with ``workers > 1`` they run
+    on the runtime's process pool and merge back in week order, yielding
+    the same :class:`LongitudinalResult` as a serial run.
+    """
 
     def __init__(self, weeks: int = 4, site: str = "HK",
                  sample_days: float = 1.0,
                  period_days: float = 7.0, seed: int = 42,
-                 constellations: Optional[Sequence[str]] = None) -> None:
+                 constellations: Optional[Sequence[str]] = None,
+                 workers: Optional[int] = None) -> None:
         if weeks <= 0:
             raise ValueError("need at least one week")
         if sample_days <= 0 or period_days < sample_days:
@@ -74,9 +95,10 @@ class LongitudinalCampaign:
         self.constellations = tuple(constellations
                                     or ("tianqi", "fossa", "pico",
                                         "cstp"))
+        self.workers = workers
 
     def run(self) -> LongitudinalResult:
-        result = LongitudinalResult()
+        shards = []
         for week in range(self.weeks):
             offset = week * self.period_days
             config = PassiveCampaignConfig(
@@ -85,14 +107,12 @@ class LongitudinalCampaign:
                 days=self.sample_days,
                 start_day_offset=offset,
                 seed=self.seed + week)
-            campaign = PassiveCampaign(config).run()
-            stats = {
-                name: analyze_contacts(
-                    campaign.receptions(self.site, name),
-                    campaign.duration_s)
-                for name in self.constellations}
-            result.samples.append(WeeklySample(
-                week=week, start_day_offset=offset,
-                traces=campaign.total_traces,
-                stats_by_constellation=stats))
+            shards.append(Shard(
+                index=week, kind="week", key=str(week),
+                payload=(week, offset, config, self.site,
+                         self.constellations)))
+        executor = ShardExecutor(self.workers)
+        outcomes = executor.map(_week_sample_worker, shards)
+        result = LongitudinalResult()
+        result.samples = [outcome.result for outcome in outcomes]
         return result

@@ -38,14 +38,19 @@ class ReportScale:
             raise ValueError("campaign spans must be positive")
 
 
-def _passive_section(scale: ReportScale) -> List[str]:
+def _passive_section(scale: ReportScale,
+                     workers: Optional[int] = None,
+                     timing: bool = False) -> List[str]:
     config = PassiveCampaignConfig(sites=scale.passive_sites,
                                    days=scale.passive_days,
                                    seed=scale.seed)
-    result = PassiveCampaign(config).run()
+    result = PassiveCampaign(config, workers=workers).run()
     parts = [f"Passive campaign: {len(scale.passive_sites)} site(s), "
              f"{scale.passive_days:g} day(s), "
              f"{result.total_traces} beacon traces collected."]
+    if timing and result.telemetry is not None:
+        parts.append("")
+        parts.append(result.telemetry.render())
 
     rows = []
     site = scale.passive_sites[0]
@@ -118,8 +123,15 @@ def _cost_section() -> List[str]:
         rows, precision=2, title="Costs (paper Table 2)")]
 
 
-def full_report(scale: Optional[ReportScale] = None) -> str:
-    """Run both campaigns and render the paper's findings as text."""
+def full_report(scale: Optional[ReportScale] = None,
+                workers: Optional[int] = None,
+                timing: bool = False) -> str:
+    """Run both campaigns and render the paper's findings as text.
+
+    ``workers`` shards the passive campaign per site on the runtime's
+    process pool (``None`` defers to ``SATIOT_WORKERS``); ``timing``
+    appends the per-shard runtime telemetry table.
+    """
     scale = scale or ReportScale()
     sections: List[str] = [
         "satiot reproduction report",
@@ -128,7 +140,8 @@ def full_report(scale: Optional[ReportScale] = None) -> str:
         "seeded simulation; see EXPERIMENTS.md for the full comparison.",
         "",
     ]
-    sections.extend(_passive_section(scale))
+    sections.extend(_passive_section(scale, workers=workers,
+                                     timing=timing))
     sections.append("")
     sections.extend(_active_section(scale))
     sections.append("")

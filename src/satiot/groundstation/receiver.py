@@ -31,7 +31,8 @@ class PassReception:
     """Outcome of listening to one scheduled pass."""
 
     scheduled: ScheduledPass
-    pass_id: int
+    #: Shard-invariant identifier ``"{site}-{norad}-{k}"``.
+    pass_id: str
     beacons_sent: int
     beacons_received: int
     first_rx_s: Optional[float]
@@ -83,7 +84,7 @@ class BeaconReceiver:
 
     # ------------------------------------------------------------------
     def receive_pass(self, scheduled: ScheduledPass, epoch: Epoch,
-                     pass_id: int, rng: np.random.Generator,
+                     pass_id: str, rng: np.random.Generator,
                      weather: Optional[WeatherProcess] = None,
                      ) -> PassReception:
         """Simulate all beacon receptions within one scheduled pass."""

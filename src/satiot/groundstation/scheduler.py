@@ -81,25 +81,41 @@ class Scheduler:
     def predict_windows(self, satellites: Sequence[Satellite],
                         epoch: Epoch, duration_s: float,
                         coarse_step_s: float = 30.0,
+                        ephemeris_cache=None,
                         ) -> List[Tuple[Satellite, ContactWindow]]:
-        """All contact windows of the target satellites over the site."""
+        """All contact windows of the target satellites over the site.
+
+        ``ephemeris_cache`` is an optional
+        :class:`satiot.runtime.EphemerisCache`-like object; when given,
+        pass prediction goes through its memoized ``find_passes`` (which
+        yields windows bit-identical to the direct computation).
+        """
         site_location = self.stations[0].location
         out: List[Tuple[Satellite, ContactWindow]] = []
         for sat in satellites:
-            predictor = PassPredictor(sat.propagator, site_location,
-                                      self.min_elevation_deg)
-            for window in predictor.find_passes(epoch, duration_s,
-                                                coarse_step_s=coarse_step_s):
+            if ephemeris_cache is not None:
+                windows = ephemeris_cache.find_passes(
+                    sat.propagator, site_location, epoch, duration_s,
+                    coarse_step_s=coarse_step_s,
+                    min_elevation_deg=self.min_elevation_deg)
+            else:
+                predictor = PassPredictor(sat.propagator, site_location,
+                                          self.min_elevation_deg)
+                windows = predictor.find_passes(
+                    epoch, duration_s, coarse_step_s=coarse_step_s)
+            for window in windows:
                 out.append((sat, window))
         out.sort(key=lambda pair: pair[1].rise_s)
         return out
 
     def build_schedule(self, satellites: Sequence[Satellite],
                        epoch: Epoch, duration_s: float,
-                       coarse_step_s: float = 30.0) -> PassSchedule:
+                       coarse_step_s: float = 30.0,
+                       ephemeris_cache=None) -> PassSchedule:
         """Predict windows and greedily assign them to stations."""
         windows = self.predict_windows(satellites, epoch, duration_s,
-                                       coarse_step_s=coarse_step_s)
+                                       coarse_step_s=coarse_step_s,
+                                       ephemeris_cache=ephemeris_cache)
         busy_until: Dict[str, float] = {
             st.station_id: float("-inf") for st in self.stations}
         assigned: List[ScheduledPass] = []

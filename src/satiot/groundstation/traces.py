@@ -35,7 +35,10 @@ class BeaconTrace:
     range_km: float
     doppler_hz: float
     raining: bool
-    pass_id: int               # index of the contact window this belongs to
+    #: Shard-invariant pass identifier ``"{site}-{norad}-{k}"`` where
+    #: ``k`` is the per-(site, satellite) pass index.  Running any
+    #: subset of sites yields identical ids for the shared sites.
+    pass_id: str
 
     def to_row(self) -> dict:
         return asdict(self)
@@ -51,6 +54,8 @@ class BeaconTrace:
                 value = int(value)
             elif f.type in ("bool", bool):
                 value = value in (True, "True", "true", "1", 1)
+            elif f.type in ("str", str):
+                value = str(value)
             kwargs[f.name] = value
         return cls(**kwargs)
 

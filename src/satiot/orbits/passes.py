@@ -73,15 +73,24 @@ class PassPredictor:
     min_elevation_deg:
         Elevation mask defining the theoretical window (paper uses the
         visibility horizon; TinyGS antennas see essentially to 0 deg).
+    grid_provider:
+        Optional callable ``(epoch, offsets) -> (r, v)`` supplying the
+        coarse-grid TEME states instead of a direct SGP4 evaluation.
+        Used by :class:`satiot.runtime.EphemerisCache` to share one
+        propagation grid across every observer site; a provider **must**
+        return exactly what ``propagator.propagate`` would, or window
+        predictions will silently diverge.
     """
 
     def __init__(self, propagator: SGP4, observer: GeodeticPoint,
-                 min_elevation_deg: float = 0.0) -> None:
+                 min_elevation_deg: float = 0.0,
+                 grid_provider=None) -> None:
         if min_elevation_deg < -5.0 or min_elevation_deg >= 90.0:
             raise ValueError("unreasonable elevation mask")
         self.propagator = propagator
         self.observer = observer
         self.min_elevation_deg = min_elevation_deg
+        self.grid_provider = grid_provider
 
     # ------------------------------------------------------------------
     def look_angles_at(self, epoch: Epoch, offsets_s) -> LookAngles:
@@ -94,6 +103,16 @@ class PassPredictor:
 
     def elevation_at(self, epoch: Epoch, offset_s: float) -> float:
         return float(self.look_angles_at(epoch, float(offset_s)).elevation_deg)
+
+    def _coarse_elevations(self, epoch: Epoch,
+                           offsets: np.ndarray) -> np.ndarray:
+        """Elevation on the coarse grid, via the grid provider if set."""
+        if self.grid_provider is not None:
+            r, v = self.grid_provider(epoch, offsets)
+            jd = epoch.offset_jd(offsets)
+            return np.asarray(
+                look_angles(self.observer, r, v, jd).elevation_deg)
+        return np.asarray(self.look_angles_at(epoch, offsets).elevation_deg)
 
     # ------------------------------------------------------------------
     def find_passes(self, epoch: Epoch, duration_s: float,
@@ -113,8 +132,7 @@ class PassPredictor:
         offsets = offsets[offsets <= duration_s]
         if offsets[-1] < duration_s:
             offsets = np.append(offsets, duration_s)
-        elev = np.asarray(
-            self.look_angles_at(epoch, offsets).elevation_deg)
+        elev = self._coarse_elevations(epoch, offsets)
         above = elev > self.min_elevation_deg
 
         windows: List[ContactWindow] = []

@@ -1,0 +1,39 @@
+"""Execution substrate: sharded parallel campaign running, ephemeris
+caching and per-shard telemetry.
+
+The measurement campaigns decompose naturally into independent units of
+work — one per site (passive campaign), one per constellation (fleet
+sweeps), one per sampled week (longitudinal studies).  This package
+turns those units into :class:`~satiot.runtime.executor.Shard` objects
+scheduled on a process pool, with
+
+* a **zero-dependency serial fallback** (``workers=1``, the default),
+* a **deterministic merge** back into the campaign result, and
+* a hard correctness contract: parallel and serial runs of the same
+  configuration produce **bit-identical** trace datasets.
+
+See ``docs/runtime.md`` for the executor model, the determinism
+contract, the ephemeris-cache layout and tuning guidance.
+"""
+
+from .ephemeris_cache import (CacheStats, EphemerisCache,
+                              get_default_cache, reset_default_cache,
+                              tle_fingerprint)
+from .executor import (Shard, ShardError, ShardExecutor, ShardOutcome,
+                       resolve_workers)
+from .telemetry import CampaignTelemetry, ShardTelemetry
+
+__all__ = [
+    "CacheStats",
+    "CampaignTelemetry",
+    "EphemerisCache",
+    "Shard",
+    "ShardError",
+    "ShardExecutor",
+    "ShardOutcome",
+    "ShardTelemetry",
+    "get_default_cache",
+    "reset_default_cache",
+    "resolve_workers",
+    "tle_fingerprint",
+]

@@ -1,0 +1,370 @@
+"""Memoizing cache for SGP4 ephemeris grids and pass predictions.
+
+The passive campaign's dominant cost is orbital geometry: every site
+re-propagates every satellite over the full campaign span, and the same
+position/velocity grid is recomputed for all eight sites even though the
+TEME-frame ephemeris does not depend on the observer at all.  This
+module removes that redundancy with two memoized products:
+
+* **propagation grids** — the ``(r, v)`` TEME state sampled on the
+  coarse time grid, keyed by ``(TLE fingerprint, epoch, grid shape)``
+  and shared across *all* sites of a campaign;
+* **pass predictions** — the refined :class:`ContactWindow` list of one
+  satellite over one observer, keyed by ``(TLE fingerprint, epoch,
+  duration, step, elevation mask, quantized location, refine
+  tolerance)`` and shared across repeated campaign and benchmark
+  invocations.
+
+Both live in an in-memory LRU tier; an optional on-disk ``.npz`` tier
+(shared between worker processes and across benchmark runs) can be
+enabled with ``disk_dir=`` or the ``SATIOT_EPHEMERIS_CACHE_DIR``
+environment variable.  Cache lookups are exact — keys incorporate every
+input that influences the cached value — so a hit returns arrays that
+are bit-identical to a fresh computation, preserving the runtime's
+determinism contract.  Disk-tier I/O errors are swallowed: the cache
+silently degrades to recomputation, never to wrong answers.
+
+Set ``SATIOT_EPHEMERIS_CACHE=0`` to disable the process-default cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..orbits.frames import GeodeticPoint
+from ..orbits.passes import ContactWindow, PassPredictor
+from ..orbits.sgp4 import SGP4
+from ..orbits.timebase import Epoch
+from ..orbits.tle import TLE, format_tle
+
+__all__ = ["CacheStats", "EphemerisCache", "get_default_cache",
+           "reset_default_cache", "tle_fingerprint"]
+
+#: Disable the process-default cache entirely when set to 0/false/off.
+CACHE_ENV = "SATIOT_EPHEMERIS_CACHE"
+#: Directory for the shared on-disk tier of the process-default cache.
+CACHE_DIR_ENV = "SATIOT_EPHEMERIS_CACHE_DIR"
+
+_PASS_FIELDS = ("rise_s", "set_s", "culmination_s", "max_elevation_deg",
+                "norad_id", "clipped_start", "clipped_end")
+
+
+def tle_fingerprint(tle: TLE) -> str:
+    """Stable 16-hex-digit fingerprint of an element set.
+
+    Computed over the *formatted* two-line representation, so the
+    fingerprint is invariant under a parse → format → parse round-trip
+    (the canonical form is a fixed-point function of the orbital
+    fields).
+    """
+    line1, line2 = format_tle(tle)
+    digest = hashlib.sha256(f"{line1}\n{line2}".encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def _quantize_location(observer: GeodeticPoint,
+                       decimals: int = 9) -> Tuple[float, float, float]:
+    """Observer location quantized to ~0.1 mm so float noise can't split
+    otherwise-identical cache keys."""
+    return (round(float(observer.latitude_deg), decimals),
+            round(float(observer.longitude_deg), decimals),
+            round(float(observer.altitude_km), decimals))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by cached product and tier."""
+
+    grid_hits: int = 0
+    grid_misses: int = 0
+    pass_hits: int = 0
+    pass_misses: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.grid_hits + self.pass_hits
+
+    @property
+    def misses(self) -> int:
+        return self.grid_misses + self.pass_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Tuple[int, int, int, int, int, int]:
+        return (self.grid_hits, self.grid_misses, self.pass_hits,
+                self.pass_misses, self.disk_hits, self.disk_writes)
+
+
+class EphemerisCache:
+    """Two-tier (memory LRU + optional disk) ephemeris memoizer.
+
+    Parameters
+    ----------
+    max_grids:
+        In-memory LRU capacity for propagation grids.  A 3-day campaign
+        at 30 s steps is ~8.6 k samples → ~400 kB per satellite, so the
+        default comfortably holds every satellite of the study.
+    max_pass_lists:
+        In-memory LRU capacity for per-(satellite, site) pass lists;
+        these are tiny (a few windows each).
+    disk_dir:
+        Optional directory for the shared ``.npz`` tier.  Created on
+        demand; safe to share between concurrent worker processes
+        (writes go through a per-pid temp file + atomic rename).
+    """
+
+    def __init__(self, max_grids: int = 256, max_pass_lists: int = 4096,
+                 disk_dir: Union[str, Path, None] = None) -> None:
+        if max_grids < 1 or max_pass_lists < 1:
+            raise ValueError("cache capacities must be positive")
+        self.max_grids = int(max_grids)
+        self.max_pass_lists = int(max_pass_lists)
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self.stats = CacheStats()
+        self._grids: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
+            = OrderedDict()
+        self._pass_lists: "OrderedDict[tuple, Tuple[ContactWindow, ...]]" \
+            = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def grid_key(tle: TLE, epoch: Epoch,
+                 offsets: np.ndarray) -> tuple:
+        offsets = np.ascontiguousarray(offsets, dtype=float)
+        content = hashlib.sha1(offsets.tobytes()).hexdigest()[:16]
+        return ("grid", tle_fingerprint(tle), round(float(epoch.jd), 9),
+                int(offsets.size), content)
+
+    @staticmethod
+    def pass_key(tle: TLE, observer: GeodeticPoint, epoch: Epoch,
+                 duration_s: float, coarse_step_s: float,
+                 min_elevation_deg: float, refine_tol_s: float) -> tuple:
+        return ("passes", tle_fingerprint(tle),
+                round(float(epoch.jd), 9), round(float(duration_s), 6),
+                round(float(coarse_step_s), 6),
+                round(float(min_elevation_deg), 6),
+                _quantize_location(observer),
+                round(float(refine_tol_s), 6))
+
+    # ------------------------------------------------------------------
+    # Propagation grids
+    # ------------------------------------------------------------------
+    def propagation_grid(self, propagator: SGP4, epoch: Epoch,
+                         offsets_s: Sequence[float],
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """TEME ``(r, v)`` of ``propagator`` at ``epoch + offsets_s``.
+
+        Bit-identical to ``propagator.propagate(...)`` on the same
+        instants; hits skip the SGP4 evaluation entirely.
+        """
+        offsets = np.asarray(offsets_s, dtype=float)
+        key = self.grid_key(propagator.tle, epoch, offsets)
+        cached = self._lru_get(self._grids, key)
+        if cached is not None:
+            self.stats.grid_hits += 1
+            return cached
+        disk = self._disk_load_grid(key)
+        if disk is not None:
+            self.stats.grid_hits += 1
+            self.stats.disk_hits += 1
+            self._lru_put(self._grids, key, disk, self.max_grids)
+            return disk
+        self.stats.grid_misses += 1
+        tsince = float(epoch - propagator.tle.epoch) + offsets
+        r, v = propagator.propagate(tsince)
+        r = np.asarray(r, dtype=float)
+        v = np.asarray(v, dtype=float)
+        self._lru_put(self._grids, key, (r, v), self.max_grids)
+        self._disk_store(key, {"r": r, "v": v})
+        return r, v
+
+    def grid_provider(self, propagator: SGP4,
+                      ) -> Callable[[Epoch, np.ndarray],
+                                    Tuple[np.ndarray, np.ndarray]]:
+        """A ``PassPredictor``-compatible coarse-grid provider."""
+        def provider(epoch: Epoch, offsets: np.ndarray):
+            return self.propagation_grid(propagator, epoch, offsets)
+        return provider
+
+    # ------------------------------------------------------------------
+    # Pass predictions
+    # ------------------------------------------------------------------
+    def find_passes(self, propagator: SGP4, observer: GeodeticPoint,
+                    epoch: Epoch, duration_s: float,
+                    coarse_step_s: float = 30.0,
+                    min_elevation_deg: float = 0.0,
+                    refine_tol_s: float = 0.5) -> List[ContactWindow]:
+        """Cached equivalent of ``PassPredictor.find_passes``."""
+        key = self.pass_key(propagator.tle, observer, epoch, duration_s,
+                            coarse_step_s, min_elevation_deg,
+                            refine_tol_s)
+        cached = self._lru_get(self._pass_lists, key)
+        if cached is not None:
+            self.stats.pass_hits += 1
+            return list(cached)
+        disk = self._disk_load_passes(key)
+        if disk is not None:
+            self.stats.pass_hits += 1
+            self.stats.disk_hits += 1
+            self._lru_put(self._pass_lists, key, disk,
+                          self.max_pass_lists)
+            return list(disk)
+        self.stats.pass_misses += 1
+        predictor = PassPredictor(propagator, observer,
+                                  min_elevation_deg,
+                                  grid_provider=self.grid_provider(
+                                      propagator))
+        windows = tuple(predictor.find_passes(
+            epoch, duration_s, coarse_step_s=coarse_step_s,
+            refine_tol_s=refine_tol_s))
+        self._lru_put(self._pass_lists, key, windows,
+                      self.max_pass_lists)
+        self._disk_store(key, self._passes_to_arrays(windows))
+        return list(windows)
+
+    # ------------------------------------------------------------------
+    # Memory LRU tier
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lru_get(store: OrderedDict, key: tuple):
+        try:
+            value = store[key]
+        except KeyError:
+            return None
+        store.move_to_end(key)
+        return value
+
+    @staticmethod
+    def _lru_put(store: OrderedDict, key: tuple, value,
+                 capacity: int) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > capacity:
+            store.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier is untouched)."""
+        self._grids.clear()
+        self._pass_lists.clear()
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: tuple) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        name = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+        return self.disk_dir / f"{key[0]}-{name}.npz"
+
+    def _disk_store(self, key: tuple, arrays: dict) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            with tmp.open("wb") as fh:
+                np.savez(fh, **arrays)
+            tmp.replace(path)
+            self.stats.disk_writes += 1
+        except OSError:
+            pass  # cache degradation, never an error
+
+    def _disk_load(self, key: tuple) -> Optional[dict]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                return {name: np.array(data[name]) for name in data.files}
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _disk_load_grid(self, key: tuple,
+                        ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        data = self._disk_load(key)
+        if data is None or "r" not in data or "v" not in data:
+            return None
+        return data["r"], data["v"]
+
+    def _disk_load_passes(self, key: tuple,
+                          ) -> Optional[Tuple[ContactWindow, ...]]:
+        data = self._disk_load(key)
+        if data is None or any(f not in data for f in _PASS_FIELDS):
+            return None
+        return self._passes_from_arrays(data)
+
+    @staticmethod
+    def _passes_to_arrays(windows: Sequence[ContactWindow]) -> dict:
+        return {
+            "rise_s": np.array([w.rise_s for w in windows], float),
+            "set_s": np.array([w.set_s for w in windows], float),
+            "culmination_s": np.array(
+                [w.culmination_s for w in windows], float),
+            "max_elevation_deg": np.array(
+                [w.max_elevation_deg for w in windows], float),
+            "norad_id": np.array([w.norad_id for w in windows],
+                                 np.int64),
+            "clipped_start": np.array(
+                [w.clipped_start for w in windows], bool),
+            "clipped_end": np.array(
+                [w.clipped_end for w in windows], bool),
+        }
+
+    @staticmethod
+    def _passes_from_arrays(data: dict) -> Tuple[ContactWindow, ...]:
+        n = int(data["rise_s"].size)
+        return tuple(
+            ContactWindow(
+                rise_s=float(data["rise_s"][i]),
+                set_s=float(data["set_s"][i]),
+                culmination_s=float(data["culmination_s"][i]),
+                max_elevation_deg=float(data["max_elevation_deg"][i]),
+                norad_id=int(data["norad_id"][i]),
+                clipped_start=bool(data["clipped_start"][i]),
+                clipped_end=bool(data["clipped_end"][i]))
+            for i in range(n))
+
+
+# ----------------------------------------------------------------------
+# Process-default cache
+# ----------------------------------------------------------------------
+_default_cache: Optional[EphemerisCache] = None
+
+
+def get_default_cache() -> Optional[EphemerisCache]:
+    """The lazily-built process-wide cache (or ``None`` if disabled).
+
+    Honours ``SATIOT_EPHEMERIS_CACHE=0`` (disable) and
+    ``SATIOT_EPHEMERIS_CACHE_DIR`` (enable the shared disk tier).
+    Worker processes build their own instance from the same environment,
+    so a configured disk tier is shared across the whole shard pool.
+    """
+    global _default_cache
+    if os.environ.get(CACHE_ENV, "1").strip().lower() in (
+            "0", "false", "off", "no"):
+        return None
+    if _default_cache is None:
+        disk_dir = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+        _default_cache = EphemerisCache(disk_dir=disk_dir)
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Forget the process-default cache (mainly for tests)."""
+    global _default_cache
+    _default_cache = None

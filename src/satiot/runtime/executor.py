@@ -1,0 +1,183 @@
+"""Shard-based work scheduler for campaign execution.
+
+A campaign is split into :class:`Shard` units (one per site, per
+constellation, or per sampled week), each of which can be computed
+independently and deterministically from the campaign configuration.
+:class:`ShardExecutor` runs the shards either serially in-process (the
+zero-dependency fallback) or on a ``concurrent.futures``
+``ProcessPoolExecutor``, and always returns results **in shard order**
+so the merge into the campaign result is deterministic regardless of
+worker scheduling.
+
+Worker exceptions are re-raised in the parent wrapped in
+:class:`ShardError` carrying the failing shard's label, with the
+original exception chained as ``__cause__``.
+
+The worker count resolves, in priority order, from the explicit
+``workers`` argument, the ``SATIOT_WORKERS`` environment variable, and
+finally a serial default of 1.  ``workers=0`` (or a negative value)
+means "auto": one worker per available CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["Shard", "ShardError", "ShardExecutor", "ShardOutcome",
+           "resolve_workers", "WORKERS_ENV"]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "SATIOT_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    ``None`` defers to ``SATIOT_WORKERS`` (defaulting to 1, i.e. serial);
+    ``0`` or a negative count means one worker per available CPU.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}")
+        else:
+            workers = 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of campaign work.
+
+    ``kind`` names the sharding axis (``"site"``, ``"constellation"``,
+    ``"week"`` …), ``key`` identifies the unit on that axis and
+    ``payload`` carries whatever picklable inputs the worker function
+    needs to recompute the unit from scratch.
+    """
+
+    index: int
+    kind: str
+    key: str
+    payload: Any = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.key}"
+
+
+class ShardError(RuntimeError):
+    """A shard's worker raised; carries the shard context."""
+
+    def __init__(self, shard: Shard, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard.label} (index {shard.index}) failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.shard = shard
+
+
+@dataclass
+class ShardOutcome:
+    """Result envelope of one executed shard."""
+
+    shard: Shard
+    result: Any
+    wall_s: float
+    worker: str = "serial"
+
+
+def _timed_call(fn: Callable[[Shard], Any], shard: Shard):
+    """Run ``fn(shard)`` and time it (executes inside the worker)."""
+    t0 = time.perf_counter()
+    result = fn(shard)
+    return result, time.perf_counter() - t0, f"pid:{os.getpid()}"
+
+
+class ShardExecutor:
+    """Runs shard worker functions serially or on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; see :func:`resolve_workers`.  With one worker (the
+        default) everything runs in-process with zero dependencies on
+        ``multiprocessing`` — important for restricted environments.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+        #: Set by :meth:`map` — "serial" or "process".
+        self.mode = "serial"
+        #: Pool bring-up failure that forced a serial fallback, if any.
+        self._pool_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Shard], Any],
+            shards: Sequence[Shard]) -> List[ShardOutcome]:
+        """Execute ``fn`` over every shard, results in shard order.
+
+        ``fn`` must be a module-level (picklable) callable when more
+        than one worker is configured.
+        """
+        shards = list(shards)
+        if self.workers <= 1 or len(shards) <= 1:
+            self.mode = "serial"
+            return self._map_serial(fn, shards)
+        from concurrent.futures.process import BrokenProcessPool
+        try:
+            outcomes = self._map_parallel(fn, shards)
+        except ShardError:
+            raise
+        except (ImportError, OSError, PermissionError,
+                BrokenProcessPool) as exc:
+            # Pool could not be brought up (no /dev/shm, forbidden fork,
+            # …): degrade gracefully to the serial path.
+            self._pool_error = exc
+            self.mode = "serial"
+            return self._map_serial(fn, shards)
+        self.mode = "process"
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn: Callable[[Shard], Any],
+                    shards: Sequence[Shard]) -> List[ShardOutcome]:
+        outcomes: List[ShardOutcome] = []
+        for shard in shards:
+            try:
+                result, wall_s, worker = _timed_call(fn, shard)
+            except Exception as exc:
+                raise ShardError(shard, exc) from exc
+            outcomes.append(ShardOutcome(shard=shard, result=result,
+                                         wall_s=wall_s, worker=worker))
+        return outcomes
+
+    def _map_parallel(self, fn: Callable[[Shard], Any],
+                      shards: Sequence[Shard]) -> List[ShardOutcome]:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        max_workers = min(self.workers, len(shards))
+        outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_timed_call, fn, shard)
+                       for shard in shards]
+            for i, (shard, future) in enumerate(zip(shards, futures)):
+                try:
+                    result, wall_s, worker = future.result()
+                except BrokenProcessPool:
+                    # The pool itself died (OOM kill, missing /dev/shm);
+                    # let map() degrade to the serial path.
+                    raise
+                except Exception as exc:
+                    raise ShardError(shard, exc) from exc
+                outcomes[i] = ShardOutcome(shard=shard, result=result,
+                                           wall_s=wall_s, worker=worker)
+        return [o for o in outcomes if o is not None]

@@ -1,0 +1,126 @@
+"""Per-shard execution telemetry.
+
+Every executed shard reports wall time, work counters (passes, beacons
+simulated, traces collected) and ephemeris-cache hit/miss deltas.  The
+campaign aggregates them into a :class:`CampaignTelemetry` that is
+surfaced on :class:`~satiot.core.campaign.PassiveCampaignResult` and
+rendered by ``python -m satiot report --timing``.
+
+This module is intentionally dependency-free (no imports from
+``satiot.core``) so the runtime package never participates in an import
+cycle with the campaign layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["ShardTelemetry", "CampaignTelemetry"]
+
+
+@dataclass
+class ShardTelemetry:
+    """Measurements of one executed shard."""
+
+    label: str
+    wall_s: float
+    passes: int = 0
+    beacons: int = 0
+    traces: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker: str = "serial"
+
+    @property
+    def events_per_s(self) -> float:
+        """Simulated beacon events per wall-clock second."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.beacons / self.wall_s
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregate runtime telemetry of one campaign execution."""
+
+    workers: int = 1
+    mode: str = "serial"
+    wall_s: float = 0.0
+    shards: List[ShardTelemetry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_wall_s(self) -> float:
+        """Summed per-shard compute time (> ``wall_s`` when parallel)."""
+        return sum(s.wall_s for s in self.shards)
+
+    @property
+    def total_beacons(self) -> int:
+        return sum(s.beacons for s in self.shards)
+
+    @property
+    def total_traces(self) -> int:
+        return sum(s.traces for s in self.shards)
+
+    @property
+    def total_passes(self) -> int:
+        return sum(s.passes for s in self.shards)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.shards)
+
+    @property
+    def events_per_s(self) -> float:
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.total_beacons / self.wall_s
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Shard compute time over (wall time × workers); 1.0 is ideal."""
+        denom = self.wall_s * max(1, self.workers)
+        if denom <= 0.0:
+            return 0.0
+        return min(1.0, self.shard_wall_s / denom)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable timing table (monospace)."""
+        header = ["shard", "wall (s)", "passes", "beacons", "ev/s",
+                  "cache h/m", "worker"]
+        rows: List[Sequence[str]] = []
+        for s in self.shards:
+            rows.append([
+                s.label, f"{s.wall_s:.3f}", str(s.passes),
+                str(s.beacons), f"{s.events_per_s:,.0f}",
+                f"{s.cache_hits}/{s.cache_misses}", s.worker])
+        rows.append([
+            "TOTAL", f"{self.wall_s:.3f}", str(self.total_passes),
+            str(self.total_beacons), f"{self.events_per_s:,.0f}",
+            f"{self.cache_hits}/{self.cache_misses}",
+            f"{self.mode} x{self.workers}"])
+        widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+                  for i in range(len(header))]
+        lines = [
+            f"Runtime telemetry ({self.mode}, {self.workers} worker(s), "
+            f"{self.wall_s:.3f} s wall, "
+            f"{100.0 * self.parallel_efficiency:.0f}% efficiency)",
+            "  ".join(h.ljust(widths[i])
+                      for i, h in enumerate(header)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append("  ".join(str(c).ljust(widths[i])
+                                   for i, c in enumerate(r)))
+        return "\n".join(lines)

@@ -26,15 +26,17 @@ class _Entry:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -46,7 +48,13 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
+        if self._entry.cancelled or self._entry.fired:
+            return
         self._entry.cancelled = True
+        # The live-pending counter is maintained here (not by scanning
+        # the heap) so `Simulator.pending` stays O(1); the cancelled
+        # entry itself is lazily discarded when it surfaces on the heap.
+        self._sim._pending -= 1
 
 
 class Simulator:
@@ -57,6 +65,7 @@ class Simulator:
         self._queue: List[_Entry] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._pending = 0
 
     # ------------------------------------------------------------------
     @property
@@ -69,7 +78,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (uncancelled, unfired) events — an O(1) counter."""
+        return self._pending
 
     # ------------------------------------------------------------------
     def at(self, time: float, fn: Callable[[], None]) -> EventHandle:
@@ -79,7 +89,8 @@ class Simulator:
                 f"cannot schedule at {time} before now={self._now}")
         entry = _Entry(time=time, seq=next(self._seq), fn=fn)
         heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        self._pending += 1
+        return EventHandle(entry, self)
 
     def after(self, delay: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -94,6 +105,8 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
                 continue
+            entry.fired = True
+            self._pending -= 1
             self._now = entry.time
             entry.fn()
             self._events_processed += 1
@@ -111,6 +124,8 @@ class Simulator:
             heapq.heappop(self._queue)
             if entry.cancelled:
                 continue
+            entry.fired = True
+            self._pending -= 1
             self._now = entry.time
             entry.fn()
             self._events_processed += 1

@@ -44,6 +44,19 @@ class TestCampaignResult:
                for r in sr.receptions]
         assert len(ids) == len(set(ids))
 
+    def test_pass_ids_are_shard_invariant_format(self,
+                                                 passive_result_small):
+        """Ids are "{site}-{norad}-{k}" with a per-satellite counter."""
+        for code, sr in passive_result_small.site_results.items():
+            per_sat = {}
+            for r in sr.receptions:
+                norad = r.scheduled.satellite.norad_id
+                k = per_sat.get(norad, 0)
+                per_sat[norad] = k + 1
+                assert r.pass_id == f"{code}-{norad}-{k}"
+                for t in r.traces:
+                    assert t.pass_id == r.pass_id
+
     def test_receptions_filter(self, passive_result_small):
         tianqi = passive_result_small.receptions("HK", "tianqi")
         assert all(r.scheduled.satellite.constellation_name == "Tianqi"
@@ -70,3 +83,42 @@ class TestCampaignResult:
         with pytest.raises(ValueError):
             PassiveCampaignConfig(sites=("HK",),
                                   constellations=("nope",))
+
+
+class TestShardInvariance:
+    """Running a subset of sites must reproduce the shared sites
+    exactly — ids, RNG draws and all (the runtime determinism
+    contract's prerequisite)."""
+
+    def test_site_subset_yields_identical_traces(self):
+        from satiot.core.campaign import PassiveCampaign
+        full_cfg = PassiveCampaignConfig(
+            sites=("HK", "SYD"), constellations=("tianqi",),
+            days=0.5, seed=9)
+        sub_cfg = PassiveCampaignConfig(
+            sites=("SYD",), constellations=("tianqi",),
+            days=0.5, seed=9)
+        full = PassiveCampaign(full_cfg, workers=1).run()
+        sub = PassiveCampaign(sub_cfg, workers=1).run()
+
+        full_syd = [t for t in full.dataset if t.site == "SYD"]
+        assert full_syd == list(sub.dataset)
+        assert len(full_syd) > 0
+
+        ids_full = [r.pass_id
+                    for r in full.site_results["SYD"].receptions]
+        ids_sub = [r.pass_id
+                   for r in sub.site_results["SYD"].receptions]
+        assert ids_full == ids_sub
+
+    def test_site_order_does_not_matter(self):
+        from satiot.core.campaign import PassiveCampaign
+        a = PassiveCampaign(PassiveCampaignConfig(
+            sites=("HK", "SYD"), constellations=("fossa",),
+            days=0.5, seed=9), workers=1).run()
+        b = PassiveCampaign(PassiveCampaignConfig(
+            sites=("SYD", "HK"), constellations=("fossa",),
+            days=0.5, seed=9), workers=1).run()
+        for code in ("HK", "SYD"):
+            assert [t for t in a.dataset if t.site == code] \
+                == [t for t in b.dataset if t.site == code]

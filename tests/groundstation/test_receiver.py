@@ -28,7 +28,8 @@ def receptions(scheduled_passes):
     epoch, assigned = scheduled_passes
     receiver = BeaconReceiver()
     streams = RngStreams(5)
-    return [receiver.receive_pass(sp, epoch, i, streams.get(f"p/{i}"))
+    return [receiver.receive_pass(sp, epoch, f"HK-{i}",
+                                  streams.get(f"p/{i}"))
             for i, sp in enumerate(assigned)]
 
 
@@ -79,9 +80,9 @@ class TestPassReception:
     def test_deterministic(self, scheduled_passes):
         epoch, assigned = scheduled_passes
         receiver = BeaconReceiver()
-        a = receiver.receive_pass(assigned[0], epoch, 0,
+        a = receiver.receive_pass(assigned[0], epoch, "HK-0",
                                   RngStreams(5).get("p/0"))
-        b = receiver.receive_pass(assigned[0], epoch, 0,
+        b = receiver.receive_pass(assigned[0], epoch, "HK-0",
                                   RngStreams(5).get("p/0"))
         assert a.beacons_received == b.beacons_received
         assert [t.rssi_dbm for t in a.traces] \
@@ -94,11 +95,11 @@ class TestPassReception:
             link_overrides={"implementation_loss_db": 11.0})
         streams_a, streams_b = RngStreams(5), RngStreams(5)
         total_clean = sum(
-            clean.receive_pass(sp, epoch, i,
+            clean.receive_pass(sp, epoch, f"HK-{i}",
                                streams_a.get(f"p/{i}")).beacons_received
             for i, sp in enumerate(assigned[:40]))
         total_noisy = sum(
-            noisy.receive_pass(sp, epoch, i,
+            noisy.receive_pass(sp, epoch, f"HK-{i}",
                                streams_b.get(f"p/{i}")).beacons_received
             for i, sp in enumerate(assigned[:40]))
         assert total_noisy < total_clean

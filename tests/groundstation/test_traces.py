@@ -11,7 +11,7 @@ def make_trace(**kwargs):
                     norad_id=44100, frequency_hz=400.45e6,
                     rssi_dbm=-128.5, snr_db=-11.4, elevation_deg=42.0,
                     azimuth_deg=183.0, range_km=1120.0, doppler_hz=-4200.0,
-                    raining=False, pass_id=3)
+                    raining=False, pass_id="HK-44100-3")
     defaults.update(kwargs)
     return BeaconTrace(**defaults)
 

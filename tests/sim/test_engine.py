@@ -82,6 +82,53 @@ class TestCancellation:
         h1.cancel()
         assert sim.pending == 1
 
+    def test_cancel_then_count(self):
+        """The live counter survives cancel / double-cancel / fire."""
+        sim = Simulator()
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        handles[2].cancel()
+        handles[4].cancel()
+        assert sim.pending == 3
+        handles[2].cancel()          # double cancel: no double decrement
+        assert sim.pending == 3
+        assert sim.step()            # fires t=1
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.at(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        handle.cancel()              # already fired: must not go negative
+        assert sim.pending == 0
+
+    def test_pending_tracks_events_scheduled_during_run(self):
+        sim = Simulator()
+        counts = []
+
+        def chain():
+            counts.append(sim.pending)
+            if len(counts) < 3:
+                sim.after(1.0, chain)
+
+        sim.at(0.0, chain)
+        sim.run()
+        # Inside each firing the fired event is no longer pending.
+        assert counts == [0, 0, 0]
+        assert sim.pending == 0
+
+    def test_pending_with_run_until_and_cancel(self):
+        sim = Simulator()
+        kept = sim.at(5.0, lambda: None)
+        gone = sim.at(2.0, lambda: None)
+        gone.cancel()
+        sim.run_until(3.0)           # pops the cancelled entry lazily
+        assert sim.pending == 1
+        assert not kept.cancelled
+
 
 class TestRunUntil:
     def test_stops_at_boundary(self):
