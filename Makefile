@@ -12,11 +12,14 @@ test-runtime:
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest --benchmark-only -q
 
-# Tiny-mode runtime scaling benchmark: seconds, not minutes.  Verifies
-# parallel == serial bit-identity and cache-warm < cache-cold.
+# Tiny-mode benchmarks: seconds, not minutes.  Verifies parallel ==
+# serial bit-identity, cache-warm < cache-cold, and the columnar trace
+# store's merge+filter / archive-size wins (metrics JSON lands in
+# benchmarks/output/ and is uploaded as a CI artifact).
 bench-smoke:
 	cd benchmarks && SATIOT_BENCH_TINY=1 PYTHONPATH=../src \
-		$(PYTHON) -m pytest bench_runtime_scaling.py -q -p no:cacheprovider
+		$(PYTHON) -m pytest bench_runtime_scaling.py bench_trace_store.py \
+		-q -p no:cacheprovider
 
 validate:
 	$(PYTHON) -m satiot validate

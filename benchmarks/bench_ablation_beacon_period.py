@@ -42,9 +42,11 @@ def run_period(period_s: float):
                   for i, sp in enumerate(schedule.assigned)]
     received = sum(r.beacons_received for r in receptions)
     heard_windows = np.mean([r.heard_anything for r in receptions])
-    gaps = []
-    times = sorted(t.time_s for r in receptions for t in r.traces)
-    gaps = np.diff(times) if len(times) > 1 else np.array([np.inf])
+    time_blocks = [r.traces.column("time_s") for r in receptions
+                   if len(r.traces)]
+    times = np.sort(np.concatenate(time_blocks)) if time_blocks \
+        else np.empty(0)
+    gaps = np.diff(times) if times.size > 1 else np.array([np.inf])
     return received, float(heard_windows), float(np.median(gaps))
 
 

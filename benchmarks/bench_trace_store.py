@@ -1,0 +1,293 @@
+"""Trace store — row-object lists vs the columnar data plane.
+
+Measures the four costs the PR 2 refactor targets, at campaign scale
+(1e4 – 1e6 traces, shrunk to 1e4 by ``SATIOT_BENCH_TINY=1``):
+
+* **build**   — turning per-pass receiver output into dataset pieces
+  (row path: one ``BeaconTrace`` allocation per beacon; columnar path:
+  ``TraceColumns.from_arrays`` straight from the sample arrays);
+* **IPC**     — pickling the per-pass pieces, the serialisation a shard
+  result pays to cross the worker-pool process boundary;
+* **merge**   — what ``PassiveCampaign`` pays to assemble the campaign
+  dataset from shard results: unpickling the shard payload and
+  concatenating the pieces (row path: object unpickling + list extend;
+  columnar path: array unpickling + one canonical block ``concat``);
+* **filter**  — the standard analysis query: site + constellation +
+  time-window cut, then extract the RSSI column (row path: chained
+  predicate scans and a per-trace attribute comprehension, exactly the
+  pre-columnar ``TraceDataset`` replicated inline below; columnar
+  path: interned-code masks combined into one boolean gather of a
+  single column).
+
+It also archives the merged dataset through CSV / JSONL / NPZ and
+records the file sizes.
+
+Asserted contracts (the ISSUE acceptance numbers):
+
+* at 1e5 traces the columnar merge+filter path is >= 5x faster than the
+  row baseline (only checked when a >= 1e5 size is measured, i.e. not
+  in tiny mode — tiny mode asserts the columnar path merely wins);
+* the NPZ archive is >= 3x smaller than the CSV archive at every size.
+
+Metrics land in ``benchmarks/output/trace_store.json`` for the CI
+artifact, next to the human-readable table.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+import time
+
+import numpy as np
+
+from satiot.core.report import format_table
+from satiot.groundstation.traces import (BeaconTrace, TraceColumns,
+                                         TraceDataset)
+
+from conftest import OUTPUT_DIR, SEED, write_json, write_output
+
+TINY = os.environ.get("SATIOT_BENCH_TINY", "").strip() in ("1", "true")
+
+SIZES = (10_000,) if TINY else (10_000, 100_000, 1_000_000)
+BEACONS_PER_PASS = 600
+SITES = ("HK", "SYD")
+CONSTELLATIONS = ("Tianqi", "FOSSA")
+
+
+# ---------------------------------------------------------------------------
+# Synthetic per-pass receiver output (arrays, as the PHY layer emits them)
+
+def _synthesize_passes(n_traces: int):
+    """Yield per-pass dicts of sample arrays, realistic and quantized."""
+    rng = np.random.default_rng(SEED)
+    passes = []
+    produced = 0
+    index = 0
+    while produced < n_traces:
+        n = min(BEACONS_PER_PASS, n_traces - produced)
+        site = SITES[index % len(SITES)]
+        constellation = CONSTELLATIONS[index % len(CONSTELLATIONS)]
+        norad = 44100 + (index % 7)
+        t0 = 86400.0 * (index // len(SITES))
+        passes.append(dict(
+            n=n,
+            time_s=np.round(t0 + np.cumsum(rng.uniform(0.8, 1.2, n)), 3),
+            station_id=f"{site}-1", site=site,
+            constellation=constellation,
+            satellite=f"{constellation}-{norad}",
+            norad_id=norad, frequency_hz=400.45e6,
+            rssi_dbm=np.round(rng.uniform(-140.0, -115.0, n) * 2) / 2,
+            snr_db=np.round(rng.uniform(-20.0, 5.0, n) * 4) / 4,
+            elevation_deg=np.round(rng.uniform(10.0, 80.0, n), 1),
+            azimuth_deg=np.round(rng.uniform(0.0, 360.0, n), 1),
+            range_km=np.round(rng.uniform(500.0, 2500.0, n), 1),
+            doppler_hz=np.round(rng.uniform(-9000.0, 9000.0, n)),
+            raining=bool(index % 5 == 0),
+            pass_id=f"{site}-{norad}-{index}",
+        ))
+        produced += n
+        index += 1
+    return passes
+
+
+# ---------------------------------------------------------------------------
+# Row baseline: the pre-columnar representation, replicated verbatim
+# (a list of dataclass rows with predicate-scan query helpers — this is
+# what ``satiot.groundstation.traces.TraceDataset`` was before PR 2).
+
+class _RowDataset:
+    def __init__(self, traces=None):
+        self._traces = list(traces or [])
+
+    def extend(self, traces):
+        self._traces.extend(traces)
+
+    def __len__(self):
+        return len(self._traces)
+
+    def __iter__(self):
+        return iter(self._traces)
+
+    def filter(self, predicate):
+        return _RowDataset(t for t in self._traces if predicate(t))
+
+    def by_constellation(self, name):
+        name = name.lower()
+        return self.filter(lambda t: t.constellation.lower() == name)
+
+    def by_site(self, site):
+        return self.filter(lambda t: t.site == site)
+
+
+def _build_rows(passes) -> list:
+    pieces = []
+    for p in passes:
+        pieces.append([
+            BeaconTrace(
+                time_s=float(p["time_s"][i]), station_id=p["station_id"],
+                site=p["site"], constellation=p["constellation"],
+                satellite=p["satellite"], norad_id=p["norad_id"],
+                frequency_hz=p["frequency_hz"],
+                rssi_dbm=float(p["rssi_dbm"][i]),
+                snr_db=float(p["snr_db"][i]),
+                elevation_deg=float(p["elevation_deg"][i]),
+                azimuth_deg=float(p["azimuth_deg"][i]),
+                range_km=float(p["range_km"][i]),
+                doppler_hz=float(p["doppler_hz"][i]),
+                raining=p["raining"], pass_id=p["pass_id"])
+            for i in range(p["n"])])
+    return pieces
+
+
+def _merge_rows(pieces) -> _RowDataset:
+    merged = _RowDataset()
+    for piece in pieces:
+        merged.extend(piece)
+    return merged
+
+
+def _filter_rows(rows: _RowDataset, t_lo, t_hi) -> np.ndarray:
+    sub = rows.by_site("HK").by_constellation("tianqi") \
+        .filter(lambda t: t_lo <= t.time_s < t_hi)
+    return np.asarray([t.rssi_dbm for t in sub])
+
+
+# ---------------------------------------------------------------------------
+# Columnar path
+
+def _build_blocks(passes):
+    return [TraceColumns.from_arrays(**p) for p in passes]
+
+
+def _merge_blocks(blob) -> TraceDataset:
+    ds = TraceDataset()
+    for block in pickle.loads(blob):
+        ds.extend(block)
+    ds.columns          # force consolidation so merge cost is measured
+    return ds
+
+
+def _filter_columns(ds: TraceDataset, t_lo, t_hi) -> np.ndarray:
+    cols = ds.columns
+    times = cols.column("time_s")
+    mask = (cols.string_column("site").mask_eq("HK")
+            & cols.string_column("constellation").mask_eq(
+                "tianqi", casefold=True)
+            & (times >= t_lo) & (times < t_hi))
+    return cols.column("rssi_dbm")[mask]
+
+
+# ---------------------------------------------------------------------------
+
+def _timeit(fn, *args, repeats: int = 1):
+    """Best-of-``repeats`` wall time (GC paused so a collection of the
+    row-object heap doesn't land inside a timed columnar op)."""
+    result, best = None, None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn(*args)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _merge_rows_blob(blob) -> _RowDataset:
+    return _merge_rows(pickle.loads(blob))
+
+
+def _measure(n_traces: int) -> dict:
+    passes = _synthesize_passes(n_traces)
+    t_lo, t_hi = 0.0, float(np.median(
+        np.concatenate([p["time_s"] for p in passes])))
+    repeats = 3 if n_traces <= 100_000 else 1
+    dumps = (lambda payload:
+             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    row_pieces, row_build = _timeit(_build_rows, passes)
+    row_blob, row_ipc = _timeit(dumps, row_pieces)
+    rows, row_merge = _timeit(_merge_rows_blob, row_blob,
+                              repeats=repeats)
+    row_hits, row_filter = _timeit(_filter_rows, rows, t_lo, t_hi,
+                                   repeats=repeats)
+
+    col_pieces, col_build = _timeit(_build_blocks, passes)
+    col_blob, col_ipc = _timeit(dumps, col_pieces)
+    dataset, col_merge = _timeit(_merge_blocks, col_blob,
+                                 repeats=repeats)
+    col_hits, col_filter = _timeit(_filter_columns, dataset, t_lo, t_hi,
+                                   repeats=repeats)
+
+    # Both representations agree before we quote any speedups.
+    assert len(rows) == len(dataset) == n_traces
+    assert np.array_equal(row_hits, col_hits)
+    assert list(rows)[:50] == list(dataset[:50])
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    sizes = {}
+    for fmt in ("csv", "jsonl", "npz"):
+        path = OUTPUT_DIR / f"trace_store_probe.{fmt}"
+        dataset.save(path, trace_format=fmt)
+        sizes[fmt] = path.stat().st_size
+        path.unlink()
+
+    return {
+        "traces": n_traces, "passes": len(passes),
+        "filter_hits": int(col_hits.size),
+        "row": {"build_s": row_build, "merge_s": row_merge,
+                "filter_s": row_filter, "pickle_s": row_ipc,
+                "pickle_bytes": len(row_blob)},
+        "columnar": {"build_s": col_build, "merge_s": col_merge,
+                     "filter_s": col_filter, "pickle_s": col_ipc,
+                     "pickle_bytes": len(col_blob),
+                     "resident_bytes": dataset.nbytes},
+        "merge_filter_speedup":
+            (row_merge + row_filter) / max(col_merge + col_filter, 1e-9),
+        "archive_bytes": sizes,
+        "csv_over_npz": sizes["csv"] / max(sizes["npz"], 1),
+    }
+
+
+def test_trace_store(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_measure(n) for n in SIZES], rounds=1, iterations=1)
+
+    for res in results:
+        assert res["csv_over_npz"] >= 3.0, \
+            (f"NPZ not >=3x smaller than CSV at {res['traces']} traces "
+             f"(ratio {res['csv_over_npz']:.2f}x)")
+
+    checked = [r for r in results if r["traces"] >= 100_000]
+    for res in checked:
+        assert res["merge_filter_speedup"] >= 5.0, \
+            (f"merge+filter speedup {res['merge_filter_speedup']:.1f}x "
+             f"< 5x at {res['traces']} traces")
+    if not checked:   # tiny mode: the columnar path must still win
+        assert all(r["merge_filter_speedup"] > 1.0 for r in results)
+
+    rows = []
+    for res in results:
+        row, col = res["row"], res["columnar"]
+        rows.append([
+            res["traces"],
+            f"{row['build_s'] / max(col['build_s'], 1e-9):.1f}x",
+            f"{row['merge_s'] / max(col['merge_s'], 1e-9):.1f}x",
+            f"{row['filter_s'] / max(col['filter_s'], 1e-9):.1f}x",
+            f"{res['merge_filter_speedup']:.1f}x",
+            f"{row['pickle_s'] / max(col['pickle_s'], 1e-9):.1f}x",
+            f"{row['pickle_bytes'] / max(col['pickle_bytes'], 1):.1f}x",
+            f"{res['csv_over_npz']:.1f}x",
+        ])
+    table = format_table(
+        ["Traces", "build", "merge", "filter", "merge+filter",
+         "pickle", "IPC bytes", "CSV/NPZ"], rows,
+        title="Trace store — columnar speedup over row objects "
+              "(higher is better)")
+    write_output("trace_store", table)
+    write_json("trace_store", {"tiny": TINY, "sizes": results})

@@ -10,6 +10,7 @@ the regenerated numbers are inspectable after a captured pytest run.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -57,6 +58,13 @@ def write_output(name: str, text: str) -> None:
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}")
+
+
+def write_json(name: str, payload) -> None:
+    """Persist machine-readable benchmark metrics (CI uploads these)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

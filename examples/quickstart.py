@@ -45,7 +45,7 @@ def main() -> None:
     streams = RngStreams(seed=7)
     best = max(schedule.assigned,
                key=lambda sp: sp.window.max_elevation_deg)
-    reception = receiver.receive_pass(best, epoch, pass_id=0,
+    reception = receiver.receive_pass(best, epoch, pass_id="HK-demo-0",
                                       rng=streams.get("demo"))
     print(f"\nBest pass ({best.satellite.name}, max el "
           f"{best.window.max_elevation_deg:.0f} deg): "

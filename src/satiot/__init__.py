@@ -24,7 +24,7 @@ from .core import (ActiveCampaign, ActiveCampaignConfig,
                    analyze_contacts, compare_energy, compare_systems,
                    daily_presence_hours)
 from .groundstation import (BeaconReceiver, BeaconTrace, GroundStation,
-                            Scheduler, TraceDataset)
+                            Scheduler, TraceColumns, TraceDataset)
 from .orbits import (SGP4, TLE, ContactWindow, Epoch, GeodeticPoint,
                      PassPredictor, parse_tle, parse_tle_file)
 from .phy import DtSChannel, LinkBudget, LoRaModulation
@@ -41,7 +41,7 @@ __all__ = [
     "analyze_contacts", "compare_energy", "compare_systems",
     "daily_presence_hours",
     "BeaconReceiver", "BeaconTrace", "GroundStation", "Scheduler",
-    "TraceDataset",
+    "TraceColumns", "TraceDataset",
     "SGP4", "TLE", "ContactWindow", "Epoch", "GeodeticPoint",
     "PassPredictor", "parse_tle", "parse_tle_file",
     "DtSChannel", "LinkBudget", "LoRaModulation",

@@ -5,9 +5,11 @@ Subcommands mirror the library's workflows::
     python -m satiot tle tianqi                 # export element sets
     python -m satiot passes tianqi --site HK    # contact windows
     python -m satiot presence --site HK         # Fig. 3a style table
-    python -m satiot passive --sites HK --days 1 --out traces.csv
+    python -m satiot passive --sites HK --days 1 --out traces.npz
     python -m satiot active --days 2
     python -m satiot coverage tianqi --hours 24
+    python -m satiot dataset export archive/ --sites HK,SYD --days 1
+    python -m satiot dataset info archive/     # manifest + per-site table
 """
 
 from __future__ import annotations
@@ -52,6 +54,30 @@ def _add_location_args(parser: argparse.ArgumentParser) -> None:
                         help="a paper measurement site code")
     parser.add_argument("--lat", type=float, default=None)
     parser.add_argument("--lon", type=float, default=None)
+
+
+def _add_trace_format_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-format", choices=("auto", "csv", "jsonl", "npz"),
+        default="auto",
+        help="trace file format (auto = npz for large runs, csv "
+             "otherwise)")
+
+
+def _resolve_trace_format(choice: str, total_traces: int,
+                          out_path: Optional[str] = None) -> str:
+    """``auto`` honours a recognised output suffix, then run size."""
+    from pathlib import Path
+
+    from .datasets import NPZ_AUTO_THRESHOLD
+    from .groundstation.traces import TRACE_FORMATS
+    if choice != "auto":
+        return choice
+    if out_path is not None:
+        suffix = Path(out_path).suffix.lower().lstrip(".")
+        if suffix in TRACE_FORMATS:
+            return suffix
+    return "npz" if total_traces >= NPZ_AUTO_THRESHOLD else "csv"
 
 
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
@@ -135,8 +161,50 @@ def cmd_passive(args: argparse.Namespace) -> int:
                   f"eff {stats.effective_daily_hours:4.1f} h/day, "
                   f"shrink {stats.duration_shrinkage:.0%}")
     if args.out:
-        result.dataset.to_csv(args.out)
-        print(f"wrote {args.out}")
+        fmt = _resolve_trace_format(args.trace_format,
+                                    result.total_traces, args.out)
+        fmt = result.dataset.save(args.out, trace_format=fmt)
+        print(f"wrote {args.out} ({fmt})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_dataset_export(args: argparse.Namespace) -> int:
+    from .datasets import export_dataset
+    sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
+    config = PassiveCampaignConfig(sites=sites, days=args.days,
+                                   seed=args.seed)
+    result = PassiveCampaign(config, workers=args.workers).run()
+    manifest = export_dataset(result, args.root, name=args.name,
+                              trace_format=args.trace_format)
+    print(f"archived {manifest.total_traces} traces "
+          f"({manifest.trace_format}) under {args.root}")
+    for code, count in sorted(manifest.sites.items()):
+        print(f"  {code}: {count} traces")
+    return 0
+
+
+def cmd_dataset_info(args: argparse.Namespace) -> int:
+    from .datasets import load_dataset
+    manifest, datasets = load_dataset(args.root)
+    print(format_kv([
+        ("name", manifest.name),
+        ("seed", manifest.seed),
+        ("days", manifest.days),
+        ("trace format", manifest.trace_format),
+        ("total traces", manifest.total_traces),
+    ], precision=1, title=f"Dataset archive {args.root}"))
+    rows = []
+    for code in sorted(datasets):
+        dataset = datasets[code]
+        rssi = dataset.column("rssi_dbm")
+        rows.append([code, len(dataset),
+                     ", ".join(dataset.constellations()),
+                     float(np.median(rssi)) if rssi.size else
+                     float("nan")])
+    print(format_table(
+        ["Site", "traces", "constellations", "median RSSI (dBm)"],
+        rows, precision=1))
     return 0
 
 
@@ -233,9 +301,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sites", default="HK",
                    help="comma-separated site codes")
     p.add_argument("--days", type=float, default=1.0)
-    p.add_argument("--out", default=None, help="CSV trace output path")
+    p.add_argument("--out", default=None,
+                   help="trace output path (csv/jsonl/npz)")
+    _add_trace_format_arg(p)
     _add_runtime_args(p)
     p.set_defaults(func=cmd_passive)
+
+    p = sub.add_parser("dataset",
+                       help="archive / inspect trace datasets")
+    dataset_sub = p.add_subparsers(dest="dataset_command", required=True)
+
+    p = dataset_sub.add_parser(
+        "export", help="run a passive campaign and archive it "
+                       "(SINet layout: per-site files + manifest)")
+    p.add_argument("root", help="archive directory")
+    p.add_argument("--sites", default="HK",
+                   help="comma-separated site codes")
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--name", default="sinet-sim")
+    _add_trace_format_arg(p)
+    _add_runtime_args(p)
+    p.set_defaults(func=cmd_dataset_export)
+
+    p = dataset_sub.add_parser(
+        "info", help="load an archive (format auto-detected from the "
+                     "manifest) and summarise it")
+    p.add_argument("root", help="archive directory")
+    p.set_defaults(func=cmd_dataset_info)
 
     p = sub.add_parser("active", help="run the active Tianqi campaign")
     p.add_argument("--days", type=float, default=2.0)

@@ -19,6 +19,20 @@ from ..orbits.timebase import Epoch
 from ..orbits.frames import GeodeticPoint
 from .stats import merge_intervals, total_length
 
+
+def _traces_column(receptions: Sequence[PassReception],
+                   name: str) -> np.ndarray:
+    """Concatenate one numeric trace column across receptions.
+
+    Each reception's traces are column-backed, so this is a handful of
+    array concatenations — never a per-trace Python loop.
+    """
+    arrays = [r.traces.column(name) for r in receptions
+              if len(r.traces)]
+    if not arrays:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(arrays)
+
 __all__ = ["daily_presence_hours", "presence_by_site",
            "RssiStats", "rssi_stats", "rssi_vs_distance"]
 
@@ -76,8 +90,7 @@ class RssiStats:
 
 
 def rssi_stats(receptions: Sequence[PassReception]) -> RssiStats:
-    values = np.asarray([t.rssi_dbm
-                         for r in receptions for t in r.traces], dtype=float)
+    values = _traces_column(receptions, "rssi_dbm")
     if values.size == 0:
         nan = float("nan")
         return RssiStats(0, nan, nan, nan, nan)
@@ -100,14 +113,8 @@ def rssi_vs_distance(receptions: Sequence[PassReception],
     edges = np.asarray(list(bin_edges_km), dtype=float)
     if len(edges) < 2 or np.any(np.diff(edges) <= 0):
         raise ValueError("bin edges must be increasing, length >= 2")
-    distances = []
-    rssi = []
-    for reception in receptions:
-        for trace in reception.traces:
-            distances.append(trace.range_km)
-            rssi.append(trace.rssi_dbm)
-    distances = np.asarray(distances)
-    rssi = np.asarray(rssi)
+    distances = _traces_column(receptions, "range_km")
+    rssi = _traces_column(receptions, "rssi_dbm")
     out: List[Tuple[float, float, int]] = []
     for lo, hi in zip(edges[:-1], edges[1:]):
         mask = (distances >= lo) & (distances < hi)

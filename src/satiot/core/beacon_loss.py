@@ -134,9 +134,11 @@ def _interp_pass_geometry(reception: PassReception, times: np.ndarray):
 
     Uses a symmetric-parabola elevation profile anchored at the window's
     maximum elevation and the spherical slant-range relation — accurate
-    to a few percent, which is ample for regime attribution.
+    to a few percent, which is ample for regime attribution.  Fully
+    vectorized: the law-of-cosines slant range is evaluated on the
+    whole elevation array at once.
     """
-    from ..constellations.footprint import slant_range_km
+    from ..constellations.footprint import EARTH_RADIUS_KM
 
     window = reception.scheduled.window
     max_el = window.max_elevation_deg
@@ -145,6 +147,11 @@ def _interp_pass_geometry(reception: PassReception, times: np.ndarray):
     elevation = np.maximum(max_el * (1.0 - (2.0 * x - 1.0) ** 2), 0.0)
 
     altitude = reception.scheduled.satellite.mean_altitude_km
-    rng_km = np.asarray([slant_range_km(altitude, float(el))
-                         for el in elevation])
+    # Vectorized law-of-cosines slant range (mirrors
+    # constellations.footprint.slant_range_km element-wise).
+    el_rad = np.radians(elevation)
+    re = EARTH_RADIUS_KM
+    rs = re + altitude
+    rng_km = (np.sqrt(rs * rs - (re * np.cos(el_rad)) ** 2)
+              - re * np.sin(el_rad))
     return elevation, rng_km

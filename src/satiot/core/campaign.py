@@ -12,7 +12,11 @@ keyed by ``(site, norad id, per-site pass index)`` and pass identifiers
 are the shard-invariant strings ``"{site}-{norad}-{k}"`` — so shards can
 run serially, on a process pool (``workers``/``SATIOT_WORKERS``), or on
 any subset of sites, and always produce **bit-identical** traces for the
-sites they share.  Results merge back in configured site order.
+sites they share — verified at the column level since the trace data
+plane went columnar.  Shard results carry compact
+:class:`~satiot.groundstation.traces.TraceColumns` blocks over the IPC
+boundary (flat arrays pickle far cheaper than row objects) and merge
+back in configured site order via array concatenation.
 """
 
 from __future__ import annotations
@@ -296,6 +300,9 @@ class PassiveCampaign:
         for code, (site_result, telemetry) in zip(cfg.sites, pairs):
             result.site_results[code] = site_result
             for reception in site_result.receptions:
+                # Column blocks are adopted wholesale (no per-row
+                # work); the dataset concatenates arrays lazily on
+                # first columnar access.
                 result.dataset.extend(reception.traces)
             shard_telemetry.append(telemetry)
         result.telemetry = CampaignTelemetry(

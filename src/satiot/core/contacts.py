@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..groundstation.receiver import PassReception
+from .availability import _traces_column
 from .stats import (Summary, interval_gaps, merge_intervals, summarize,
                     total_length)
 
@@ -153,15 +154,21 @@ def aggregate_stats(per_site: Sequence[ContactWindowStats],
 # ----------------------------------------------------------------------
 def window_position_fractions(receptions: Sequence[PassReception],
                               ) -> np.ndarray:
-    """Normalized positions (0=rise, 1=set) of every received beacon."""
-    positions: List[float] = []
+    """Normalized positions (0=rise, 1=set) of every received beacon.
+
+    Vectorized per pass: each reception contributes one array
+    expression over its trace-time column.
+    """
+    chunks: List[np.ndarray] = []
     for reception in receptions:
         window = reception.scheduled.window
-        if window.duration_s <= 0:
+        if window.duration_s <= 0 or not len(reception.traces):
             continue
-        for trace in reception.traces:
-            positions.append(window.normalized_position(trace.time_s))
-    return np.asarray(positions, dtype=float)
+        times = reception.traces.column("time_s")
+        chunks.append((times - window.rise_s) / window.duration_s)
+    if not chunks:
+        return np.empty(0, dtype=float)
+    return np.concatenate(chunks)
 
 
 def mid_window_fraction(receptions: Sequence[PassReception],
@@ -190,6 +197,4 @@ def reception_rates_by_weather(receptions: Sequence[PassReception],
 
 def trace_distances_km(receptions: Sequence[PassReception]) -> np.ndarray:
     """Slant ranges of all received beacons (Figure 8's CDF input)."""
-    return np.asarray([trace.range_km
-                       for reception in receptions
-                       for trace in reception.traces], dtype=float)
+    return _traces_column(receptions, "range_km")

@@ -75,9 +75,9 @@ def fig3b_rssi_cdfs(result: PassiveCampaignResult) -> FigureSeries:
     """CDF of received-beacon RSSI per constellation."""
     out = FigureSeries("3b", xlabel="RSSI (dBm)", ylabel="CDF")
     for name, constellation in sorted(result.constellations.items()):
-        values = [t.rssi_dbm for t in
-                  result.dataset.by_constellation(name)]
-        if not values:
+        values = result.dataset.by_constellation(name) \
+            .column("rssi_dbm")
+        if values.size == 0:
             continue
         x, p = empirical_cdf(values)
         out.add(constellation.name, x, p)
@@ -90,11 +90,11 @@ def fig3c_rssi_vs_distance_curve(result: PassiveCampaignResult,
     """Median Tianqi RSSI against slant range."""
     out = FigureSeries("3c", xlabel="distance (km)",
                        ylabel="median RSSI (dBm)")
-    traces = list(result.dataset.by_constellation("tianqi"))
-    if not traces:
+    tianqi = result.dataset.by_constellation("tianqi")
+    if not len(tianqi):
         return out
-    distance = np.asarray([t.range_km for t in traces])
-    rssi = np.asarray([t.rssi_dbm for t in traces])
+    distance = tianqi.column("range_km")
+    rssi = tianqi.column("rssi_dbm")
     edges = np.arange(distance.min(), distance.max() + bin_width_km,
                       bin_width_km)
     centers, medians = [], []

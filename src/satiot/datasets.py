@@ -2,9 +2,21 @@
 
 The paper publishes its traces as the *SINet* dataset (per-site files
 plus metadata).  This module writes a simulated campaign in the same
-shape — one traces CSV per site plus a JSON manifest — and loads such an
-archive back, so analyses can run on archived data without
+shape — one traces file per site plus a JSON manifest — and loads such
+an archive back, so analyses can run on archived data without
 re-simulation.
+
+Since the trace data plane went columnar, archives support three
+formats (recorded in the manifest and auto-detected on load):
+
+``csv``
+    Text, interoperable, one row per beacon (the original layout).
+``jsonl``
+    JSON lines; same row model, typed values.
+``npz``
+    Binary column archive — NumPy arrays plus string-interning tables,
+    compressed.  Value-exact and several times smaller than CSV; the
+    default for large campaigns.
 """
 
 from __future__ import annotations
@@ -15,11 +27,17 @@ from pathlib import Path
 from typing import Dict, Tuple, Union
 
 from .core.campaign import PassiveCampaignResult
-from .groundstation.traces import TraceDataset
+from .groundstation.traces import TRACE_FORMATS, TraceDataset
 
-__all__ = ["DatasetManifest", "export_dataset", "load_dataset"]
+__all__ = ["DatasetManifest", "export_dataset", "load_dataset",
+           "NPZ_AUTO_THRESHOLD"]
 
 MANIFEST_NAME = "manifest.json"
+
+#: ``trace_format="auto"`` switches to the binary column archive at
+#: this many traces — text stays the default for small, eyeball-able
+#: runs, large campaigns get the compact format.
+NPZ_AUTO_THRESHOLD = 20_000
 
 
 @dataclass(frozen=True)
@@ -32,6 +50,8 @@ class DatasetManifest:
     sites: Dict[str, int]            # site code -> trace count
     constellations: Dict[str, int]   # name -> satellite count
     total_traces: int
+    #: On-disk format of the per-site trace files (csv/jsonl/npz).
+    trace_format: str = "csv"
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True)
@@ -39,22 +59,41 @@ class DatasetManifest:
     @classmethod
     def from_json(cls, text: str) -> "DatasetManifest":
         data = json.loads(text)
+        # Archives written before the columnar data plane carry no
+        # trace_format field; they are CSV by construction.
+        data.setdefault("trace_format", "csv")
         return cls(**data)
+
+
+def _resolve_format(trace_format: str, total_traces: int) -> str:
+    if trace_format == "auto":
+        return "npz" if total_traces >= NPZ_AUTO_THRESHOLD else "csv"
+    if trace_format not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {trace_format!r}; "
+                         f"choose from {TRACE_FORMATS} or 'auto'")
+    return trace_format
 
 
 def export_dataset(result: PassiveCampaignResult,
                    root: Union[str, Path],
-                   name: str = "sinet-sim") -> DatasetManifest:
-    """Write a campaign as ``root/<SITE>/traces.csv`` + manifest."""
+                   name: str = "sinet-sim",
+                   trace_format: str = "csv") -> DatasetManifest:
+    """Write a campaign as ``root/<SITE>/traces.<fmt>`` + manifest.
+
+    ``trace_format`` may be ``csv``, ``jsonl``, ``npz`` or ``auto``
+    (npz for runs with at least :data:`NPZ_AUTO_THRESHOLD` traces,
+    csv below).
+    """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
+    fmt = _resolve_format(trace_format, result.total_traces)
 
     site_counts: Dict[str, int] = {}
     for code, site_result in result.site_results.items():
         site_dir = root / code
         site_dir.mkdir(exist_ok=True)
         dataset = result.dataset.by_site(code).sorted_by_time()
-        dataset.to_csv(site_dir / "traces.csv")
+        dataset.save(site_dir / f"traces.{fmt}", trace_format=fmt)
         site_counts[code] = len(dataset)
 
     manifest = DatasetManifest(
@@ -65,14 +104,36 @@ def export_dataset(result: PassiveCampaignResult,
         constellations={c.name: len(c)
                         for c in result.constellations.values()},
         total_traces=result.total_traces,
+        trace_format=fmt,
     )
     (root / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
     return manifest
 
 
+def _site_traces_path(root: Path, code: str, fmt: str) -> Path:
+    """Locate a site's trace file, tolerating a format mismatch.
+
+    The manifest's ``trace_format`` is authoritative, but archives
+    rewritten by hand (or pre-columnar ones) are still loadable as long
+    as exactly one known format is present on disk.
+    """
+    preferred = root / code / f"traces.{fmt}"
+    if preferred.exists():
+        return preferred
+    candidates = [root / code / f"traces.{alt}" for alt in TRACE_FORMATS]
+    existing = [p for p in candidates if p.exists()]
+    if len(existing) == 1:
+        return existing[0]
+    raise FileNotFoundError(f"missing site file {preferred}")
+
+
 def load_dataset(root: Union[str, Path],
                  ) -> Tuple[DatasetManifest, Dict[str, TraceDataset]]:
-    """Load an archive written by :func:`export_dataset`."""
+    """Load an archive written by :func:`export_dataset`.
+
+    The trace format is auto-detected from the manifest (falling back
+    to whatever single known format exists per site directory).
+    """
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
@@ -81,10 +142,8 @@ def load_dataset(root: Union[str, Path],
 
     datasets: Dict[str, TraceDataset] = {}
     for code, expected in manifest.sites.items():
-        csv_path = root / code / "traces.csv"
-        if not csv_path.exists():
-            raise FileNotFoundError(f"missing site file {csv_path}")
-        dataset = TraceDataset.from_csv(csv_path)
+        path = _site_traces_path(root, code, manifest.trace_format)
+        dataset = TraceDataset.load(path)
         if len(dataset) != expected:
             raise ValueError(
                 f"site {code}: manifest says {expected} traces, "

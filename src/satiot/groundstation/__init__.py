@@ -4,12 +4,13 @@ from .community import COMMUNITY_HUBS, CommunityNetwork
 from .receiver import BeaconReceiver, PassReception
 from .scheduler import PassSchedule, ScheduledPass, Scheduler
 from .station import GroundStation, StationHardware
-from .traces import BeaconTrace, TraceDataset
+from .traces import (BeaconTrace, StringColumn, TraceColumns,
+                     TraceDataset)
 
 __all__ = [
     "CommunityNetwork", "COMMUNITY_HUBS",
     "BeaconReceiver", "PassReception",
     "PassSchedule", "ScheduledPass", "Scheduler",
     "GroundStation", "StationHardware",
-    "BeaconTrace", "TraceDataset",
+    "BeaconTrace", "StringColumn", "TraceColumns", "TraceDataset",
 ]

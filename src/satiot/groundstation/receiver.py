@@ -1,16 +1,17 @@
 """Beacon reception simulation for one scheduled pass.
 
 For every beacon the satellite broadcasts inside a contact window, the
-receiver evaluates the stochastic DtS downlink and logs a
-:class:`~satiot.groundstation.traces.BeaconTrace` when the packet
-decodes.  The per-pass summary (first/last reception) is what defines
-the paper's *effective duration* of a contact window.
+receiver evaluates the stochastic DtS downlink and logs the decode into
+a columnar :class:`~satiot.groundstation.traces.TraceColumns` block —
+no per-beacon Python objects are allocated on this hot path.  The
+per-pass summary (first/last reception) is what defines the paper's
+*effective duration* of a contact window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from ..phy.link_budget import LinkBudget
 from ..phy.lora import LoRaModulation
 from ..sim.weather import WeatherProcess
 from .scheduler import ScheduledPass
-from .traces import BeaconTrace
+from .traces import TraceColumns, TraceDataset
 
 __all__ = ["PassReception", "BeaconReceiver"]
 
@@ -38,7 +39,9 @@ class PassReception:
     first_rx_s: Optional[float]
     last_rx_s: Optional[float]
     raining: bool
-    traces: List[BeaconTrace] = field(default_factory=list)
+    #: Column-backed traces of this pass (iterable of
+    #: :class:`~satiot.groundstation.traces.BeaconTrace` row views).
+    traces: TraceDataset = field(default_factory=TraceDataset)
 
     @property
     def effective_duration_s(self) -> float:
@@ -118,26 +121,26 @@ class BeaconReceiver:
             raining=raining)
 
         received_idx = np.nonzero(samples.received)[0]
-        traces = [
-            BeaconTrace(
-                time_s=float(times[i]),
-                station_id=station.station_id,
-                site=station.site,
-                constellation=scheduled.satellite.constellation_name,
-                satellite=scheduled.satellite.name,
-                norad_id=scheduled.satellite.norad_id,
-                frequency_hz=radio.frequency_hz,
-                rssi_dbm=float(samples.rssi_dbm[i]),
-                snr_db=float(samples.snr_db[i]),
-                elevation_deg=float(elevation[i]),
-                azimuth_deg=float(train.azimuth_deg[i]),
-                range_km=float(rng_km[i]),
-                doppler_hz=float(shift[i]),
-                raining=raining,
-                pass_id=pass_id,
-            )
-            for i in received_idx
-        ]
+        # Emit a column block directly from the packet samples: pure
+        # array gathers plus broadcast scalars — no per-beacon objects.
+        block = TraceColumns.from_arrays(
+            n=int(received_idx.size),
+            time_s=times[received_idx],
+            station_id=station.station_id,
+            site=station.site,
+            constellation=scheduled.satellite.constellation_name,
+            satellite=scheduled.satellite.name,
+            norad_id=scheduled.satellite.norad_id,
+            frequency_hz=radio.frequency_hz,
+            rssi_dbm=samples.rssi_dbm[received_idx],
+            snr_db=samples.snr_db[received_idx],
+            elevation_deg=elevation[received_idx],
+            azimuth_deg=train.azimuth_deg[received_idx],
+            range_km=rng_km[received_idx],
+            doppler_hz=shift[received_idx],
+            raining=raining,
+            pass_id=pass_id,
+        )
         first_rx = float(times[received_idx[0]]) if len(received_idx) else None
         last_rx = float(times[received_idx[-1]]) if len(received_idx) else None
         return PassReception(
@@ -145,4 +148,4 @@ class BeaconReceiver:
             beacons_sent=len(times),
             beacons_received=int(len(received_idx)),
             first_rx_s=first_rx, last_rx_s=last_rx,
-            raining=raining, traces=traces)
+            raining=raining, traces=TraceDataset(block))
