@@ -13,13 +13,15 @@ bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest --benchmark-only -q
 
 # Tiny-mode benchmarks: seconds, not minutes.  Verifies parallel ==
-# serial bit-identity, cache-warm < cache-cold, and the columnar trace
-# store's merge+filter / archive-size wins (metrics JSON lands in
-# benchmarks/output/ and is uploaded as a CI artifact).
+# serial bit-identity, cache-warm < cache-cold, the columnar trace
+# store's merge+filter / archive-size wins, and the serving layer's
+# batched-vs-unbatched speedup under concurrent load (metrics JSON
+# lands in benchmarks/output/ and is uploaded as a CI artifact).
 bench-smoke:
 	cd benchmarks && SATIOT_BENCH_TINY=1 PYTHONPATH=../src \
 		$(PYTHON) -m pytest bench_runtime_scaling.py bench_trace_store.py \
 		-q -p no:cacheprovider
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py --smoke
 
 validate:
 	$(PYTHON) -m satiot validate

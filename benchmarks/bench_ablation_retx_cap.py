@@ -6,7 +6,6 @@ permitted retransmission buys reliability at the cost of transmit energy
 and DtS delay.
 """
 
-import numpy as np
 
 from satiot.core.report import format_table
 from satiot.network.server import (latency_decomposition_minutes,

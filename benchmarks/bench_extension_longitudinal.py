@@ -7,7 +7,6 @@ shrinkage statistic is a stable property of the system, not of one
 lucky week.
 """
 
-import numpy as np
 
 from satiot.core.longitudinal import LongitudinalCampaign
 from satiot.core.report import format_table

@@ -1,0 +1,264 @@
+"""Serving-layer load benchmark: micro-batched vs. unbatched throughput.
+
+Starts two in-process :class:`satiot.serving.ServingServer` instances —
+one with the micro-batching engine enabled, one degraded to honest
+per-request serial service — and drives both with an asyncio load
+generator sweeping concurrency levels.  Every request queries
+``/v1/passes`` for a *unique* random location, so the result cache
+cannot help and the comparison isolates the batching engine's shared
+orbital work (one SGP4 grid + TEME→ECEF conversion per satellite per
+batch instead of per request).
+
+Reported per (mode, concurrency): throughput (req/s), client-side
+p50/p90/p99/max latency, status counts; plus the server-side batch-size
+histogram — the direct evidence that coalescing happened.  Metrics land
+in ``benchmarks/output/serving_load.json`` (uploaded as a CI artifact)
+next to a human-readable table.
+
+Run standalone (the pytest session collects no tests from this file)::
+
+    cd benchmarks && PYTHONPATH=../src python bench_serving.py --smoke
+
+Full mode asserts the tentpole acceptance criterion: at 512 concurrent
+clients the batched server delivers ≥ 5× the unbatched throughput.
+Smoke mode (CI, seconds not minutes) asserts a conservative ≥ 1.5× at
+its top concurrency — the batching win is algorithmic (shared frame
+conversions), not parallelism, so it holds on single-core boxes too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from satiot.serving import ServingConfig, ServingServer
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FULL_CONCURRENCY = (1, 32, 512)
+SMOKE_CONCURRENCY = (1, 32)
+FULL_HORIZON_S = 86400.0
+SMOKE_HORIZON_S = 21600.0
+FULL_SPEEDUP_FLOOR = 5.0
+SMOKE_SPEEDUP_FLOOR = 1.5
+
+
+def percentile(sorted_ms: List[float], q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    rank = max(0, min(len(sorted_ms) - 1,
+                      round(q / 100.0 * (len(sorted_ms) - 1))))
+    return sorted_ms[rank]
+
+
+# ----------------------------------------------------------------------
+# Minimal asyncio HTTP/1.1 client (keep-alive)
+# ----------------------------------------------------------------------
+async def _http_get(reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter, path: str):
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n"
+                 .encode("ascii"))
+    await writer.drain()
+    header = await reader.readuntil(b"\r\n\r\n")
+    status = int(header.split(b" ", 2)[1])
+    length = 0
+    for line in header.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _connect(port: int):
+    for _ in range(40):
+        try:
+            return await asyncio.open_connection("127.0.0.1", port)
+        except OSError:
+            await asyncio.sleep(0.05)
+    raise RuntimeError("could not connect to benchmark server")
+
+
+async def _client(port: int, n_requests: int,
+                  make_path: Callable[[], str],
+                  latencies_ms: List[float],
+                  statuses: Dict[int, int]) -> None:
+    reader, writer = await _connect(port)
+    try:
+        for _ in range(n_requests):
+            start = time.perf_counter()
+            status, _ = await _http_get(reader, writer, make_path())
+            latencies_ms.append(
+                (time.perf_counter() - start) * 1000.0)
+            statuses[status] = statuses.get(status, 0) + 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Load levels
+# ----------------------------------------------------------------------
+def _path_factory(seed: int, horizon_s: float) -> Callable[[], str]:
+    """Unique random observer per request → no result-cache hits."""
+    rng = np.random.default_rng(seed)
+
+    def make_path() -> str:
+        lat = float(rng.uniform(-60.0, 60.0))
+        lon = float(rng.uniform(-180.0, 180.0))
+        return (f"/v1/passes?lat={lat:.6f}&lon={lon:.6f}"
+                f"&horizon_s={horizon_s:.0f}&min_elevation_deg=10")
+    return make_path
+
+
+async def _run_level(port: int, concurrency: int, total_requests: int,
+                     horizon_s: float, seed: int) -> dict:
+    latencies_ms: List[float] = []
+    statuses: Dict[int, int] = {}
+    share, extra = divmod(total_requests, concurrency)
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _client(port, share + (1 if i < extra else 0),
+                _path_factory(seed + i, horizon_s),
+                latencies_ms, statuses)
+        for i in range(concurrency)))
+    wall_s = time.perf_counter() - start
+    ordered = sorted(latencies_ms)
+    return {
+        "concurrency": concurrency,
+        "requests": total_requests,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(total_requests / wall_s, 2),
+        "latency_ms": {
+            "p50": round(percentile(ordered, 50.0), 3),
+            "p90": round(percentile(ordered, 90.0), 3),
+            "p99": round(percentile(ordered, 99.0), 3),
+            "max": round(ordered[-1], 3) if ordered else 0.0,
+        },
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+    }
+
+
+async def _bench_mode(batching: bool, concurrency_levels, horizon_s,
+                      coarse_step_s: float, seed: int) -> dict:
+    config = ServingConfig(
+        port=0, batching=batching, max_batch=256, window_s=0.002,
+        max_pending=8192, coarse_step_s=coarse_step_s,
+        cache_decimals=6, cache_ttl_s=3600.0)
+    server = ServingServer(config)
+    await server.start()
+    try:
+        port = server.bound_port
+        # Warm the SGP4 grid cache so both modes pay propagation once,
+        # outside the timed window (the comparison targets the
+        # per-request frame-conversion + pass-search work).
+        await _run_level(port, 1, 2, horizon_s, seed=seed + 9000)
+        levels = []
+        for concurrency in concurrency_levels:
+            total = max(32, 2 * concurrency)
+            level = await _run_level(port, concurrency, total,
+                                     horizon_s, seed=seed)
+            levels.append(level)
+            print(f"  [{'batched' if batching else 'unbatched':9s}] "
+                  f"c={concurrency:4d}  "
+                  f"{level['throughput_rps']:8.1f} req/s  "
+                  f"p50 {level['latency_ms']['p50']:8.2f} ms  "
+                  f"p99 {level['latency_ms']['p99']:8.2f} ms")
+        passes_metrics = server.metrics.endpoint("passes").to_dict()
+        return {
+            "mode": "batched" if batching else "unbatched",
+            "levels": levels,
+            "server_metrics": passes_metrics,
+        }
+    finally:
+        await server.close()
+
+
+# ----------------------------------------------------------------------
+def run_benchmark(smoke: bool, seed: int = 42) -> dict:
+    concurrency_levels = SMOKE_CONCURRENCY if smoke else FULL_CONCURRENCY
+    horizon_s = SMOKE_HORIZON_S if smoke else FULL_HORIZON_S
+    results = {}
+    for batching in (False, True):
+        results["batched" if batching else "unbatched"] = asyncio.run(
+            _bench_mode(batching, concurrency_levels, horizon_s,
+                        coarse_step_s=30.0, seed=seed))
+
+    top = concurrency_levels[-1]
+    speedups = {}
+    for batched_level, unbatched_level in zip(
+            results["batched"]["levels"],
+            results["unbatched"]["levels"]):
+        c = batched_level["concurrency"]
+        speedups[str(c)] = round(
+            batched_level["throughput_rps"]
+            / unbatched_level["throughput_rps"], 2)
+    payload = {
+        "benchmark": "serving_load",
+        "smoke": smoke,
+        "horizon_s": horizon_s,
+        "concurrency_levels": list(concurrency_levels),
+        "speedup_batched_vs_unbatched": speedups,
+        "top_concurrency": top,
+        "modes": results,
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serving_load.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [f"Serving load — batched vs unbatched "
+             f"({'smoke' if smoke else 'full'}, horizon "
+             f"{horizon_s / 3600.0:.0f} h)"]
+    for mode in ("unbatched", "batched"):
+        for level in results[mode]["levels"]:
+            lat = level["latency_ms"]
+            lines.append(
+                f"  {mode:9s} c={level['concurrency']:4d}  "
+                f"{level['throughput_rps']:8.1f} req/s  "
+                f"p50 {lat['p50']:8.2f} ms  p99 {lat['p99']:8.2f} ms")
+    lines.append(f"  speedup at c={top}: {speedups[str(top)]}x")
+    histogram = results["batched"]["server_metrics"][
+        "batch_size_histogram"]
+    lines.append(f"  batched batch-size histogram: {histogram}")
+    (OUTPUT_DIR / "serving_load.txt").write_text(
+        "\n".join(lines) + "\n")
+    print("\n".join(lines))
+
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else FULL_SPEEDUP_FLOOR
+    top_speedup = speedups[str(top)]
+    assert top_speedup >= floor, (
+        f"batched throughput only {top_speedup:.2f}x unbatched at "
+        f"c={top} (need >= {floor}x)")
+    statuses = {
+        status
+        for mode in results.values()
+        for level in mode["levels"]
+        for status in level["statuses"]}
+    assert statuses == {"200"}, f"non-200 responses seen: {statuses}"
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="satiot.serving load benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (seconds, lower speedup "
+                             "floor)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    run_benchmark(smoke=args.smoke, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,8 +207,8 @@ def _measure(n_traces: int) -> dict:
     t_lo, t_hi = 0.0, float(np.median(
         np.concatenate([p["time_s"] for p in passes])))
     repeats = 3 if n_traces <= 100_000 else 1
-    dumps = (lambda payload:
-             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    def dumps(payload):
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
     row_pieces, row_build = _timeit(_build_rows, passes)
     row_blob, row_ipc = _timeit(dumps, row_pieces)

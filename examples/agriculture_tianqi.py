@@ -12,7 +12,6 @@ Run:  python examples/agriculture_tianqi.py [days]
 
 import sys
 
-import numpy as np
 
 from satiot import ActiveCampaign, ActiveCampaignConfig
 from satiot.core.energy_analysis import compare_energy

@@ -10,8 +10,7 @@ Run:  python examples/energy_budget.py
 """
 
 from satiot.core.report import format_table
-from satiot.energy import (Battery, RadioMode, TianqiBehavior,
-                           TerrestrialBehavior)
+from satiot.energy import Battery, TerrestrialBehavior, TianqiBehavior
 
 DAY = 86400.0
 PACKETS_PER_DAY = 48

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
+
 
 import numpy as np
 
+from . import __version__
 from .constellations.catalog import (CONSTELLATION_SPECS,
                                      build_all_constellations,
                                      build_constellation)
@@ -169,14 +171,28 @@ def cmd_passive(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _dataset_error(action: str, root: str, error: Exception) -> int:
+    """Uniform dataset-CLI failure: clear message on stderr, exit 2.
+
+    Covers missing archives, unreadable/corrupt files and malformed
+    manifests — operator mistakes, not crashes, so no traceback.
+    """
+    print(f"error: cannot {action} dataset archive {root!r}: {error}",
+          file=sys.stderr)
+    return 2
+
+
 def cmd_dataset_export(args: argparse.Namespace) -> int:
     from .datasets import export_dataset
     sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
     config = PassiveCampaignConfig(sites=sites, days=args.days,
                                    seed=args.seed)
     result = PassiveCampaign(config, workers=args.workers).run()
-    manifest = export_dataset(result, args.root, name=args.name,
-                              trace_format=args.trace_format)
+    try:
+        manifest = export_dataset(result, args.root, name=args.name,
+                                  trace_format=args.trace_format)
+    except (OSError, ValueError) as error:
+        return _dataset_error("write", args.root, error)
     print(f"archived {manifest.total_traces} traces "
           f"({manifest.trace_format}) under {args.root}")
     for code, count in sorted(manifest.sites.items()):
@@ -186,7 +202,10 @@ def cmd_dataset_export(args: argparse.Namespace) -> int:
 
 def cmd_dataset_info(args: argparse.Namespace) -> int:
     from .datasets import load_dataset
-    manifest, datasets = load_dataset(args.root)
+    try:
+        manifest, datasets = load_dataset(args.root)
+    except (OSError, ValueError, TypeError, KeyError) as error:
+        return _dataset_error("read", args.root, error)
     print(format_kv([
         ("name", manifest.name),
         ("seed", manifest.seed),
@@ -250,6 +269,47 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import ServingConfig, ServingServer
+    constellations = tuple(
+        s.strip().lower() for s in args.constellations.split(",")
+        if s.strip())
+    for name in constellations:
+        if name not in CONSTELLATION_SPECS:
+            raise SystemExit(f"unknown constellation {name!r}; choose "
+                             f"from {sorted(CONSTELLATION_SPECS)}")
+    config = ServingConfig(
+        host=args.host, port=args.port,
+        constellations=constellations,
+        window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        batching=not args.no_batching,
+        cache_ttl_s=args.cache_ttl,
+        coarse_step_s=args.step)
+    server = ServingServer(config)
+
+    async def run() -> None:
+        await server.start()
+        mode = "micro-batched" if config.batching else "unbatched"
+        print(f"satiot serving on "
+              f"http://{config.host}:{server.bound_port} "
+              f"({mode}; constellations: "
+              f"{', '.join(server.service.constellation_names)})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def cmd_coverage(args: argparse.Namespace) -> int:
     constellation = build_constellation(args.constellation,
                                         seed=args.seed)
@@ -276,6 +336,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="satiot",
         description="Satellite IoT measurement-study reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--seed", type=int, default=42)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -345,6 +407,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate",
                        help="run cross-implementation self-checks")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "serve", help="run the micro-batched pass/link-budget query "
+                      "service (HTTP/JSON)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8340,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--constellations", default="tianqi",
+                   help="comma-separated constellation names to load")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window (ms)")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="flush a batch at this many pending requests")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="request-queue bound; beyond it clients get "
+                        "429 + Retry-After")
+    p.add_argument("--no-batching", action="store_true",
+                   help="serve each request serially (baseline mode)")
+    p.add_argument("--cache-ttl", type=float, default=60.0,
+                   help="result-cache TTL (s)")
+    p.add_argument("--step", type=float, default=30.0,
+                   help="coarse pass-search step (s)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("coverage", help="global coverage grid")
     p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))

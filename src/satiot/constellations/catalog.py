@@ -9,9 +9,11 @@ numbers (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
+
 
 from ..orbits.sgp4 import SGP4
 from ..orbits.tle import TLE

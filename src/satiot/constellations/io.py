@@ -8,7 +8,8 @@ CelesTrak when network access exists.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
+
 
 from ..orbits.tle import format_tle, parse_tle_file
 from .catalog import Constellation, ConstellationSpec, DtSRadioProfile, \

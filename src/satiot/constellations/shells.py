@@ -12,7 +12,8 @@ constellation).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import List, Optional
 
 import numpy as np

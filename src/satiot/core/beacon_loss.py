@@ -11,7 +11,8 @@ reports how much reception each factor costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
+
 
 import numpy as np
 
@@ -106,9 +107,6 @@ def attribute_losses(receptions: Sequence[PassReception],
         below_on_distance = rssi_distance_only < sensitivity_dbm
         below_on_elevation = (~below_on_distance) \
             & (rssi_full < sensitivity_dbm)
-        deterministically_fine = ~(below_on_distance
-                                   | below_on_elevation)
-
         lost = n - reception.beacons_received
         # Deterministic regimes bound the attribution; residual losses
         # among the deterministically fine slots are fading.

@@ -10,7 +10,6 @@ reading, and the contention behaviour of the MAC.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..phy.lora import LoRaModulation

@@ -15,7 +15,8 @@ These drive Figures 4a/4b, 8 and 9 and the headline shrinkage numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
+
 
 import numpy as np
 

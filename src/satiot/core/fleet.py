@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
+
 
 import numpy as np
 
 from ..constellations.catalog import Constellation
 from ..constellations.footprint import footprint_area_km2
-from ..network.downlink import DownlinkConfig, DownlinkSimulator
+from ..network.downlink import DownlinkConfig
+
 from ..network.mac import MacConfig
 from ..network.store_forward import GroundSegment
 from ..runtime.executor import Shard, ShardExecutor

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..runtime.executor import Shard, ShardExecutor
 from .campaign import PassiveCampaign, PassiveCampaignConfig

@@ -10,10 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from ..econ.comparison import expenditure_table
-from ..network.server import reliability_report
 from .active import ActiveCampaign, ActiveCampaignConfig
 from .campaign import PassiveCampaign, PassiveCampaignConfig
 from .contacts import analyze_contacts, mid_window_fraction

@@ -19,7 +19,6 @@ from ..constellations.catalog import build_constellation
 from ..orbits.groundtrack import CoverageGrid
 from ..orbits.j2 import J2Propagator
 from ..orbits.kepler import KeplerianElements, semi_major_axis_km
-from ..orbits.passes import PassPredictor
 from ..orbits.sgp4 import SGP4
 from ..phy.lora import LoRaModulation
 from .availability import daily_presence_hours

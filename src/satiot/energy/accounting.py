@@ -8,7 +8,8 @@ paper's power meter integrated (Figures 6 and 11).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict
 
 from .profiles import PowerProfile, RadioMode

@@ -15,7 +15,8 @@ time), transmits with the high-power DtS PA, sleeps otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
+
 
 from ..phy.lora import LoRaModulation
 from .accounting import ModeTimeline

@@ -10,8 +10,10 @@ receiver-on time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+
+from typing import List, Sequence
+
 
 from ..orbits.passes import ContactWindow
 

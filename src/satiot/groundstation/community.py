@@ -12,7 +12,8 @@ within range of the community.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
+
 
 import numpy as np
 

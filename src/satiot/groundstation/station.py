@@ -8,7 +8,6 @@ time, which is why the campaign needs a scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..orbits.frames import GeodeticPoint
 from ..phy.antennas import DIPOLE, Antenna

@@ -11,7 +11,8 @@ regime the paper warns about) need several sessions to empty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
 
 from .store_forward import BufferedPacket, SatelliteBuffer
 

@@ -15,7 +15,8 @@ reproducing the mild degradation of paper Figure 12b.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
 
 import numpy as np
 

@@ -10,7 +10,8 @@ segment when each satellite offloaded, and stamps delivery times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
+
 
 import numpy as np
 

@@ -11,10 +11,12 @@ carrying satellite reaches a ground station.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..constellations.catalog import Constellation, Satellite
+from ..constellations.catalog import Constellation
+
 from ..orbits.frames import GeodeticPoint
 from ..orbits.passes import PassPredictor
 from ..orbits.timebase import Epoch

@@ -10,7 +10,7 @@ from .j2 import J2Propagator
 from .kepler import (KeplerianElements, circular_velocity_km_s,
                      mean_motion_rev_day_from_altitude, orbital_period_s,
                      semi_major_axis_km, solve_kepler)
-from .passes import ContactWindow, PassPredictor
+from .passes import ContactWindow, PassPredictor, find_passes_multi
 from .sgp4 import SGP4, DecayedError, DeepSpaceError, SGP4Error
 from .timebase import Epoch, gmst, jday, invjday
 from .tle import TLE, TLEError, checksum, format_tle, parse_tle, parse_tle_file
@@ -26,7 +26,7 @@ __all__ = [
     "KeplerianElements", "solve_kepler", "semi_major_axis_km",
     "mean_motion_rev_day_from_altitude", "orbital_period_s",
     "circular_velocity_km_s",
-    "ContactWindow", "PassPredictor",
+    "ContactWindow", "PassPredictor", "find_passes_multi",
     "SGP4", "SGP4Error", "DeepSpaceError", "DecayedError",
     "Epoch", "gmst", "jday", "invjday",
     "TLE", "TLEError", "checksum", "parse_tle", "parse_tle_file", "format_tle",

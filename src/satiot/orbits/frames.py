@@ -8,7 +8,6 @@ with the fidelity of a link-budget study.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Tuple, Union
 

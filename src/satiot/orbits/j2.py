@@ -14,9 +14,9 @@ from typing import Tuple, Union
 
 import numpy as np
 
-from .constants import EARTH_RADIUS_KM, MU_EARTH_KM3_S2, TWO_PI
-from .kepler import (KeplerianElements, eccentric_from_true, solve_kepler,
-                     true_from_eccentric)
+from .constants import EARTH_RADIUS_KM, MU_EARTH_KM3_S2
+
+from .kepler import KeplerianElements, solve_kepler, true_from_eccentric
 
 __all__ = ["J2Propagator", "J2_EARTH"]
 

@@ -6,22 +6,58 @@ computed from TLEs via SGP4 — the quantity Figure 3a/4a compare effective
 measurements against.
 
 The finder samples elevation on a coarse grid (vectorized SGP4), then
-refines each horizon crossing by bisection to sub-second accuracy.
+refines each horizon crossing.  Two refinement modes exist:
+
+``bisect`` (default)
+    Bisection on fresh SGP4 evaluations to sub-second accuracy — the
+    campaign-grade mode used throughout the reproduction.
+``interp``
+    Closed-form linear interpolation of the coarse elevation samples
+    (parabolic for the culmination).  No extra SGP4 calls, fully
+    deterministic, accurate to a few seconds at 30 s grids — the
+    serving-grade mode used by :mod:`satiot.serving` for high-QPS
+    queries.
+
+:func:`find_passes_multi` is the **multi-observer batch path**: one
+shared TEME grid (optionally via
+:class:`satiot.runtime.EphemerisCache`) is converted to ECEF once and
+elevation-tested against N observers at once, with a conservative
+visibility-cone prefilter that skips the exact elevation kernel for the
+~90 % of samples where the satellite is geometrically below the
+observer's horizon.  Results are **bit-identical** to per-observer
+serial :meth:`PassPredictor.find_passes` calls (same element-wise
+kernels, same refinement code paths) — the contract
+``tests/orbits/test_multi_observer.py`` verifies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .frames import GeodeticPoint
+from .constants import DEG2RAD
+from .frames import GeodeticPoint, teme_to_ecef
 from .sgp4 import SGP4
 from .timebase import Epoch
-from .topocentric import LookAngles, look_angles
+from .topocentric import (LookAngles, elevation_from_ecef, look_angles,
+                          sez_rotation)
 
-__all__ = ["ContactWindow", "PassPredictor"]
+__all__ = ["ContactWindow", "PassPredictor", "REFINE_MODES",
+           "find_passes_multi", "observer_geometry"]
+
+#: Supported horizon-crossing refinement modes.
+REFINE_MODES = ("bisect", "interp")
+
+#: Conservative geocentric radius (km) below any ground observer, used
+#: by the visibility-cone prefilter (WGS-84 polar radius is 6356.75 km).
+_PREFILTER_RADIUS_KM = 6300.0
+
+#: Angular slack (deg) added to the visibility cone so geodetic-vs-
+#: geocentric zenith deviation (< 0.2 deg), observer altitude and
+#: floating-point noise can never exclude a truly-visible sample.
+_PREFILTER_SLACK_DEG = 3.0
 
 
 @dataclass(frozen=True)
@@ -104,6 +140,20 @@ class PassPredictor:
     def elevation_at(self, epoch: Epoch, offset_s: float) -> float:
         return float(self.look_angles_at(epoch, float(offset_s)).elevation_deg)
 
+    @staticmethod
+    def coarse_offsets(duration_s: float,
+                       coarse_step_s: float) -> np.ndarray:
+        """The canonical coarse sampling grid for a prediction span."""
+        if duration_s <= 0.0:
+            raise ValueError("duration must be positive")
+        if coarse_step_s <= 0.0:
+            raise ValueError("coarse step must be positive")
+        offsets = np.arange(0.0, duration_s + coarse_step_s, coarse_step_s)
+        offsets = offsets[offsets <= duration_s]
+        if offsets[-1] < duration_s:
+            offsets = np.append(offsets, duration_s)
+        return offsets
+
     def _coarse_elevations(self, epoch: Epoch,
                            offsets: np.ndarray) -> np.ndarray:
         """Elevation on the coarse grid, via the grid provider if set."""
@@ -117,54 +167,85 @@ class PassPredictor:
     # ------------------------------------------------------------------
     def find_passes(self, epoch: Epoch, duration_s: float,
                     coarse_step_s: float = 30.0,
-                    refine_tol_s: float = 0.5) -> List[ContactWindow]:
+                    refine_tol_s: float = 0.5,
+                    refine: str = "bisect") -> List[ContactWindow]:
         """All contact windows within ``[epoch, epoch + duration_s]``.
 
         Windows in progress at the span boundaries are clipped and
-        flagged via ``clipped_start`` / ``clipped_end``.
+        flagged via ``clipped_start`` / ``clipped_end``.  ``refine``
+        selects the crossing refinement mode (see module docstring).
         """
-        if duration_s <= 0.0:
-            raise ValueError("duration must be positive")
-        if coarse_step_s <= 0.0:
-            raise ValueError("coarse step must be positive")
-
-        offsets = np.arange(0.0, duration_s + coarse_step_s, coarse_step_s)
-        offsets = offsets[offsets <= duration_s]
-        if offsets[-1] < duration_s:
-            offsets = np.append(offsets, duration_s)
+        offsets = self.coarse_offsets(duration_s, coarse_step_s)
         elev = self._coarse_elevations(epoch, offsets)
+        return self.windows_from_coarse(epoch, offsets, elev,
+                                        refine_tol_s=refine_tol_s,
+                                        refine=refine)
+
+    # ------------------------------------------------------------------
+    def windows_from_coarse(self, epoch: Epoch, offsets: np.ndarray,
+                            elev: np.ndarray, refine_tol_s: float = 0.5,
+                            refine: str = "bisect",
+                            ) -> List[ContactWindow]:
+        """Extract refined windows from a precomputed elevation row.
+
+        ``elev`` must equal the observer's coarse-grid elevation at all
+        above-mask samples *and their immediate neighbours*; samples
+        known to be below the mask may carry any value <= the mask
+        (the multi-observer prefilter exploits this).
+        """
+        if refine not in REFINE_MODES:
+            raise ValueError(f"unknown refine mode {refine!r}; "
+                             f"choose from {REFINE_MODES}")
         above = elev > self.min_elevation_deg
 
         windows: List[ContactWindow] = []
-        i = 0
         n = len(offsets)
-        while i < n:
-            if not above[i]:
-                i += 1
-                continue
-            # Segment [i, j) is above the mask.
-            j = i
-            while j < n and above[j]:
-                j += 1
+        if not bool(above.any()):
+            return windows
+        # Vectorized segment extraction: each maximal above-mask run is
+        # [starts[k], ends[k]).
+        edges = np.diff(above.astype(np.int8))
+        starts = (np.flatnonzero(edges == 1) + 1).tolist()
+        ends = (np.flatnonzero(edges == -1) + 1).tolist()
+        if above[0]:
+            starts.insert(0, 0)
+        if above[-1]:
+            ends.append(n)
 
+        for i, j in zip(starts, ends):
             clipped_start = i == 0
             clipped_end = j == n
-            rise = offsets[i] if clipped_start else self._bisect_crossing(
-                epoch, offsets[i - 1], offsets[i], rising=True,
-                tol=refine_tol_s)
-            set_ = offsets[j - 1] if clipped_end else self._bisect_crossing(
-                epoch, offsets[j - 1], offsets[j], rising=False,
-                tol=refine_tol_s)
+            if clipped_start:
+                rise = offsets[i]
+            elif refine == "bisect":
+                rise = self._bisect_crossing(
+                    epoch, offsets[i - 1], offsets[i], rising=True,
+                    tol=refine_tol_s)
+            else:
+                rise = self._interp_crossing(
+                    offsets[i - 1], offsets[i], elev[i - 1], elev[i])
+            if clipped_end:
+                set_ = offsets[j - 1]
+            elif refine == "bisect":
+                set_ = self._bisect_crossing(
+                    epoch, offsets[j - 1], offsets[j], rising=False,
+                    tol=refine_tol_s)
+            else:
+                set_ = self._interp_crossing(
+                    offsets[j - 1], offsets[j], elev[j - 1], elev[j])
 
-            culm_s, max_el = self._refine_culmination(
-                epoch, offsets[i:j], elev[i:j], rise, set_)
+            if refine == "bisect":
+                culm_s, max_el = self._refine_culmination(
+                    epoch, offsets[i:j], elev[i:j], rise, set_)
+            else:
+                culm_s, max_el = self._interp_culmination(
+                    offsets[i:j], elev[i:j], rise, set_)
             windows.append(ContactWindow(
                 rise_s=float(rise), set_s=float(set_),
                 culmination_s=float(culm_s),
                 max_elevation_deg=float(max_el),
                 norad_id=self.propagator.tle.norad_id,
                 clipped_start=clipped_start, clipped_end=clipped_end))
-            i = j
         return windows
 
     # ------------------------------------------------------------------
@@ -183,6 +264,19 @@ class PassPredictor:
             else:
                 lo = mid
         return 0.5 * (lo + hi)
+
+    def _interp_crossing(self, t_out: float, t_in: float,
+                         e_out: float, e_in: float) -> float:
+        """Linear interpolation of the mask crossing (no SGP4 calls).
+
+        ``(t_out, e_out)`` is the below-mask grid sample, ``(t_in,
+        e_in)`` the above-mask one; by construction ``e_in > mask >=
+        e_out`` so the denominator cannot vanish.
+        """
+        t_out, t_in = float(t_out), float(t_in)
+        e_out, e_in = float(e_out), float(e_in)
+        frac = (self.min_elevation_deg - e_out) / (e_in - e_out)
+        return t_out + frac * (t_in - t_out)
 
     def _refine_culmination(self, epoch: Epoch, seg_offsets: np.ndarray,
                             seg_elev: np.ndarray, rise: float,
@@ -204,3 +298,138 @@ class PassPredictor:
                     t_best, el_best = t_para, el_para
         t_best = min(max(t_best, rise), set_)
         return t_best, el_best
+
+    def _interp_culmination(self, seg_offsets: np.ndarray,
+                            seg_elev: np.ndarray, rise: float,
+                            set_: float) -> tuple:
+        """Closed-form parabolic culmination from the grid samples only."""
+        k = int(np.argmax(seg_elev))
+        t_best = float(seg_offsets[k])
+        el_best = float(seg_elev[k])
+        if 0 < k < len(seg_offsets) - 1:
+            t0, t1, t2 = seg_offsets[k - 1:k + 2]
+            e0, e1, e2 = seg_elev[k - 1:k + 2]
+            denom = (e0 - 2.0 * e1 + e2)
+            if abs(denom) > 1e-12:
+                t_para = float(t1 + 0.5 * (t1 - t0) * (e0 - e2) / denom)
+                t_para = min(max(t_para, float(t0)), float(t2))
+                el_para = float(e1 - 0.125 * (e0 - e2) ** 2 / denom)
+                if el_para > el_best:
+                    t_best, el_best = t_para, el_para
+        t_best = min(max(t_best, rise), set_)
+        return t_best, el_best
+
+
+# ----------------------------------------------------------------------
+# Multi-observer batch path
+# ----------------------------------------------------------------------
+def _visibility_prefilter(sites: np.ndarray,
+                          r_ecef: np.ndarray,
+                          min_elevation_deg: float) -> np.ndarray:
+    """Conservative per-(observer, sample) candidate mask ``(M, N)``.
+
+    ``True`` wherever the satellite *might* be above the observer's
+    elevation mask.  Uses the spherical central-angle bound ``lambda =
+    arccos((R/r) cos m) - m`` with a deliberately small Earth radius and
+    a 3-degree slack, so a truly above-mask sample can never be
+    excluded (soundness is load-bearing: the pass finder skips the
+    exact elevation kernel outside the mask).
+    """
+    r_norm = np.sqrt(np.sum(r_ecef * r_ecef, axis=-1))       # (N,)
+    u_sat = r_ecef / r_norm[..., None]                        # (N, 3)
+    m_rad = min_elevation_deg * DEG2RAD
+    ratio = np.clip(_PREFILTER_RADIUS_KM / r_norm, -1.0, 1.0)
+    lam = (np.arccos(np.clip(ratio * np.cos(m_rad), -1.0, 1.0))
+           - m_rad + _PREFILTER_SLACK_DEG * DEG2RAD)          # (N,)
+    cos_lam = np.cos(np.clip(lam, 0.0, np.pi))
+
+    u_obs = sites / np.sqrt(np.sum(sites * sites,
+                                   axis=-1, keepdims=True))
+    cos_psi = u_obs @ u_sat.T                                 # (M, N)
+    cand = cos_psi >= cos_lam[None, :]
+    # Dilate by one grid step each way so crossing interpolation always
+    # sees exact below-mask neighbours (copy first: in-place |= on
+    # overlapping views would cascade).
+    dilated = cand.copy()
+    dilated[:, :-1] |= cand[:, 1:]
+    dilated[:, 1:] |= cand[:, :-1]
+    return dilated
+
+
+def observer_geometry(observers: Sequence[GeodeticPoint],
+                      ) -> List[tuple]:
+    """Precompute ``(site_ecef, sez_rotation)`` per observer.
+
+    The serving layer computes this once per batch and reuses it across
+    every satellite of a constellation.
+    """
+    return [(obs.ecef(),
+             sez_rotation(obs.latitude_rad, obs.longitude_rad))
+            for obs in observers]
+
+
+def find_passes_multi(propagator: SGP4,
+                      observers: Sequence[GeodeticPoint],
+                      epoch: Epoch, duration_s: float,
+                      coarse_step_s: float = 30.0,
+                      min_elevation_deg: float = 0.0,
+                      refine_tol_s: float = 0.5,
+                      refine: str = "bisect",
+                      grid_provider=None,
+                      geometry: Optional[Sequence[tuple]] = None,
+                      ) -> List[List[ContactWindow]]:
+    """Contact windows of one satellite over N observers at once.
+
+    One SGP4 grid evaluation (or one ``grid_provider`` call — pass
+    :meth:`satiot.runtime.EphemerisCache.grid_provider` to share grids
+    across satellites and requests) and one TEME→ECEF conversion are
+    shared by all observers; the exact elevation kernel runs only on
+    the visibility-cone candidate samples of each observer.
+    ``geometry`` may carry :func:`observer_geometry` output to amortize
+    site/rotation setup across satellites.
+
+    Returns one window list per observer, **bit-identical** to the
+    serial ``PassPredictor(propagator, obs, ...).find_passes(...)``
+    result with the same parameters.
+    """
+    observers = list(observers)
+    if not observers:
+        return []
+    offsets = PassPredictor.coarse_offsets(duration_s, coarse_step_s)
+    if grid_provider is not None:
+        r, v = grid_provider(epoch, offsets)
+    else:
+        tsince = float(epoch - propagator.tle.epoch) + offsets
+        r, v = propagator.propagate(tsince)
+    jd = epoch.offset_jd(offsets)
+    r_ecef = teme_to_ecef(r, jd)
+
+    if geometry is None:
+        geometry = observer_geometry(observers)
+    sites = np.stack([site for site, _ in geometry])
+    cand = _visibility_prefilter(sites, r_ecef, min_elevation_deg)
+
+    n = offsets.size
+    results: List[List[ContactWindow]] = []
+    for m, observer in enumerate(observers):
+        predictor = PassPredictor(propagator, observer,
+                                  min_elevation_deg,
+                                  grid_provider=grid_provider)
+        site, rot = geometry[m]
+        idx = np.nonzero(cand[m])[0]
+        if idx.size == n:
+            elev_row = np.asarray(
+                elevation_from_ecef(observer, r_ecef, site, rot))
+        else:
+            # Samples outside the candidate set are provably below the
+            # mask; any below-mask filler keeps the window extraction
+            # bit-identical (crossing neighbours are inside the dilated
+            # candidate set, hence exact).
+            elev_row = np.full(n, -90.0)
+            if idx.size:
+                elev_row[idx] = elevation_from_ecef(
+                    observer, r_ecef[idx], site, rot)
+        results.append(predictor.windows_from_coarse(
+            epoch, offsets, elev_row, refine_tol_s=refine_tol_s,
+            refine=refine))
+    return results

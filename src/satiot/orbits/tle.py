@@ -11,7 +11,8 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Tuple
+
 
 from .constants import DEG2RAD, MINUTES_PER_DAY, TWO_PI
 from .timebase import Epoch, epoch_from_tle_date

@@ -9,7 +9,6 @@ behaviour that matters for DtS geometry.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Union
 

@@ -8,7 +8,8 @@ per-packet RSSI/SNR samples and reception outcomes the campaigns record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional, Union
 
 import numpy as np

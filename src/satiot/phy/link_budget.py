@@ -7,7 +7,6 @@ parts — shadowing and fast fading — live in :mod:`satiot.phy.channel`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Union
 
@@ -69,11 +68,18 @@ class LinkBudget:
     rain_attenuation_db: float = 3.0
     implementation_loss_db: float = 1.0
 
-    def mean_rssi_dbm(self, distance_km: ArrayLike,
-                      elevation_deg: ArrayLike,
-                      rx_gain_dbi: ArrayLike = None,
-                      raining: ArrayLike = False) -> ArrayLike:
-        """Median received power (dBm) before stochastic fading."""
+    def components(self, distance_km: ArrayLike,
+                   elevation_deg: ArrayLike,
+                   rx_gain_dbi: ArrayLike = None,
+                   raining: ArrayLike = False) -> dict:
+        """Per-term budget breakdown (dB / dBm), vectorized.
+
+        Returns a dict with ``fspl_db``, ``excess_db``, ``rain_db``,
+        ``rx_gain_dbi`` and the resulting ``rssi_dbm`` — the payload of
+        the serving layer's ``/v1/link_budget`` endpoint.  The
+        ``rssi_dbm`` entry is computed by the exact expression used by
+        :meth:`mean_rssi_dbm` (which delegates here).
+        """
         fspl = free_space_path_loss_db(distance_km, self.frequency_hz)
         excess = elevation_excess_loss_db(elevation_deg,
                                           self.horizon_excess_db,
@@ -84,6 +90,23 @@ class LinkBudget:
                         self.rain_attenuation_db, 0.0)
         rssi = (self.eirp_dbm + gain - fspl - excess - rain
                 - self.implementation_loss_db)
+        return {
+            "eirp_dbm": self.eirp_dbm,
+            "rx_gain_dbi": gain,
+            "fspl_db": fspl,
+            "excess_db": excess,
+            "rain_db": rain,
+            "implementation_loss_db": self.implementation_loss_db,
+            "rssi_dbm": rssi,
+        }
+
+    def mean_rssi_dbm(self, distance_km: ArrayLike,
+                      elevation_deg: ArrayLike,
+                      rx_gain_dbi: ArrayLike = None,
+                      raining: ArrayLike = False) -> ArrayLike:
+        """Median received power (dBm) before stochastic fading."""
+        rssi = self.components(distance_km, elevation_deg,
+                               rx_gain_dbi, raining)["rssi_dbm"]
         if np.ndim(rssi) == 0:
             return float(rssi)
         return rssi

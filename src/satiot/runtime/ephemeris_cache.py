@@ -33,6 +33,7 @@ import hashlib
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,7 @@ import numpy as np
 
 from ..orbits.frames import GeodeticPoint
 from ..orbits.passes import ContactWindow, PassPredictor
+from ..orbits.passes import find_passes_multi as _orbits_find_passes_multi
 from ..orbits.sgp4 import SGP4
 from ..orbits.timebase import Epoch
 from ..orbits.tle import TLE, format_tle
@@ -56,13 +58,15 @@ _PASS_FIELDS = ("rise_s", "set_s", "culmination_s", "max_elevation_deg",
                 "norad_id", "clipped_start", "clipped_end")
 
 
+@lru_cache(maxsize=4096)
 def tle_fingerprint(tle: TLE) -> str:
     """Stable 16-hex-digit fingerprint of an element set.
 
     Computed over the *formatted* two-line representation, so the
     fingerprint is invariant under a parse → format → parse round-trip
     (the canonical form is a fixed-point function of the orbital
-    fields).
+    fields).  Memoized: the serving layer fingerprints the same element
+    sets on every cache lookup of every request.
     """
     line1, line2 = format_tle(tle)
     digest = hashlib.sha256(f"{line1}\n{line2}".encode("ascii"))
@@ -152,13 +156,14 @@ class EphemerisCache:
     @staticmethod
     def pass_key(tle: TLE, observer: GeodeticPoint, epoch: Epoch,
                  duration_s: float, coarse_step_s: float,
-                 min_elevation_deg: float, refine_tol_s: float) -> tuple:
+                 min_elevation_deg: float, refine_tol_s: float,
+                 refine: str = "bisect") -> tuple:
         return ("passes", tle_fingerprint(tle),
                 round(float(epoch.jd), 9), round(float(duration_s), 6),
                 round(float(coarse_step_s), 6),
                 round(float(min_elevation_deg), 6),
                 _quantize_location(observer),
-                round(float(refine_tol_s), 6))
+                round(float(refine_tol_s), 6), str(refine))
 
     # ------------------------------------------------------------------
     # Propagation grids
@@ -207,22 +212,15 @@ class EphemerisCache:
                     epoch: Epoch, duration_s: float,
                     coarse_step_s: float = 30.0,
                     min_elevation_deg: float = 0.0,
-                    refine_tol_s: float = 0.5) -> List[ContactWindow]:
+                    refine_tol_s: float = 0.5,
+                    refine: str = "bisect") -> List[ContactWindow]:
         """Cached equivalent of ``PassPredictor.find_passes``."""
         key = self.pass_key(propagator.tle, observer, epoch, duration_s,
                             coarse_step_s, min_elevation_deg,
-                            refine_tol_s)
-        cached = self._lru_get(self._pass_lists, key)
+                            refine_tol_s, refine)
+        cached = self._lookup_passes(key)
         if cached is not None:
-            self.stats.pass_hits += 1
             return list(cached)
-        disk = self._disk_load_passes(key)
-        if disk is not None:
-            self.stats.pass_hits += 1
-            self.stats.disk_hits += 1
-            self._lru_put(self._pass_lists, key, disk,
-                          self.max_pass_lists)
-            return list(disk)
         self.stats.pass_misses += 1
         predictor = PassPredictor(propagator, observer,
                                   min_elevation_deg,
@@ -230,11 +228,82 @@ class EphemerisCache:
                                       propagator))
         windows = tuple(predictor.find_passes(
             epoch, duration_s, coarse_step_s=coarse_step_s,
-            refine_tol_s=refine_tol_s))
+            refine_tol_s=refine_tol_s, refine=refine))
+        self._store_passes(key, windows)
+        return list(windows)
+
+    def find_passes_multi(self, propagator: SGP4,
+                          observers: Sequence[GeodeticPoint],
+                          epoch: Epoch, duration_s: float,
+                          coarse_step_s: float = 30.0,
+                          min_elevation_deg: float = 0.0,
+                          refine_tol_s: float = 0.5,
+                          refine: str = "bisect",
+                          geometry: Optional[Sequence[tuple]] = None,
+                          ) -> List[List[ContactWindow]]:
+        """Cached multi-observer pass prediction (one list per observer).
+
+        Per-observer window lists hit the same cache entries as serial
+        :meth:`find_passes` calls — the batch path's bit-identity
+        contract is what makes the shared keys sound.  Only the
+        observers that miss are computed, in one
+        :func:`~satiot.orbits.passes.find_passes_multi` sweep over the
+        shared (cached) propagation grid.
+        """
+        observers = list(observers)
+        results: List[Optional[List[ContactWindow]]] = \
+            [None] * len(observers)
+        missing: List[int] = []
+        keys: List[tuple] = []
+        for idx, observer in enumerate(observers):
+            key = self.pass_key(propagator.tle, observer, epoch,
+                                duration_s, coarse_step_s,
+                                min_elevation_deg, refine_tol_s, refine)
+            keys.append(key)
+            cached = self._lookup_passes(key)
+            if cached is not None:
+                results[idx] = list(cached)
+            else:
+                missing.append(idx)
+        if missing:
+            self.stats.pass_misses += len(missing)
+            sub_geometry = None
+            if geometry is not None:
+                sub_geometry = [geometry[i] for i in missing]
+            computed = _orbits_find_passes_multi(
+                propagator, [observers[i] for i in missing], epoch,
+                duration_s, coarse_step_s=coarse_step_s,
+                min_elevation_deg=min_elevation_deg,
+                refine_tol_s=refine_tol_s, refine=refine,
+                grid_provider=self.grid_provider(propagator),
+                geometry=sub_geometry)
+            for idx, windows in zip(missing, computed):
+                self._store_passes(keys[idx], tuple(windows))
+                results[idx] = windows
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _lookup_passes(self, key: tuple,
+                       ) -> Optional[Tuple[ContactWindow, ...]]:
+        """Memory-then-disk lookup of one pass list (stats updated)."""
+        cached = self._lru_get(self._pass_lists, key)
+        if cached is not None:
+            self.stats.pass_hits += 1
+            return cached
+        disk = self._disk_load_passes(key)
+        if disk is not None:
+            self.stats.pass_hits += 1
+            self.stats.disk_hits += 1
+            self._lru_put(self._pass_lists, key, disk,
+                          self.max_pass_lists)
+            return disk
+        return None
+
+    def _store_passes(self, key: tuple,
+                      windows: Tuple[ContactWindow, ...]) -> None:
         self._lru_put(self._pass_lists, key, windows,
                       self.max_pass_lists)
         self._disk_store(key, self._passes_to_arrays(windows))
-        return list(windows)
 
     # ------------------------------------------------------------------
     # Memory LRU tier

@@ -16,7 +16,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-__all__ = ["ShardTelemetry", "CampaignTelemetry"]
+__all__ = ["ShardTelemetry", "CampaignTelemetry", "render_fixed_table"]
+
+
+def render_fixed_table(header: Sequence[str],
+                       rows: Sequence[Sequence[str]],
+                       title: Optional[str] = None) -> str:
+    """Render a fixed-width monospace table (shared telemetry format).
+
+    Used by the campaign timing report and by ``satiot.serving``'s
+    ``/metrics`` plain-text view so operator-facing tables look the
+    same everywhere.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max([len(h)] + [len(r[i]) for r in cells])
+              for i, h in enumerate(header)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(widths[i])
+                               for i, c in enumerate(r)))
+    return "\n".join(lines)
 
 
 @dataclass
@@ -110,17 +134,8 @@ class CampaignTelemetry:
             str(self.total_beacons), f"{self.events_per_s:,.0f}",
             f"{self.cache_hits}/{self.cache_misses}",
             f"{self.mode} x{self.workers}"])
-        widths = [max(len(header[i]), *(len(r[i]) for r in rows))
-                  for i in range(len(header))]
-        lines = [
+        title = (
             f"Runtime telemetry ({self.mode}, {self.workers} worker(s), "
             f"{self.wall_s:.3f} s wall, "
-            f"{100.0 * self.parallel_efficiency:.0f}% efficiency)",
-            "  ".join(h.ljust(widths[i])
-                      for i, h in enumerate(header)),
-            "  ".join("-" * w for w in widths),
-        ]
-        for r in rows:
-            lines.append("  ".join(str(c).ljust(widths[i])
-                                   for i, c in enumerate(r)))
-        return "\n".join(lines)
+            f"{100.0 * self.parallel_efficiency:.0f}% efficiency)")
+        return render_fixed_table(header, rows, title=title)

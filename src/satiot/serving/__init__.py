@@ -1,0 +1,36 @@
+"""Micro-batched pass-prediction and link-budget query service.
+
+Turns the simulator into an always-on constellation service: an
+asyncio HTTP/JSON server (stdlib only) answering the questions a
+satellite-IoT fleet operator asks continuously — next contact windows,
+instantaneous link budgets, availability statistics — at high request
+rates, by coalescing concurrent queries into shared vectorized orbital
+work.  See ``docs/serving.md`` for the endpoint reference.
+"""
+
+from .batcher import MicroBatcher, QueueFullError
+from .cache import ResultCache, quantize_coord
+from .http import HTTPError, HTTPRequest, json_response, read_request
+from .metrics import EndpointMetrics, ServingMetrics
+from .server import ServingConfig, ServingServer
+from .service import (ConstellationService, LinkBudgetRequest,
+                      PassesRequest, PresenceRequest)
+
+__all__ = [
+    "ConstellationService",
+    "EndpointMetrics",
+    "HTTPError",
+    "HTTPRequest",
+    "LinkBudgetRequest",
+    "MicroBatcher",
+    "PassesRequest",
+    "PresenceRequest",
+    "QueueFullError",
+    "ResultCache",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingServer",
+    "json_response",
+    "quantize_coord",
+    "read_request",
+]

@@ -1,0 +1,159 @@
+"""Micro-batching engine: coalesce concurrent requests into array calls.
+
+The serving layer's throughput comes from one observation: the
+expensive half of a pass/link-budget query (SGP4 propagation and the
+TEME→ECEF frame conversion) is *observer-independent*.  N concurrent
+requests answered together cost one frame conversion instead of N.
+
+:class:`MicroBatcher` implements the standard coalescing loop:
+
+* ``submit`` appends a request to a bounded pending queue and returns
+  an awaitable future;
+* the batch is flushed when it reaches ``max_batch`` **or** when the
+  ``window_s`` timer (armed by the first request of a batch) fires —
+  whichever comes first;
+* a flush hands the request list to the ``handler`` in a worker thread
+  (default: a private single-thread executor), keeping the event loop
+  free to accept connections and answer ``/healthz`` while NumPy works;
+* if the pending queue is full, ``submit`` raises
+  :class:`QueueFullError` immediately — the server maps this to
+  ``429 Too Many Requests`` with a ``Retry-After`` hint.  Load is shed
+  at the cheapest possible point, before any orbital work happens.
+
+Handler results are matched to requests positionally; a handler
+exception fails every request of that batch (the server maps it to one
+500 per affected request — the loop itself never dies).
+
+``max_batch=1`` degrades the engine to honest serial service (one
+handler call per request through the same queue and executor), which is
+exactly the "unbatched" baseline mode of ``benchmarks/bench_serving``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from .metrics import EndpointMetrics
+
+__all__ = ["MicroBatcher", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """Raised by ``submit`` when the pending queue is at capacity."""
+
+    def __init__(self, retry_after_s: float = 1.0) -> None:
+        super().__init__("request queue full")
+        self.retry_after_s = retry_after_s
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into batched handler calls."""
+
+    def __init__(self,
+                 handler: Callable[[List[object]], Sequence[object]],
+                 *,
+                 max_batch: int = 256,
+                 window_s: float = 0.002,
+                 max_pending: int = 1024,
+                 retry_after_s: float = 1.0,
+                 metrics: Optional[EndpointMetrics] = None,
+                 executor: Optional[ThreadPoolExecutor] = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if window_s < 0:
+            raise ValueError("window must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self._handler = handler
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.max_pending = int(max_pending)
+        self.retry_after_s = float(retry_after_s)
+        self.metrics = metrics
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="satiot-serving")
+        self._owns_executor = executor is None
+        self._pending: List[Tuple[object, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet handed to the handler."""
+        return len(self._pending)
+
+    def submit(self, request: object) -> Awaitable[object]:
+        """Enqueue ``request``; the returned future resolves to its
+        response.  Raises :class:`QueueFullError` when at capacity."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        if len(self._pending) >= self.max_pending:
+            raise QueueFullError(self.retry_after_s)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s,
+                                          self._flush, loop)
+        return future
+
+    async def close(self) -> None:
+        """Flush outstanding requests and release the executor."""
+        self._closed = True
+        if self._pending:
+            loop = asyncio.get_running_loop()
+            futures = [f for _, f in self._pending]
+            self._flush(loop)
+            await asyncio.gather(*futures, return_exceptions=True)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Hand the current pending batch to the worker executor."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch = self._pending[:self.max_batch]
+        del self._pending[:len(batch)]
+        if self._pending:
+            # More than max_batch queued: keep draining on the next tick
+            # so backlogged requests don't wait for a fresh arrival.
+            self._timer = loop.call_later(0.0, self._flush, loop)
+        if self.metrics is not None:
+            self.metrics.observe_batch(len(batch))
+        requests = [request for request, _ in batch]
+        futures = [future for _, future in batch]
+        worker = loop.run_in_executor(self._executor,
+                                      self._handler, requests)
+        worker.add_done_callback(
+            lambda done: self._resolve(futures, done))
+
+    @staticmethod
+    def _resolve(futures: List[asyncio.Future],
+                 done: "asyncio.Future") -> None:
+        error = done.exception()
+        if error is None:
+            results = list(done.result())
+            if len(results) != len(futures):
+                error = RuntimeError(
+                    f"handler returned {len(results)} results for "
+                    f"{len(futures)} requests")
+        if error is not None:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(futures, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,169 @@
+"""Per-endpoint serving metrics: counters, histograms, latency quantiles.
+
+Each endpoint owns an :class:`EndpointMetrics`; the server aggregates
+them into a :class:`ServingMetrics` that renders both as JSON (for the
+``/metrics`` endpoint and the benchmark harness) and as the fixed-width
+table format shared with the runtime telemetry report
+(:func:`satiot.runtime.telemetry.render_fixed_table`).
+
+Latency quantiles come from a bounded reservoir (most recent
+``reservoir_size`` samples) — adequate for operational p50/p99 without
+unbounded memory.  Batch sizes are tracked as an exact histogram over
+power-of-two buckets, the batching engine's primary health signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime.telemetry import render_fixed_table
+
+__all__ = ["EndpointMetrics", "ServingMetrics", "percentile"]
+
+#: Upper edges of the batch-size histogram buckets (last is open-ended).
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (q in 0..100)."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return float(sorted_values[0])
+    if q >= 100:
+        return float(sorted_values[-1])
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * (len(sorted_values) - 1))))
+    return float(sorted_values[rank])
+
+
+@dataclass
+class EndpointMetrics:
+    """Counters and distributions of one HTTP endpoint."""
+
+    name: str
+    reservoir_size: int = 4096
+    requests: int = 0
+    ok: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    rejected: int = 0               # 429 backpressure rejections
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    _latencies_ms: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def observe_request(self, status: int, latency_s: float) -> None:
+        self.requests += 1
+        if status == 429:
+            self.rejected += 1
+        elif status >= 500:
+            self.server_errors += 1
+        elif status >= 400:
+            self.client_errors += 1
+        else:
+            self.ok += 1
+        self._latencies_ms.append(latency_s * 1000.0)
+        if len(self._latencies_ms) > self.reservoir_size:
+            del self._latencies_ms[:len(self._latencies_ms)
+                                   - self.reservoir_size]
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        for edge in BATCH_BUCKETS:
+            if size <= edge:
+                bucket = edge
+                break
+        else:
+            bucket = -1  # overflow bucket ("> last edge")
+        self.batch_histogram[bucket] = \
+            self.batch_histogram.get(bucket, 0) + 1
+
+    def observe_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches \
+            else 0.0
+
+    def latency_quantiles_ms(self) -> Dict[str, float]:
+        ordered = sorted(self._latencies_ms)
+        return {
+            "p50": percentile(ordered, 50.0),
+            "p90": percentile(ordered, 90.0),
+            "p99": percentile(ordered, 99.0),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        histogram = {
+            (f"<={bucket}" if bucket > 0 else f">{BATCH_BUCKETS[-1]}"):
+            count
+            for bucket, count in sorted(
+                self.batch_histogram.items(),
+                key=lambda kv: (kv[0] < 0, kv[0]))
+        }
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "rejected_429": self.rejected,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "batch_size_histogram": histogram,
+            "latency_ms": {k: round(v, 3) for k, v
+                           in self.latency_quantiles_ms().items()},
+        }
+
+
+@dataclass
+class ServingMetrics:
+    """All endpoint metrics of one server instance."""
+
+    endpoints: Dict[str, EndpointMetrics] = field(default_factory=dict)
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        if name not in self.endpoints:
+            self.endpoints[name] = EndpointMetrics(name)
+        return self.endpoints[name]
+
+    def to_dict(self) -> dict:
+        return {name: em.to_dict()
+                for name, em in sorted(self.endpoints.items())}
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Fixed-width table view (same format as runtime telemetry)."""
+        header = ["endpoint", "req", "ok", "4xx", "429", "5xx",
+                  "batches", "avg batch", "cache hit%",
+                  "p50 ms", "p99 ms"]
+        rows: List[List[str]] = []
+        for name, em in sorted(self.endpoints.items()):
+            q = em.latency_quantiles_ms()
+            rows.append([
+                name, str(em.requests), str(em.ok),
+                str(em.client_errors), str(em.rejected),
+                str(em.server_errors), str(em.batches),
+                f"{em.mean_batch_size:.1f}",
+                f"{100.0 * em.cache_hit_rate:.0f}",
+                f"{q['p50']:.2f}", f"{q['p99']:.2f}"])
+        return render_fixed_table(header, rows,
+                                  title=title or "Serving metrics")

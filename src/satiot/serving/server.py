@@ -1,0 +1,261 @@
+"""Asyncio HTTP server wiring batcher + cache + metrics + service.
+
+Request lifecycle::
+
+    read → route → validate (event loop, cheap)
+         → result-cache probe (quantized key)
+         → micro-batcher submit  ── full? → 429 + Retry-After
+         → [batch flushed → worker thread → NumPy/SGP4]
+         → respond, populate cache, record metrics
+
+``/healthz`` and ``/metrics`` never enter the batcher, so the service
+stays observable under overload — the event loop only ever blocks on
+I/O, all orbital work runs in the batcher's worker thread.
+
+Failure containment: connection-level errors (client reset, truncated
+request, mid-request disconnect) are swallowed per connection; handler
+exceptions become one 500 per affected request.  Nothing a client does
+can take the accept loop down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .batcher import MicroBatcher, QueueFullError
+from .cache import ResultCache
+from .http import (HTTPError, HTTPRequest, json_response, read_request,
+                   text_response)
+from .metrics import ServingMetrics
+from .service import (ConstellationService, LinkBudgetRequest,
+                      PassesRequest, PresenceRequest,
+                      DEFAULT_CONSTELLATION)
+
+__all__ = ["ServingConfig", "ServingServer"]
+
+
+@dataclass
+class ServingConfig:
+    """Operational knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8340
+    constellations: Tuple[str, ...] = (DEFAULT_CONSTELLATION,)
+    #: coalescing window armed by the first request of a batch
+    window_s: float = 0.002
+    #: flush immediately once this many requests are pending
+    max_batch: int = 256
+    #: queue bound; submissions beyond it are rejected with 429
+    max_pending: int = 1024
+    #: Retry-After hint (seconds) sent with 429 responses
+    retry_after_s: float = 0.5
+    #: master switch — False degrades to per-request serial handling
+    batching: bool = True
+    cache_ttl_s: float = 60.0
+    cache_entries: int = 4096
+    #: coordinate quantization (decimal places) for result-cache keys
+    cache_decimals: int = 2
+    #: pass-finder sampling step (s)
+    coarse_step_s: float = 30.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+_ENDPOINTS = {
+    "/v1/passes": ("passes", PassesRequest),
+    "/v1/presence": ("presence", PresenceRequest),
+    "/v1/link_budget": ("link_budget", LinkBudgetRequest),
+}
+
+
+class ServingServer:
+    """One constellation query service bound to a host/port."""
+
+    def __init__(self, config: Optional[ServingConfig] = None,
+                 service: Optional[ConstellationService] = None) -> None:
+        self.config = config or ServingConfig()
+        self.service = service or ConstellationService(
+            constellations=self.config.constellations,
+            coarse_step_s=self.config.coarse_step_s)
+        self.metrics = ServingMetrics()
+        self.cache = ResultCache(max_entries=self.config.cache_entries,
+                                 ttl_s=self.config.cache_ttl_s)
+        # One worker thread shared by every endpoint: orbital work is
+        # serialized (NumPy already saturates a core per batch) and the
+        # event loop never blocks on compute.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="satiot-serving")
+        max_batch = self.config.max_batch if self.config.batching else 1
+        handlers = {
+            "passes": self.service.passes_batch,
+            "presence": self.service.presence_batch,
+            "link_budget": self.service.link_budget_batch,
+        }
+        self._batchers: Dict[str, MicroBatcher] = {
+            name: MicroBatcher(
+                handler,
+                max_batch=max_batch,
+                window_s=self.config.window_s,
+                max_pending=self.config.max_pending,
+                retry_after_s=self.config.retry_after_s,
+                metrics=self.metrics.endpoint(name),
+                executor=self._executor)
+            for name, handler in handlers.items()
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        return self._server
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful when configured with port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        server = self._server or await self.start()
+        async with server:
+            await server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self._batchers.values():
+            await batcher.close()
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HTTPError as exc:
+                    writer.write(self._error_response(exc,
+                                                      keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                payload = await self._dispatch(request)
+                writer.write(payload)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                TimeoutError, OSError):
+            pass  # client went away mid-request; never fatal
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _error_response(error: HTTPError,
+                        keep_alive: bool = True) -> bytes:
+        return json_response(error.status, {"error": error.message},
+                             extra_headers=error.headers,
+                             keep_alive=keep_alive)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HTTPRequest) -> bytes:
+        start = time.perf_counter()
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/metrics":
+            return self._metrics_response(request)
+        if path in _ENDPOINTS:
+            endpoint, request_type = _ENDPOINTS[path]
+            status, payload = await self._query(request, endpoint,
+                                                request_type)
+            self.metrics.endpoint(endpoint).observe_request(
+                status, time.perf_counter() - start)
+            headers = {}
+            if status == 429:
+                headers["Retry-After"] = \
+                    f"{self.config.retry_after_s:.3f}"
+            return json_response(status, payload,
+                                 extra_headers=headers,
+                                 keep_alive=request.keep_alive)
+        return json_response(404, {"error": f"no such path {path!r}"},
+                             keep_alive=request.keep_alive)
+
+    def _healthz(self) -> bytes:
+        return json_response(200, {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "constellations": self.service.constellation_names,
+            "pending": {name: batcher.pending
+                        for name, batcher in self._batchers.items()},
+        })
+
+    def _metrics_response(self, request: HTTPRequest) -> bytes:
+        wants_text = request.query.get("format") == "text" or \
+            "text/plain" in request.headers.get("accept", "")
+        if wants_text:
+            return text_response(200, self.metrics.render() + "\n")
+        payload = self.metrics.to_dict()
+        payload["_cache"] = {
+            "entries": len(self.cache),
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": round(self.cache.hit_rate, 4),
+            "ttl_s": self.cache.ttl_s,
+        }
+        return json_response(200, payload)
+
+    # ------------------------------------------------------------------
+    # Query endpoints
+    # ------------------------------------------------------------------
+    async def _query(self, request: HTTPRequest, endpoint: str,
+                     request_type) -> Tuple[int, dict]:
+        if request.method not in ("GET", "POST"):
+            return 405, {"error": f"method {request.method} not allowed"}
+        try:
+            query = request_type.from_params(request.params())
+        except HTTPError as exc:
+            return exc.status, {"error": exc.message}
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+
+        em = self.metrics.endpoint(endpoint)
+        key = query.cache_key(self.config.cache_decimals)
+        cached = self.cache.get(key)
+        em.observe_cache(cached is not None)
+        if cached is not None:
+            return 200, cached
+
+        try:
+            future = self._batchers[endpoint].submit(query)
+        except QueueFullError as exc:
+            return 429, {"error": "request queue full",
+                         "retry_after_s": exc.retry_after_s}
+        try:
+            payload = await future
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # handler fault → contained 500
+            return 500, {"error": f"internal error: {exc}"}
+        self.cache.put(key, payload)
+        return 200, payload

@@ -1,0 +1,513 @@
+"""Domain logic behind the serving endpoints (batch-first API).
+
+:class:`ConstellationService` answers three question shapes, each as a
+*batch* handler (lists in, lists out) so the micro-batcher can coalesce
+concurrent requests into shared array work:
+
+* ``passes_batch`` — upcoming contact windows per observer;
+* ``presence_batch`` — availability statistics (coverage fraction,
+  window/gap structure) derived from the same windows;
+* ``link_budget_batch`` — instantaneous per-satellite geometry, RSSI
+  breakdown, link margin, Doppler and airtime at one instant.
+
+Batched requests that share query parameters are grouped and answered
+through the multi-observer fast path
+(:meth:`satiot.runtime.EphemerisCache.find_passes_multi`), which
+computes the SGP4 grid and TEME→ECEF conversion once per satellite for
+the whole group.  A group of one falls back to the serial per-observer
+path — by the batch layer's bit-identity contract both paths produce
+identical windows and share cache entries, so mixing them is safe.
+
+All handlers are synchronous and thread-safe under the serving layer's
+single-worker executor (one batch in flight at a time per batcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constellations.catalog import (CONSTELLATION_SPECS, Constellation,
+                                      build_constellation)
+from ..core.stats import merge_intervals, total_length
+from ..orbits.doppler import doppler_shift_hz
+from ..orbits.frames import GeodeticPoint
+from ..orbits.passes import ContactWindow, observer_geometry
+from ..orbits.timebase import Epoch
+from ..orbits.topocentric import ecef_states, look_angles_from_ecef
+from ..phy.link_budget import LinkBudget
+from ..phy.lora import LoRaModulation, sensitivity_dbm
+from ..runtime.ephemeris_cache import EphemerisCache
+from .cache import quantize_coord
+
+__all__ = ["ConstellationService", "LinkBudgetRequest", "PassesRequest",
+           "PresenceRequest", "DEFAULT_CONSTELLATION"]
+
+DEFAULT_CONSTELLATION = "tianqi"
+MAX_HORIZON_S = 7 * 86400.0
+
+
+def _get_float(params: dict, key: str, default: float) -> float:
+    value = params.get(key, default)
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"parameter {key!r} must be a number, "
+                         f"got {value!r}") from exc
+
+
+def _get_int(params: dict, key: str, default: int) -> int:
+    value = params.get(key, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"parameter {key!r} must be an integer, "
+                         f"got {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class _ObserverRequest:
+    """Common observer/constellation fields of all query shapes."""
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_km: float = 0.0
+    constellation: str = DEFAULT_CONSTELLATION
+
+    def observer(self) -> GeodeticPoint:
+        return GeodeticPoint(self.latitude_deg, self.longitude_deg,
+                             self.altitude_km)
+
+    def site_dict(self) -> dict:
+        return {"latitude_deg": self.latitude_deg,
+                "longitude_deg": self.longitude_deg,
+                "altitude_km": self.altitude_km}
+
+    @staticmethod
+    def _base_kwargs(params: dict) -> dict:
+        constellation = str(params.get("constellation",
+                                       DEFAULT_CONSTELLATION)).lower()
+        if constellation not in CONSTELLATION_SPECS:
+            raise ValueError(
+                f"unknown constellation {constellation!r}; choose from "
+                f"{sorted(CONSTELLATION_SPECS)}")
+        if "lat" not in params or "lon" not in params:
+            raise ValueError("parameters 'lat' and 'lon' are required")
+        kwargs = {
+            "latitude_deg": _get_float(params, "lat", 0.0),
+            "longitude_deg": _get_float(params, "lon", 0.0),
+            "altitude_km": _get_float(params, "alt_km", 0.0),
+            "constellation": constellation,
+        }
+        if not -90.0 <= kwargs["latitude_deg"] <= 90.0:
+            raise ValueError("lat must be within [-90, 90]")
+        if not -180.0 <= kwargs["longitude_deg"] <= 180.0:
+            raise ValueError("lon must be within [-180, 180]")
+        if not -0.5 <= kwargs["altitude_km"] <= 50.0:
+            raise ValueError("alt_km must be within [-0.5, 50]")
+        return kwargs
+
+    def _quantized_site(self, decimals: int) -> Tuple[float, float, float]:
+        return (quantize_coord(self.latitude_deg, decimals),
+                quantize_coord(self.longitude_deg, decimals),
+                quantize_coord(self.altitude_km, decimals))
+
+
+@dataclass(frozen=True)
+class PassesRequest(_ObserverRequest):
+    """``/v1/passes``: contact windows over a prediction horizon."""
+
+    horizon_s: float = 86400.0
+    min_elevation_deg: float = 10.0
+    max_passes: int = 0          # 0 = unlimited
+
+    @classmethod
+    def from_params(cls, params: dict) -> "PassesRequest":
+        kwargs = cls._base_kwargs(params)
+        kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
+        kwargs["min_elevation_deg"] = _get_float(
+            params, "min_elevation_deg", 10.0)
+        kwargs["max_passes"] = _get_int(params, "max_passes", 0)
+        if not 0.0 < kwargs["horizon_s"] <= MAX_HORIZON_S:
+            raise ValueError(
+                f"horizon_s must be in (0, {MAX_HORIZON_S:.0f}]")
+        if not -10.0 <= kwargs["min_elevation_deg"] < 90.0:
+            raise ValueError("min_elevation_deg must be in [-10, 90)")
+        if kwargs["max_passes"] < 0:
+            raise ValueError("max_passes must be non-negative")
+        return cls(**kwargs)
+
+    def group_key(self) -> tuple:
+        return ("passes", self.constellation, self.horizon_s,
+                self.min_elevation_deg)
+
+    def cache_key(self, decimals: int = 2) -> tuple:
+        return ("passes", self.constellation,
+                self._quantized_site(decimals), self.horizon_s,
+                self.min_elevation_deg, self.max_passes)
+
+
+@dataclass(frozen=True)
+class PresenceRequest(_ObserverRequest):
+    """``/v1/presence``: availability statistics over a horizon."""
+
+    horizon_s: float = 86400.0
+    min_elevation_deg: float = 10.0
+
+    @classmethod
+    def from_params(cls, params: dict) -> "PresenceRequest":
+        kwargs = cls._base_kwargs(params)
+        kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
+        kwargs["min_elevation_deg"] = _get_float(
+            params, "min_elevation_deg", 10.0)
+        if not 0.0 < kwargs["horizon_s"] <= MAX_HORIZON_S:
+            raise ValueError(
+                f"horizon_s must be in (0, {MAX_HORIZON_S:.0f}]")
+        if not -10.0 <= kwargs["min_elevation_deg"] < 90.0:
+            raise ValueError("min_elevation_deg must be in [-10, 90)")
+        return cls(**kwargs)
+
+    def group_key(self) -> tuple:
+        return ("presence", self.constellation, self.horizon_s,
+                self.min_elevation_deg)
+
+    def cache_key(self, decimals: int = 2) -> tuple:
+        return ("presence", self.constellation,
+                self._quantized_site(decimals), self.horizon_s,
+                self.min_elevation_deg)
+
+
+@dataclass(frozen=True)
+class LinkBudgetRequest(_ObserverRequest):
+    """``/v1/link_budget``: instantaneous per-satellite link state."""
+
+    t_offset_s: float = 0.0
+    min_elevation_deg: float = 0.0
+    spreading_factor: int = 0    # 0 = constellation default
+    payload_bytes: int = 0       # 0 = constellation beacon payload
+    raining: bool = False
+
+    @classmethod
+    def from_params(cls, params: dict) -> "LinkBudgetRequest":
+        kwargs = cls._base_kwargs(params)
+        kwargs["t_offset_s"] = _get_float(params, "t_offset_s", 0.0)
+        kwargs["min_elevation_deg"] = _get_float(
+            params, "min_elevation_deg", 0.0)
+        kwargs["spreading_factor"] = _get_int(
+            params, "spreading_factor", 0)
+        kwargs["payload_bytes"] = _get_int(params, "payload_bytes", 0)
+        raining = params.get("raining", False)
+        if isinstance(raining, str):
+            raining = raining.strip().lower() in ("1", "true", "yes")
+        kwargs["raining"] = bool(raining)
+        if not 0.0 <= kwargs["t_offset_s"] <= MAX_HORIZON_S:
+            raise ValueError(
+                f"t_offset_s must be in [0, {MAX_HORIZON_S:.0f}]")
+        if not -10.0 <= kwargs["min_elevation_deg"] < 90.0:
+            raise ValueError("min_elevation_deg must be in [-10, 90)")
+        if kwargs["spreading_factor"] and \
+                not 5 <= kwargs["spreading_factor"] <= 12:
+            raise ValueError("spreading_factor must be in 5..12 (or 0)")
+        if not 0 <= kwargs["payload_bytes"] <= 255:
+            raise ValueError("payload_bytes must be in 0..255")
+        return cls(**kwargs)
+
+    def group_key(self) -> tuple:
+        return ("link_budget", self.constellation, self.t_offset_s)
+
+    def cache_key(self, decimals: int = 2) -> tuple:
+        return ("link_budget", self.constellation,
+                self._quantized_site(decimals), self.t_offset_s,
+                self.min_elevation_deg, self.spreading_factor,
+                self.payload_bytes, self.raining)
+
+
+class ConstellationService:
+    """Answers pass/presence/link-budget queries over shared ephemerides."""
+
+    def __init__(self,
+                 constellations: Sequence[str] = (DEFAULT_CONSTELLATION,),
+                 ephemeris: Optional[EphemerisCache] = None,
+                 coarse_step_s: float = 30.0,
+                 refine: str = "interp",
+                 refine_tol_s: float = 0.5,
+                 epochyr: int = 24, epochdays: float = 245.0,
+                 seed: int = 7) -> None:
+        if coarse_step_s <= 0:
+            raise ValueError("coarse_step_s must be positive")
+        self.coarse_step_s = float(coarse_step_s)
+        self.refine = refine
+        self.refine_tol_s = float(refine_tol_s)
+        self.ephemeris = ephemeris or EphemerisCache()
+        self._constellations: Dict[str, Constellation] = {}
+        self._epochs: Dict[str, Epoch] = {}
+        for name in constellations:
+            const = build_constellation(name, epochyr=epochyr,
+                                        epochdays=epochdays, seed=seed)
+            key = const.name.lower()
+            self._constellations[key] = const
+            self._epochs[key] = const.satellites[0].tle.epoch
+
+    # ------------------------------------------------------------------
+    @property
+    def constellation_names(self) -> List[str]:
+        return sorted(self._constellations)
+
+    def constellation(self, name: str) -> Constellation:
+        try:
+            return self._constellations[name.lower()]
+        except KeyError as exc:
+            raise ValueError(
+                f"constellation {name!r} not loaded; available: "
+                f"{self.constellation_names}") from exc
+
+    def epoch(self, name: str) -> Epoch:
+        self.constellation(name)
+        return self._epochs[name.lower()]
+
+    # ------------------------------------------------------------------
+    # Shared pass computation
+    # ------------------------------------------------------------------
+    def _windows_for_group(self, constellation: str,
+                           observers: Sequence[GeodeticPoint],
+                           horizon_s: float, min_elevation_deg: float,
+                           ) -> List[List[ContactWindow]]:
+        """Merged, rise-sorted windows of the whole constellation for
+        each observer of a parameter-homogeneous group."""
+        const = self.constellation(constellation)
+        epoch = self.epoch(constellation)
+        per_observer: List[List[ContactWindow]] = \
+            [[] for _ in observers]
+        if len(observers) == 1:
+            # Serial per-observer path: identical results by the batch
+            # layer's bit-identity contract, and the honest baseline for
+            # the unbatched serving mode.
+            for sat in const:
+                windows = self.ephemeris.find_passes(
+                    sat.propagator, observers[0], epoch, horizon_s,
+                    coarse_step_s=self.coarse_step_s,
+                    min_elevation_deg=min_elevation_deg,
+                    refine_tol_s=self.refine_tol_s, refine=self.refine)
+                per_observer[0].extend(windows)
+        else:
+            geometry = observer_geometry(observers)
+            for sat in const:
+                rows = self.ephemeris.find_passes_multi(
+                    sat.propagator, observers, epoch, horizon_s,
+                    coarse_step_s=self.coarse_step_s,
+                    min_elevation_deg=min_elevation_deg,
+                    refine_tol_s=self.refine_tol_s, refine=self.refine,
+                    geometry=geometry)
+                for windows, acc in zip(rows, per_observer):
+                    acc.extend(windows)
+        for acc in per_observer:
+            acc.sort(key=lambda w: w.rise_s)
+        return per_observer
+
+    @staticmethod
+    def _group_indices(requests: Sequence[object]) -> Dict[tuple,
+                                                           List[int]]:
+        groups: Dict[tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.group_key(), []).append(index)
+        return groups
+
+    # ------------------------------------------------------------------
+    # /v1/passes
+    # ------------------------------------------------------------------
+    def passes_batch(self, requests: Sequence[PassesRequest],
+                     ) -> List[dict]:
+        results: List[Optional[dict]] = [None] * len(requests)
+        for _, indices in self._group_indices(requests).items():
+            group = [requests[i] for i in indices]
+            observers = [r.observer() for r in group]
+            per_observer = self._windows_for_group(
+                group[0].constellation, observers, group[0].horizon_s,
+                group[0].min_elevation_deg)
+            for request, index, windows in zip(group, indices,
+                                               per_observer):
+                results[index] = self._passes_payload(request, windows)
+        return results  # type: ignore[return-value]
+
+    def _passes_payload(self, request: PassesRequest,
+                        windows: Sequence[ContactWindow]) -> dict:
+        const = self.constellation(request.constellation)
+        epoch = self.epoch(request.constellation)
+        if request.max_passes:
+            windows = windows[:request.max_passes]
+        names = {sat.tle.norad_id: sat.name for sat in const}
+        passes = [{
+            "satellite": names.get(w.norad_id, str(w.norad_id)),
+            "norad_id": w.norad_id,
+            "rise_s": round(w.rise_s, 3),
+            "set_s": round(w.set_s, 3),
+            "duration_s": round(w.duration_s, 3),
+            "culmination_s": round(w.culmination_s, 3),
+            "max_elevation_deg": round(w.max_elevation_deg, 3),
+        } for w in windows]
+        return {
+            "site": request.site_dict(),
+            "constellation": const.name,
+            "epoch": epoch.isoformat(),
+            "horizon_s": request.horizon_s,
+            "min_elevation_deg": request.min_elevation_deg,
+            "count": len(passes),
+            "next_pass": passes[0] if passes else None,
+            "passes": passes,
+        }
+
+    # ------------------------------------------------------------------
+    # /v1/presence
+    # ------------------------------------------------------------------
+    def presence_batch(self, requests: Sequence[PresenceRequest],
+                       ) -> List[dict]:
+        results: List[Optional[dict]] = [None] * len(requests)
+        for _, indices in self._group_indices(requests).items():
+            group = [requests[i] for i in indices]
+            observers = [r.observer() for r in group]
+            per_observer = self._windows_for_group(
+                group[0].constellation, observers, group[0].horizon_s,
+                group[0].min_elevation_deg)
+            for request, index, windows in zip(group, indices,
+                                               per_observer):
+                results[index] = self._presence_payload(request, windows)
+        return results  # type: ignore[return-value]
+
+    def _presence_payload(self, request: PresenceRequest,
+                          windows: Sequence[ContactWindow]) -> dict:
+        horizon = request.horizon_s
+        merged = merge_intervals(
+            (max(0.0, w.rise_s), min(horizon, w.set_s))
+            for w in windows if w.set_s > 0.0 and w.rise_s < horizon)
+        covered = total_length(merged)
+        gaps: List[float] = []
+        cursor = 0.0
+        for start, end in merged:
+            if start > cursor:
+                gaps.append(start - cursor)
+            cursor = max(cursor, end)
+        if cursor < horizon:
+            gaps.append(horizon - cursor)
+        return {
+            "site": request.site_dict(),
+            "constellation": request.constellation,
+            "horizon_s": horizon,
+            "min_elevation_deg": request.min_elevation_deg,
+            "coverage_fraction": round(covered / horizon, 6),
+            "covered_s": round(covered, 3),
+            "windows": len(merged),
+            "raw_passes": len(windows),
+            "mean_window_s": round(covered / len(merged), 3)
+            if merged else 0.0,
+            "max_gap_s": round(max(gaps), 3) if gaps else 0.0,
+            "mean_gap_s": round(sum(gaps) / len(gaps), 3)
+            if gaps else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # /v1/link_budget
+    # ------------------------------------------------------------------
+    def link_budget_batch(self, requests: Sequence[LinkBudgetRequest],
+                          ) -> List[dict]:
+        results: List[Optional[dict]] = [None] * len(requests)
+        for _, indices in self._group_indices(requests).items():
+            group = [requests[i] for i in indices]
+            const = self.constellation(group[0].constellation)
+            epoch = self.epoch(group[0].constellation)
+            t = group[0].t_offset_s
+            # Observer-independent work, once per group: propagate every
+            # satellite to t and convert the stacked states to ECEF in
+            # one vectorized call (shared instant → shared GMST).
+            r_teme = np.empty((len(const), 3))
+            v_teme = np.empty((len(const), 3))
+            for row, sat in enumerate(const):
+                r, v = self.ephemeris.propagation_grid(
+                    sat.propagator, epoch, [t])
+                r_teme[row] = r[0]
+                v_teme[row] = v[0]
+            r_ecef, v_ecef = ecef_states(r_teme, v_teme,
+                                         epoch.offset_jd(t))
+            for request, index in zip(group, indices):
+                results[index] = self._link_budget_payload(
+                    request, const, r_ecef, v_ecef)
+        return results  # type: ignore[return-value]
+
+    def _link_budget_payload(self, request: LinkBudgetRequest,
+                             const: Constellation,
+                             r_ecef: np.ndarray,
+                             v_ecef: np.ndarray) -> dict:
+        radio = const.radio
+        sf = request.spreading_factor or radio.spreading_factor
+        payload_bytes = request.payload_bytes or \
+            radio.beacon_payload_bytes
+        budget = LinkBudget(eirp_dbm=radio.beacon_eirp_dbm,
+                            frequency_hz=radio.frequency_hz)
+        modulation = LoRaModulation(
+            spreading_factor=sf, bandwidth_hz=radio.bandwidth_hz,
+            coding_rate=radio.coding_rate,
+            preamble_symbols=radio.preamble_symbols,
+            explicit_header=radio.explicit_header,
+            low_data_rate_optimize=radio.low_data_rate_optimize)
+        sensitivity = sensitivity_dbm(sf, radio.bandwidth_hz)
+        airtime = modulation.airtime_s(payload_bytes)
+
+        angles = look_angles_from_ecef(request.observer(),
+                                       r_ecef, v_ecef)
+        elevation = np.atleast_1d(np.asarray(angles.elevation_deg))
+        visible = np.flatnonzero(
+            elevation >= request.min_elevation_deg)
+        sats = const.satellites
+        entries: List[dict] = []
+        if visible.size:
+            azimuth = np.atleast_1d(np.asarray(angles.azimuth_deg))
+            rng = np.atleast_1d(np.asarray(angles.range_km))
+            rate = np.atleast_1d(np.asarray(angles.range_rate_km_s))
+            parts = budget.components(rng[visible], elevation[visible],
+                                      raining=request.raining)
+            rssi = np.atleast_1d(np.asarray(parts["rssi_dbm"], float))
+            # Components may be scalar (e.g. rain when not raining):
+            # broadcast them to one value per visible satellite.
+            fspl = np.broadcast_to(
+                np.asarray(parts["fspl_db"], float), rssi.shape)
+            excess = np.broadcast_to(
+                np.asarray(parts["excess_db"], float), rssi.shape)
+            rain = np.broadcast_to(
+                np.asarray(parts["rain_db"], float), rssi.shape)
+            doppler = np.atleast_1d(np.asarray(doppler_shift_hz(
+                rate[visible], radio.frequency_hz)))
+            for pos, sat_index in enumerate(visible):
+                sat = sats[int(sat_index)]
+                entries.append({
+                    "satellite": sat.name,
+                    "norad_id": sat.tle.norad_id,
+                    "elevation_deg": round(float(
+                        elevation[sat_index]), 3),
+                    "azimuth_deg": round(float(azimuth[sat_index]), 3),
+                    "range_km": round(float(rng[sat_index]), 3),
+                    "range_rate_km_s": round(float(
+                        rate[sat_index]), 6),
+                    "rssi_dbm": round(float(rssi[pos]), 3),
+                    "fspl_db": round(float(fspl[pos]), 3),
+                    "excess_loss_db": round(float(excess[pos]), 3),
+                    "rain_loss_db": round(float(rain[pos]), 3),
+                    "link_margin_db": round(float(rssi[pos])
+                                            - sensitivity, 3),
+                    "doppler_hz": round(float(doppler[pos]), 1),
+                })
+            entries.sort(key=lambda e: e["rssi_dbm"], reverse=True)
+        return {
+            "site": request.site_dict(),
+            "constellation": const.name,
+            "t_offset_s": request.t_offset_s,
+            "min_elevation_deg": request.min_elevation_deg,
+            "spreading_factor": sf,
+            "payload_bytes": payload_bytes,
+            "sensitivity_dbm": round(sensitivity, 3),
+            "airtime_s": round(airtime, 6),
+            "raining": request.raining,
+            "visible_count": len(entries),
+            "best": entries[0] if entries else None,
+            "satellites": entries,
+        }

@@ -11,7 +11,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
+
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
 

@@ -8,7 +8,6 @@ so lookups are O(log n) and deterministic.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import List, Tuple, Union
 

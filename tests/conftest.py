@@ -6,7 +6,6 @@ suite; analyses on top of them are cheap.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -1,0 +1,70 @@
+"""Dataset CLI error paths: exit code 2 + clear message, no traceback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from satiot.cli import main
+
+
+class TestDatasetInfoErrors:
+    def test_missing_archive_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "does-not-exist"
+        assert main(["dataset", "info", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read dataset archive" in err
+        assert str(target) in err
+
+    def test_corrupt_manifest_exits_2(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text("{not json!")
+        assert main(["dataset", "info", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read dataset archive" in err
+
+    def test_malformed_manifest_fields_exit_2(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"unexpected_key": 1}))
+        assert main(["dataset", "info", str(tmp_path)]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+    def test_manifest_pointing_at_missing_traces_exits_2(
+            self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "name": "x", "seed": 1, "days": 1.0,
+            "trace_format": "csv", "total_traces": 3,
+            "sites": {"HK": 3}}))
+        assert main(["dataset", "info", str(tmp_path)]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+
+class TestDatasetExportErrors:
+    def test_unwritable_root_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        assert main(["dataset", "export", str(blocker),
+                     "--sites", "HK", "--days", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot write dataset archive" in err
+        assert str(blocker) in err
+
+    def test_export_then_info_roundtrip_still_works(self, tmp_path,
+                                                    capsys):
+        """The error wrapping must not break the happy path."""
+        root = tmp_path / "archive"
+        assert main(["dataset", "export", str(root), "--sites", "HK",
+                     "--days", "0.05"]) == 0
+        capsys.readouterr()
+        assert main(["dataset", "info", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset archive" in out
+
+
+@pytest.mark.parametrize("argv", [
+    ["dataset", "info", "/nonexistent/archive"],
+])
+def test_no_traceback_on_stderr(argv, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err

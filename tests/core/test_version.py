@@ -1,0 +1,56 @@
+"""Version single-source-of-truth: package, CLI, and pyproject agree."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import satiot
+from satiot.cli import main
+
+PYPROJECT = Path(__file__).resolve().parents[2] / "pyproject.toml"
+
+
+def pyproject_version() -> str:
+    text = PYPROJECT.read_text()
+    try:
+        import tomllib  # Python 3.11+
+    except ImportError:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+        assert match, "no version field in pyproject.toml"
+        return match.group(1)
+    return tomllib.loads(text)["project"]["version"]
+
+
+def test_dunder_version_matches_pyproject():
+    assert satiot.__version__ == pyproject_version()
+
+
+def test_cli_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out.strip()
+    assert out == f"satiot {satiot.__version__}"
+
+
+def test_python_m_satiot_version():
+    import os
+    import subprocess
+    import sys
+    env = dict(os.environ)
+    src = str(PYPROJECT.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "satiot", "--version"],
+        capture_output=True, text=True, env=env, timeout=60)
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == f"satiot {satiot.__version__}"
+
+
+def test_version_is_pep440ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([a-z0-9.+-]*)?",
+                        satiot.__version__)

@@ -1,6 +1,5 @@
 """Tests for the expenditure comparison and TCO curves."""
 
-import math
 
 import pytest
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from satiot.econ.pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS,
-                                 SatelliteCostModel, TerrestrialCostModel)
+from satiot.econ.pricing import TERRESTRIAL_COSTS, TIANQI_COSTS
 
 
 class TestSatelliteCosts:

@@ -1,6 +1,5 @@
 """Tests for the beacon receiver simulation."""
 
-import numpy as np
 import pytest
 
 from satiot.constellations.catalog import build_constellation

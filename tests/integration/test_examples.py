@@ -5,10 +5,8 @@ so a broken public API surfaces here before a user hits it.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 

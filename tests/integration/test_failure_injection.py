@@ -2,7 +2,6 @@
 accounting stays consistent, under hostile configurations."""
 
 import numpy as np
-import pytest
 
 from satiot.core.active import ActiveCampaign, ActiveCampaignConfig
 from satiot.network.mac import BeaconOpportunity, DtSMac, MacConfig

@@ -2,7 +2,6 @@
 qualitative findings end-to-end."""
 
 import numpy as np
-import pytest
 
 from satiot.core.contacts import analyze_contacts, mid_window_fraction
 

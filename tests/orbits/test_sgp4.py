@@ -5,7 +5,6 @@ physical invariants plus agreement with the independent J2 secular
 propagator (no shared code), which would expose any sign/unit error.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -14,7 +13,6 @@ from satiot.orbits.constants import MU_EARTH_KM3_S2
 from satiot.orbits.j2 import J2Propagator
 from satiot.orbits.kepler import KeplerianElements, semi_major_axis_km
 from satiot.orbits.sgp4 import SGP4, DecayedError, DeepSpaceError, SGP4Error
-from satiot.orbits.tle import TLE
 
 from tests.conftest import make_test_tle
 

@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from satiot.orbits.constants import EARTH_RADIUS_KM
 from satiot.orbits.frames import GeodeticPoint, geodetic_to_ecef
 from satiot.orbits.timebase import gmst
 from satiot.orbits.topocentric import look_angles, sez_rotation

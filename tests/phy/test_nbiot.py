@@ -1,6 +1,5 @@
 """Tests for the NB-IoT uplink model."""
 
-import math
 
 import pytest
 

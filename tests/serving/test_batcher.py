@@ -1,0 +1,184 @@
+"""Micro-batcher unit tests: coalescing, flush triggers, backpressure."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from satiot.serving import MicroBatcher, QueueFullError
+from satiot.serving.metrics import EndpointMetrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_window_coalesces_concurrent_requests(self):
+        batches = []
+
+        def handler(requests):
+            batches.append(list(requests))
+            return [r * 10 for r in requests]
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=64,
+                                   window_s=0.02)
+            futures = [batcher.submit(i) for i in range(5)]
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return results
+
+        assert run(scenario()) == [0, 10, 20, 30, 40]
+        assert batches == [[0, 1, 2, 3, 4]]  # one coalesced batch
+
+    def test_max_batch_triggers_immediate_flush(self):
+        batches = []
+
+        def handler(requests):
+            batches.append(len(requests))
+            return list(requests)
+
+        async def scenario():
+            # Long window: only the size trigger can flush the first 4.
+            batcher = MicroBatcher(handler, max_batch=4, window_s=5.0)
+            futures = [batcher.submit(i) for i in range(4)]
+            await asyncio.gather(*futures)
+            await batcher.close()
+
+        run(scenario())
+        assert batches[0] == 4
+
+    def test_overflow_batch_drains_without_new_arrivals(self):
+        sizes = []
+
+        def handler(requests):
+            sizes.append(len(requests))
+            return list(requests)
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=3, window_s=5.0,
+                                   max_pending=100)
+            futures = [batcher.submit(i) for i in range(7)]
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return results
+
+        assert run(scenario()) == list(range(7))
+        assert sum(sizes) == 7
+        assert sizes[0] == 3  # size-triggered first flush
+
+    def test_serial_mode_is_one_request_per_batch(self):
+        sizes = []
+
+        def handler(requests):
+            sizes.append(len(requests))
+            return list(requests)
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=1, window_s=0.05)
+            await asyncio.gather(*[batcher.submit(i) for i in range(4)])
+            await batcher.close()
+
+        run(scenario())
+        assert sizes == [1, 1, 1, 1]
+
+
+class TestBackpressure:
+    def test_queue_full_raises_and_batch_metrics_recorded(self):
+        metrics = EndpointMetrics("t")
+
+        def handler(requests):
+            return list(requests)
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=100, window_s=0.5,
+                                   max_pending=3, retry_after_s=0.25,
+                                   metrics=metrics)
+            accepted = [batcher.submit(i) for i in range(3)]
+            rejections = []
+            for i in range(4):
+                try:
+                    batcher.submit(100 + i)
+                except QueueFullError as exc:
+                    rejections.append(exc.retry_after_s)
+            results = await asyncio.gather(*accepted)
+            await batcher.close()
+            return results, rejections
+
+        results, rejections = run(scenario())
+        assert results == [0, 1, 2]
+        assert rejections == [0.25] * 4  # exactly the overflow
+        assert metrics.batches == 1
+        assert metrics.batched_requests == 3
+
+    def test_pending_drains_after_flush(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda reqs: list(reqs),
+                                   max_batch=8, window_s=0.01,
+                                   max_pending=2)
+            first = [batcher.submit(i) for i in range(2)]
+            assert batcher.pending == 2
+            await asyncio.gather(*first)
+            assert batcher.pending == 0
+            # capacity is available again
+            second = batcher.submit(99)
+            assert await second == 99
+            await batcher.close()
+
+        run(scenario())
+
+
+class TestFailureContainment:
+    def test_handler_exception_fails_batch_not_loop(self):
+        async def scenario():
+            def handler(requests):
+                raise RuntimeError("kaboom")
+
+            batcher = MicroBatcher(handler, max_batch=4, window_s=0.01)
+            futures = [batcher.submit(i) for i in range(2)]
+            outcomes = await asyncio.gather(*futures,
+                                            return_exceptions=True)
+            # The batcher survives a handler fault: next batch works.
+            ok = MicroBatcher(lambda reqs: list(reqs), max_batch=1,
+                              window_s=0.01)
+            value = await ok.submit(7)
+            await batcher.close()
+            await ok.close()
+            return outcomes, value
+
+        outcomes, value = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert value == 7
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda reqs: [1], max_batch=4,
+                                   window_s=0.01)
+            futures = [batcher.submit(i) for i in range(3)]
+            outcomes = await asyncio.gather(*futures,
+                                            return_exceptions=True)
+            await batcher.close()
+            return outcomes
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+    def test_submit_after_close_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda reqs: list(reqs))
+            await batcher.close()
+            with pytest.raises(RuntimeError):
+                batcher.submit(1)
+
+        run(scenario())
+
+    def test_invalid_configuration_rejected(self):
+        handler = list
+        with pytest.raises(ValueError):
+            MicroBatcher(handler, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(handler, window_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(handler, max_pending=0)

@@ -1,0 +1,97 @@
+"""TTL+LRU result cache tests (deterministic via injected clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from satiot.serving import ResultCache, quantize_coord
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTTL:
+    def test_fresh_entry_hits(self, clock):
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        cache.put("k", {"v": 1})
+        clock.advance(9.9)
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1
+
+    def test_expired_entry_misses_and_is_evicted(self, clock):
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        cache.put("k", "stale")
+        clock.advance(10.1)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_put_refreshes_timestamp(self, clock):
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)  # 16 s after first put, 8 s after second
+        assert cache.get("k") == "v2"
+
+    def test_insert_sweeps_expired_head(self, clock):
+        cache = ResultCache(ttl_s=5.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("new", 2)
+        assert len(cache) == 1  # "old" swept during the insert
+
+
+class TestLRU:
+    def test_capacity_bound_evicts_oldest(self, clock):
+        cache = ResultCache(max_entries=2, ttl_s=100.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self, clock):
+        cache = ResultCache(max_entries=2, ttl_s=100.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # now most-recent
+        cache.put("c", 3)            # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_hit_rate(self, clock):
+        cache = ResultCache(clock=clock)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_rate == 0.5
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=0.0)
+
+
+class TestQuantization:
+    def test_quantize_groups_nearby_coordinates(self):
+        assert quantize_coord(47.3712) == quantize_coord(47.3748)
+        assert quantize_coord(47.3712) != quantize_coord(47.3851)
+
+    def test_decimals_parameter(self):
+        assert quantize_coord(47.123456, decimals=4) == 47.1235

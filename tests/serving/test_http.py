@@ -1,0 +1,113 @@
+"""HTTP/1.1 reader/writer tests over in-memory asyncio streams."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from satiot.serving.http import (HTTPError, json_response, read_request,
+                                 text_response)
+
+
+def parse(raw: bytes):
+    """Parse one request from raw bytes via a fed StreamReader."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/passes?lat=1.5&lon=-2&x= HTTP/1.1\r\n"
+                        b"Host: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/passes"
+        assert request.query == {"lat": "1.5", "lon": "-2", "x": ""}
+        assert request.keep_alive
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"lat": 22.3}).encode()
+        request = parse(b"POST /v1/passes HTTP/1.1\r\n"
+                        b"Content-Length: %d\r\n"
+                        b"Connection: close\r\n\r\n" % len(body) + body)
+        assert request.json() == {"lat": 22.3}
+        assert not request.keep_alive
+
+    def test_params_merges_query_and_body(self):
+        body = json.dumps({"lon": 114.2}).encode()
+        request = parse(b"POST /v1/passes?lat=22.3&lon=0 HTTP/1.1\r\n"
+                        b"Content-Length: %d\r\n\r\n" % len(body) + body)
+        params = request.params()
+        assert params["lat"] == "22.3"
+        assert params["lon"] == 114.2  # body wins over query
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_header_names_case_insensitive(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-ThInG: v\r\n\r\n")
+        assert request.headers["x-thing"] == "v"
+
+
+class TestRequestErrors:
+    @pytest.mark.parametrize("raw, status", [
+        (b"NONSENSE\r\n\r\n", 400),                       # no 3 tokens
+        (b"GET / SPDY/3\r\n\r\n", 400),                   # bad protocol
+        (b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", 400),    # no colon
+        (b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+        (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+    ])
+    def test_malformed_requests(self, raw, status):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == status
+
+    def test_truncated_body(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n"
+                        b"{x}")
+        with pytest.raises(HTTPError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_non_object_json_body(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n"
+                        b"[]")
+        with pytest.raises(HTTPError):
+            request.json()
+
+
+class TestResponses:
+    def test_json_response_shape(self):
+        raw = json_response(200, {"a": 1})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"a": 1}
+
+    def test_extra_headers_and_close(self):
+        raw = json_response(429, {"error": "busy"},
+                            extra_headers={"Retry-After": "0.5"},
+                            keep_alive=False)
+        head = raw.partition(b"\r\n\r\n")[0]
+        assert b"HTTP/1.1 429 Too Many Requests" in head
+        assert b"Retry-After: 0.5" in head
+        assert b"Connection: close" in head
+
+    def test_text_response(self):
+        raw = text_response(200, "metrics table")
+        assert b"text/plain" in raw
+        assert raw.endswith(b"metrics table")
