@@ -14,14 +14,16 @@ bench:
 
 # Tiny-mode benchmarks: seconds, not minutes.  Verifies parallel ==
 # serial bit-identity, cache-warm < cache-cold, the columnar trace
-# store's merge+filter / archive-size wins, and the serving layer's
-# batched-vs-unbatched speedup under concurrent load (metrics JSON
-# lands in benchmarks/output/ and is uploaded as a CI artifact).
+# store's merge+filter / archive-size wins, the serving layer's
+# batched-vs-unbatched speedup under concurrent load, and the batched
+# SGP4 fleet pass search's coarse-grid speedup + bit-identity (metrics
+# JSON lands in benchmarks/output/ and is uploaded as a CI artifact).
 bench-smoke:
 	cd benchmarks && SATIOT_BENCH_TINY=1 PYTHONPATH=../src \
 		$(PYTHON) -m pytest bench_runtime_scaling.py bench_trace_store.py \
 		-q -p no:cacheprovider
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py --smoke
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_orbit_batch.py --smoke
 
 validate:
 	$(PYTHON) -m satiot validate

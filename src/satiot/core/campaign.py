@@ -206,10 +206,12 @@ def _run_site(cfg: PassiveCampaignConfig, code: str,
         stats1 = cache.stats.snapshot()
         hits = (stats1[0] - stats0[0]) + (stats1[2] - stats0[2])
         misses = (stats1[1] - stats0[1]) + (stats1[3] - stats0[3])
+    grid_bytes = (cache.grid_resident_bytes()
+                  if cache is not None else 0)
     telemetry = ShardTelemetry(
         label=f"site:{code}", wall_s=time.perf_counter() - t0,
         passes=len(schedule.assigned), beacons=beacons, traces=traces,
-        cache_hits=hits, cache_misses=misses,
+        cache_hits=hits, cache_misses=misses, grid_bytes=grid_bytes,
         worker=f"pid:{os.getpid()}")
     return site_result, telemetry
 

@@ -45,7 +45,8 @@ from .topocentric import (LookAngles, elevation_from_ecef, look_angles,
                           sez_rotation)
 
 __all__ = ["ContactWindow", "PassPredictor", "REFINE_MODES",
-           "find_passes_multi", "observer_geometry"]
+           "find_passes_multi", "find_passes_fleet",
+           "observer_geometry"]
 
 #: Supported horizon-crossing refinement modes.
 REFINE_MODES = ("bisect", "interp")
@@ -151,7 +152,16 @@ class PassPredictor:
         offsets = np.arange(0.0, duration_s + coarse_step_s, coarse_step_s)
         offsets = offsets[offsets <= duration_s]
         if offsets[-1] < duration_s:
-            offsets = np.append(offsets, duration_s)
+            # Float-accumulation guard: ``np.arange`` can land the
+            # terminal sample within one ULP below a step-divisible
+            # duration (e.g. 86400/30); appending the exact duration
+            # then yields a near-duplicate terminal sample whose
+            # refinement bracket has zero length.  Snap instead of
+            # appending when the gap is negligible versus the step.
+            if duration_s - offsets[-1] <= 1.0e-9 * coarse_step_s:
+                offsets[-1] = duration_s
+            else:
+                offsets = np.append(offsets, duration_s)
         return offsets
 
     def _coarse_elevations(self, epoch: Epoch,
@@ -406,6 +416,28 @@ def find_passes_multi(propagator: SGP4,
 
     if geometry is None:
         geometry = observer_geometry(observers)
+    return _windows_from_ecef(propagator, observers, geometry, epoch,
+                              offsets, r_ecef, min_elevation_deg,
+                              refine_tol_s, refine,
+                              grid_provider=grid_provider)
+
+
+def _windows_from_ecef(propagator: SGP4,
+                       observers: Sequence[GeodeticPoint],
+                       geometry: Sequence[tuple],
+                       epoch: Epoch, offsets: np.ndarray,
+                       r_ecef: np.ndarray,
+                       min_elevation_deg: float,
+                       refine_tol_s: float, refine: str,
+                       grid_provider=None,
+                       ) -> List[List[ContactWindow]]:
+    """Per-observer windows of one satellite from its ECEF grid track.
+
+    Shared core of :func:`find_passes_multi` and
+    :func:`find_passes_fleet`: prefilter, exact elevation on candidate
+    samples, then the scalar refinement path — so both batch entry
+    points inherit the serial path's bit-identity by construction.
+    """
     sites = np.stack([site for site, _ in geometry])
     cand = _visibility_prefilter(sites, r_ecef, min_elevation_deg)
 
@@ -433,3 +465,63 @@ def find_passes_multi(propagator: SGP4,
             epoch, offsets, elev_row, refine_tol_s=refine_tol_s,
             refine=refine))
     return results
+
+
+def find_passes_fleet(propagators: Sequence[SGP4],
+                      observers: Sequence[GeodeticPoint],
+                      epoch: Epoch, duration_s: float,
+                      coarse_step_s: float = 30.0,
+                      min_elevation_deg: float = 0.0,
+                      refine_tol_s: float = 0.5,
+                      refine: str = "bisect",
+                      fleet_grid_provider=None,
+                      geometry: Optional[Sequence[tuple]] = None,
+                      ) -> List[List[List[ContactWindow]]]:
+    """Contact windows of N satellites over M observers at once.
+
+    The whole fleet is propagated in one :class:`SGP4Batch` call over
+    one shared coarse grid (or one ``fleet_grid_provider`` call — pass
+    :meth:`satiot.runtime.EphemerisCache.fleet_grid_provider` to share
+    constellation grids across requests), GMST and the TEME→ECEF
+    rotation are evaluated **once per grid** instead of once per
+    satellite, and observer geometry is computed once and reused by
+    every satellite.
+
+    ``fleet_grid_provider`` must be a callable ``(epoch, offsets) ->
+    (r, v)`` returning ``(N, T, 3)`` stacks whose row ``n`` equals what
+    ``propagators[n].propagate`` would produce.
+
+    Returns ``results[n][m]``: the window list of satellite ``n`` over
+    observer ``m``, **bit-identical** to the nested serial
+    ``PassPredictor(propagators[n], observers[m], ...).find_passes(...)``
+    (and hence to per-satellite :func:`find_passes_multi` calls) with
+    the same parameters.
+    """
+    propagators = list(propagators)
+    observers = list(observers)
+    if not propagators:
+        return []
+    if not observers:
+        return [[] for _ in propagators]
+    offsets = PassPredictor.coarse_offsets(duration_s, coarse_step_s)
+    if fleet_grid_provider is not None:
+        r, v = fleet_grid_provider(epoch, offsets)
+    else:
+        from .sgp4_batch import SGP4Batch
+        batch = SGP4Batch.from_propagators(propagators)
+        r, v = batch.propagate_offsets(epoch, offsets)
+    r = np.asarray(r, dtype=float)
+    if r.ndim != 3 or r.shape[0] != len(propagators):
+        raise ValueError(
+            f"fleet grid must have shape (N, T, 3), got {r.shape}")
+    jd = epoch.offset_jd(offsets)
+    # One GMST + one rotation for the whole (N, T, 3) stack: the jd row
+    # broadcasts across satellites, so the trigonometry runs once.
+    r_ecef = teme_to_ecef(r, jd)
+
+    if geometry is None:
+        geometry = observer_geometry(observers)
+    return [_windows_from_ecef(propagator, observers, geometry, epoch,
+                               offsets, r_ecef[i], min_elevation_deg,
+                               refine_tol_s, refine)
+            for i, propagator in enumerate(propagators)]

@@ -17,6 +17,7 @@ contract, the ephemeris-cache layout and tuning guidance.
 """
 
 from .ephemeris_cache import (CacheStats, EphemerisCache,
+                              constellation_fingerprint,
                               get_default_cache, reset_default_cache,
                               tle_fingerprint)
 from .executor import (Shard, ShardError, ShardExecutor, ShardOutcome,
@@ -32,6 +33,7 @@ __all__ = [
     "ShardExecutor",
     "ShardOutcome",
     "ShardTelemetry",
+    "constellation_fingerprint",
     "get_default_cache",
     "reset_default_cache",
     "resolve_workers",

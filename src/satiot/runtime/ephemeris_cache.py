@@ -39,15 +39,18 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..orbits.frames import GeodeticPoint
-from ..orbits.passes import ContactWindow, PassPredictor
+from ..orbits.frames import GeodeticPoint, teme_to_ecef
+from ..orbits.passes import (ContactWindow, PassPredictor,
+                             _windows_from_ecef, observer_geometry)
 from ..orbits.passes import find_passes_multi as _orbits_find_passes_multi
 from ..orbits.sgp4 import SGP4
+from ..orbits.sgp4_batch import SGP4Batch
 from ..orbits.timebase import Epoch
 from ..orbits.tle import TLE, format_tle
 
 __all__ = ["CacheStats", "EphemerisCache", "get_default_cache",
-           "reset_default_cache", "tle_fingerprint"]
+           "reset_default_cache", "tle_fingerprint",
+           "constellation_fingerprint"]
 
 #: Disable the process-default cache entirely when set to 0/false/off.
 CACHE_ENV = "SATIOT_EPHEMERIS_CACHE"
@@ -73,6 +76,19 @@ def tle_fingerprint(tle: TLE) -> str:
     return digest.hexdigest()[:16]
 
 
+def constellation_fingerprint(tles: Sequence[TLE]) -> str:
+    """Joint 16-hex-digit fingerprint of an *ordered* fleet.
+
+    Built over the member fingerprints, so it changes whenever any
+    element set changes, a satellite is added/removed, or the order
+    differs (order matters: the constellation-grid entry stacks rows in
+    fleet order).
+    """
+    digest = hashlib.sha256(
+        "\n".join(tle_fingerprint(t) for t in tles).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
 def _quantize_location(observer: GeodeticPoint,
                        decimals: int = 9) -> Tuple[float, float, float]:
     """Observer location quantized to ~0.1 mm so float noise can't split
@@ -92,6 +108,10 @@ class CacheStats:
     pass_misses: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
+    #: Approximate resident bytes of the in-memory grid tier, refreshed
+    #: by :meth:`EphemerisCache.grid_resident_bytes` (views into a
+    #: shared constellation stack are counted once).
+    grid_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -154,6 +174,21 @@ class EphemerisCache:
                 int(offsets.size), content)
 
     @staticmethod
+    def constellation_key(tles: Sequence[TLE], epoch: Epoch,
+                          offsets: np.ndarray) -> tuple:
+        """Key of one whole-fleet ``(N, T, 3)`` propagation stack.
+
+        Mirrors :meth:`grid_key` (same epoch rounding and offsets
+        digest) with the joint fleet fingerprint, so the constellation
+        entry and its per-satellite row entries always agree on the
+        grid they describe.
+        """
+        offsets = np.ascontiguousarray(offsets, dtype=float)
+        content = hashlib.sha1(offsets.tobytes()).hexdigest()[:16]
+        return ("cgrid", constellation_fingerprint(tles),
+                round(float(epoch.jd), 9), int(offsets.size), content)
+
+    @staticmethod
     def pass_key(tle: TLE, observer: GeodeticPoint, epoch: Epoch,
                  duration_s: float, coarse_step_s: float,
                  min_elevation_deg: float, refine_tol_s: float,
@@ -203,6 +238,81 @@ class EphemerisCache:
         """A ``PassPredictor``-compatible coarse-grid provider."""
         def provider(epoch: Epoch, offsets: np.ndarray):
             return self.propagation_grid(propagator, epoch, offsets)
+        return provider
+
+    # ------------------------------------------------------------------
+    # Constellation grids
+    # ------------------------------------------------------------------
+    def constellation_grid(self, propagators: Sequence[SGP4],
+                           epoch: Epoch, offsets_s: Sequence[float],
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-fleet TEME ``(r, v)`` stacks of shape ``(N, T, 3)``.
+
+        Row ``n`` is bit-identical to
+        ``propagators[n].propagate(...)`` on the same instants (the
+        :class:`~satiot.orbits.sgp4_batch.SGP4Batch` contract).  The
+        stack is cached under the constellation key **and** every row
+        is published as a view under the corresponding single-satellite
+        :meth:`grid_key` — so later single-satellite lookups hit the
+        fleet fill, and previously cached single-satellite grids are
+        adopted into the stack instead of being re-propagated.  Only
+        rows actually propagated here are written to the disk tier
+        (as ordinary single-satellite entries).
+        """
+        offsets = np.asarray(offsets_s, dtype=float)
+        propagators = list(propagators)
+        tles = [p.tle for p in propagators]
+        ckey = self.constellation_key(tles, epoch, offsets)
+        cached = self._lru_get(self._grids, ckey)
+        if cached is not None:
+            self.stats.grid_hits += 1
+            return cached
+
+        n = len(propagators)
+        sat_keys = [self.grid_key(t, epoch, offsets) for t in tles]
+        r = np.empty((n, offsets.size, 3), dtype=float)
+        v = np.empty((n, offsets.size, 3), dtype=float)
+        missing: List[int] = []
+        for i, key in enumerate(sat_keys):
+            hit = self._lru_get(self._grids, key)
+            if hit is None:
+                disk = self._disk_load_grid(key)
+                if disk is not None:
+                    self.stats.disk_hits += 1
+                    hit = disk
+            if hit is not None:
+                self.stats.grid_hits += 1
+                r[i], v[i] = hit
+            else:
+                missing.append(i)
+        if missing:
+            self.stats.grid_misses += len(missing)
+            batch = SGP4Batch.from_propagators(
+                [propagators[i] for i in missing])
+            r_new, v_new = batch.propagate_offsets(epoch, offsets)
+            for j, i in enumerate(missing):
+                r[i] = r_new[j]
+                v[i] = v_new[j]
+        missing_set = frozenset(missing)
+        for i, key in enumerate(sat_keys):
+            # Row views share the stack's memory: the grid tier holds
+            # one (N, T, 3) buffer, not N+1 copies (grid_resident_bytes
+            # counts the base buffer once).
+            self._lru_put(self._grids, key, (r[i], v[i]),
+                          self.max_grids)
+            if i in missing_set:
+                self._disk_store(key, {"r": r[i], "v": v[i]})
+        self._lru_put(self._grids, ckey, (r, v), self.max_grids)
+        return r, v
+
+    def fleet_grid_provider(self, propagators: Sequence[SGP4],
+                            ) -> Callable[[Epoch, np.ndarray],
+                                          Tuple[np.ndarray, np.ndarray]]:
+        """A ``find_passes_fleet``-compatible fleet grid provider."""
+        propagators = list(propagators)
+
+        def provider(epoch: Epoch, offsets: np.ndarray):
+            return self.constellation_grid(propagators, epoch, offsets)
         return provider
 
     # ------------------------------------------------------------------
@@ -282,6 +392,75 @@ class EphemerisCache:
                 results[idx] = windows
         return results  # type: ignore[return-value]
 
+    def find_passes_fleet(self, propagators: Sequence[SGP4],
+                          observers: Sequence[GeodeticPoint],
+                          epoch: Epoch, duration_s: float,
+                          coarse_step_s: float = 30.0,
+                          min_elevation_deg: float = 0.0,
+                          refine_tol_s: float = 0.5,
+                          refine: str = "bisect",
+                          geometry: Optional[Sequence[tuple]] = None,
+                          ) -> List[List[List[ContactWindow]]]:
+        """Cached fleet pass prediction: ``results[sat][observer]``.
+
+        Every (satellite, observer) window list hits the **same** cache
+        entries as serial :meth:`find_passes` /
+        :meth:`find_passes_multi` calls — key compatibility rests on
+        the batched kernel's bit-identity.  Missing pairs are computed
+        through the fleet path: one cached
+        :meth:`constellation_grid` fill, then one shared TEME→ECEF
+        conversion (GMST evaluated once) restricted to the satellites
+        that actually miss.
+        """
+        propagators = list(propagators)
+        observers = list(observers)
+        n_obs = len(observers)
+        results: List[List[Optional[List[ContactWindow]]]] = \
+            [[None] * n_obs for _ in propagators]
+        keys: List[List[tuple]] = []
+        missing_by_sat: List[List[int]] = []
+        for i, propagator in enumerate(propagators):
+            sat_keys: List[tuple] = []
+            missing: List[int] = []
+            for m, observer in enumerate(observers):
+                key = self.pass_key(propagator.tle, observer, epoch,
+                                    duration_s, coarse_step_s,
+                                    min_elevation_deg, refine_tol_s,
+                                    refine)
+                sat_keys.append(key)
+                cached = self._lookup_passes(key)
+                if cached is not None:
+                    results[i][m] = list(cached)
+                else:
+                    missing.append(m)
+            keys.append(sat_keys)
+            missing_by_sat.append(missing)
+
+        miss_sats = [i for i, missing in enumerate(missing_by_sat)
+                     if missing]
+        if miss_sats:
+            self.stats.pass_misses += sum(
+                len(missing_by_sat[i]) for i in miss_sats)
+            offsets = PassPredictor.coarse_offsets(duration_s,
+                                                   coarse_step_s)
+            r, _ = self.constellation_grid(propagators, epoch, offsets)
+            jd = epoch.offset_jd(offsets)
+            # One GMST + rotation for all satellites that miss.
+            r_ecef = teme_to_ecef(r[miss_sats], jd)
+            if geometry is None:
+                geometry = observer_geometry(observers)
+            for row, i in enumerate(miss_sats):
+                missing = missing_by_sat[i]
+                computed = _windows_from_ecef(
+                    propagators[i], [observers[m] for m in missing],
+                    [geometry[m] for m in missing], epoch, offsets,
+                    r_ecef[row], min_elevation_deg, refine_tol_s,
+                    refine)
+                for m, windows in zip(missing, computed):
+                    self._store_passes(keys[i][m], tuple(windows))
+                    results[i][m] = windows
+        return results  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     def _lookup_passes(self, key: tuple,
                        ) -> Optional[Tuple[ContactWindow, ...]]:
@@ -329,6 +508,25 @@ class EphemerisCache:
         """Drop the in-memory tier (the disk tier is untouched)."""
         self._grids.clear()
         self._pass_lists.clear()
+
+    def grid_resident_bytes(self) -> int:
+        """Approximate resident bytes of the in-memory grid tier.
+
+        Sums ``nbytes`` over the distinct *base* buffers of every
+        cached array, so the N row views published by
+        :meth:`constellation_grid` and their shared ``(N, T, 3)`` stack
+        count once.  Refreshes :attr:`CacheStats.grid_bytes`.
+        """
+        seen = set()
+        total = 0
+        for r, v in self._grids.values():
+            for arr in (r, v):
+                base = arr.base if arr.base is not None else arr
+                if id(base) not in seen:
+                    seen.add(id(base))
+                    total += base.nbytes
+        self.stats.grid_bytes = total
+        return total
 
     # ------------------------------------------------------------------
     # Disk tier

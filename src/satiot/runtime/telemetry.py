@@ -54,6 +54,9 @@ class ShardTelemetry:
     traces: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Resident bytes of the ephemeris grid tier at shard completion
+    #: (views into shared constellation stacks counted once).
+    grid_bytes: int = 0
     worker: str = "serial"
 
     @property
@@ -105,6 +108,12 @@ class CampaignTelemetry:
         return sum(s.cache_misses for s in self.shards)
 
     @property
+    def grid_bytes(self) -> int:
+        """Peak per-shard resident grid bytes (caches are per worker,
+        so the per-shard figures overlap rather than add)."""
+        return max((s.grid_bytes for s in self.shards), default=0)
+
+    @property
     def events_per_s(self) -> float:
         if self.wall_s <= 0.0:
             return 0.0
@@ -122,17 +131,19 @@ class CampaignTelemetry:
     def render(self) -> str:
         """Human-readable timing table (monospace)."""
         header = ["shard", "wall (s)", "passes", "beacons", "ev/s",
-                  "cache h/m", "worker"]
+                  "cache h/m", "grid MiB", "worker"]
         rows: List[Sequence[str]] = []
         for s in self.shards:
             rows.append([
                 s.label, f"{s.wall_s:.3f}", str(s.passes),
                 str(s.beacons), f"{s.events_per_s:,.0f}",
-                f"{s.cache_hits}/{s.cache_misses}", s.worker])
+                f"{s.cache_hits}/{s.cache_misses}",
+                f"{s.grid_bytes / 2**20:.2f}", s.worker])
         rows.append([
             "TOTAL", f"{self.wall_s:.3f}", str(self.total_passes),
             str(self.total_beacons), f"{self.events_per_s:,.0f}",
             f"{self.cache_hits}/{self.cache_misses}",
+            f"{self.grid_bytes / 2**20:.2f}",
             f"{self.mode} x{self.workers}"])
         title = (
             f"Runtime telemetry ({self.mode}, {self.workers} worker(s), "

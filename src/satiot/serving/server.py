@@ -30,6 +30,7 @@ from .batcher import MicroBatcher, QueueFullError
 from .cache import ResultCache
 from .http import (HTTPError, HTTPRequest, json_response, read_request,
                    text_response)
+from ..runtime.telemetry import render_fixed_table
 from .metrics import ServingMetrics
 from .service import (ConstellationService, LinkBudgetRequest,
                       PassesRequest, PresenceRequest,
@@ -211,10 +212,22 @@ class ServingServer:
         })
 
     def _metrics_response(self, request: HTTPRequest) -> bytes:
+        ephemeris = self.service.ephemeris
+        grid_bytes = ephemeris.grid_resident_bytes()
         wants_text = request.query.get("format") == "text" or \
             "text/plain" in request.headers.get("accept", "")
         if wants_text:
-            return text_response(200, self.metrics.render() + "\n")
+            stats = ephemeris.stats
+            ephemeris_table = render_fixed_table(
+                ["grid MiB", "grid h/m", "pass h/m", "disk h/w"],
+                [[f"{grid_bytes / 2**20:.2f}",
+                  f"{stats.grid_hits}/{stats.grid_misses}",
+                  f"{stats.pass_hits}/{stats.pass_misses}",
+                  f"{stats.disk_hits}/{stats.disk_writes}"]],
+                title="Ephemeris cache")
+            return text_response(
+                200, self.metrics.render() + "\n" + ephemeris_table
+                + "\n")
         payload = self.metrics.to_dict()
         payload["_cache"] = {
             "entries": len(self.cache),
@@ -222,6 +235,13 @@ class ServingServer:
             "misses": self.cache.misses,
             "hit_rate": round(self.cache.hit_rate, 4),
             "ttl_s": self.cache.ttl_s,
+        }
+        payload["_ephemeris"] = {
+            "grid_bytes": grid_bytes,
+            "grid_hits": ephemeris.stats.grid_hits,
+            "grid_misses": ephemeris.stats.grid_misses,
+            "pass_hits": ephemeris.stats.pass_hits,
+            "pass_misses": ephemeris.stats.pass_misses,
         }
         return json_response(200, payload)
 

@@ -11,12 +11,16 @@ concurrent requests into shared array work:
   breakdown, link margin, Doppler and airtime at one instant.
 
 Batched requests that share query parameters are grouped and answered
-through the multi-observer fast path
-(:meth:`satiot.runtime.EphemerisCache.find_passes_multi`), which
-computes the SGP4 grid and TEME→ECEF conversion once per satellite for
-the whole group.  A group of one falls back to the serial per-observer
-path — by the batch layer's bit-identity contract both paths produce
-identical windows and share cache entries, so mixing them is safe.
+through the fleet fast path
+(:meth:`satiot.runtime.EphemerisCache.find_passes_fleet`): the whole
+constellation is propagated as one struct-of-arrays
+:class:`~satiot.orbits.sgp4_batch.SGP4Batch` call over the shared
+grid, with GMST and the TEME→ECEF conversion computed once per group
+rather than once per satellite (set ``SATIOT_BATCH_SGP4=0`` to fall
+back to the per-satellite multi-observer sweep).  A group of one falls
+back to the serial per-observer path — by the batch layer's
+bit-identity contract all paths produce identical windows and share
+cache entries, so mixing them is safe.
 
 All handlers are synchronous and thread-safe under the serving layer's
 single-worker executor (one batch in flight at a time per batcher).
@@ -35,6 +39,7 @@ from ..core.stats import merge_intervals, total_length
 from ..orbits.doppler import doppler_shift_hz
 from ..orbits.frames import GeodeticPoint
 from ..orbits.passes import ContactWindow, observer_geometry
+from ..orbits.sgp4_batch import batching_enabled
 from ..orbits.timebase import Epoch
 from ..orbits.topocentric import ecef_states, look_angles_from_ecef
 from ..phy.link_budget import LinkBudget
@@ -291,6 +296,22 @@ class ConstellationService:
                     min_elevation_deg=min_elevation_deg,
                     refine_tol_s=self.refine_tol_s, refine=self.refine)
                 per_observer[0].extend(windows)
+        elif batching_enabled():
+            # Fleet flush: all N satellites x M observers through one
+            # constellation-batched propagation, one GMST/ECEF pass and
+            # one shared observer-geometry precompute.  Extension stays
+            # satellite-major, so responses are byte-identical to the
+            # per-satellite loop below (stable rise-time sort).
+            geometry = observer_geometry(observers)
+            per_sat = self.ephemeris.find_passes_fleet(
+                [sat.propagator for sat in const], observers, epoch,
+                horizon_s, coarse_step_s=self.coarse_step_s,
+                min_elevation_deg=min_elevation_deg,
+                refine_tol_s=self.refine_tol_s, refine=self.refine,
+                geometry=geometry)
+            for rows in per_sat:
+                for windows, acc in zip(rows, per_observer):
+                    acc.extend(windows)
         else:
             geometry = observer_geometry(observers)
             for sat in const:

@@ -1,0 +1,179 @@
+"""Batching on/off determinism + constellation-grid key compatibility.
+
+The batched SGP4 path (``SATIOT_BATCH_SGP4``, default on) is a pure
+performance substitution: every consumer — campaign scheduler, fleet
+sweep, serving flush — must produce **byte-identical** output with the
+flag on or off.  These tests pin that contract, plus the cache-key
+compatibility that lets fleet fills satisfy single-satellite lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from satiot.constellations.catalog import build_constellation
+from satiot.core.campaign import PassiveCampaign, PassiveCampaignConfig
+from satiot.orbits.sgp4_batch import BATCH_ENV, batching_enabled
+from satiot.runtime.ephemeris_cache import EphemerisCache
+from satiot.serving.service import (ConstellationService, PassesRequest,
+                                    PresenceRequest)
+
+from .test_columnar_determinism import assert_columns_bit_identical
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+CFG = dict(sites=("HK",), constellations=("tianqi",), days=0.5, seed=7)
+
+
+def _run_campaign(monkeypatch, batch: str):
+    monkeypatch.setenv(BATCH_ENV, batch)
+    # Fresh memory cache per run: a shared cache would serve run B the
+    # pass lists computed by run A and mask the code path under test.
+    return PassiveCampaign(PassiveCampaignConfig(**CFG), workers=1,
+                           ephemeris_cache="memory").run()
+
+
+class TestCampaignBatchingDeterminism:
+    def test_campaign_columns_identical_on_off(self, monkeypatch):
+        batched = _run_campaign(monkeypatch, "1")
+        unbatched = _run_campaign(monkeypatch, "0")
+        assert batched.total_traces == unbatched.total_traces > 0
+        assert_columns_bit_identical(batched.dataset, unbatched.dataset)
+
+    def test_schedules_identical_on_off(self, monkeypatch):
+        batched = _run_campaign(monkeypatch, "1")
+        unbatched = _run_campaign(monkeypatch, "0")
+        for code in CFG["sites"]:
+            sched_a = batched.site_results[code].schedule
+            sched_b = unbatched.site_results[code].schedule
+            assert len(sched_a.assigned) == len(sched_b.assigned) > 0
+            for a, b in zip(sched_a.assigned, sched_b.assigned):
+                assert a.satellite.norad_id == b.satellite.norad_id
+                assert a.window.rise_s == b.window.rise_s
+                assert a.window.set_s == b.window.set_s
+                assert a.window.max_elevation_deg == \
+                    b.window.max_elevation_deg
+
+
+def _observer_params():
+    return [{"lat": 22.3, "lon": 114.2},
+            {"lat": -33.9, "lon": 151.2},
+            {"lat": 51.5, "lon": -0.1},
+            {"lat": 64.1, "lon": -21.9}]
+
+
+class TestServingBatchingDeterminism:
+    def test_passes_payloads_identical_on_off(self, monkeypatch):
+        requests = [PassesRequest.from_params(
+            {**p, "horizon_s": 6 * 3600.0}) for p in _observer_params()]
+        monkeypatch.setenv(BATCH_ENV, "1")
+        on = ConstellationService(coarse_step_s=60.0).passes_batch(
+            requests)
+        monkeypatch.setenv(BATCH_ENV, "0")
+        off = ConstellationService(coarse_step_s=60.0).passes_batch(
+            requests)
+        assert on == off
+        assert any(p["count"] > 0 for p in on)
+
+    def test_presence_payloads_identical_on_off(self, monkeypatch):
+        requests = [PresenceRequest.from_params(
+            {**p, "horizon_s": 6 * 3600.0}) for p in _observer_params()]
+        monkeypatch.setenv(BATCH_ENV, "1")
+        on = ConstellationService(coarse_step_s=60.0).presence_batch(
+            requests)
+        monkeypatch.setenv(BATCH_ENV, "0")
+        off = ConstellationService(coarse_step_s=60.0).presence_batch(
+            requests)
+        assert on == off
+
+
+class TestConstellationGridKeyCompat:
+    """Fleet fills and single-satellite lookups share one key space."""
+
+    @pytest.fixture()
+    def fleet(self):
+        constellation = build_constellation("tianqi", seed=3)
+        props = [sat.propagator for sat in constellation]
+        epoch = props[0].tle.epoch
+        offsets = np.arange(0.0, 3600.0 + 1e-9, 60.0)
+        return props, epoch, offsets
+
+    def test_fleet_fill_satisfies_single_sat_lookup(self, fleet):
+        props, epoch, offsets = fleet
+        cache = EphemerisCache()
+        r, v = cache.constellation_grid(props, epoch, offsets)
+        assert r.shape == (len(props), offsets.size, 3)
+        misses = cache.stats.grid_misses
+        for i, prop in enumerate(props):
+            ri, vi = cache.propagation_grid(prop, epoch, offsets)
+            assert np.array_equal(ri, r[i])
+            assert np.array_equal(vi, v[i])
+            # Row entries are views of the fleet stack, not copies.
+            assert ri.base is not None
+        assert cache.stats.grid_misses == misses  # all hits
+
+    def test_single_sat_fills_adopted_into_stack(self, fleet):
+        props, epoch, offsets = fleet
+        cache = EphemerisCache()
+        pre = [cache.propagation_grid(p, epoch, offsets)
+               for p in props[:3]]
+        misses = cache.stats.grid_misses
+        r, v = cache.constellation_grid(props, epoch, offsets)
+        # Only the satellites not already cached were propagated.
+        assert cache.stats.grid_misses == misses + len(props) - 3
+        for i, (ri, vi) in enumerate(pre):
+            assert np.array_equal(r[i], ri)
+            assert np.array_equal(v[i], vi)
+
+    def test_grid_resident_bytes_dedupes_views(self, fleet):
+        props, epoch, offsets = fleet
+        cache = EphemerisCache()
+        r, v = cache.constellation_grid(props, epoch, offsets)
+        resident = cache.grid_resident_bytes()
+        # One (N, T, 3) stack pair, counted once despite N row views
+        # plus the stack entry itself living in the LRU.
+        assert resident == r.nbytes + v.nbytes
+        assert cache.stats.grid_bytes == resident
+
+    def test_fleet_grid_bit_identical_to_scalar(self, fleet):
+        props, epoch, offsets = fleet
+        cache = EphemerisCache()
+        r, v = cache.constellation_grid(props, epoch, offsets)
+        for i, prop in enumerate(props):
+            tsince = float(epoch - prop.tle.epoch) + offsets
+            r_ref, v_ref = prop.propagate(tsince)
+            assert np.array_equal(r[i], r_ref)
+            assert np.array_equal(v[i], v_ref)
+
+    def test_fleet_passes_match_scalar_cache_path(self, fleet,
+                                                  monkeypatch):
+        from satiot.orbits.frames import GeodeticPoint
+        props, epoch, offsets = fleet
+        observers = [GeodeticPoint(22.3, 114.2, 0.0),
+                     GeodeticPoint(-33.9, 151.2, 0.0)]
+        fleet_cache = EphemerisCache()
+        per = fleet_cache.find_passes_fleet(
+            props[:6], observers, epoch, 6 * 3600.0,
+            coarse_step_s=60.0, min_elevation_deg=10.0)
+        scalar_cache = EphemerisCache()
+        for n, prop in enumerate(props[:6]):
+            for m, obs in enumerate(observers):
+                ref = scalar_cache.find_passes(
+                    prop, obs, epoch, 6 * 3600.0, coarse_step_s=60.0,
+                    min_elevation_deg=10.0)
+                assert list(per[n][m]) == list(ref)
+
+
+class TestBatchingFlag:
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        assert batching_enabled() is True
+
+    def test_disable_spellings(self, monkeypatch):
+        for value in ("0", "false", "off", "no"):
+            monkeypatch.setenv(BATCH_ENV, value)
+            assert batching_enabled() is False
+        monkeypatch.setenv(BATCH_ENV, "1")
+        assert batching_enabled() is True
