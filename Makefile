@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-runtime bench bench-smoke validate clean
+.PHONY: test test-runtime test-chaos bench bench-smoke validate clean
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-runtime:
 	$(PYTHON) -m pytest -x -q tests/runtime
+
+# Seeded fault-injection determinism suite (see docs/faults.md).  On
+# failure the report prints the exact SATIOT_FAULTS spec to replay.
+test-chaos:
+	$(PYTHON) -m pytest -q -m chaos tests/chaos
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest --benchmark-only -q

@@ -15,6 +15,7 @@ Subcommands mirror the library's workflows::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -22,6 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from . import __version__
+from .faults import FAULTS_ENV, FaultPlane, install_plane
 from .constellations.catalog import (CONSTELLATION_SPECS,
                                      build_all_constellations,
                                      build_constellation)
@@ -92,6 +94,31 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--timing", action="store_true",
         help="print per-shard runtime telemetry (wall time, events/s, "
              "ephemeris-cache hit/miss)")
+    _add_faults_arg(parser)
+
+
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seeded fault-injection spec, e.g. "
+             "'seed=7;cache.disk_read=p0.5;executor.task=n1' "
+             "(also exported as $SATIOT_FAULTS so shard workers see "
+             "it); see docs/faults.md")
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Arm the fault plane from ``--faults`` (and export the spec)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return
+    try:
+        plane = FaultPlane.from_spec(spec)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    # Export first: shard worker processes rebuild their plane from the
+    # environment, the parent uses the installed instance.
+    os.environ[FAULTS_ENV] = spec
+    install_plane(plane)
 
 
 # ----------------------------------------------------------------------
@@ -145,6 +172,7 @@ def cmd_presence(args: argparse.Namespace) -> int:
 
 
 def cmd_passive(args: argparse.Namespace) -> int:
+    _install_faults(args)
     sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
     config = PassiveCampaignConfig(sites=sites, days=args.days,
                                    seed=args.seed)
@@ -184,6 +212,7 @@ def _dataset_error(action: str, root: str, error: Exception) -> int:
 
 def cmd_dataset_export(args: argparse.Namespace) -> int:
     from .datasets import export_dataset
+    _install_faults(args)
     sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
     config = PassiveCampaignConfig(sites=sites, days=args.days,
                                    seed=args.seed)
@@ -250,6 +279,7 @@ def cmd_active(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .core.summary import ReportScale, full_report
+    _install_faults(args)
     scale = ReportScale(passive_days=args.passive_days,
                         active_days=args.active_days, seed=args.seed)
     print(full_report(scale, workers=args.workers,
@@ -273,6 +303,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serving import ServingConfig, ServingServer
+    _install_faults(args)
     constellations = tuple(
         s.strip().lower() for s in args.constellations.split(",")
         if s.strip())
@@ -429,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache TTL (s)")
     p.add_argument("--step", type=float, default=30.0,
                    help="coarse pass-search step (s)")
+    _add_faults_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("coverage", help="global coverage grid")

@@ -309,5 +309,6 @@ class PassiveCampaign:
             shard_telemetry.append(telemetry)
         result.telemetry = CampaignTelemetry(
             workers=executor.workers, mode=executor.mode,
-            wall_s=time.perf_counter() - t0, shards=shard_telemetry)
+            wall_s=time.perf_counter() - t0, shards=shard_telemetry,
+            retries=executor.retries, fallbacks=executor.fallbacks)
         return result

@@ -1,0 +1,14 @@
+"""satiot.faults — seeded, deterministic fault-injection plane.
+
+See :mod:`satiot.faults.plane` for the spec-string grammar, the
+injection-site catalog and the chaos determinism contract, and
+``docs/faults.md`` for the operator guide.
+"""
+
+from .plane import (FAULTS_ENV, SITES, FaultInjected, FaultPlane,
+                    FaultRule, fault_fires, get_default_plane,
+                    install_plane, reset_default_plane)
+
+__all__ = ["FAULTS_ENV", "SITES", "FaultInjected", "FaultPlane",
+           "FaultRule", "fault_fires", "get_default_plane",
+           "install_plane", "reset_default_plane"]

@@ -21,8 +21,17 @@ enabled with ``disk_dir=`` or the ``SATIOT_EPHEMERIS_CACHE_DIR``
 environment variable.  Cache lookups are exact — keys incorporate every
 input that influences the cached value — so a hit returns arrays that
 are bit-identical to a fresh computation, preserving the runtime's
-determinism contract.  Disk-tier I/O errors are swallowed: the cache
-silently degrades to recomputation, never to wrong answers.
+determinism contract.
+
+The disk tier is **checksummed and self-healing**: every ``.npz`` entry
+carries a SHA-256 digest of its arrays, and a corrupted, truncated or
+otherwise unreadable entry is detected on load, quarantined next to the
+store (``<entry>.npz.bad``) and treated as a cache miss — the value is
+recomputed and rewritten.  Disk-tier I/O errors (read-only or vanished
+cache directories, full disks) are counted, warned about once, and
+degrade the cache to compute-through, never to wrong answers.  The
+:mod:`satiot.faults` plane exercises exactly these paths via the
+``cache.disk_read`` / ``cache.disk_write`` injection sites.
 
 Set ``SATIOT_EPHEMERIS_CACHE=0`` to disable the process-default cache.
 """
@@ -31,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
@@ -39,6 +49,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..faults import fault_fires
 from ..orbits.frames import GeodeticPoint, teme_to_ecef
 from ..orbits.passes import (ContactWindow, PassPredictor,
                              _windows_from_ecef, observer_geometry)
@@ -108,6 +119,11 @@ class CacheStats:
     pass_misses: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
+    #: Corrupt/unreadable disk entries quarantined (``*.bad``) and
+    #: treated as misses.
+    disk_corrupt: int = 0
+    #: Disk-tier I/O errors swallowed (read-only dir, full disk, ...).
+    disk_errors: int = 0
     #: Approximate resident bytes of the in-memory grid tier, refreshed
     #: by :meth:`EphemerisCache.grid_resident_bytes` (views into a
     #: shared constellation stack are counted once).
@@ -126,9 +142,10 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def snapshot(self) -> Tuple[int, int, int, int, int, int]:
+    def snapshot(self) -> Tuple[int, ...]:
         return (self.grid_hits, self.grid_misses, self.pass_hits,
-                self.pass_misses, self.disk_hits, self.disk_writes)
+                self.pass_misses, self.disk_hits, self.disk_writes,
+                self.disk_corrupt, self.disk_errors)
 
 
 class EphemerisCache:
@@ -157,6 +174,7 @@ class EphemerisCache:
         self.max_pass_lists = int(max_pass_lists)
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.stats = CacheStats()
+        self._warned_disk = False
         self._grids: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
             = OrderedDict()
         self._pass_lists: "OrderedDict[tuple, Tuple[ContactWindow, ...]]" \
@@ -529,37 +547,116 @@ class EphemerisCache:
         return total
 
     # ------------------------------------------------------------------
-    # Disk tier
+    # Disk tier (checksummed, quarantining, fault-aware)
     # ------------------------------------------------------------------
+    #: Reserved entry name carrying the SHA-256 digest of every array.
+    CHECKSUM_KEY = "__satiot_checksum__"
+
     def _disk_path(self, key: tuple) -> Optional[Path]:
         if self.disk_dir is None:
             return None
         name = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
         return self.disk_dir / f"{key[0]}-{name}.npz"
 
+    @staticmethod
+    def _arrays_checksum(arrays: dict) -> str:
+        """SHA-256 over every array's name, dtype, shape and bytes."""
+        digest = hashlib.sha256()
+        for name in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[name])
+            digest.update(name.encode("utf-8"))
+            digest.update(str(arr.dtype).encode("ascii"))
+            digest.update(str(arr.shape).encode("ascii"))
+            digest.update(arr.tobytes())
+        return digest.hexdigest()
+
+    def _disk_degraded(self, error: BaseException) -> None:
+        """Count (and warn once about) a swallowed disk-tier error."""
+        self.stats.disk_errors += 1
+        if not self._warned_disk:
+            self._warned_disk = True
+            warnings.warn(
+                f"ephemeris disk cache at {self.disk_dir} is "
+                f"unavailable ({type(error).__name__}: {error}); "
+                f"degrading to compute-through", RuntimeWarning,
+                stacklevel=4)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (``*.bad``) and count it."""
+        try:
+            path.replace(path.with_name(path.name + ".bad"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # can't even remove it: the miss still recomputes
+        self.stats.disk_corrupt += 1
+        warnings.warn(
+            f"quarantined corrupt ephemeris cache entry {path.name} "
+            f"({reason}); recomputing", RuntimeWarning, stacklevel=4)
+
+    @staticmethod
+    def _corrupt_file(path: Path) -> None:
+        """``cache.disk_read`` fault action: garble the entry on disk.
+
+        The injected fault damages *real* state so the detection path
+        (checksum verify → quarantine → miss) is exercised end to end.
+        """
+        try:
+            if not path.exists():
+                return
+            size = path.stat().st_size
+            with path.open("r+b") as fh:
+                fh.truncate(max(0, size // 2))
+                fh.seek(0)
+                fh.write(b"\x00satiot-chaos\x00")
+        except OSError:
+            pass
+
     def _disk_store(self, key: tuple, arrays: dict) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        payload = dict(arrays)
+        payload[self.CHECKSUM_KEY] = np.array(
+            self._arrays_checksum(arrays))
         try:
+            if fault_fires("cache.disk_write"):
+                raise OSError("injected fault at site 'cache.disk_write'")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp{os.getpid()}")
             with tmp.open("wb") as fh:
-                np.savez(fh, **arrays)
+                np.savez(fh, **payload)
             tmp.replace(path)
             self.stats.disk_writes += 1
-        except OSError:
-            pass  # cache degradation, never an error
+        except OSError as error:
+            self._disk_degraded(error)  # degradation, never an error
 
     def _disk_load(self, key: tuple) -> Optional[dict]:
         path = self._disk_path(key)
-        if path is None or not path.exists():
+        if path is None:
+            return None
+        if fault_fires("cache.disk_read"):
+            self._corrupt_file(path)
+        if not path.exists():
             return None
         try:
             with np.load(path) as data:
-                return {name: np.array(data[name]) for name in data.files}
-        except (OSError, ValueError, KeyError):
+                arrays = {name: np.array(data[name])
+                          for name in data.files}
+        except Exception:
+            # Truncated zip, zero-byte file, garbage bytes, OS error:
+            # anything unreadable is quarantined and recomputed.
+            self._quarantine(path, "unreadable entry")
             return None
+        stored = arrays.pop(self.CHECKSUM_KEY, None)
+        if stored is None:
+            self._quarantine(path, "missing checksum")
+            return None
+        if str(stored[()]) != self._arrays_checksum(arrays):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        return arrays
 
     def _disk_load_grid(self, key: tuple,
                         ) -> Optional[Tuple[np.ndarray, np.ndarray]]:

@@ -80,6 +80,11 @@ class CampaignTelemetry:
     mode: str = "serial"
     wall_s: float = 0.0
     shards: List[ShardTelemetry] = field(default_factory=list)
+    #: Failed shard-task executions that were retried (fault plane,
+    #: transient worker errors); see :class:`satiot.runtime.ShardExecutor`.
+    retries: int = 0
+    #: Shards recomputed in-parent after the pool failed them.
+    fallbacks: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -149,4 +154,8 @@ class CampaignTelemetry:
             f"Runtime telemetry ({self.mode}, {self.workers} worker(s), "
             f"{self.wall_s:.3f} s wall, "
             f"{100.0 * self.parallel_efficiency:.0f}% efficiency)")
+        if self.retries or self.fallbacks:
+            title += (f" [{self.retries} task retr"
+                      f"{'y' if self.retries == 1 else 'ies'}, "
+                      f"{self.fallbacks} serial fallback(s)]")
         return render_fixed_table(header, rows, title=title)

@@ -20,9 +20,16 @@ requests answered together cost one frame conversion instead of N.
   ``429 Too Many Requests`` with a ``Retry-After`` hint.  Load is shed
   at the cheapest possible point, before any orbital work happens.
 
-Handler results are matched to requests positionally; a handler
-exception fails every request of that batch (the server maps it to one
-500 per affected request — the loop itself never dies).
+Handler results are matched to requests positionally.  A handler
+exception (or a result-count mismatch) is treated as **transient
+first**: the whole batch is re-dispatched to the worker executor with
+capped exponential backoff, up to ``max_retries`` times.  Requests and
+results are pure values, so a re-run is always safe — and under the
+:mod:`satiot.faults` plane's ``serving.handler`` site this is what
+keeps faulted runs byte-identical to clean ones.  Only a batch that
+keeps failing fails its futures (the server maps that to one 500 per
+affected request — the loop itself never dies).  The ``batcher.flush``
+fault site defers a flush by one window: latency, never output.
 
 ``max_batch=1`` degrades the engine to honest serial service (one
 handler call per request through the same queue and executor), which is
@@ -35,6 +42,7 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
+from ..faults import FaultInjected, fault_fires
 from .metrics import EndpointMetrics
 
 __all__ = ["MicroBatcher", "QueueFullError"]
@@ -58,6 +66,8 @@ class MicroBatcher:
                  window_s: float = 0.002,
                  max_pending: int = 1024,
                  retry_after_s: float = 1.0,
+                 max_retries: int = 2,
+                 retry_backoff_s: float = 0.005,
                  metrics: Optional[EndpointMetrics] = None,
                  executor: Optional[ThreadPoolExecutor] = None) -> None:
         if max_batch < 1:
@@ -71,6 +81,8 @@ class MicroBatcher:
         self.window_s = float(window_s)
         self.max_pending = int(max_pending)
         self.retry_after_s = float(retry_after_s)
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self.metrics = metrics
         self._executor = executor or ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="satiot-serving")
@@ -124,6 +136,14 @@ class MicroBatcher:
             self._timer = None
         if not self._pending:
             return
+        if not self._closed and fault_fires("batcher.flush"):
+            # Fault plane: defer this flush by one coalescing window.
+            # The batch stays queued, so this costs latency, never
+            # output.  Closed batchers never defer — close() must
+            # drain.
+            self._timer = loop.call_later(self.window_s,
+                                          self._flush, loop)
+            return
         batch = self._pending[:self.max_batch]
         del self._pending[:len(batch)]
         if self._pending:
@@ -134,13 +154,29 @@ class MicroBatcher:
             self.metrics.observe_batch(len(batch))
         requests = [request for request, _ in batch]
         futures = [future for _, future in batch]
-        worker = loop.run_in_executor(self._executor,
-                                      self._handler, requests)
-        worker.add_done_callback(
-            lambda done: self._resolve(futures, done))
+        self._dispatch(loop, requests, futures, attempt=0)
 
-    @staticmethod
-    def _resolve(futures: List[asyncio.Future],
+    def _dispatch(self, loop: asyncio.AbstractEventLoop,
+                  requests: List[object],
+                  futures: List[asyncio.Future], attempt: int) -> None:
+        """Hand ``requests`` to the handler in the worker executor."""
+        worker = loop.run_in_executor(self._executor,
+                                      self._run_handler, requests)
+        worker.add_done_callback(
+            lambda done: self._resolve(loop, requests, futures,
+                                       attempt, done))
+
+    def _run_handler(self, requests: List[object]) -> Sequence[object]:
+        """Executes in the worker thread; the fault consult lives here
+        so an injected handler fault follows the exact code path of a
+        real one (exception crosses the executor boundary)."""
+        if fault_fires("serving.handler"):
+            raise FaultInjected("serving.handler")
+        return self._handler(requests)
+
+    def _resolve(self, loop: asyncio.AbstractEventLoop,
+                 requests: List[object],
+                 futures: List[asyncio.Future], attempt: int,
                  done: "asyncio.Future") -> None:
         error = done.exception()
         if error is None:
@@ -150,6 +186,15 @@ class MicroBatcher:
                     f"handler returned {len(results)} results for "
                     f"{len(futures)} requests")
         if error is not None:
+            if attempt < self.max_retries:
+                # Transient-first: requests are pure values, so
+                # re-running the whole batch is always safe.
+                if self.metrics is not None:
+                    self.metrics.handler_retries += 1
+                delay = self.retry_backoff_s * (2.0 ** attempt)
+                loop.call_later(delay, self._dispatch, loop,
+                                requests, futures, attempt + 1)
+                return
             for future in futures:
                 if not future.done():
                     future.set_exception(error)

@@ -53,6 +53,9 @@ class EndpointMetrics:
     cache_misses: int = 0
     batches: int = 0
     batched_requests: int = 0
+    #: Whole-batch re-dispatches after a transient handler failure
+    #: (see :class:`satiot.serving.batcher.MicroBatcher`).
+    handler_retries: int = 0
     batch_histogram: Dict[int, int] = field(default_factory=dict)
     _latencies_ms: List[float] = field(default_factory=list)
 
@@ -128,6 +131,7 @@ class EndpointMetrics:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "batches": self.batches,
+            "handler_retries": self.handler_retries,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "batch_size_histogram": histogram,
             "latency_ms": {k: round(v, 3) for k, v
@@ -140,6 +144,11 @@ class ServingMetrics:
     """All endpoint metrics of one server instance."""
 
     endpoints: Dict[str, EndpointMetrics] = field(default_factory=dict)
+    #: Connections dropped server-side (``serving.connection`` faults).
+    dropped_connections: int = 0
+    #: Responses abandoned because the client would not drain the
+    #: socket within the configured write timeout.
+    write_timeouts: int = 0
 
     def endpoint(self, name: str) -> EndpointMetrics:
         if name not in self.endpoints:
@@ -147,8 +156,13 @@ class ServingMetrics:
         return self.endpoints[name]
 
     def to_dict(self) -> dict:
-        return {name: em.to_dict()
-                for name, em in sorted(self.endpoints.items())}
+        payload = {name: em.to_dict()
+                   for name, em in sorted(self.endpoints.items())}
+        payload["_server"] = {
+            "dropped_connections": self.dropped_connections,
+            "write_timeouts": self.write_timeouts,
+        }
+        return payload
 
     def render(self, title: Optional[str] = None) -> str:
         """Fixed-width table view (same format as runtime telemetry)."""

@@ -14,8 +14,14 @@ I/O, all orbital work runs in the batcher's worker thread.
 
 Failure containment: connection-level errors (client reset, truncated
 request, mid-request disconnect) are swallowed per connection; handler
-exceptions become one 500 per affected request.  Nothing a client does
-can take the accept loop down.
+exceptions are retried batch-wide by the batcher and only become one
+500 per affected request once the retry budget is exhausted; a client
+that will not drain its socket within ``write_timeout_s`` has its
+transport aborted (counted in ``_server.write_timeouts``).  Nothing a
+client does can take the accept loop down.  The
+``serving.connection`` fault site drops a connection *after* the
+response is computed (and result-cached) but before it is written —
+a retrying client gets the byte-identical payload from the cache.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Dict, Optional, Tuple
 
 from .batcher import MicroBatcher, QueueFullError
 from .cache import ResultCache
+from ..faults import fault_fires, get_default_plane
 from .http import (HTTPError, HTTPRequest, json_response, read_request,
                    text_response)
 from ..runtime.telemetry import render_fixed_table
@@ -62,6 +69,9 @@ class ServingConfig:
     cache_decimals: int = 2
     #: pass-finder sampling step (s)
     coarse_step_s: float = 30.0
+    #: abort the connection when a client will not drain its socket
+    #: within this many seconds (slow-client protection)
+    write_timeout_s: float = 30.0
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -148,15 +158,22 @@ class ServingServer:
                 try:
                     request = await read_request(reader)
                 except HTTPError as exc:
-                    writer.write(self._error_response(exc,
-                                                      keep_alive=False))
-                    await writer.drain()
+                    await self._write(writer, self._error_response(
+                        exc, keep_alive=False))
                     break
                 if request is None:
                     break
                 payload = await self._dispatch(request)
-                writer.write(payload)
-                await writer.drain()
+                if fault_fires("serving.connection"):
+                    # Fault plane: drop the client before the write.
+                    # The response was computed (and result-cached)
+                    # above, so a retrying client gets byte-identical
+                    # payload — the fault costs a round trip, never
+                    # output.
+                    self._drop_connection(writer)
+                    break
+                if not await self._write(writer, payload):
+                    break
                 if not request.keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError,
@@ -168,6 +185,32 @@ class ServingServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     payload: bytes) -> bool:
+        """Write + drain with the slow-client timeout.
+
+        Returns False (after aborting the transport) when the client
+        would not drain within ``write_timeout_s`` — the caller must
+        stop serving the connection.
+        """
+        writer.write(payload)
+        try:
+            await asyncio.wait_for(writer.drain(),
+                                   self.config.write_timeout_s)
+        except asyncio.TimeoutError:
+            self.metrics.write_timeouts += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return False
+        return True
+
+    def _drop_connection(self, writer: asyncio.StreamWriter) -> None:
+        self.metrics.dropped_connections += 1
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
 
     @staticmethod
     def _error_response(error: HTTPError,
@@ -243,6 +286,9 @@ class ServingServer:
             "pass_hits": ephemeris.stats.pass_hits,
             "pass_misses": ephemeris.stats.pass_misses,
         }
+        plane = get_default_plane()
+        if plane is not None and plane.rules:
+            payload["_faults"] = plane.summary()
         return json_response(200, payload)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Chaos-harness fixtures: fault-schedule arming and failure forensics.
+
+Every chaos test runs a workload under a seeded fault schedule and
+asserts the output is byte-identical to the clean run.  The fixtures
+here guarantee isolation (no schedule or cache leaks between tests),
+zero retry backoff (chaos tests exercise the retry *logic*, not its
+pacing), and — the part that matters at 3 a.m. — a failure report that
+carries the exact ``SATIOT_FAULTS`` spec needed to replay the failing
+schedule locally.
+"""
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from satiot.faults import (FAULTS_ENV, install_plane,
+                           reset_default_plane)
+from satiot.runtime.ephemeris_cache import reset_default_cache
+from satiot.runtime.executor import BACKOFF_ENV
+
+#: Directory for disk-tier caches used by chaos tests.  CI points this
+#: at a workspace path so quarantined ``*.bad`` entries survive the run
+#: and can be uploaded as failure artifacts.
+CHAOS_CACHE_DIR_ENV = "SATIOT_CHAOS_CACHE_DIR"
+
+#: The schedule the current test armed last (for failure reporting).
+_last_schedule = {"spec": None}
+
+
+@contextmanager
+def armed(spec: str):
+    """Arm ``spec`` process-wide (env + parsed plane) for a with-block.
+
+    The spec goes through the environment so shard worker processes
+    rebuild the same schedule; the parent parses it eagerly so a bad
+    spec fails the test at the arming site, not deep in a worker.
+    """
+    from satiot.faults import FaultPlane
+    _last_schedule["spec"] = spec
+    plane = FaultPlane.from_spec(spec)  # validate before arming
+    os.environ[FAULTS_ENV] = spec
+    install_plane(plane)
+    try:
+        yield plane
+    finally:
+        os.environ.pop(FAULTS_ENV, None)
+        install_plane(None)
+        reset_default_plane()
+
+
+@pytest.fixture(autouse=True)
+def _chaos_isolation(monkeypatch):
+    """Clean plane/cache state and instant retries around every test."""
+    _last_schedule["spec"] = None
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.setenv(BACKOFF_ENV, "0")
+    install_plane(None)
+    reset_default_plane()
+    reset_default_cache()
+    yield
+    install_plane(None)
+    reset_default_plane()
+    reset_default_cache()
+
+
+@pytest.fixture
+def chaos_cache_dir(tmp_path, request):
+    """A disk-cache directory; CI redirects it to an uploadable path."""
+    root = os.environ.get(CHAOS_CACHE_DIR_ENV, "").strip()
+    if not root:
+        return tmp_path / "ephemeris"
+    safe = request.node.name.replace("/", "_").replace("[", "_") \
+        .replace("]", "")
+    path = Path(root) / safe
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the armed fault schedule to failure reports.
+
+    A chaos failure is only actionable if it can be replayed; the
+    section printed here gives the exact spec:
+    ``SATIOT_FAULTS='...' pytest <nodeid>``.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        spec = _last_schedule.get("spec")
+        if spec:
+            report.sections.append(
+                ("fault schedule (replay with this)",
+                 f"{FAULTS_ENV}={spec!r}"))

@@ -1,0 +1,192 @@
+"""Unit tests for the seeded fault plane (spec grammar, determinism)."""
+
+import pytest
+
+from satiot.faults import (FAULTS_ENV, SITES, FaultInjected, FaultPlane,
+                           FaultRule, fault_fires, get_default_plane,
+                           install_plane, reset_default_plane)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    reset_default_plane()
+    yield
+    reset_default_plane()
+
+
+class TestFaultRule:
+    def test_parse_probability(self):
+        rule = FaultRule.parse("cache.disk_read", "p0.25")
+        assert rule.probability == 0.25
+        assert rule.enabled
+
+    def test_parse_count_and_bare_int(self):
+        assert FaultRule.parse("executor.task", "n3").count == 3
+        assert FaultRule.parse("executor.task", "3").count == 3
+
+    def test_parse_at(self):
+        assert FaultRule.parse("serving.handler", "@2").at == 2
+
+    def test_parse_off(self):
+        for token in ("off", "0", ""):
+            assert not FaultRule.parse("batcher.flush", token).enabled
+
+    def test_token_roundtrip(self):
+        for token in ("p0.5", "n2", "@7", "off"):
+            rule = FaultRule.parse("executor.task", token)
+            assert FaultRule.parse("executor.task", rule.token()) == rule
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule.parse("no.such.site", "p0.5")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError, match="bad fault rule"):
+            FaultRule.parse("executor.task", "pxyz")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="must be in"):
+            FaultRule.parse("executor.task", "p1.5")
+
+    def test_all_catalog_sites_parse(self):
+        for site in SITES:
+            assert FaultRule.parse(site, "n1").enabled
+
+
+class TestSpecParsing:
+    def test_from_spec_roundtrip(self):
+        spec = "seed=7;cache.disk_read=p0.5;executor.task=n1"
+        plane = FaultPlane.from_spec(spec)
+        assert plane.seed == 7
+        assert set(plane.rules) == {"cache.disk_read", "executor.task"}
+        assert FaultPlane.from_spec(plane.to_spec()).to_spec() \
+            == plane.to_spec()
+
+    def test_comma_separator_and_whitespace(self):
+        plane = FaultPlane.from_spec(
+            " seed=3 , serving.handler=@2 ,, batcher.flush=off ")
+        assert plane.seed == 3
+        assert set(plane.rules) == {"serving.handler"}
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec entry"):
+            FaultPlane.from_spec("cache.disk_read")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError, match="bad fault seed"):
+            FaultPlane.from_spec("seed=abc")
+
+
+class TestSchedules:
+    def test_count_rule_fires_first_k(self):
+        plane = FaultPlane.from_spec("executor.task=n2")
+        fires = [plane.should_fire("executor.task") for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+
+    def test_at_rule_fires_exactly_once(self):
+        plane = FaultPlane.from_spec("executor.task=@3")
+        fires = [plane.should_fire("executor.task") for _ in range(5)]
+        assert fires == [False, False, True, False, False]
+
+    def test_probability_rule_is_seed_deterministic(self):
+        a = FaultPlane.from_spec("seed=11;cache.disk_read=p0.5")
+        b = FaultPlane.from_spec("seed=11;cache.disk_read=p0.5")
+        pattern_a = [a.should_fire("cache.disk_read") for _ in range(64)]
+        pattern_b = [b.should_fire("cache.disk_read") for _ in range(64)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_different_seeds_different_patterns(self):
+        a = FaultPlane.from_spec("seed=1;cache.disk_read=p0.5")
+        b = FaultPlane.from_spec("seed=2;cache.disk_read=p0.5")
+        assert [a.should_fire("cache.disk_read") for _ in range(64)] \
+            != [b.should_fire("cache.disk_read") for _ in range(64)]
+
+    def test_sites_have_independent_streams(self):
+        plane = FaultPlane.from_spec(
+            "seed=5;cache.disk_read=p0.5;cache.disk_write=p0.5")
+        r = [plane.should_fire("cache.disk_read") for _ in range(64)]
+        w = [plane.should_fire("cache.disk_write") for _ in range(64)]
+        assert r != w
+
+    def test_unruled_site_never_fires_but_is_counted(self):
+        plane = FaultPlane.from_spec("executor.task=n1")
+        assert not plane.should_fire("cache.disk_read")
+        assert plane.summary()["sites"]["cache.disk_read"]["consults"] \
+            == 1
+
+    def test_summary_counts(self):
+        plane = FaultPlane.from_spec("seed=4;executor.task=n2")
+        for _ in range(5):
+            plane.should_fire("executor.task")
+        site = plane.summary()["sites"]["executor.task"]
+        assert site == {"rule": "n2", "consults": 5, "fired": 2}
+
+
+class TestDefaultPlane:
+    def test_no_plane_by_default(self):
+        assert get_default_plane() is None
+        assert fault_fires("executor.task") is False
+
+    def test_env_spec_parsed_once(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed=9;executor.task=n1")
+        plane = get_default_plane()
+        assert plane is not None and plane.seed == 9
+        assert get_default_plane() is plane
+
+    def test_env_spec_change_rebuilds(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed=1;executor.task=n1")
+        first = get_default_plane()
+        monkeypatch.setenv(FAULTS_ENV, "seed=2;executor.task=n1")
+        second = get_default_plane()
+        assert second is not first and second.seed == 2
+
+    def test_installed_plane_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed=1;executor.task=n1")
+        mine = FaultPlane.from_spec("seed=3;serving.handler=n1")
+        install_plane(mine)
+        assert get_default_plane() is mine
+        install_plane(None)
+        assert get_default_plane() is not mine
+
+    def test_fault_fires_consults_installed_plane(self):
+        install_plane(FaultPlane.from_spec("executor.task=n1"))
+        assert fault_fires("executor.task") is True
+        assert fault_fires("executor.task") is False
+
+    def test_fault_injected_carries_site(self):
+        error = FaultInjected("executor.task")
+        assert error.site == "executor.task"
+        assert "executor.task" in str(error)
+
+
+class TestCLIWiring:
+    def test_install_faults_exports_env_and_installs(self, monkeypatch):
+        import argparse
+
+        from satiot.cli import _install_faults
+        args = argparse.Namespace(faults="seed=6;executor.task=n1")
+        _install_faults(args)
+        try:
+            import os
+            assert os.environ[FAULTS_ENV] == "seed=6;executor.task=n1"
+            plane = get_default_plane()
+            assert plane is not None and plane.seed == 6
+        finally:
+            monkeypatch.delenv(FAULTS_ENV, raising=False)
+            install_plane(None)
+
+    def test_install_faults_rejects_bad_spec(self):
+        import argparse
+
+        from satiot.cli import _install_faults
+        args = argparse.Namespace(faults="seed=6;bogus.site=n1")
+        with pytest.raises(SystemExit, match="unknown fault site"):
+            _install_faults(args)
+
+    def test_parser_accepts_faults_flag(self):
+        from satiot.cli import build_parser
+        args = build_parser().parse_args(
+            ["passive", "--faults", "executor.task=n1"])
+        assert args.faults == "executor.task=n1"

@@ -7,11 +7,14 @@ row order.  Formats must also agree with each other.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from satiot.groundstation.traces import (BeaconTrace, TraceColumns,
                                          TraceDataset)
+
+pytestmark = pytest.mark.property
 
 # NUL is unrepresentable in CSV (and trailing NUL is dropped by NumPy's
 # fixed-width unicode storage); surrogates are not encodable to UTF-8.

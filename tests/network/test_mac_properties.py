@@ -1,12 +1,15 @@
 """Property-based invariants of the DtS MAC under random schedules."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from satiot.network.mac import BeaconOpportunity, DtSMac, MacConfig
 from satiot.network.packets import SensorReading
 from satiot.network.store_forward import SatelliteBuffer
+
+pytestmark = pytest.mark.property
 
 SAT_A, SAT_B = 44100, 44101
 

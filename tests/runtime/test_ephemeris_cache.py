@@ -273,4 +273,4 @@ class TestStats:
 
     def test_snapshot_shape(self):
         snap = EphemerisCache().stats.snapshot()
-        assert snap == (0, 0, 0, 0, 0, 0)
+        assert snap == (0, 0, 0, 0, 0, 0, 0, 0)

@@ -165,6 +165,97 @@ class TestFailureContainment:
         outcomes = run(scenario())
         assert all(isinstance(o, RuntimeError) for o in outcomes)
 
+    def test_transient_handler_failure_is_retried(self):
+        metrics = EndpointMetrics("t")
+        calls = []
+
+        def flaky(requests):
+            calls.append(list(requests))
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return [r * 10 for r in requests]
+
+        async def scenario():
+            batcher = MicroBatcher(flaky, max_batch=4, window_s=0.01,
+                                   max_retries=2,
+                                   retry_backoff_s=0.001,
+                                   metrics=metrics)
+            results = await asyncio.gather(
+                *[batcher.submit(i) for i in range(3)])
+            await batcher.close()
+            return results
+
+        assert run(scenario()) == [0, 10, 20]
+        # The whole batch was re-dispatched once, with the same
+        # requests in the same order.
+        assert len(calls) == 2 and calls[0] == calls[1]
+        assert metrics.handler_retries == 1
+
+    def test_retry_budget_exhaustion_fails_futures(self):
+        metrics = EndpointMetrics("t")
+        attempts = []
+
+        def broken(requests):
+            attempts.append(len(requests))
+            raise RuntimeError("permanent")
+
+        async def scenario():
+            batcher = MicroBatcher(broken, max_batch=4, window_s=0.01,
+                                   max_retries=2,
+                                   retry_backoff_s=0.001,
+                                   metrics=metrics)
+            outcomes = await asyncio.gather(
+                *[batcher.submit(i) for i in range(2)],
+                return_exceptions=True)
+            await batcher.close()
+            return outcomes
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert attempts == [2, 2, 2]  # initial + max_retries
+        assert metrics.handler_retries == 2
+
+    def test_max_retries_zero_fails_fast(self):
+        attempts = []
+
+        def broken(requests):
+            attempts.append(1)
+            raise RuntimeError("no retries for me")
+
+        async def scenario():
+            batcher = MicroBatcher(broken, max_batch=2, window_s=0.01,
+                                   max_retries=0)
+            outcome = await asyncio.gather(batcher.submit(1),
+                                           return_exceptions=True)
+            await batcher.close()
+            return outcome
+
+        outcome = run(scenario())
+        assert isinstance(outcome[0], RuntimeError)
+        assert attempts == [1]
+
+    def test_count_mismatch_retries_then_fails(self):
+        """A mismatch is treated as transient, like an exception."""
+        calls = []
+
+        def miscounting(requests):
+            calls.append(1)
+            return [1]  # always wrong for 3 requests
+
+        async def scenario():
+            batcher = MicroBatcher(miscounting, max_batch=4,
+                                   window_s=0.01, max_retries=1,
+                                   retry_backoff_s=0.001)
+            outcomes = await asyncio.gather(
+                *[batcher.submit(i) for i in range(3)],
+                return_exceptions=True)
+            await batcher.close()
+            return outcomes
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert len(calls) == 2
+
     def test_submit_after_close_rejected(self):
         async def scenario():
             batcher = MicroBatcher(lambda reqs: list(reqs))

@@ -1,0 +1,168 @@
+"""Property-based tests for the serving TTL+LRU result cache.
+
+Random operation sequences (put / get / clock advance) against a
+reference model, checking the cache's three load-bearing invariants:
+
+1. the entry count never exceeds capacity;
+2. a TTL-expired entry is never served (and a served value is always
+   the *latest* value put under its key);
+3. the hit/miss/expiration counters reconcile exactly with the
+   observed operation outcomes.
+
+With expiry out of the picture (infinite TTL) the cache must agree
+*exactly* with a textbook LRU model — both the values served and the
+eviction order.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from collections import OrderedDict  # noqa: E402
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from satiot.serving.cache import ResultCache, quantize_coord  # noqa: E402
+
+pytestmark = pytest.mark.property
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+KEYS = st.integers(min_value=0, max_value=11)
+VALUES = st.integers(min_value=0, max_value=999)
+
+#: One cache operation: ("put", key, value) | ("get", key) | ("tick", dt).
+OPS = st.one_of(
+    st.tuples(st.just("put"), KEYS, VALUES),
+    st.tuples(st.just("get"), KEYS),
+    st.tuples(st.just("tick"),
+              st.floats(min_value=0.0, max_value=7.0,
+                        allow_nan=False, allow_infinity=False)),
+)
+
+
+class TestInvariantsUnderRandomWorkloads:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=st.lists(OPS, max_size=80),
+           capacity=st.integers(min_value=1, max_value=6),
+           ttl=st.floats(min_value=0.5, max_value=10.0,
+                         allow_nan=False, allow_infinity=False))
+    def test_capacity_ttl_and_counters(self, ops, capacity, ttl):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=capacity, ttl_s=ttl,
+                            clock=clock)
+        #: Reference model: latest (stamp, value) per key, never evicted.
+        model = {}
+        gets = hits = 0
+
+        for op in ops:
+            if op[0] == "put":
+                _, key, value = op
+                cache.put(key, value)
+                model[key] = (clock.now, value)
+            elif op[0] == "get":
+                _, key = op
+                result = cache.get(key)
+                gets += 1
+                stamped = model.get(key)
+                fresh = (stamped is not None
+                         and clock.now - stamped[0] <= ttl)
+                if result is not None:
+                    hits += 1
+                    # Invariant 2: never expired, never stale values.
+                    assert fresh, \
+                        f"served an expired entry for key {key}"
+                    assert result == stamped[1], \
+                        f"served a stale value for key {key}"
+                elif not fresh:
+                    pass  # expired/absent in the model too: consistent
+                # (fresh-but-None is legal: LRU may have evicted it.)
+            else:
+                clock.advance(op[1])
+
+            # Invariant 1: the bound holds after *every* operation.
+            assert len(cache) <= capacity
+
+        # Invariant 3: the counters saw exactly what we saw.
+        assert cache.hits == hits
+        assert cache.misses == gets - hits
+        assert cache.hits + cache.misses == gets
+        rate = cache.hit_rate
+        assert rate == (hits / gets if gets else 0.0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(ops=st.lists(OPS, max_size=80),
+           ttl=st.floats(min_value=0.5, max_value=10.0,
+                         allow_nan=False, allow_infinity=False))
+    def test_expired_keys_all_die_together(self, ops, ttl):
+        """Advancing past the TTL kills every resident entry."""
+        clock = FakeClock()
+        cache = ResultCache(max_entries=64, ttl_s=ttl, clock=clock)
+        touched = set()
+        for op in ops:
+            if op[0] == "put":
+                cache.put(op[1], op[2])
+                touched.add(op[1])
+            elif op[0] == "get":
+                cache.get(op[1])
+            else:
+                clock.advance(op[1])
+        clock.advance(ttl + 0.001)
+        for key in sorted(touched):
+            assert cache.get(key) is None
+        assert len(cache) == 0
+
+    @settings(max_examples=150, deadline=None)
+    @given(ops=st.lists(OPS.filter(lambda op: op[0] != "tick"),
+                        max_size=100),
+           capacity=st.integers(min_value=1, max_value=5))
+    def test_agrees_exactly_with_model_lru_when_nothing_expires(
+            self, ops, capacity):
+        """Infinite TTL: the cache *is* an LRU — values and evictions."""
+        cache = ResultCache(max_entries=capacity, ttl_s=1e9,
+                            clock=FakeClock())
+        lru: "OrderedDict[int, int]" = OrderedDict()
+
+        for op in ops:
+            if op[0] == "put":
+                _, key, value = op
+                cache.put(key, value)
+                lru[key] = value
+                lru.move_to_end(key)
+                while len(lru) > capacity:
+                    lru.popitem(last=False)
+            else:
+                _, key = op
+                expected = lru.get(key)
+                if expected is not None:
+                    lru.move_to_end(key)
+                assert cache.get(key) == expected
+            assert len(cache) == len(lru)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(min_value=-180.0, max_value=180.0,
+                           allow_nan=False),
+           decimals=st.integers(min_value=0, max_value=6))
+    def test_quantize_coord_idempotent(self, value, decimals):
+        once = quantize_coord(value, decimals)
+        assert quantize_coord(once, decimals) == once
+
+
+class TestConstructionContracts:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=0.0)

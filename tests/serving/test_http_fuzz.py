@@ -1,0 +1,223 @@
+"""Malformed-input fuzz tests for the hand-rolled HTTP parser.
+
+Contract under test: whatever bytes arrive, ``read_request`` either
+returns ``None`` (clean EOF), returns a parsed :class:`HTTPRequest`,
+or raises :class:`HTTPError` with a 4xx status — never an unhandled
+exception and never a hang.  End-to-end, the server maps every
+malformed input to a 4xx response and stays alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from satiot.serving.http import (HTTPError, HTTPRequest,
+                                 MAX_BODY_BYTES, MAX_HEADERS,
+                                 MAX_REQUEST_LINE, read_request)
+from tests.serving.test_server import (fast_config, raw_request, run,
+                                       with_server)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is baked in
+    HAS_HYPOTHESIS = False
+
+
+def parse_bytes(data: bytes, timeout_s: float = 2.0):
+    """Feed raw bytes to the parser with a hang watchdog."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await asyncio.wait_for(read_request(reader), timeout_s)
+    return asyncio.run(scenario())
+
+
+def parse_error(data: bytes) -> HTTPError:
+    with pytest.raises(HTTPError) as excinfo:
+        parse_bytes(data)
+    return excinfo.value
+
+
+# ----------------------------------------------------------------------
+class TestMalformedRequests:
+    def test_empty_stream_is_clean_eof(self):
+        assert parse_bytes(b"") is None
+
+    def test_truncated_request_line(self):
+        assert parse_error(b"GET /v1/passes").status == 400
+
+    def test_request_line_with_missing_parts(self):
+        assert parse_error(b"GET\r\n\r\n").status == 400
+        assert parse_error(b"GET /path\r\n\r\n").status == 400
+        assert parse_error(b"\r\n\r\n").status == 400
+
+    def test_non_ascii_request_line(self):
+        assert parse_error("GET /päth HTTP/1.1\r\n\r\n"
+                           .encode("utf-8")).status == 400
+
+    def test_unsupported_protocol_version(self):
+        assert parse_error(b"GET / SPDY/3\r\n\r\n").status == 400
+        assert parse_error(b"GET / HTTP/2\r\n\r\n").status == 400
+
+    def test_oversized_request_line(self):
+        line = b"GET /" + b"a" * (MAX_REQUEST_LINE + 10) \
+            + b" HTTP/1.1\r\n\r\n"
+        assert parse_error(line).status == 413
+
+    def test_header_without_colon(self):
+        data = b"GET / HTTP/1.1\r\nNotAHeader\r\n\r\n"
+        assert parse_error(data).status == 400
+
+    def test_too_many_headers(self):
+        headers = b"".join(b"X-H%d: v\r\n" % i
+                           for i in range(MAX_HEADERS + 5))
+        data = b"GET / HTTP/1.1\r\n" + headers + b"\r\n"
+        assert parse_error(data).status == 413
+
+    def test_oversized_header_block(self):
+        # Few headers, huge values: the byte limit must trip even when
+        # the header *count* limit does not.
+        headers = b"".join(b"X-Pad%d: " % i + b"p" * 4000 + b"\r\n"
+                           for i in range(8))
+        data = b"GET / HTTP/1.1\r\n" + headers + b"\r\n"
+        assert parse_error(data).status == 413
+
+    def test_bad_content_length_values(self):
+        for value in (b"abc", b"-5", b"1e3", b"0x10", b""):
+            data = (b"POST / HTTP/1.1\r\nContent-Length: " + value
+                    + b"\r\n\r\n")
+            assert parse_error(data).status == 400, value
+
+    def test_body_larger_than_limit_rejected_before_read(self):
+        data = (b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n")
+        assert parse_error(data).status == 413
+
+    def test_truncated_body(self):
+        data = (b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+                b"short")
+        assert parse_error(data).status == 400
+
+    def test_chunked_bodies_rejected(self):
+        data = (b"POST / HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n")
+        assert parse_error(data).status == 400
+
+    def test_non_utf8_json_body_parses_then_400s_on_json(self):
+        body = b"\xff\xfe{\x00b\x00a\x00d\x00"
+        data = (b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(len(body)).encode() + b"\r\n\r\n" + body)
+        request = parse_bytes(data)
+        assert isinstance(request, HTTPRequest)
+        with pytest.raises(HTTPError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_valid_request_still_parses(self):
+        """The fuzz hardening must not break the happy path."""
+        body = json.dumps({"lat": 1.0}).encode()
+        data = (b"POST /v1/passes?x=1 HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: " + str(len(body)).encode()
+                + b"\r\n\r\n" + body)
+        request = parse_bytes(data)
+        assert request.method == "POST"
+        assert request.path == "/v1/passes"
+        assert request.query == {"x": "1"}
+        assert request.json() == {"lat": 1.0}
+
+
+# ----------------------------------------------------------------------
+if HAS_HYPOTHESIS:
+
+    @pytest.mark.property
+    class TestParserFuzz:
+        """Arbitrary bytes: parse, 4xx, or clean EOF — nothing else."""
+
+        @settings(max_examples=300, deadline=None)
+        @given(data=st.binary(max_size=512))
+        def test_arbitrary_bytes_never_crash_or_hang(self, data):
+            try:
+                result = parse_bytes(data)
+            except HTTPError as error:
+                assert 400 <= error.status < 500
+            else:
+                assert result is None \
+                    or isinstance(result, HTTPRequest)
+
+        @settings(max_examples=150, deadline=None)
+        @given(prefix=st.binary(max_size=64),
+               garbage=st.binary(min_size=1, max_size=256))
+        def test_valid_line_with_garbage_headers(self, prefix, garbage):
+            data = b"GET / HTTP/1.1\r\n" + prefix + garbage
+            try:
+                result = parse_bytes(data)
+            except HTTPError as error:
+                assert 400 <= error.status < 500
+            else:
+                assert result is None \
+                    or isinstance(result, HTTPRequest)
+
+        @settings(max_examples=100, deadline=None)
+        @given(body=st.binary(max_size=256))
+        def test_json_of_arbitrary_body_is_dict_or_400(self, body):
+            request = HTTPRequest(method="POST", path="/", body=body)
+            try:
+                payload = request.json()
+            except HTTPError as error:
+                assert error.status == 400
+            else:
+                assert isinstance(payload, dict)
+
+
+# ----------------------------------------------------------------------
+class TestEndToEndMalformedInput:
+    """The live server turns garbage into 4xx and keeps serving."""
+
+    def test_non_utf8_body_gets_400_not_500(self):
+        async def scenario(server):
+            port = server.bound_port
+            body = b"\xff\xfe\xfd not json"
+            data = await raw_request(
+                port,
+                b"POST /v1/passes HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: " + str(len(body)).encode()
+                + b"\r\nConnection: close\r\n\r\n" + body)
+            healthz = await raw_request(
+                port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                      b"Connection: close\r\n\r\n")
+            return data, healthz
+
+        data, healthz = run(with_server(fast_config(), scenario))
+        assert data.startswith(b"HTTP/1.1 400")
+        assert healthz.startswith(b"HTTP/1.1 200")
+
+    def test_bad_content_length_gets_400_and_close(self):
+        async def scenario(server):
+            return await raw_request(
+                server.bound_port,
+                b"POST /v1/passes HTTP/1.1\r\n"
+                b"Content-Length: banana\r\n\r\n")
+
+        data = run(with_server(fast_config(), scenario))
+        assert data.startswith(b"HTTP/1.1 400")
+        assert b"Connection: close" in data
+
+    def test_garbage_request_line_gets_4xx(self):
+        async def scenario(server):
+            port = server.bound_port
+            bad = await raw_request(
+                port, b"\x00\x01\x02 garbage \xff\r\n\r\n")
+            ok = await raw_request(
+                port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                      b"Connection: close\r\n\r\n")
+            return bad, ok
+
+        bad, ok = run(with_server(fast_config(), scenario))
+        assert bad.startswith(b"HTTP/1.1 4")
+        assert ok.startswith(b"HTTP/1.1 200")

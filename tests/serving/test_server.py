@@ -359,3 +359,58 @@ class TestDisconnects:
             with_server(fast_config(window_s=0.05), scenario))
         assert health[0] == 200
         assert server_errors == 0
+
+
+# ----------------------------------------------------------------------
+class TestSlowClients:
+    class StuckWriter:
+        """A writer whose drain never completes (zero-window client)."""
+
+        def __init__(self) -> None:
+            self.aborted = False
+            self.written = b""
+
+        @property
+        def transport(self):
+            return self
+
+        def abort(self) -> None:
+            self.aborted = True
+
+        def write(self, data: bytes) -> None:
+            self.written += data
+
+        async def drain(self) -> None:
+            await asyncio.sleep(3600.0)
+
+    def test_write_timeout_aborts_stuck_client(self):
+        server = ServingServer(fast_config(write_timeout_s=0.02))
+        writer = self.StuckWriter()
+
+        async def scenario():
+            ok = await server._write(writer, b"payload")
+            await server.close()
+            return ok
+
+        assert run(scenario()) is False
+        assert writer.aborted
+        assert server.metrics.write_timeouts == 1
+
+    def test_fast_drain_is_untouched(self):
+        server = ServingServer(fast_config(write_timeout_s=0.02))
+
+        class QuickWriter(self.StuckWriter):
+            async def drain(self) -> None:
+                return None
+
+        writer = QuickWriter()
+
+        async def scenario():
+            ok = await server._write(writer, b"payload")
+            await server.close()
+            return ok
+
+        assert run(scenario()) is True
+        assert not writer.aborted
+        assert writer.written == b"payload"
+        assert server.metrics.write_timeouts == 0
