@@ -29,6 +29,7 @@ bench-smoke:
 		-q -p no:cacheprovider
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py --smoke
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_orbit_batch.py --smoke
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_catalog_sweep.py --smoke
 
 validate:
 	$(PYTHON) -m satiot validate

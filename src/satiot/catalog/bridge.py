@@ -1,0 +1,272 @@
+"""Catalog → fleet bridge.
+
+Materializes any :class:`~satiot.catalog.db.TleDb` selection into the
+batch-propagation machinery: :class:`~satiot.orbits.sgp4.SGP4`
+propagator lists for :class:`~satiot.orbits.sgp4_batch.SGP4Batch` /
+:func:`~satiot.orbits.passes.find_passes_fleet`, flowing through
+:meth:`~satiot.runtime.ephemeris_cache.EphemerisCache.constellation_grid`
+under the selection's fleet fingerprint — and into
+:class:`~satiot.constellations.catalog.Constellation` objects so
+campaigns, the ground-station scheduler and ``satiot serve`` answer
+over the full catalog instead of the 39 built-in Table-3 satellites.
+
+The same :class:`FleetSelection` drives both directions; its
+fingerprint is stable across dump → ingest → select round-trips
+(storage keeps verbatim lines), so a serving tier and a benchmark
+sweeping the same catalog share ephemeris-cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..constellations.catalog import (Constellation, ConstellationSpec,
+                                      DtSRadioProfile, Satellite)
+from ..constellations.shells import ShellSpec
+from ..orbits.constants import EARTH_RADIUS_KM
+from ..orbits.frames import GeodeticPoint
+from ..orbits.kepler import semi_major_axis_km
+from ..orbits.passes import ContactWindow, find_passes_fleet
+from ..orbits.sgp4 import SGP4
+from ..orbits.timebase import Epoch
+from ..orbits.tle import TLE
+from ..runtime.ephemeris_cache import (EphemerisCache,
+                                       constellation_fingerprint,
+                                       get_default_cache)
+from .db import TleDb, TleNotFound, derive_group
+from .ingest import CatalogEntry, read_catalog
+
+__all__ = ["FleetSelection", "constellation_from_catalog",
+           "fleet_passes", "open_any_catalog", "select_fleet",
+           "shell_groups"]
+
+#: Generic UHF DtS profile for catalog-built constellations whose radio
+#: parameters the catalog does not carry (TLEs hold orbits, not radios).
+DEFAULT_CATALOG_RADIO = DtSRadioProfile(frequency_hz=401.0e6)
+
+
+@dataclass(frozen=True)
+class FleetSelection:
+    """One materialized catalog selection, NORAD-ordered.
+
+    Derived products (element sets, propagators, the joint fleet
+    fingerprint) are computed lazily and cached on the instance —
+    building 5 000 :class:`SGP4` propagators is deliberate, not a
+    side effect of selecting rows.
+    """
+
+    entries: Tuple[CatalogEntry, ...]
+    selectors: Tuple[str, ...] = ()
+    as_of_jd: Optional[float] = None
+    source: str = ""
+    # cached_property needs a mutable namespace on a frozen dataclass
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def tles(self) -> Tuple[TLE, ...]:
+        if "tles" not in self._cache:
+            self._cache["tles"] = tuple(e.tle for e in self.entries)
+        return self._cache["tles"]
+
+    @property
+    def propagators(self) -> List[SGP4]:
+        if "propagators" not in self._cache:
+            self._cache["propagators"] = [SGP4(t) for t in self.tles]
+        return self._cache["propagators"]
+
+    @property
+    def fingerprint(self) -> str:
+        """Joint fleet fingerprint — the
+        :meth:`EphemerisCache.constellation_grid` cache identity."""
+        if "fingerprint" not in self._cache:
+            self._cache["fingerprint"] = \
+                constellation_fingerprint(self.tles)
+        return self._cache["fingerprint"]
+
+    @property
+    def epoch(self) -> Epoch:
+        """Reference instant: the newest member epoch (the freshest
+        element set in the selection)."""
+        if not self.entries:
+            raise ValueError("empty selection has no epoch")
+        return Epoch(max(e.epoch_jd for e in self.entries))
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        """Per-member group tag (ingest group, else derived from the
+        name), parallel to :attr:`entries`."""
+        return tuple(e.group or derive_group(e.name)
+                     for e in self.entries)
+
+
+def open_any_catalog(path: Union[str, Path]) -> TleDb:
+    """Open a catalog source as a :class:`TleDb`.
+
+    A sqlite file (detected by its 16-byte magic header) is opened in
+    place; anything else is treated as a TLE/3LE text file (possibly
+    gzip'd) and bulk-loaded into an in-memory database with groups
+    derived from names.  Either way callers get the same verbs.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no catalog at {path}")
+    with path.open("rb") as fh:
+        is_sqlite = fh.read(16) == b"SQLite format 3\x00"
+    if is_sqlite:
+        return TleDb(path)
+    db = TleDb(":memory:")
+    db.insert(read_catalog(path), group_from_name=True)
+    return db
+
+
+def select_fleet(source: Union[TleDb, str, Path],
+                 selectors: Union[str, Sequence[str], None] = None,
+                 as_of_jd: Optional[float] = None) -> FleetSelection:
+    """Materialize a catalog selection into a :class:`FleetSelection`.
+
+    ``source`` is an open :class:`TleDb` or a path accepted by
+    :func:`open_any_catalog`.  ``selectors`` follow
+    :func:`~satiot.catalog.db.parse_selector` (``None`` selects the
+    whole catalog); ``as_of_jd`` picks each object's latest element
+    set at or before that Julian date.
+    """
+    close_after = False
+    if not isinstance(source, TleDb):
+        db: TleDb = open_any_catalog(source)
+        close_after = True
+    else:
+        db = source
+    try:
+        entries = db.get(selectors, as_of_jd=as_of_jd)
+    finally:
+        if close_after:
+            db.close()
+    if not entries:
+        raise TleNotFound("selection matches no element set")
+    if selectors is None:
+        selector_tuple: Tuple[str, ...] = ()
+    elif isinstance(selectors, str):
+        selector_tuple = (selectors,)
+    else:
+        selector_tuple = tuple(selectors)
+    return FleetSelection(
+        entries=tuple(entries), selectors=selector_tuple,
+        as_of_jd=as_of_jd,
+        source=db.path if not close_after else str(source))
+
+
+def shell_groups(selection: FleetSelection) -> Dict[str, List[int]]:
+    """Member indices per group, in first-appearance order."""
+    groups: Dict[str, List[int]] = {}
+    for index, group in enumerate(selection.groups):
+        groups.setdefault(group, []).append(index)
+    return groups
+
+
+def fleet_passes(selection: FleetSelection,
+                 observers: Sequence[GeodeticPoint],
+                 duration_s: float,
+                 epoch: Optional[Epoch] = None,
+                 cache: Union[EphemerisCache, None, bool] = True,
+                 coarse_step_s: float = 30.0,
+                 min_elevation_deg: float = 10.0,
+                 refine_tol_s: float = 0.5,
+                 refine: str = "interp",
+                 ) -> List[List[List[ContactWindow]]]:
+    """Pass sweep of the whole selection: ``results[sat][observer]``.
+
+    Runs through :meth:`EphemerisCache.find_passes_fleet` — one
+    :meth:`~EphemerisCache.constellation_grid` fill under the
+    selection's fleet fingerprint, one GMST/TEME→ECEF evaluation —
+    and is bit-identical to nested per-satellite
+    ``PassPredictor.find_passes`` calls (the batch layer's contract).
+
+    ``cache=True`` uses the process-default cache (falling back to the
+    uncached fleet path when disabled), an explicit
+    :class:`EphemerisCache` uses that instance, and ``cache=None`` /
+    ``False`` bypasses caching.
+    """
+    if epoch is None:
+        epoch = selection.epoch
+    resolved: Optional[EphemerisCache]
+    if cache is True:
+        resolved = get_default_cache()
+    elif cache is False or cache is None:
+        resolved = None
+    else:
+        resolved = cache
+    if resolved is not None:
+        return resolved.find_passes_fleet(
+            selection.propagators, observers, epoch, duration_s,
+            coarse_step_s=coarse_step_s,
+            min_elevation_deg=min_elevation_deg,
+            refine_tol_s=refine_tol_s, refine=refine)
+    return find_passes_fleet(
+        selection.propagators, observers, epoch, duration_s,
+        coarse_step_s=coarse_step_s,
+        min_elevation_deg=min_elevation_deg,
+        refine_tol_s=refine_tol_s, refine=refine)
+
+
+def _shell_spec_for(group: str, tles: Sequence[TLE]) -> ShellSpec:
+    """Reconstruct an approximate :class:`ShellSpec` from element sets.
+
+    The catalog stores orbits, not design documents, so the shell's
+    altitude band and inclination are recovered from its members.
+    Only used for Constellation metadata (footprint areas, shell
+    labels) — propagation always uses the verbatim element sets.
+    """
+    altitudes = [semi_major_axis_km(t.mean_motion_rev_day)
+                 - EARTH_RADIUS_KM for t in tles]
+    inclination = sum(t.inclination_deg for t in tles) / len(tles)
+    eccentricity = max(t.eccentricity for t in tles)
+    return ShellSpec(
+        name=group, count=len(tles),
+        altitude_min_km=min(altitudes), altitude_max_km=max(altitudes),
+        inclination_deg=min(max(inclination, 0.0), 180.0),
+        eccentricity=min(eccentricity, 0.0499))
+
+
+def constellation_from_catalog(source: Union[TleDb, str, Path,
+                                             FleetSelection],
+                               selectors: Union[str, Sequence[str],
+                                                None] = None,
+                               name: str = "catalog",
+                               radio: Optional[DtSRadioProfile] = None,
+                               as_of_jd: Optional[float] = None,
+                               ) -> Constellation:
+    """Build a campaign/serving-ready :class:`Constellation` from the
+    catalog.
+
+    Shells are the selection's groups (reconstructed from member
+    orbits); every satellite carries ``radio`` (a generic UHF DtS
+    profile by default — catalogs describe orbits, not payloads).
+    The result plugs into everything a Table-3 constellation does:
+    ``daily_presence_hours``, the scheduler's ``predict_windows``,
+    and ``ConstellationService``.
+    """
+    if isinstance(source, FleetSelection):
+        selection = source
+    else:
+        selection = select_fleet(source, selectors, as_of_jd=as_of_jd)
+    radio = radio or DEFAULT_CATALOG_RADIO
+    groups = shell_groups(selection)
+    shells = tuple(
+        _shell_spec_for(group, [selection.tles[i] for i in indices])
+        for group, indices in groups.items())
+    spec = ConstellationSpec(
+        name=name, operator_region="catalog", shells=shells,
+        radio=radio,
+        norad_base=min(t.norad_id for t in selection.tles))
+    group_of = {i: group for group, indices in groups.items()
+                for i in indices}
+    satellites = tuple(
+        Satellite(tle=tle, constellation_name=name, radio=radio,
+                  shell_name=group_of[i])
+        for i, tle in enumerate(selection.tles))
+    return Constellation(spec=spec, satellites=satellites)

@@ -1,0 +1,345 @@
+"""`TleDb`: a sqlite-backed element-set archive with epoch history.
+
+Modelled on the `space tle` workflow (insert / get / history / find /
+stats against a local archive), adapted to this repo's offline policy:
+element sets arrive from catalog files or the synthesizer, never the
+network.  The store archives the **verbatim lines** of every element
+set — reads hand back byte-identical TLEs, so fingerprints computed
+before and after a round-trip through the database agree — keyed by
+``(norad_id, epoch)`` so repeated inserts of the same catalog file are
+idempotent and each object accumulates an epoch-ordered history.
+
+Selectors address objects three ways (see :func:`parse_selector`)::
+
+    44100            # NORAD catalog number
+    norad:44100      # explicit form of the same
+    name:MEGA-SHELL-A-0001   # exact (case-insensitive) name
+    group:MEGA-SHELL-A       # every object of an ingest group
+    MEGA-SHELL-A-0001        # bare text falls back to exact name
+
+"Latest element set as of time T" queries (``as_of_jd=``) return, per
+object, the newest element set whose epoch is at or before T — the
+element set an operator would actually have propagated at T.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..orbits.tle import TLE, format_tle
+from .ingest import CatalogEntry, read_catalog
+
+__all__ = ["DbStats", "InsertStats", "TleDb", "TleNotFound",
+           "derive_group", "parse_selector"]
+
+#: Trailing ``-<digits>`` member suffix stripped by :func:`derive_group`.
+_MEMBER_SUFFIX = re.compile(r"-\d+$")
+
+
+class TleNotFound(LookupError):
+    """No element set matches the selector (and as-of constraint)."""
+
+
+def derive_group(name: str) -> str:
+    """Group of an element set derived from its name.
+
+    Constellation members are conventionally numbered with a trailing
+    ``-<digits>`` suffix (``MEGA-SHELL-A-0042``, ``Tianqi-TQ-A-07``);
+    stripping it yields the shell/constellation the object belongs to.
+    Names without such a suffix are their own group.
+    """
+    stripped = _MEMBER_SUFFIX.sub("", name.strip())
+    return stripped or name.strip()
+
+
+def parse_selector(text: str) -> Tuple[str, str]:
+    """Parse one selector into a ``(kind, value)`` pair.
+
+    ``kind`` is ``norad`` | ``name`` | ``group``.  Bare digits select
+    by NORAD id; ``norad:`` / ``name:`` / ``group:`` prefixes are
+    explicit; any other bare text selects by exact name.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty selector")
+    for prefix in ("norad", "name", "group"):
+        if text.lower().startswith(prefix + ":"):
+            value = text[len(prefix) + 1:].strip()
+            if not value:
+                raise ValueError(f"empty {prefix!r} selector: {text!r}")
+            if prefix == "norad" and not value.isdigit():
+                raise ValueError(
+                    f"norad selector must be numeric: {text!r}")
+            return prefix, value
+    if text.isdigit():
+        return "norad", text
+    return "name", text
+
+
+@dataclass(frozen=True)
+class InsertStats:
+    """Outcome of one :meth:`TleDb.insert` call."""
+
+    inserted: int       # element sets newly archived
+    duplicates: int     # (norad, epoch) pairs already present, skipped
+    new_objects: int    # NORAD ids seen for the first time
+
+    @property
+    def total(self) -> int:
+        return self.inserted + self.duplicates
+
+
+@dataclass(frozen=True)
+class DbStats:
+    """Database-wide figures behind ``satiot catalog stats``."""
+
+    objects: int
+    element_sets: int
+    groups: Dict[str, int]             # group -> object count
+    first_epoch_jd: Optional[float]
+    last_epoch_jd: Optional[float]
+
+    @property
+    def epoch_span_days(self) -> float:
+        if self.first_epoch_jd is None or self.last_epoch_jd is None:
+            return 0.0
+        return self.last_epoch_jd - self.first_epoch_jd
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS elset (
+    norad_id  INTEGER NOT NULL,
+    epoch_jd  REAL    NOT NULL,
+    name      TEXT    NOT NULL,
+    grp       TEXT    NOT NULL DEFAULT '',
+    line1     TEXT    NOT NULL,
+    line2     TEXT    NOT NULL,
+    PRIMARY KEY (norad_id, epoch_jd)
+);
+CREATE INDEX IF NOT EXISTS idx_elset_name ON elset (name COLLATE NOCASE);
+CREATE INDEX IF NOT EXISTS idx_elset_grp ON elset (grp COLLATE NOCASE);
+"""
+
+
+class TleDb:
+    """Element-set archive with per-object epoch history.
+
+    ``path`` is a sqlite database file (created on first use) or
+    ``":memory:"`` for an ephemeral store.  The instance is also a
+    context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "TleDb":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, elements: Iterable[Union[CatalogEntry, TLE]],
+               group: str = "",
+               group_from_name: bool = False) -> InsertStats:
+        """Archive element sets; duplicates are skipped, not errors.
+
+        Accepts parsed :class:`CatalogEntry` rows (their verbatim lines
+        are stored) or bare :class:`TLE` values (canonical lines are
+        rendered first).  ``group`` tags every inserted row;
+        ``group_from_name`` instead derives each row's group from its
+        name via :func:`derive_group` (how shell membership of a
+        synthesized mega-constellation survives ingest).
+        """
+        before = self._object_ids()
+        inserted = duplicates = 0
+        cursor = self._conn.cursor()
+        for element in elements:
+            if isinstance(element, CatalogEntry):
+                tle, line1, line2 = element.tle, element.line1, \
+                    element.line2
+            else:
+                tle = element
+                line1, line2 = format_tle(tle)
+            grp = derive_group(tle.name) if group_from_name else group
+            cursor.execute(
+                "INSERT OR IGNORE INTO elset "
+                "(norad_id, epoch_jd, name, grp, line1, line2) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (tle.norad_id, float(tle.epoch.jd), tle.name, grp,
+                 line1, line2))
+            if cursor.rowcount:
+                inserted += 1
+            else:
+                duplicates += 1
+        self._conn.commit()
+        new_objects = len(self._object_ids() - before)
+        return InsertStats(inserted=inserted, duplicates=duplicates,
+                           new_objects=new_objects)
+
+    def insert_file(self, path: Union[str, Path], group: str = "",
+                    group_from_name: bool = False,
+                    validate_checksum: bool = True) -> InsertStats:
+        """Ingest a (possibly gzip'd) TLE/3LE catalog file, strictly."""
+        return self.insert(
+            read_catalog(path, validate_checksum=validate_checksum),
+            group=group, group_from_name=group_from_name)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def norad_ids(self, selector: Optional[str] = None) -> List[int]:
+        """NORAD ids matched by ``selector`` (all objects if ``None``)."""
+        if selector is None:
+            return sorted(self._object_ids())
+        kind, value = parse_selector(selector)
+        if kind == "norad":
+            rows = self._conn.execute(
+                "SELECT DISTINCT norad_id FROM elset WHERE norad_id=?",
+                (int(value),)).fetchall()
+        elif kind == "group":
+            rows = self._conn.execute(
+                "SELECT DISTINCT norad_id FROM elset "
+                "WHERE grp=? COLLATE NOCASE", (value,)).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT DISTINCT norad_id FROM elset "
+                "WHERE name=? COLLATE NOCASE", (value,)).fetchall()
+        return sorted(r[0] for r in rows)
+
+    def _select_ids(self, selectors: Union[str, Sequence[str], None],
+                    ) -> List[int]:
+        if selectors is None:
+            return self.norad_ids()
+        if isinstance(selectors, str):
+            selectors = [selectors]
+        matched: List[int] = []
+        seen = set()
+        for selector in selectors:
+            ids = self.norad_ids(selector)
+            if not ids:
+                raise TleNotFound(
+                    f"selector {selector!r} matches no object")
+            for norad in ids:
+                if norad not in seen:
+                    seen.add(norad)
+                    matched.append(norad)
+        return sorted(matched)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get_object(self, norad_id: int,
+                   as_of_jd: Optional[float] = None) -> CatalogEntry:
+        """Latest element set of one object (optionally as of a JD)."""
+        if as_of_jd is None:
+            row = self._conn.execute(
+                "SELECT name, grp, line1, line2, epoch_jd FROM elset "
+                "WHERE norad_id=? ORDER BY epoch_jd DESC LIMIT 1",
+                (norad_id,)).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT name, grp, line1, line2, epoch_jd FROM elset "
+                "WHERE norad_id=? AND epoch_jd<=? "
+                "ORDER BY epoch_jd DESC LIMIT 1",
+                (norad_id, float(as_of_jd))).fetchone()
+        if row is None:
+            constraint = "" if as_of_jd is None else \
+                f" with epoch <= JD {as_of_jd:.6f}"
+            raise TleNotFound(
+                f"no element set for object {norad_id}{constraint}")
+        return self._entry(norad_id, row)
+
+    def get(self, selectors: Union[str, Sequence[str], None] = None,
+            as_of_jd: Optional[float] = None) -> List[CatalogEntry]:
+        """Latest element set per selected object, NORAD-ordered.
+
+        With ``as_of_jd``, each object's newest element set at or
+        before that instant; objects whose whole history is later than
+        T raise :class:`TleNotFound` (the operator had nothing to
+        propagate).
+        """
+        return [self.get_object(norad, as_of_jd=as_of_jd)
+                for norad in self._select_ids(selectors)]
+
+    def history(self, selectors: Union[str, Sequence[str]],
+                last: Optional[int] = None) -> List[CatalogEntry]:
+        """Every archived element set, epoch-ordered within each object.
+
+        ``last`` keeps only each object's newest ``last`` element sets
+        (still returned oldest-first, like ``space tle history``).
+        """
+        if last is not None and last < 1:
+            raise ValueError("last must be >= 1")
+        out: List[CatalogEntry] = []
+        for norad in self._select_ids(selectors):
+            rows = self._conn.execute(
+                "SELECT name, grp, line1, line2, epoch_jd FROM elset "
+                "WHERE norad_id=? ORDER BY epoch_jd ASC",
+                (norad,)).fetchall()
+            if last is not None:
+                rows = rows[-last:]
+            out.extend(self._entry(norad, row) for row in rows)
+        return out
+
+    def find(self, text: str) -> List[CatalogEntry]:
+        """Latest element set of every object whose name contains
+        ``text`` (case-insensitive), NORAD-ordered."""
+        pattern = "%" + text.strip().replace("%", r"\%") \
+                                    .replace("_", r"\_") + "%"
+        rows = self._conn.execute(
+            "SELECT DISTINCT norad_id FROM elset "
+            r"WHERE name LIKE ? ESCAPE '\' COLLATE NOCASE",
+            (pattern,)).fetchall()
+        return [self.get_object(r[0]) for r in sorted(rows)]
+
+    def groups(self) -> Dict[str, int]:
+        """Object count per (non-empty) ingest group."""
+        rows = self._conn.execute(
+            "SELECT grp, COUNT(DISTINCT norad_id) FROM elset "
+            "WHERE grp != '' GROUP BY grp ORDER BY grp").fetchall()
+        return {grp: count for grp, count in rows}
+
+    def stats(self) -> DbStats:
+        objects, element_sets, first, last = self._conn.execute(
+            "SELECT COUNT(DISTINCT norad_id), COUNT(*), "
+            "MIN(epoch_jd), MAX(epoch_jd) FROM elset").fetchone()
+        return DbStats(objects=objects, element_sets=element_sets,
+                       groups=self.groups(), first_epoch_jd=first,
+                       last_epoch_jd=last)
+
+    def __len__(self) -> int:
+        return int(self._conn.execute(
+            "SELECT COUNT(*) FROM elset").fetchone()[0])
+
+    # ------------------------------------------------------------------
+    def _object_ids(self) -> set:
+        return {r[0] for r in self._conn.execute(
+            "SELECT DISTINCT norad_id FROM elset")}
+
+    @staticmethod
+    def _entry(norad_id: int, row: tuple) -> CatalogEntry:
+        from ..orbits.tle import parse_tle
+        name, grp, line1, line2, _epoch_jd = row
+        tle = parse_tle(line1, line2, name=name, validate_checksum=False)
+        if tle.norad_id != norad_id:  # pragma: no cover - sanity
+            raise TleNotFound(
+                f"archived lines of object {norad_id} carry catalog "
+                f"number {tle.norad_id}")
+        return CatalogEntry(tle=tle, line1=line1, line2=line2,
+                            lineno=0, group=grp)

@@ -1,0 +1,121 @@
+"""Walker-shell mega-constellation synthesizer.
+
+Scales :func:`satiot.constellations.shells.generate_shell_tles` from
+the paper's ~39 Table-3 satellites to Starlink-class multi-shell fleets
+(thousands of objects), dumped as re-ingestable 3LE.  The output is the
+repo's stand-in for a live Celestrak catalog: the committed test
+fixture ``tests/fixtures/megaconst_5k.3le.gz`` is exactly
+``synthesize_mega_constellation(MEGACONST_5K, seed=FIXTURE_SEED)``
+written through :func:`~satiot.catalog.ingest.write_catalog` (pinned
+gzip mtime, so regeneration is byte-identical).
+
+Satellite names follow the ``<CONST>-<SHELL>-<NNNN>`` convention that
+:func:`~satiot.catalog.db.derive_group` inverts, so shell membership
+survives a dump → ingest round-trip as the database ``group`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..constellations.shells import ShellSpec, generate_shell_tles
+from ..orbits.tle import TLE
+
+__all__ = ["FIXTURE_SEED", "MEGACONST_5K", "MegaConstellationSpec",
+           "synthesize_mega_constellation"]
+
+#: Seed of the committed ``tests/fixtures/megaconst_5k.3le.gz`` fixture.
+FIXTURE_SEED = 2025
+
+
+@dataclass(frozen=True)
+class MegaConstellationSpec:
+    """A multi-shell constellation: stacked Walker shells, one epoch.
+
+    ``norad_base`` starts the contiguous catalog-number block; shells
+    occupy consecutive sub-blocks in declaration order.
+    """
+
+    name: str
+    shells: Tuple[ShellSpec, ...]
+    norad_base: int
+    epochyr: int = 25
+    epochdays: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.shells:
+            raise ValueError("a mega-constellation needs >= 1 shell")
+        if len({shell.name for shell in self.shells}) != len(self.shells):
+            raise ValueError("shell names must be unique")
+        if not 0 <= self.norad_base <= 99999 - self.total_count:
+            raise ValueError(
+                f"norad block [{self.norad_base}, "
+                f"{self.norad_base + self.total_count}) exceeds the "
+                f"5-digit catalog-number space")
+
+    @property
+    def total_count(self) -> int:
+        return sum(shell.count for shell in self.shells)
+
+    def shell_norad_base(self, shell_name: str) -> int:
+        """First catalog number of the named shell's sub-block."""
+        norad = self.norad_base
+        for shell in self.shells:
+            if shell.name == shell_name:
+                return norad
+            norad += shell.count
+        raise KeyError(f"no shell {shell_name!r} in {self.name}")
+
+
+#: A 5000-satellite, five-shell Starlink-style LEO mega-constellation:
+#: two dense mid-inclination shells, a polar-adjacent shell for high
+#: latitudes, a sun-synchronous shell and a low equatorial-ish shell.
+MEGACONST_5K = MegaConstellationSpec(
+    name="MEGA",
+    shells=(
+        ShellSpec("SHELL-A", count=1584, altitude_min_km=540.0,
+                  altitude_max_km=560.0, inclination_deg=53.0,
+                  planes=72),
+        ShellSpec("SHELL-B", count=1584, altitude_min_km=530.0,
+                  altitude_max_km=550.0, inclination_deg=53.2,
+                  planes=72, raan_offset_deg=2.5),
+        ShellSpec("SHELL-C", count=720, altitude_min_km=560.0,
+                  altitude_max_km=580.0, inclination_deg=70.0,
+                  planes=36),
+        ShellSpec("SHELL-D", count=520, altitude_min_km=604.0,
+                  altitude_max_km=626.0, inclination_deg=97.6,
+                  planes=20),
+        ShellSpec("SHELL-E", count=592, altitude_min_km=335.0,
+                  altitude_max_km=345.0, inclination_deg=42.0,
+                  planes=28),
+    ),
+    norad_base=70000,
+)
+assert MEGACONST_5K.total_count == 5000
+
+
+def synthesize_mega_constellation(spec: MegaConstellationSpec
+                                  = MEGACONST_5K,
+                                  seed: int = FIXTURE_SEED,
+                                  ) -> List[TLE]:
+    """Generate every element set of a multi-shell constellation.
+
+    Deterministic: the same ``(spec, seed)`` produces byte-identical
+    TLE lines (each shell's RNG is keyed by the seed and its norad
+    sub-block, exactly as in the Table-3 generator).  Names are
+    ``<spec.name>-<shell.name>-<NNNN>`` with a 1-based member number
+    zero-padded to the shell's width.
+    """
+    tles: List[TLE] = []
+    norad = spec.norad_base
+    for shell in spec.shells:
+        width = max(2, len(str(shell.count)))
+        shell_tles = generate_shell_tles(
+            shell, epochyr=spec.epochyr, epochdays=spec.epochdays,
+            norad_base=norad, seed=seed)
+        for idx, tle in enumerate(shell_tles):
+            tles.append(tle.with_name(
+                f"{spec.name}-{shell.name}-{idx + 1:0{width}d}"))
+        norad += shell.count
+    return tles

@@ -10,6 +10,11 @@ Subcommands mirror the library's workflows::
     python -m satiot coverage tianqi --hours 24
     python -m satiot dataset export archive/ --sites HK,SYD --days 1
     python -m satiot dataset info archive/     # manifest + per-site table
+    python -m satiot catalog synth fleet.3le.gz   # 5k-sat mega fleet
+    python -m satiot catalog insert cat.db fleet.3le.gz --group-from-name
+    python -m satiot catalog get cat.db group:MEGA-SHELL-D
+    python -m satiot catalog history cat.db 70001 --last 3
+    python -m satiot catalog stats cat.db
 """
 
 from __future__ import annotations
@@ -37,7 +42,6 @@ from .core.sites import SITES
 from .orbits.frames import GeodeticPoint
 from .orbits.groundtrack import CoverageGrid
 from .orbits.passes import PassPredictor
-from .orbits.tle import format_tle
 
 __all__ = ["main", "build_parser"]
 
@@ -123,13 +127,16 @@ def _install_faults(args: argparse.Namespace) -> None:
 
 # ----------------------------------------------------------------------
 def cmd_tle(args: argparse.Namespace) -> int:
+    from .catalog import format_catalog, write_catalog
     constellation = build_constellation(args.constellation,
                                         seed=args.seed)
-    for satellite in constellation:
-        line1, line2 = format_tle(satellite.tle)
-        print(satellite.name)
-        print(line1)
-        print(line2)
+    tles = [satellite.tle for satellite in constellation]
+    if args.out:
+        count = write_catalog(tles, args.out, fmt=args.format)
+        print(f"wrote {count} element sets ({args.format}) to {args.out}")
+        return 0
+    for line in format_catalog(tles, fmt=args.format):
+        print(line)
     return 0
 
 
@@ -303,6 +310,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serving import ServingConfig, ServingServer
+    from .serving.service import ConstellationService
     _install_faults(args)
     constellations = tuple(
         s.strip().lower() for s in args.constellations.split(",")
@@ -311,6 +319,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if name not in CONSTELLATION_SPECS:
             raise SystemExit(f"unknown constellation {name!r}; choose "
                              f"from {sorted(CONSTELLATION_SPECS)}")
+    extra = []
+    if args.catalog:
+        from .catalog import TleNotFound, constellation_from_catalog
+        from .orbits.tle import TLEError
+        try:
+            extra.append(constellation_from_catalog(
+                args.catalog, args.select or None,
+                name=args.catalog_name))
+        except (OSError, TleNotFound, TLEError, ValueError) as error:
+            raise SystemExit(
+                f"error: cannot load catalog {args.catalog!r}: {error}")
+    elif args.select:
+        raise SystemExit("--select requires --catalog")
+    if not constellations and not extra:
+        raise SystemExit("nothing to serve: give --constellations "
+                         "and/or --catalog")
     config = ServingConfig(
         host=args.host, port=args.port,
         constellations=constellations,
@@ -320,7 +344,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batching=not args.no_batching,
         cache_ttl_s=args.cache_ttl,
         coarse_step_s=args.step)
-    server = ServingServer(config)
+    service = ConstellationService(constellations=constellations,
+                                   coarse_step_s=config.coarse_step_s,
+                                   extra=extra)
+    server = ServingServer(config, service=service)
 
     async def run() -> None:
         await server.start()
@@ -363,6 +390,132 @@ def cmd_coverage(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _catalog_error(action: str, error: Exception) -> int:
+    """Uniform catalog-CLI failure: message on stderr, exit 2.
+
+    Selector misses, corrupt catalog files and bad arguments are
+    operator mistakes, not crashes — no traceback.
+    """
+    print(f"error: cannot {action}: {error}", file=sys.stderr)
+    return 2
+
+
+def _catalog_entry_rows(entries) -> list:
+    return [[e.norad_id, e.name, e.group or "-",
+             f"{e.epoch_jd:.6f}",
+             e.tle.inclination_deg, e.tle.mean_motion_rev_day]
+            for e in entries]
+
+
+_CATALOG_TABLE_HEADER = ["NORAD", "Name", "Group", "epoch (JD)",
+                         "incl (deg)", "n (rev/day)"]
+
+
+def cmd_catalog_insert(args: argparse.Namespace) -> int:
+    from .catalog import TleDb
+    from .orbits.tle import TLEError
+    try:
+        with TleDb(args.db) as db:
+            stats = db.insert_file(
+                args.file, group=args.group or "",
+                group_from_name=args.group_from_name,
+                validate_checksum=not args.no_validate_checksum)
+    except (OSError, TLEError, ValueError) as error:
+        return _catalog_error(f"ingest {args.file!r}", error)
+    print(f"{args.db}: {stats.inserted} element sets inserted "
+          f"({stats.duplicates} duplicates skipped, "
+          f"{stats.new_objects} new objects)")
+    return 0
+
+
+def cmd_catalog_get(args: argparse.Namespace) -> int:
+    from .catalog import TleNotFound, format_catalog, open_any_catalog
+    try:
+        with open_any_catalog(args.db) as db:
+            entries = db.get(args.selectors or None,
+                             as_of_jd=args.as_of)
+    except (OSError, TleNotFound, ValueError) as error:
+        return _catalog_error(f"select from {args.db!r}", error)
+    if args.format == "table":
+        print(format_table(_CATALOG_TABLE_HEADER,
+                           _catalog_entry_rows(entries), precision=4,
+                           title=f"{len(entries)} element set(s)"))
+        return 0
+    for line in format_catalog([e.tle for e in entries],
+                               fmt=args.format):
+        print(line)
+    return 0
+
+
+def cmd_catalog_history(args: argparse.Namespace) -> int:
+    from .catalog import TleNotFound, open_any_catalog
+    try:
+        with open_any_catalog(args.db) as db:
+            entries = db.history(args.selectors, last=args.last)
+    except (OSError, TleNotFound, ValueError) as error:
+        return _catalog_error(f"read history from {args.db!r}", error)
+    print(format_table(_CATALOG_TABLE_HEADER,
+                       _catalog_entry_rows(entries), precision=4,
+                       title=f"{len(entries)} element set(s), "
+                             f"epoch-ordered per object"))
+    return 0
+
+
+def cmd_catalog_find(args: argparse.Namespace) -> int:
+    from .catalog import open_any_catalog
+    try:
+        with open_any_catalog(args.db) as db:
+            entries = db.find(args.text)
+    except (OSError, ValueError) as error:
+        return _catalog_error(f"search {args.db!r}", error)
+    print(format_table(_CATALOG_TABLE_HEADER,
+                       _catalog_entry_rows(entries), precision=4,
+                       title=f"{len(entries)} match(es) for "
+                             f"{args.text!r}"))
+    return 0
+
+
+def cmd_catalog_stats(args: argparse.Namespace) -> int:
+    from .catalog import open_any_catalog
+    try:
+        with open_any_catalog(args.db) as db:
+            stats = db.stats()
+    except (OSError, ValueError) as error:
+        return _catalog_error(f"read {args.db!r}", error)
+    print(format_kv([
+        ("objects", stats.objects),
+        ("element sets", stats.element_sets),
+        ("groups", len(stats.groups)),
+        ("first epoch (JD)", stats.first_epoch_jd or float("nan")),
+        ("last epoch (JD)", stats.last_epoch_jd or float("nan")),
+        ("epoch span (days)", stats.epoch_span_days),
+    ], precision=6, title=f"Catalog {args.db}"))
+    if stats.groups:
+        print()
+        print(format_table(
+            ["Group", "objects"],
+            [[grp, count] for grp, count in sorted(stats.groups.items())],
+            precision=0))
+    return 0
+
+
+def cmd_catalog_synth(args: argparse.Namespace) -> int:
+    from .catalog import (MEGACONST_5K, TleDb,
+                          synthesize_mega_constellation, write_catalog)
+    tles = synthesize_mega_constellation(MEGACONST_5K, seed=args.seed)
+    if args.out.endswith(".db") or args.out.endswith(".sqlite"):
+        with TleDb(args.out) as db:
+            stats = db.insert(tles, group_from_name=True)
+        print(f"synthesized {MEGACONST_5K.name}: {stats.inserted} "
+              f"element sets into {args.out}")
+        return 0
+    count = write_catalog(tles, args.out, fmt=args.format)
+    print(f"synthesized {MEGACONST_5K.name}: {count} element sets "
+          f"({args.format}) to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="satiot",
@@ -374,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tle", help="print a constellation's element sets")
     p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))
+    p.add_argument("--format", choices=("3le", "2le"), default="3le",
+                   help="catalog serialization (3le = named triples, "
+                        "the default; 2le = bare line pairs)")
+    p.add_argument("--out", default=None,
+                   help="write to a catalog file instead of stdout "
+                        "(gzip'd iff *.gz); re-ingestable via "
+                        "'satiot catalog insert'")
     p.set_defaults(func=cmd_tle)
 
     p = sub.add_parser("passes", help="predict contact windows")
@@ -446,7 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8340,
                    help="TCP port (0 = ephemeral)")
     p.add_argument("--constellations", default="tianqi",
-                   help="comma-separated constellation names to load")
+                   help="comma-separated constellation names to load "
+                        "('' with --catalog to serve the catalog only)")
+    p.add_argument("--catalog", default=None, metavar="PATH",
+                   help="also serve a catalog selection (sqlite archive "
+                        "or TLE/3LE file) as one constellation")
+    p.add_argument("--select", action="append", default=None,
+                   metavar="SELECTOR",
+                   help="catalog selector (repeatable; default: whole "
+                        "catalog)")
+    p.add_argument("--catalog-name", default="catalog",
+                   help="name the catalog constellation is served under")
     p.add_argument("--batch-window-ms", type=float, default=2.0,
                    help="micro-batch coalescing window (ms)")
     p.add_argument("--max-batch", type=int, default=256,
@@ -463,6 +633,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_arg(p)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "catalog", help="element-set archive: ingest, query, history, "
+                        "mega-constellation synthesis")
+    catalog_sub = p.add_subparsers(dest="catalog_command", required=True)
+
+    p = catalog_sub.add_parser(
+        "insert", help="ingest a TLE/3LE catalog file (strict: "
+                       "checksums + structure validated)")
+    p.add_argument("db", help="sqlite archive (created on first use)")
+    p.add_argument("file", help="catalog file, gzip'd or plain")
+    p.add_argument("--group", default=None,
+                   help="tag every inserted element set with this group")
+    p.add_argument("--group-from-name", action="store_true",
+                   help="derive each group from the satellite name "
+                        "(strip the trailing -<digits> member suffix)")
+    p.add_argument("--no-validate-checksum", action="store_true",
+                   help="skip mod-10 line checksum verification")
+    p.set_defaults(func=cmd_catalog_insert)
+
+    p = catalog_sub.add_parser(
+        "get", help="latest element set per selected object")
+    p.add_argument("db", help="sqlite archive or TLE/3LE catalog file")
+    p.add_argument("selectors", nargs="*", metavar="SELECTOR",
+                   help="norad id, name, or norad:/name:/group: prefix "
+                        "(none = whole catalog)")
+    p.add_argument("--as-of", type=float, default=None, metavar="JD",
+                   help="newest element set at or before this Julian "
+                        "date, per object")
+    p.add_argument("--format", choices=("table", "3le", "2le"),
+                   default="table")
+    p.set_defaults(func=cmd_catalog_get)
+
+    p = catalog_sub.add_parser(
+        "history", help="every archived element set of the selected "
+                        "objects, epoch-ordered")
+    p.add_argument("db", help="sqlite archive or TLE/3LE catalog file")
+    p.add_argument("selectors", nargs="+", metavar="SELECTOR")
+    p.add_argument("--last", type=int, default=None,
+                   help="keep only each object's newest N element sets")
+    p.set_defaults(func=cmd_catalog_history)
+
+    p = catalog_sub.add_parser(
+        "find", help="substring search over satellite names")
+    p.add_argument("db", help="sqlite archive or TLE/3LE catalog file")
+    p.add_argument("text")
+    p.set_defaults(func=cmd_catalog_find)
+
+    p = catalog_sub.add_parser(
+        "stats", help="object/element-set/group counts and epoch span")
+    p.add_argument("db", help="sqlite archive or TLE/3LE catalog file")
+    p.set_defaults(func=cmd_catalog_stats)
+
+    p = catalog_sub.add_parser(
+        "synth", help="synthesize the 5000-satellite multi-shell mega-"
+                      "constellation (seeded; --seed 2025 reproduces "
+                      "the committed fixture byte-for-byte)")
+    p.add_argument("out", help="output: catalog file (gzip'd iff *.gz) "
+                               "or sqlite archive (*.db / *.sqlite)")
+    p.add_argument("--format", choices=("3le", "2le"), default="3le")
+    p.set_defaults(func=cmd_catalog_synth)
+
     p = sub.add_parser("coverage", help="global coverage grid")
     p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))
     p.add_argument("--hours", type=float, default=24.0)
@@ -477,7 +708,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `satiot catalog get … | head`):
+        # stop quietly like other Unix tools instead of dumping a
+        # traceback.  Detach stdout so interpreter shutdown does not
+        # trip over the dead descriptor while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the conventional exit status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,17 +55,37 @@ def _parse_exp_field(field: str) -> float:
 
 
 def _format_exp_field(value: float) -> str:
-    """Inverse of :func:`_parse_exp_field`, producing an 8-column field."""
+    """Inverse of :func:`_parse_exp_field`, producing an 8-column field.
+
+    The field holds a 5-digit mantissa and a single signed exponent
+    digit.  Normalized mantissas cover ``[1e-10, 1e9)``; below that the
+    mantissa is *denormalized* (leading zeros, exponent pinned at -9,
+    e.g. ``1e-11`` -> ``' 01000-9'``) down to the absolute floor of
+    ``5e-15``, under which the value underflows to the zero field.
+    Magnitudes at or above ``1e9`` cannot be written and raise
+    :class:`TLEError`.
+    """
     if value == 0.0:
         return " 00000+0"
     sign = "-" if value < 0 else " "
     mag = abs(value)
     exponent = int(math.floor(math.log10(mag))) + 1
+    if exponent < -9:
+        # Denormalized: parse accepts leading-zero mantissas (Celestrak
+        # emits them), so sub-1e-10 magnitudes keep their digits instead
+        # of collapsing to zero — format(parse(line)) stays a fixed
+        # point on such lines.
+        mantissa_digits = int(round(mag * 1e14))
+        if mantissa_digits == 0:
+            return " 00000+0"
+        return f"{sign}{mantissa_digits:05d}-9"
     mantissa = mag / 10.0 ** exponent
     mantissa_digits = int(round(mantissa * 1e5))
     if mantissa_digits >= 100000:  # rounding carried over, e.g. 0.999999
         mantissa_digits = 10000
         exponent += 1
+    if exponent > 9:
+        raise TLEError(f"magnitude too large for exponent field: {value!r}")
     exp_str = f"{exponent:+d}"
     return f"{sign}{mantissa_digits:05d}{exp_str}"
 
@@ -195,6 +215,8 @@ def parse_tle(line1: str, line2: str, name: str = "",
         raise TLEError(f"eccentricity out of range: {tle.eccentricity}")
     if tle.mean_motion_rev_day <= 0.0:
         raise TLEError("mean motion must be positive")
+    if not 0.0 < tle.epochdays < 367.0:
+        raise TLEError(f"epoch day-of-year out of range: {tle.epochdays}")
     return tle
 
 
@@ -202,22 +224,59 @@ def format_tle(tle: TLE) -> Tuple[str, str]:
     """Render a :class:`TLE` back to its two 69-column lines."""
     if not 0 <= tle.norad_id <= 99999:
         raise TLEError(f"catalog number out of range: {tle.norad_id}")
+    if not 0 <= tle.epochyr <= 99:
+        raise TLEError(f"two-digit epoch year out of range: {tle.epochyr}")
+    if not 0.0 < tle.epochdays < 367.0:
+        raise TLEError(f"epoch day-of-year out of range: {tle.epochdays}")
+    if len(tle.intl_designator) > 8:
+        raise TLEError(
+            f"international designator too long: {tle.intl_designator!r}")
+    if not 0 <= tle.element_set_no <= 9999:
+        raise TLEError(
+            f"element set number out of range: {tle.element_set_no}")
+    if not 0 <= tle.ephemeris_type <= 9:
+        raise TLEError(
+            f"ephemeris type out of range: {tle.ephemeris_type}")
+    if not 0 <= tle.rev_number <= 99999:
+        raise TLEError(f"rev number out of range: {tle.rev_number}")
     # First-derivative field is written ' .00001234' / '-.00001234':
     # a sign column followed by the fraction with its leading zero dropped.
-    sign = "-" if tle.ndot < 0 else " "
-    ndot_str = sign + f"{abs(tle.ndot):.8f}"[1:]
+    # The field has no integer digits, so |ndot| must round below 1; a
+    # magnitude that rounds to zero loses its sign (parsing the zero
+    # field yields +0.0, so writing '-' would break the parse → format
+    # fixed point the fingerprint cache relies on).
+    ndot_body = f"{abs(tle.ndot):.8f}"
+    if not ndot_body.startswith("0."):
+        raise TLEError(f"ndot out of representable range: {tle.ndot}")
+    sign = "-" if tle.ndot < 0 and float(ndot_body) != 0.0 else " "
+    ndot_str = sign + ndot_body[1:]
+
+    # Validate the *rounded* epoch day too: 366.999999999 is in range
+    # but renders as '367.00000000', which the parser rejects.
+    days_str = f"{tle.epochdays:012.8f}"
+    if not 0.0 < float(days_str) < 367.0:
+        raise TLEError(
+            f"epoch day-of-year rounds out of range: {tle.epochdays!r} "
+            f"-> {days_str}")
 
     line1 = (f"1 {tle.norad_id:05d}{tle.classification} "
              f"{tle.intl_designator:<8s} "
-             f"{tle.epochyr:02d}{tle.epochdays:012.8f} "
+             f"{tle.epochyr:02d}{days_str} "
              f"{ndot_str} "
              f"{_format_exp_field(tle.nddot)} "
              f"{_format_exp_field(tle.bstar)} "
-             f"{tle.ephemeris_type:d} "
+             f"{tle.ephemeris_type:1d} "
              f"{tle.element_set_no:4d}")
     line1 = f"{line1}{checksum(line1)}"
 
-    ecc_str = f"{tle.eccentricity:.7f}"[2:]
+    # The eccentricity field holds only the 7 fraction digits, so a
+    # value that *rounds* to 1.0 cannot be written (0.99999996 would
+    # silently come back as 0.0).
+    ecc_full = f"{tle.eccentricity:.7f}"
+    if not ecc_full.startswith("0."):
+        raise TLEError(
+            f"eccentricity rounds outside [0, 1): {tle.eccentricity!r}")
+    ecc_str = ecc_full[2:]
     line2 = (f"2 {tle.norad_id:05d} "
              f"{tle.inclination_deg:8.4f} "
              f"{tle.raan_deg:8.4f} "

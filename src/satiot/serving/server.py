@@ -299,7 +299,11 @@ class ServingServer:
         if request.method not in ("GET", "POST"):
             return 405, {"error": f"method {request.method} not allowed"}
         try:
-            query = request_type.from_params(request.params())
+            # Validate against the *loaded* constellation set (which may
+            # include catalog-built ones), so an unknown name is a clean
+            # 400 instead of a handler fault deep in the batcher.
+            query = request_type.from_params(
+                request.params(), known=self.service.constellation_names)
         except HTTPError as exc:
             return exc.status, {"error": exc.message}
         except ValueError as exc:

@@ -91,13 +91,20 @@ class _ObserverRequest:
                 "altitude_km": self.altitude_km}
 
     @staticmethod
-    def _base_kwargs(params: dict) -> dict:
+    def _base_kwargs(params: dict,
+                     known: Optional[Sequence[str]] = None) -> dict:
         constellation = str(params.get("constellation",
                                        DEFAULT_CONSTELLATION)).lower()
-        if constellation not in CONSTELLATION_SPECS:
+        # With ``known`` (the serving layer passes its loaded names,
+        # which may include catalog-built constellations), validate
+        # against what can actually be answered; without it, fall back
+        # to the built-in Table-3 specs.
+        valid = sorted(known) if known is not None \
+            else sorted(CONSTELLATION_SPECS)
+        if constellation not in valid:
             raise ValueError(
                 f"unknown constellation {constellation!r}; choose from "
-                f"{sorted(CONSTELLATION_SPECS)}")
+                f"{valid}")
         if "lat" not in params or "lon" not in params:
             raise ValueError("parameters 'lat' and 'lon' are required")
         kwargs = {
@@ -129,8 +136,10 @@ class PassesRequest(_ObserverRequest):
     max_passes: int = 0          # 0 = unlimited
 
     @classmethod
-    def from_params(cls, params: dict) -> "PassesRequest":
-        kwargs = cls._base_kwargs(params)
+    def from_params(cls, params: dict,
+                    known: Optional[Sequence[str]] = None,
+                    ) -> "PassesRequest":
+        kwargs = cls._base_kwargs(params, known=known)
         kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
         kwargs["min_elevation_deg"] = _get_float(
             params, "min_elevation_deg", 10.0)
@@ -162,8 +171,10 @@ class PresenceRequest(_ObserverRequest):
     min_elevation_deg: float = 10.0
 
     @classmethod
-    def from_params(cls, params: dict) -> "PresenceRequest":
-        kwargs = cls._base_kwargs(params)
+    def from_params(cls, params: dict,
+                    known: Optional[Sequence[str]] = None,
+                    ) -> "PresenceRequest":
+        kwargs = cls._base_kwargs(params, known=known)
         kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
         kwargs["min_elevation_deg"] = _get_float(
             params, "min_elevation_deg", 10.0)
@@ -195,8 +206,10 @@ class LinkBudgetRequest(_ObserverRequest):
     raining: bool = False
 
     @classmethod
-    def from_params(cls, params: dict) -> "LinkBudgetRequest":
-        kwargs = cls._base_kwargs(params)
+    def from_params(cls, params: dict,
+                    known: Optional[Sequence[str]] = None,
+                    ) -> "LinkBudgetRequest":
+        kwargs = cls._base_kwargs(params, known=known)
         kwargs["t_offset_s"] = _get_float(params, "t_offset_s", 0.0)
         kwargs["min_elevation_deg"] = _get_float(
             params, "min_elevation_deg", 0.0)
@@ -239,7 +252,8 @@ class ConstellationService:
                  refine: str = "interp",
                  refine_tol_s: float = 0.5,
                  epochyr: int = 24, epochdays: float = 245.0,
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 extra: Sequence[Constellation] = ()) -> None:
         if coarse_step_s <= 0:
             raise ValueError("coarse_step_s must be positive")
         self.coarse_step_s = float(coarse_step_s)
@@ -254,6 +268,20 @@ class ConstellationService:
             key = const.name.lower()
             self._constellations[key] = const
             self._epochs[key] = const.satellites[0].tle.epoch
+        # Pre-built constellations (e.g. catalog selections via
+        # satiot.catalog.constellation_from_catalog) served alongside
+        # the named Table-3 builds.  Their reference instant is the
+        # newest member epoch — catalog element sets need not share one.
+        for const in extra:
+            key = const.name.lower()
+            if key in self._constellations:
+                raise ValueError(
+                    f"constellation name {const.name!r} already loaded")
+            self._constellations[key] = const
+            self._epochs[key] = Epoch(
+                max(sat.tle.epoch.jd for sat in const.satellites))
+        if not self._constellations:
+            raise ValueError("no constellations loaded")
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,165 @@
+"""TleDb: selectors, epoch history, as-of-T queries, byte round-trips."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from satiot.catalog import (TleDb, TleNotFound, derive_group,
+                            parse_selector)
+from satiot.orbits.tle import format_tle
+
+from tests.conftest import make_test_tle
+
+
+def _member(norad_id, name, epochdays=250.5, **kw):
+    tle = make_test_tle(norad_id=norad_id, **kw)
+    return dataclasses.replace(tle, name=name, epochdays=epochdays)
+
+
+@pytest.fixture()
+def db():
+    """Two groups of two objects; 44001 carries a 3-epoch history."""
+    store = TleDb()
+    store.insert([
+        _member(44001, "ALPHA-01", epochdays=100.0),
+        _member(44001, "ALPHA-01", epochdays=150.0),
+        _member(44001, "ALPHA-01", epochdays=125.0),
+        _member(44002, "ALPHA-02", epochdays=150.0),
+        _member(45001, "BETA-01", epochdays=150.0),
+        _member(45002, "BETA-02", epochdays=150.0),
+    ], group_from_name=True)
+    return store
+
+
+class TestSelectors:
+    @pytest.mark.parametrize("text,expected", [
+        ("44100", ("norad", "44100")),
+        ("norad:44100", ("norad", "44100")),
+        ("name:ALPHA-01", ("name", "ALPHA-01")),
+        ("group:ALPHA", ("group", "ALPHA")),
+        ("ALPHA-01", ("name", "ALPHA-01")),
+    ])
+    def test_parse_selector(self, text, expected):
+        assert parse_selector(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "  ", "norad:", "norad:abc",
+                                     "group:  "])
+    def test_bad_selectors_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_selector(bad)
+
+    def test_derive_group(self):
+        assert derive_group("MEGA-SHELL-A-0042") == "MEGA-SHELL-A"
+        assert derive_group("Tianqi-TQ-A-07") == "Tianqi-TQ-A"
+        assert derive_group("NOSUFFIX") == "NOSUFFIX"
+        assert derive_group("  padded-3  ") == "padded"
+
+
+class TestInsert:
+    def test_insert_stats_and_idempotency(self, db):
+        assert len(db) == 6
+        again = db.insert([_member(44001, "ALPHA-01",
+                                   epochdays=100.0)])
+        assert (again.inserted, again.duplicates,
+                again.new_objects) == (0, 1, 0)
+        fresh = db.insert([_member(46001, "GAMMA-01")])
+        assert (fresh.inserted, fresh.new_objects) == (1, 1)
+
+    def test_explicit_group_tag(self):
+        store = TleDb()
+        store.insert([_member(44001, "X-1")], group="custom")
+        assert store.groups() == {"custom": 1}
+
+    def test_verbatim_line_round_trip(self, db):
+        """Archived bytes come back exactly — fingerprint stability."""
+        entry = db.get_object(44002)
+        assert (entry.line1, entry.line2) == \
+            format_tle(_member(44002, "ALPHA-02", epochdays=150.0))
+
+
+class TestGet:
+    def test_get_latest_per_object(self, db):
+        entries = db.get()
+        assert [e.norad_id for e in entries] == [44001, 44002, 45001,
+                                                 45002]
+        assert entries[0].tle.epochdays == 150.0  # newest of three
+
+    def test_get_by_group_and_name(self, db):
+        assert [e.norad_id for e in db.get("group:ALPHA")] == \
+            [44001, 44002]
+        assert [e.norad_id for e in db.get("name:beta-01")] == [45001]
+
+    def test_get_many_selectors_deduplicated(self, db):
+        entries = db.get(["group:ALPHA", "44001", "name:ALPHA-02"])
+        assert [e.norad_id for e in entries] == [44001, 44002]
+
+    def test_missing_selector_raises(self, db):
+        with pytest.raises(TleNotFound, match="99999"):
+            db.get("99999")
+
+    def test_group_column_survives(self, db):
+        assert {e.group for e in db.get("group:BETA")} == {"BETA"}
+
+
+class TestAsOf:
+    def _jd(self, epochdays):
+        return _member(44001, "X", epochdays=epochdays).epoch.jd
+
+    def test_as_of_picks_newest_at_or_before(self, db):
+        entry = db.get_object(44001, as_of_jd=self._jd(130.0))
+        assert entry.tle.epochdays == 125.0
+        exact = db.get_object(44001, as_of_jd=self._jd(125.0))
+        assert exact.tle.epochdays == 125.0
+
+    def test_as_of_before_history_raises(self, db):
+        with pytest.raises(TleNotFound, match="epoch <="):
+            db.get_object(44001, as_of_jd=self._jd(50.0))
+
+    def test_get_batch_as_of(self, db):
+        entries = db.get("group:ALPHA", as_of_jd=self._jd(200.0))
+        assert [e.tle.epochdays for e in entries] == [150.0, 150.0]
+
+
+class TestHistoryFindStats:
+    def test_history_is_epoch_ordered(self, db):
+        epochs = [e.tle.epochdays for e in db.history("44001")]
+        assert epochs == [100.0, 125.0, 150.0]
+
+    def test_history_last_keeps_newest(self, db):
+        epochs = [e.tle.epochdays for e in db.history("44001", last=2)]
+        assert epochs == [125.0, 150.0]
+        with pytest.raises(ValueError):
+            db.history("44001", last=0)
+
+    def test_history_multiple_objects(self, db):
+        entries = db.history(["group:ALPHA"])
+        assert [e.norad_id for e in entries] == [44001, 44001, 44001,
+                                                 44002]
+
+    def test_find_substring_case_insensitive(self, db):
+        assert [e.norad_id for e in db.find("alpha")] == [44001, 44002]
+        assert [e.norad_id for e in db.find("-01")] == [44001, 45001]
+        assert db.find("nothing") == []
+
+    def test_stats(self, db):
+        stats = db.stats()
+        assert (stats.objects, stats.element_sets) == (4, 6)
+        assert stats.groups == {"ALPHA": 2, "BETA": 2}
+        assert stats.epoch_span_days == pytest.approx(50.0)
+
+    def test_empty_db_stats(self):
+        stats = TleDb().stats()
+        assert (stats.objects, stats.element_sets) == (0, 0)
+        assert stats.epoch_span_days == 0.0
+
+
+class TestPersistence:
+    def test_disk_round_trip(self, tmp_path, db):
+        path = tmp_path / "cat.db"
+        with TleDb(path) as store:
+            store.insert([e for e in db.get()], group_from_name=True)
+        with TleDb(path) as store:
+            assert len(store) == 4
+            assert store.get_object(44001).name == "ALPHA-01"

@@ -1,0 +1,125 @@
+"""Strict catalog ingest: structure errors, round-trips, the fixture."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from satiot.catalog import (CatalogFormatError, format_catalog,
+                            iter_catalog, load_tles, read_catalog,
+                            write_catalog)
+from satiot.orbits.tle import checksum, format_tle
+
+from tests.conftest import make_test_tle
+
+from .util import FIXTURE_PATH
+
+
+def _two_sats():
+    return [make_test_tle(norad_id=44001, raan_deg=10.0),
+            make_test_tle(norad_id=44002, raan_deg=70.0)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", ["3le", "2le"])
+    def test_write_read_round_trip(self, tmp_path, fmt):
+        tles = _two_sats()
+        path = tmp_path / f"cat.{fmt}"
+        assert write_catalog(tles, path, fmt=fmt) == 2
+        entries = read_catalog(path)
+        assert [e.norad_id for e in entries] == [44001, 44002]
+        for tle, entry in zip(tles, entries):
+            assert (entry.line1, entry.line2) == format_tle(tle)
+        if fmt == "3le":
+            assert [e.name for e in entries] == ["TEST-SAT", "TEST-SAT"]
+        else:
+            assert all(e.name == "" for e in entries)
+
+    def test_gzip_round_trip_is_deterministic(self, tmp_path):
+        tles = _two_sats()
+        a, b = tmp_path / "a.3le.gz", tmp_path / "b.3le.gz"
+        write_catalog(tles, a)
+        write_catalog(tles, b)
+        assert a.read_bytes() == b.read_bytes()  # pinned gzip mtime
+        assert [t.norad_id for t in load_tles(a)] == [44001, 44002]
+
+    def test_mixed_2le_3le_content(self):
+        line1, line2 = format_tle(make_test_tle(norad_id=44001))
+        named1, named2 = format_tle(make_test_tle(norad_id=44002))
+        text = [line1, line2, "", "NAMED-SAT", named1, named2]
+        entries = list(iter_catalog(text))
+        assert [e.name for e in entries] == ["", "NAMED-SAT"]
+        assert entries[1].lineno == 5
+
+    def test_blank_lines_between_records_ok(self):
+        line1, line2 = format_tle(make_test_tle())
+        entries = list(iter_catalog(["", "SAT", line1, line2, "", ""]))
+        assert len(entries) == 1
+
+
+class TestStrictness:
+    def _lines(self):
+        return format_tle(make_test_tle())
+
+    def test_orphan_line2(self):
+        _, line2 = self._lines()
+        with pytest.raises(CatalogFormatError, match="1: orphan line 2"):
+            list(iter_catalog([line2]))
+
+    def test_blank_inside_pair(self):
+        line1, line2 = self._lines()
+        with pytest.raises(CatalogFormatError,
+                           match="blank line splits"):
+            list(iter_catalog([line1, "", line2]))
+
+    def test_consecutive_name_lines(self):
+        with pytest.raises(CatalogFormatError,
+                           match="consecutive name lines"):
+            list(iter_catalog(["SAT-A", "SAT-B"]))
+
+    def test_dangling_line1(self):
+        line1, _ = self._lines()
+        with pytest.raises(CatalogFormatError, match="dangling line 1"):
+            list(iter_catalog(["SAT", line1]))
+
+    def test_dangling_name(self):
+        line1, line2 = self._lines()
+        with pytest.raises(CatalogFormatError, match="dangling name"):
+            list(iter_catalog([line1, line2, "SAT"]))
+
+    def test_checksum_error_carries_line_number(self):
+        line1, line2 = self._lines()
+        bad = line1[:68] + str((int(line1[68]) + 1) % 10)
+        with pytest.raises(CatalogFormatError, match="f.3le:3"):
+            list(iter_catalog(["", "SAT", bad, line2], source="f.3le"))
+
+    def test_checksum_validation_can_be_skipped(self):
+        line1, line2 = self._lines()
+        bad = line1[:68] + str((int(line1[68]) + 1) % 10)
+        entries = list(iter_catalog([bad, line2],
+                                    validate_checksum=False))
+        assert entries[0].norad_id == 44001
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown catalog format"):
+            format_catalog([make_test_tle()], fmt="csv")
+
+
+class TestFixture:
+    def test_fixture_loads_5000_checksummed_element_sets(self):
+        entries = read_catalog(FIXTURE_PATH)
+        assert len(entries) == 5000
+        assert len({e.norad_id for e in entries}) == 5000
+        for entry in entries[::500]:
+            assert int(entry.line1[68]) == checksum(entry.line1)
+            assert int(entry.line2[68]) == checksum(entry.line2)
+
+    def test_fixture_is_gzip_with_pinned_mtime(self):
+        with open(FIXTURE_PATH, "rb") as fh:
+            header = fh.read(10)
+        assert header[:2] == b"\x1f\x8b"
+        assert header[4:8] == b"\x00\x00\x00\x00"  # mtime = 0
+        with gzip.open(FIXTURE_PATH, "rt", encoding="ascii") as fh:
+            first = fh.readline().strip()
+        assert first == "MEGA-SHELL-A-0001"

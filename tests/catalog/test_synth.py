@@ -1,0 +1,140 @@
+"""Mega-constellation synthesis: determinism, structure, the fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from satiot.catalog import (FIXTURE_SEED, MEGACONST_5K,
+                            MegaConstellationSpec, read_catalog,
+                            synthesize_mega_constellation,
+                            write_catalog)
+from satiot.constellations.shells import ShellSpec
+from satiot.orbits.tle import format_tle
+
+from .util import FIXTURE_PATH
+
+SMALL = MegaConstellationSpec(
+    name="MINI",
+    shells=(ShellSpec("S1", count=12, altitude_min_km=500.0,
+                      altitude_max_km=520.0, inclination_deg=53.0,
+                      planes=4),
+            ShellSpec("S2", count=6, altitude_min_km=600.0,
+                      altitude_max_km=610.0, inclination_deg=97.5,
+                      planes=3, raan_offset_deg=5.0)),
+    norad_base=60000)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_lines(self):
+        a = synthesize_mega_constellation(SMALL, seed=7)
+        b = synthesize_mega_constellation(SMALL, seed=7)
+        assert [format_tle(t) for t in a] == [format_tle(t) for t in b]
+        assert [t.name for t in a] == [t.name for t in b]
+
+    def test_different_seed_differs(self):
+        a = synthesize_mega_constellation(SMALL, seed=7)
+        b = synthesize_mega_constellation(SMALL, seed=8)
+        assert [format_tle(t) for t in a] != [format_tle(t) for t in b]
+
+    def test_shells_are_seed_independent_of_each_other(self):
+        """Each shell's RNG is keyed by its norad block, so S2 alone
+        reproduces the S2 members of the full synthesis."""
+        full = synthesize_mega_constellation(SMALL, seed=7)
+        solo = MegaConstellationSpec(name="MINI",
+                                     shells=(SMALL.shells[1],),
+                                     norad_base=60012)
+        alone = synthesize_mega_constellation(solo, seed=7)
+        assert [format_tle(t) for t in full[12:]] == \
+            [format_tle(t) for t in alone]
+
+
+class TestStructure:
+    def test_counts_and_norad_blocks_match_spec(self):
+        tles = synthesize_mega_constellation(SMALL, seed=7)
+        assert len(tles) == SMALL.total_count == 18
+        assert [t.norad_id for t in tles] == \
+            list(range(60000, 60018))
+        assert SMALL.shell_norad_base("S2") == 60012
+
+    def test_names_encode_shell_membership(self):
+        tles = synthesize_mega_constellation(SMALL, seed=7)
+        assert tles[0].name == "MINI-S1-01"
+        assert tles[11].name == "MINI-S1-12"
+        assert tles[12].name == "MINI-S2-01"
+
+    def test_plane_and_phasing_structure(self):
+        """RAANs sit near the nominal Walker plane centers and mean
+        anomalies near the in-plane phasing slots (within the
+        generator's jitter bounds)."""
+        tles = synthesize_mega_constellation(SMALL, seed=7)
+        for shell, base in ((SMALL.shells[0], 0),
+                            (SMALL.shells[1], 12)):
+            planes = shell.plane_count()
+            per_plane = -(-shell.count // planes)
+            for idx in range(shell.count):
+                tle = tles[base + idx]
+                plane, slot = divmod(idx, per_plane)
+                nominal_raan = (shell.raan_offset_deg
+                                + 360.0 * plane / planes) % 360.0
+                delta = abs((tle.raan_deg - nominal_raan + 180.0)
+                            % 360.0 - 180.0)
+                assert delta <= 8.0 + 1e-9, \
+                    f"{tle.name}: raan {delta:.1f} deg off plane"
+                nominal_ma = (360.0 * slot / per_plane
+                              + 360.0 * plane / (planes * per_plane))
+                delta_ma = abs((tle.mean_anomaly_deg - nominal_ma
+                                + 180.0) % 360.0 - 180.0)
+                assert delta_ma <= 15.0 + 1e-9, \
+                    f"{tle.name}: phasing {delta_ma:.1f} deg off slot"
+
+    def test_epoch_is_shared(self):
+        tles = synthesize_mega_constellation(SMALL, seed=7)
+        assert {(t.epochyr, t.epochdays) for t in tles} == \
+            {(SMALL.epochyr, SMALL.epochdays)}
+
+
+class TestSpecValidation:
+    def test_needs_shells(self):
+        with pytest.raises(ValueError, match=">= 1 shell"):
+            MegaConstellationSpec(name="X", shells=(), norad_base=1)
+
+    def test_unique_shell_names(self):
+        shell = SMALL.shells[0]
+        with pytest.raises(ValueError, match="unique"):
+            MegaConstellationSpec(name="X", shells=(shell, shell),
+                                  norad_base=1)
+
+    def test_norad_block_must_fit(self):
+        with pytest.raises(ValueError, match="catalog-number space"):
+            MegaConstellationSpec(name="X", shells=SMALL.shells,
+                                  norad_base=99990)
+
+    def test_unknown_shell_lookup(self):
+        with pytest.raises(KeyError):
+            SMALL.shell_norad_base("NOPE")
+
+
+class TestFixture5K:
+    def test_megaconst_5k_shape(self):
+        assert MEGACONST_5K.total_count == 5000
+        assert len(MEGACONST_5K.shells) == 5
+        assert MEGACONST_5K.shell_norad_base("SHELL-E") == \
+            70000 + 1584 + 1584 + 720 + 520
+
+    def test_committed_fixture_regenerates_byte_identically(self,
+                                                            tmp_path):
+        tles = synthesize_mega_constellation(MEGACONST_5K,
+                                             seed=FIXTURE_SEED)
+        regenerated = tmp_path / "regen.3le.gz"
+        assert write_catalog(tles, regenerated) == 5000
+        assert regenerated.read_bytes() == FIXTURE_PATH.read_bytes()
+
+    def test_fixture_round_trips_through_ingest(self):
+        entries = read_catalog(FIXTURE_PATH)
+        tles = synthesize_mega_constellation(MEGACONST_5K,
+                                             seed=FIXTURE_SEED)
+        sample = range(0, 5000, 500)
+        for i in sample:
+            assert (entries[i].line1, entries[i].line2) == \
+                format_tle(tles[i])
+            assert entries[i].name == tles[i].name

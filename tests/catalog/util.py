@@ -1,0 +1,8 @@
+"""Shared helpers for the catalog test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+FIXTURE_PATH = (Path(__file__).parent.parent / "fixtures"
+                / "megaconst_5k.3le.gz")

@@ -1,0 +1,203 @@
+"""Hypothesis round-trip properties of the TLE codec.
+
+The catalog layer archives element sets as verbatim lines and
+fingerprints them through ``format_tle`` (see
+:func:`satiot.runtime.ephemeris_cache.tle_fingerprint`), so the codec
+must be a *fixed point*: ``format(parse(format(t)))`` has to reproduce
+the exact same 69-column lines.  These properties sweep the whole
+representable field space — signed ``bstar``/``nddot`` exponent
+fields, the 1957/2056 two-digit epoch-year pivot, checksum columns —
+and pin the asymmetries that were found and fixed along the way
+(negative-zero ``ndot``, eccentricities and epoch days that round out
+of their column's range).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.orbits.tle import (TLE, TLEError, checksum, format_tle,
+                               parse_tle)
+
+pytestmark = pytest.mark.property
+
+_INTL_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def _exp_fields() -> st.SearchStrategy:
+    """Values exactly representable in the 5-digit signed-exponent
+    notation: ``sign * 0.MMMMM * 10**e`` with a single exponent digit."""
+    representable = st.builds(
+        lambda sign, mantissa, exponent: sign * (mantissa / 1e5)
+        * 10.0 ** exponent,
+        st.sampled_from((-1.0, 1.0)),
+        st.integers(min_value=1, max_value=99999),
+        st.integers(min_value=-9, max_value=8))
+    return st.just(0.0) | representable
+
+
+def tle_strategy() -> st.SearchStrategy:
+    return st.builds(
+        TLE,
+        name=st.just("PROP-SAT"),
+        norad_id=st.integers(min_value=1, max_value=99999),
+        classification=st.sampled_from("UCS"),
+        intl_designator=st.text(alphabet=_INTL_ALPHABET, min_size=0,
+                                max_size=8),
+        epochyr=st.integers(min_value=0, max_value=99),
+        epochdays=st.floats(min_value=0.5, max_value=366.4)
+        .map(lambda d: round(d, 8)),
+        ndot=st.floats(min_value=-0.5, max_value=0.5,
+                       allow_nan=False).map(lambda x: round(x, 8)),
+        nddot=_exp_fields(),
+        bstar=_exp_fields(),
+        ephemeris_type=st.integers(min_value=0, max_value=9),
+        element_set_no=st.integers(min_value=0, max_value=9999),
+        inclination_deg=st.floats(min_value=0.0, max_value=180.0)
+        .map(lambda x: round(x, 4)),
+        raan_deg=st.floats(min_value=0.0, max_value=359.9999)
+        .map(lambda x: round(x, 4)),
+        eccentricity=st.floats(min_value=0.0, max_value=0.9999999)
+        .map(lambda x: round(x, 7)),
+        argp_deg=st.floats(min_value=0.0, max_value=359.9999)
+        .map(lambda x: round(x, 4)),
+        mean_anomaly_deg=st.floats(min_value=0.0, max_value=359.9999)
+        .map(lambda x: round(x, 4)),
+        mean_motion_rev_day=st.floats(min_value=0.01, max_value=17.0)
+        .map(lambda x: round(x, 8)),
+        rev_number=st.integers(min_value=0, max_value=99999),
+    )
+
+
+class TestLineFixedPoint:
+    @given(tle_strategy())
+    @settings(max_examples=300, deadline=None)
+    def test_format_parse_format_is_identity_on_lines(self, tle):
+        """The codec's canonical form is a fixed point — the property
+        ``tle_fingerprint`` and the catalog's byte-exact storage rest
+        on."""
+        line1, line2 = format_tle(tle)
+        assert len(line1) == 69 and len(line2) == 69
+        parsed = parse_tle(line1, line2, name=tle.name)
+        assert format_tle(parsed) == (line1, line2)
+
+    @given(tle_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_checksums_valid_and_load_bearing(self, tle):
+        line1, line2 = format_tle(tle)
+        assert int(line1[68]) == checksum(line1)
+        assert int(line2[68]) == checksum(line2)
+        # Any digit flip in the body must be caught by the checksum.
+        body = line1[:68]
+        digit_cols = [i for i, ch in enumerate(body) if ch.isdigit()]
+        col = digit_cols[len(digit_cols) // 2]
+        flipped = (body[:col]
+                   + str((int(body[col]) + 1) % 10) + body[col + 1:]
+                   + line1[68])
+        with pytest.raises(TLEError, match="checksum"):
+            parse_tle(flipped, line2)
+
+
+class TestFieldRoundTrip:
+    @given(tle_strategy())
+    @settings(max_examples=300, deadline=None)
+    def test_fields_survive_at_column_precision(self, tle):
+        line1, line2 = format_tle(tle)
+        parsed = parse_tle(line1, line2)
+        assert parsed.norad_id == tle.norad_id
+        assert parsed.classification == tle.classification
+        assert parsed.intl_designator == tle.intl_designator
+        assert parsed.epochyr == tle.epochyr
+        assert parsed.ephemeris_type == tle.ephemeris_type
+        assert parsed.element_set_no == tle.element_set_no
+        assert parsed.rev_number == tle.rev_number
+        assert parsed.epochdays == pytest.approx(tle.epochdays,
+                                                 abs=5e-9)
+        assert parsed.ndot == pytest.approx(tle.ndot, abs=5e-9)
+        assert parsed.inclination_deg == pytest.approx(
+            tle.inclination_deg, abs=5e-5)
+        assert parsed.raan_deg == pytest.approx(tle.raan_deg, abs=5e-5)
+        assert parsed.argp_deg == pytest.approx(tle.argp_deg, abs=5e-5)
+        assert parsed.mean_anomaly_deg == pytest.approx(
+            tle.mean_anomaly_deg, abs=5e-5)
+        assert parsed.eccentricity == pytest.approx(tle.eccentricity,
+                                                    abs=5e-8)
+        assert parsed.mean_motion_rev_day == pytest.approx(
+            tle.mean_motion_rev_day, abs=5e-9)
+
+    @given(_exp_fields())
+    @settings(max_examples=300, deadline=None)
+    def test_signed_exponent_fields_roundtrip(self, value):
+        """``bstar``/``nddot`` columns: sign, 5-digit mantissa and the
+        signed single-digit exponent all survive."""
+        tle = _base_tle(bstar=value, nddot=value)
+        parsed = parse_tle(*format_tle(tle))
+        assert parsed.bstar == pytest.approx(value, rel=1e-9,
+                                             abs=1e-14)
+        assert parsed.nddot == pytest.approx(value, rel=1e-9,
+                                             abs=1e-14)
+
+
+class TestEpochPivot:
+    @given(st.integers(min_value=0, max_value=99))
+    @settings(max_examples=100, deadline=None)
+    def test_two_digit_year_pivot(self, epochyr):
+        """Years 57..99 are 1957..1999; years 00..56 are 2000..2056
+        (the classic TLE pivot — 1957 is Sputnik's launch year)."""
+        tle = _base_tle(epochyr=epochyr, epochdays=100.0)
+        parsed = parse_tle(*format_tle(tle))
+        year = parsed.epoch.calendar()[0]
+        expected = epochyr + 1900 if epochyr >= 57 else epochyr + 2000
+        assert year == expected
+        assert parsed.epochyr == epochyr
+
+    def test_pivot_boundaries(self):
+        assert _epoch_year(_base_tle(epochyr=57)) == 1957
+        assert _epoch_year(_base_tle(epochyr=56)) == 2056
+        assert _epoch_year(_base_tle(epochyr=99)) == 1999
+        assert _epoch_year(_base_tle(epochyr=0)) == 2000
+
+
+class TestFoundAsymmetries:
+    """Regression pins for the asymmetries the sweep uncovered."""
+
+    def test_negative_zero_ndot_is_canonical_positive(self):
+        # -1e-12 rounds to the zero field; writing '-' would make
+        # parse (-> +0.0) -> format flip the sign column.
+        for ndot in (-0.0, -1e-12, -4.9e-9):
+            line1, _ = format_tle(_base_tle(ndot=ndot))
+            assert line1[33] == " "
+            parsed = parse_tle(*format_tle(_base_tle(ndot=ndot)))
+            assert format_tle(parsed)[0] == line1
+
+    def test_eccentricity_rounding_to_one_rejected(self):
+        with pytest.raises(TLEError, match="eccentricity"):
+            format_tle(_base_tle(eccentricity=0.99999996))
+
+    def test_epochdays_rounding_out_of_range_rejected(self):
+        with pytest.raises(TLEError, match="epoch day"):
+            format_tle(_base_tle(epochdays=366.999999999))
+        with pytest.raises(TLEError, match="epoch day"):
+            format_tle(_base_tle(epochdays=1e-9))
+
+    def test_ndot_rounding_to_one_rejected(self):
+        with pytest.raises(TLEError, match="ndot"):
+            format_tle(_base_tle(ndot=0.9999999999))
+
+
+def _base_tle(**overrides) -> TLE:
+    fields = dict(
+        name="PIN-SAT", norad_id=70001, classification="U",
+        intl_designator="25001A", epochyr=25, epochdays=100.0,
+        ndot=0.0, nddot=0.0, bstar=2.0e-5, ephemeris_type=0,
+        element_set_no=999, inclination_deg=53.0, raan_deg=120.0,
+        eccentricity=0.0008, argp_deg=30.0, mean_anomaly_deg=10.0,
+        mean_motion_rev_day=15.05, rev_number=1)
+    fields.update(overrides)
+    return TLE(**fields)
+
+
+def _epoch_year(tle: TLE) -> int:
+    return tle.epoch.calendar()[0]

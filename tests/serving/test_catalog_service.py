@@ -1,0 +1,90 @@
+"""Serving over catalog-built constellations (`extra=` + `known=`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from satiot.catalog import TleDb, constellation_from_catalog
+from satiot.catalog.synth import MegaConstellationSpec
+from satiot.catalog.synth import synthesize_mega_constellation
+from satiot.constellations.shells import ShellSpec
+from satiot.serving.service import (ConstellationService, PassesRequest,
+                                    PresenceRequest)
+
+HK = {"lat": 22.3, "lon": 114.2}
+
+SPEC = MegaConstellationSpec(
+    name="MINI",
+    shells=(ShellSpec("S1", count=6, altitude_min_km=540.0,
+                      altitude_max_km=560.0, inclination_deg=53.0,
+                      planes=3),),
+    norad_base=63000)
+
+
+@pytest.fixture(scope="module")
+def service():
+    db = TleDb()
+    db.insert(synthesize_mega_constellation(SPEC, seed=9),
+              group_from_name=True)
+    const = constellation_from_catalog(db, name="minicat")
+    return ConstellationService(constellations=("tianqi",),
+                                coarse_step_s=60.0, extra=[const])
+
+
+class TestExtraConstellations:
+    def test_loaded_alongside_named(self, service):
+        assert service.constellation_names == ["minicat", "tianqi"]
+        assert len(service.constellation("minicat")) == 6
+
+    def test_epoch_is_newest_member_epoch(self, service):
+        const = service.constellation("minicat")
+        assert service.epoch("minicat").jd == \
+            max(s.tle.epoch.jd for s in const.satellites)
+
+    def test_passes_and_presence_answer(self, service):
+        request = PassesRequest.from_params(
+            {**HK, "constellation": "minicat", "horizon_s": 21600,
+             "min_elevation_deg": 10.0},
+            known=service.constellation_names)
+        payload = service.passes_batch([request])[0]
+        assert payload["constellation"] == "minicat"
+        assert payload["count"] == len(payload["passes"])
+        presence = service.presence_batch([PresenceRequest.from_params(
+            {**HK, "constellation": "minicat", "horizon_s": 21600},
+            known=service.constellation_names)])[0]
+        assert 0.0 <= presence["coverage_fraction"] <= 1.0
+
+    def test_duplicate_name_rejected(self, service):
+        const = _renamed(service.constellation("minicat"), "tianqi")
+        with pytest.raises(ValueError, match="already loaded"):
+            ConstellationService(constellations=("tianqi",),
+                                 extra=[const])
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(ValueError, match="no constellations"):
+            ConstellationService(constellations=(), extra=())
+
+
+def _renamed(const, name):
+    import dataclasses
+    spec = dataclasses.replace(const.spec, name=name)
+    return dataclasses.replace(const, spec=spec)
+
+
+class TestKnownValidation:
+    def test_known_overrides_builtin_specs(self, service):
+        request = PassesRequest.from_params(
+            {**HK, "constellation": "minicat"},
+            known=service.constellation_names)
+        assert request.constellation == "minicat"
+
+    def test_unknown_name_rejected_with_loaded_list(self, service):
+        with pytest.raises(ValueError, match="minicat"):
+            PassesRequest.from_params(
+                {**HK, "constellation": "argos"},
+                known=service.constellation_names)
+
+    def test_default_still_validates_against_specs(self):
+        with pytest.raises(ValueError, match="unknown constellation"):
+            PassesRequest.from_params({**HK,
+                                       "constellation": "minicat"})
