@@ -4,60 +4,33 @@ Beacons gate every uplink in the DtS protocol, so their cadence is a key
 operator design choice: denser beacons give nodes more transmit
 opportunities (shorter waits) at the cost of satellite downlink airtime.
 This ablation reruns the passive reception pipeline at several periods.
+
+Driven by the committed spec ``scenarios/ablation_beacon_period.json``
+(kind ``reception``, sweeping
+``constellation.overrides.beacon_period_s``).
 """
 
-import numpy as np
-
-from dataclasses import replace
-
-from satiot.constellations.catalog import CONSTELLATION_SPECS, \
-    build_constellation
 from satiot.core.report import format_table
-from satiot.groundstation.receiver import BeaconReceiver
-from satiot.groundstation.scheduler import Scheduler
-from satiot.groundstation.station import GroundStation
-from satiot.core.sites import SITES
-from satiot.sim.rng import RngStreams
 
-from conftest import SEED, write_output
+from conftest import run_bench_scenario, write_output
 
-PERIODS_S = (2.0, 5.0, 15.0, 30.0)
-
-
-def run_period(period_s: float):
-    base = CONSTELLATION_SPECS["tianqi"]
-    spec = replace(base, radio=replace(base.radio,
-                                       beacon_period_s=period_s))
-    constellation = build_constellation("tianqi", seed=SEED, spec=spec)
-    epoch = constellation.satellites[0].tle.epoch
-    site = SITES["HK"]
-    stations = [GroundStation(f"HK-{i}", "HK", site.location)
-                for i in range(6)]
-    schedule = Scheduler(stations).build_schedule(
-        list(constellation), epoch, 43200.0)
-    receiver = BeaconReceiver()
-    streams = RngStreams(SEED)
-    receptions = [receiver.receive_pass(sp, epoch, f"HK-{i}",
-                                        streams.get(f"p{period_s}/{i}"))
-                  for i, sp in enumerate(schedule.assigned)]
-    received = sum(r.beacons_received for r in receptions)
-    heard_windows = np.mean([r.heard_anything for r in receptions])
-    time_blocks = [r.traces.column("time_s") for r in receptions
-                   if len(r.traces)]
-    times = np.sort(np.concatenate(time_blocks)) if time_blocks \
-        else np.empty(0)
-    gaps = np.diff(times) if times.size > 1 else np.array([np.inf])
-    return received, float(heard_windows), float(np.median(gaps))
+AXIS = "constellation.overrides.beacon_period_s"
 
 
 def compute():
-    return {p: run_period(p) for p in PERIODS_S}
+    return run_bench_scenario("ablation_beacon_period")
 
 
 def test_ablation_beacon_period(benchmark):
-    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = [[p, rec, heard, gap]
-            for p, (rec, heard, gap) in sweep.items()]
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    by_period = {run.cell_params(cell)[AXIS]: cell
+                 for cell in store.cells()}
+    rows = [[period,
+             int(store.value(cell, "beacons_received")),
+             store.value(cell, "windows_heard_frac"),
+             store.value(cell, "median_rx_gap_s")]
+            for period, cell in by_period.items()]
     table = format_table(
         ["Beacon period (s)", "beacons received (12 h)",
          "windows heard", "median rx gap (s)"],
@@ -66,5 +39,6 @@ def test_ablation_beacon_period(benchmark):
               "(Tianqi @ HK)")
     write_output("ablation_beacon_period", table)
 
-    received = [sweep[p][0] for p in PERIODS_S]
+    received = [store.value(cell, "beacons_received")
+                for cell in store.cells()]
     assert received == sorted(received, reverse=True)

@@ -3,52 +3,32 @@
 Extends paper Figure 3a beyond today's fleets: how many satellites are
 needed before a spot's theoretical coverage approaches 24 h and the
 worst contact gap drops below a store-and-forward-friendly bound?
+
+Driven by the committed spec
+``scenarios/ablation_constellation_size.json`` (kind ``presence``,
+sweeping Walker-synth ``constellation.walker.count``).
 """
 
-from satiot.constellations.catalog import (ConstellationSpec,
-                                           DtSRadioProfile,
-                                           build_constellation)
-from satiot.constellations.shells import ShellSpec
-from satiot.core.availability import daily_presence_hours
 from satiot.core.report import format_table
-from satiot.core.sites import SITES
-from satiot.core.stats import interval_gaps, merge_intervals
-from satiot.orbits.passes import PassPredictor
 
-from conftest import SEED, write_output
+from conftest import run_bench_scenario, write_output
 
-SIZES = (4, 8, 16, 32)
-
-
-def run_size(count: int):
-    spec = ConstellationSpec(
-        name=f"ABL-{count}", operator_region="ablation",
-        shells=(ShellSpec(f"A{count}", count=count,
-                          altitude_min_km=590.0, altitude_max_km=610.0,
-                          inclination_deg=97.5),),
-        radio=DtSRadioProfile(frequency_hz=400.45e6),
-        norad_base=80000 + count)
-    constellation = build_constellation(spec.name, seed=SEED, spec=spec)
-    epoch = constellation.satellites[0].tle.epoch
-    location = SITES["HK"].location
-    hours = daily_presence_hours(constellation, location, epoch)
-    spans = []
-    for satellite in constellation:
-        predictor = PassPredictor(satellite.propagator, location)
-        for window in predictor.find_passes(epoch, 86400.0):
-            spans.append((window.rise_s, window.set_s))
-    gaps = interval_gaps(merge_intervals(spans), 0.0, 86400.0)
-    max_gap_min = max(gaps) / 60.0 if gaps else 0.0
-    return hours, max_gap_min
+AXIS = "constellation.walker.count"
 
 
 def compute():
-    return {size: run_size(size) for size in SIZES}
+    return run_bench_scenario("ablation_constellation_size")
 
 
 def test_ablation_constellation_size(benchmark):
-    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = [[size, hours, gap] for size, (hours, gap) in sweep.items()]
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    by_size = {run.cell_params(cell)[AXIS]: cell
+               for cell in store.cells()}
+    rows = [[size,
+             store.value(cell, "presence_h_day", f"ABL-{size}@HK"),
+             store.value(cell, "max_contact_gap_min", f"ABL-{size}@HK")]
+            for size, cell in by_size.items()]
     table = format_table(
         ["#SATs @600 km SSO", "presence (h/day)", "max gap (min)"],
         rows, precision=1,
@@ -56,6 +36,9 @@ def test_ablation_constellation_size(benchmark):
               "(HK)")
     write_output("ablation_constellation_size", table)
 
-    hours = [sweep[s][0] for s in SIZES]
+    sizes = sorted(by_size)
+    hours = [store.value(by_size[s], "presence_h_day", f"ABL-{s}@HK")
+             for s in sizes]
     assert hours == sorted(hours)  # more satellites, more presence
-    assert sweep[32][1] < sweep[4][1]  # and shorter worst gaps
+    assert store.value(by_size[32], "max_contact_gap_min", "ABL-32@HK") \
+        < store.value(by_size[4], "max_contact_gap_min", "ABL-4@HK")

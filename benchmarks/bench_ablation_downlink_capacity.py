@@ -5,39 +5,34 @@ devices ... imposes pressure on the processing capacity and capabilities
 of the satellite".  This ablation loads a satellite buffer with
 fleet-scale backlogs and measures how many ground-station contacts are
 needed to drain them at different downlink rates.
+
+Driven by the committed spec
+``scenarios/ablation_downlink_capacity.json`` (kind ``downlink``,
+sweeping ``downlink.rate_bytes_s`` × ``downlink.fleet_size``).
 """
 
 from satiot.core.report import format_table
-from satiot.network.downlink import DownlinkConfig, DownlinkSimulator
-from satiot.network.store_forward import BufferedPacket, SatelliteBuffer
 
-from conftest import write_output
+from conftest import run_bench_scenario, write_output
 
-FLEET_SIZES = (100, 1_000, 10_000, 50_000)
-RATES_BYTES_S = (1_000.0, 4_000.0, 16_000.0)
-WINDOW_S = 420.0          # a typical high-elevation GS contact
-PACKETS_PER_NODE = 2      # backlog accumulated between contacts
+RATE_AXIS = "downlink.rate_bytes_s"
+FLEET_AXIS = "downlink.fleet_size"
 
 
 def compute():
-    out = {}
-    for rate in RATES_BYTES_S:
-        sim = DownlinkSimulator(DownlinkConfig(throughput_bytes_s=rate))
-        for fleet in FLEET_SIZES:
-            backlog = fleet * PACKETS_PER_NODE
-            sessions = sim.sessions_to_empty(backlog, 20, WINDOW_S)
-            buffer = SatelliteBuffer(44100, capacity_packets=10**7)
-            for seq in range(min(backlog, 120_000)):
-                buffer.store(BufferedPacket("fleet", seq, 0.0, 20))
-            drained = sim.run_session(buffer, (0.0, WINDOW_S))
-            out[(rate, fleet)] = (sessions, drained.drained_count)
-    return out
+    return run_bench_scenario("ablation_downlink_capacity")
 
 
 def test_ablation_downlink_capacity(benchmark):
-    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = [[rate / 1000.0, fleet, sessions, drained]
-            for (rate, fleet), (sessions, drained) in sweep.items()]
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    cells = {(run.cell_params(cell)[RATE_AXIS],
+              run.cell_params(cell)[FLEET_AXIS]): cell
+             for cell in store.cells()}
+    rows = [[rate / 1000.0, fleet,
+             int(store.value(cell, "contacts_to_drain")),
+             int(store.value(cell, "drained_one_contact"))]
+            for (rate, fleet), cell in cells.items()]
     table = format_table(
         ["Downlink (kB/s)", "fleet size", "contacts to drain",
          "drained in one contact"],
@@ -46,10 +41,15 @@ def test_ablation_downlink_capacity(benchmark):
               "(420 s contact, 2 pkts/node)")
     write_output("ablation_downlink_capacity", table)
 
+    rates = sorted({rate for rate, _fleet in cells})
+    fleets = sorted({fleet for _rate, fleet in cells})
     # A faster link needs no more contacts for the same backlog.
-    for fleet in FLEET_SIZES:
-        sessions = [sweep[(rate, fleet)][0] for rate in RATES_BYTES_S]
+    for fleet in fleets:
+        sessions = [store.value(cells[(rate, fleet)],
+                                "contacts_to_drain")
+                    for rate in rates]
         assert sessions == sorted(sessions, reverse=True)
     # Congestion regime exists: the biggest fleet at the slowest rate
     # needs multiple contacts.
-    assert sweep[(RATES_BYTES_S[0], FLEET_SIZES[-1])][0] > 1
+    assert store.value(cells[(rates[0], fleets[-1])],
+                       "contacts_to_drain") > 1

@@ -5,36 +5,36 @@ exposes what that choice buys and costs: each SF step doubles airtime
 (collision exposure and Tx energy) for ~2.5 dB of sensitivity.  The
 link-closure column evaluates the calibrated Tianqi downlink margin at
 a representative mid-pass geometry.
+
+Driven by the committed spec
+``scenarios/ablation_spreading_factor.json`` (kind ``phy``).
 """
 
 from satiot.core.report import format_table
-from satiot.phy.adaptation import sf_trade_table
-from satiot.phy.link_budget import LinkBudget
-from satiot.phy.lora import SNR_LIMIT_DB, noise_floor_dbm
 
-from conftest import write_output
-
-# Representative mid-pass geometry of the Tianqi main shell.
-RANGE_KM = 1400.0
-ELEVATION_DEG = 35.0
+from conftest import run_bench_scenario, write_output
 
 
 def compute():
-    table = sf_trade_table(payload_bytes=20)
-    budget = LinkBudget(eirp_dbm=10.5, frequency_hz=400.45e6)
-    rssi = budget.mean_rssi_dbm(RANGE_KM, ELEVATION_DEG, rx_gain_dbi=2.0)
-    snr = rssi - noise_floor_dbm(125_000.0)
-    return table, snr
+    return run_bench_scenario("ablation_spreading_factor")
 
 
 def test_ablation_spreading_factor(benchmark):
-    table, snr = benchmark.pedantic(compute, rounds=1, iterations=1)
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    cell = store.cells()[0]
+    snr = store.value(cell, "snr_db")
+    sfs = sorted(int(subject[2:])
+                 for subject in store.subject_values("margin_db", cell))
     rows = []
-    for sf, point in sorted(table.items()):
-        margin = snr - SNR_LIMIT_DB[sf]
+    for sf in sfs:
+        subject = f"SF{sf}"
+        margin = store.value(cell, "margin_db", subject)
         rows.append([
-            sf, point.snr_limit_db, point.airtime_s * 1000.0,
-            point.tx_energy_j, point.collision_exposure,
+            sf, store.value(cell, "snr_limit_db", subject),
+            store.value(cell, "airtime_s", subject) * 1000.0,
+            store.value(cell, "tx_energy_j", subject),
+            store.value(cell, "collision_exposure", subject),
             margin, "yes" if margin > 0 else "no",
         ])
     table_text = format_table(
@@ -45,10 +45,11 @@ def test_ablation_spreading_factor(benchmark):
               f"geometry (SNR {snr:.1f} dB)")
     write_output("ablation_spreading_factor", table_text)
 
-    closes = [sf for sf, p in table.items()
-              if snr - SNR_LIMIT_DB[sf] > 0]
+    closes = [sf for sf in sfs
+              if store.value(cell, "margin_db", f"SF{sf}") > 0]
     # The calibrated link needs the high-SF regime — exactly why the
     # measured fleets run SF10/SF11 and pay seconds of airtime.
     assert min(closes) >= 9
-    energies = [table[sf].tx_energy_j for sf in sorted(table)]
+    energies = [store.value(cell, "tx_energy_j", f"SF{sf}")
+                for sf in sfs]
     assert energies == sorted(energies)

@@ -5,37 +5,36 @@ one day per week over six weeks (each propagated to its true epoch, so
 nodal precession reshuffles the geometry) and checks that the headline
 shrinkage statistic is a stable property of the system, not of one
 lucky week.
+
+Driven by the committed spec ``scenarios/extension_longitudinal.json``
+(kind ``longitudinal``, six weekly samples).
 """
 
-
-from satiot.core.longitudinal import LongitudinalCampaign
 from satiot.core.report import format_table
 
-from conftest import SEED, write_output
-
-WEEKS = 6
+from conftest import run_bench_scenario, write_output
 
 
 def compute():
-    campaign = LongitudinalCampaign(weeks=WEEKS, site="HK",
-                                    sample_days=1.0, period_days=7.0,
-                                    seed=SEED,
-                                    constellations=("tianqi",))
-    return campaign.run()
+    return run_bench_scenario("extension_longitudinal")
 
 
 def test_extension_longitudinal(benchmark):
-    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    cell = store.cells()[0]
+    traces = store.subject_values("traces", cell)
+    weeks = sorted(int(subject[4:]) for subject in traces)
     rows = []
-    for sample in result.samples:
-        stats = sample.stats_by_constellation["tianqi"]
+    for week in weeks:
+        subject = f"tianqi@week{week}"
         rows.append([
-            sample.week, sample.traces,
-            stats.theoretical_daily_hours,
-            stats.effective_daily_hours,
-            100.0 * stats.duration_shrinkage,
+            week, int(traces[f"week{week}"]),
+            store.value(cell, "theoretical_daily_hours", subject),
+            store.value(cell, "effective_daily_hours", subject),
+            100.0 * store.value(cell, "duration_shrinkage", subject),
         ])
-    spread = 100.0 * result.shrinkage_stability("tianqi")
+    spread = 100.0 * store.value(cell, "shrinkage_stability", "tianqi")
     table = format_table(
         ["Week", "traces/day", "theo (h/day)", "eff (h/day)",
          "shrink (%)"],
@@ -44,10 +43,11 @@ def test_extension_longitudinal(benchmark):
               f"shrinkage spread {spread:.1f} pp")
     write_output("extension_longitudinal", table)
 
-    series = result.shrinkage_series("tianqi")
+    series = [store.value(cell, "duration_shrinkage",
+                          f"tianqi@week{week}") for week in weeks]
     assert all(0.7 < s < 1.0 for s in series)
-    assert result.shrinkage_stability("tianqi") < 0.15
-    theo = [s.stats_by_constellation["tianqi"].theoretical_daily_hours
-            for s in result.samples]
+    assert store.value(cell, "shrinkage_stability", "tianqi") < 0.15
+    theo = [store.value(cell, "theoretical_daily_hours",
+                        f"tianqi@week{week}") for week in weeks]
     # Theoretical presence is set by orbital geometry: very stable.
     assert max(theo) - min(theo) < 3.0

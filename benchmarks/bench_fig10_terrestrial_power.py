@@ -8,13 +8,12 @@ top of it.
 
 import pytest
 
+from satiot.core.references import TERRESTRIAL_POWER_MW as PAPER_MW
 from satiot.core.report import format_table
 from satiot.energy.behavior import TerrestrialBehavior
 from satiot.energy.profiles import TERRESTRIAL_NODE_PROFILE
 
 from conftest import write_output
-
-PAPER_MW = {"tx": 1630.0, "rx": 265.0, "standby": 146.0, "sleep": 19.1}
 
 
 def compute():

@@ -5,11 +5,10 @@ nodes, 89 % with three nodes transmitting simultaneously.
 """
 
 from satiot.core.performance import reliability_by_concurrency
+from satiot.core.references import CONCURRENCY_RELIABILITY as PAPER
 from satiot.core.report import format_table
 
 from conftest import write_output
-
-PAPER = {1: 0.94, 2: 0.92, 3: 0.89}
 
 
 def compute(result):

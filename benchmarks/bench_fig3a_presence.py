@@ -2,33 +2,33 @@
 
 Paper reference points: FOSSA 1.1-3.0 h, PICO 5.7 h, Tianqi (22 sats)
 19.1 h, stable across the four continent sites.
+
+Driven by the committed spec ``scenarios/fig3a_presence.json``
+(kind ``presence`` over the four continent sites).
 """
 
-from satiot.core.availability import presence_by_site
+from satiot.core.references import PRESENCE_HOURS_PER_DAY
 from satiot.core.report import format_table
-from satiot.core.sites import CONTINENT_SITES, SITES
+from satiot.core.sites import CONTINENT_SITES
 
-from conftest import write_output
-
-PAPER_REFERENCE = {"Tianqi": 19.1, "PICO": 5.7, "FOSSA": 2.0,
-                   "CSTP": None}
+from conftest import run_bench_scenario, write_output
 
 
-def compute_presence(result):
-    locations = {code: SITES[code].location for code in CONTINENT_SITES}
-    epoch = result.epoch
-    return presence_by_site(result.constellations, locations, epoch,
-                            days=1.0)
+def compute():
+    return run_bench_scenario("fig3a_presence")
 
 
-def test_fig3a_daily_presence(benchmark, passive_continent):
-    presence = benchmark(compute_presence, passive_continent)
+def test_fig3a_daily_presence(benchmark):
+    run = benchmark.pedantic(compute, rounds=1, iterations=1)
+    store = run.store
+    cell = store.cells()[0]
+    satellites = store.subject_values("satellites", cell)
     rows = []
-    for con_name, per_site in sorted(presence.items()):
-        constellation = passive_continent.constellations[con_name]
-        row = [constellation.name, len(constellation)]
-        row += [per_site[code] for code in CONTINENT_SITES]
-        row.append(PAPER_REFERENCE.get(constellation.name))
+    for name in sorted(satellites):
+        row = [name, int(satellites[name])]
+        row += [store.value(cell, "presence_h_day", f"{name}@{code}")
+                for code in CONTINENT_SITES]
+        row.append(PRESENCE_HOURS_PER_DAY.get(name))
         rows.append(row)
     table = format_table(
         ["Constellation", "#SATs"] + [f"{c} (h/day)"

@@ -4,13 +4,11 @@ Paper: waiting for a satellite pass 55.2 min, DtS (re)transmissions
 10.4 min, Tianqi delivery 56.9 min.
 """
 
+from satiot.core.references import LATENCY_DECOMPOSITION_MIN as PAPER
 from satiot.core.report import format_table
 from satiot.network.server import latency_decomposition_minutes
 
 from conftest import write_output
-
-PAPER = {"wait_min": 55.2, "dts_min": 10.4, "delivery_min": 56.9,
-         "total_min": 135.2}
 
 
 def compute(result):

@@ -4,30 +4,43 @@ Campaign simulation is the expensive part, so each distinct campaign is
 run once per benchmark session and shared; the benchmarked (timed)
 callables are the analyses that regenerate each paper table/figure.
 
+All campaign inputs are built through the scenario compiler
+(:mod:`satiot.scenarios`): fixtures lower inline scenario documents,
+and the converted benchmarks run committed spec files from
+``benchmarks/scenarios/`` through :func:`run_bench_scenario` — one
+shared harness instead of per-script setup code.
+
 Every benchmark writes its reproduced table to ``benchmarks/output/`` so
 the regenerated numbers are inspectable after a captured pytest run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from pathlib import Path
 
 import pytest
 
-from satiot.core.active import ActiveCampaign, ActiveCampaignConfig
-from satiot.core.campaign import PassiveCampaign, PassiveCampaignConfig
+from satiot.core.active import ActiveCampaign
+from satiot.core.campaign import PassiveCampaign
 from satiot.constellations.catalog import build_constellation
 from satiot.network.store_forward import (TIANQI_GROUND_STATIONS,
                                           GroundSegment)
 from satiot.runtime.ephemeris_cache import EphemerisCache
+from satiot.scenarios import (SCENARIO_FORMAT, ScenarioRun,
+                              compile_cells, load_scenario,
+                              parse_scenario, run_scenario)
 
 SEED = 42
 PASSIVE_DAYS = 2.0
 ACTIVE_DAYS = 4.0
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Committed scenario specs driven by :func:`run_bench_scenario`.
+SCENARIO_DIR = Path(__file__).parent / "scenarios"
 
 #: Disk-backed ephemeris cache shared by every benchmark invocation (and
 #: restored between CI runs via actions/cache) — warm runs skip all SGP4
@@ -47,7 +60,32 @@ def bench_ephemeris_cache() -> EphemerisCache:
     return _bench_cache
 
 
-def run_passive(config: PassiveCampaignConfig):
+def compile_single(document: dict):
+    """Lower an inline single-cell scenario document to its cell."""
+    cells = compile_cells(parse_scenario(document))
+    if len(cells) != 1:
+        raise ValueError(f"expected a single cell, got {len(cells)}")
+    return cells[0]
+
+
+_scenario_runs: dict = {}
+
+
+def run_bench_scenario(name: str) -> ScenarioRun:
+    """Run a committed ``benchmarks/scenarios/<name>.json`` spec.
+
+    The run is memoized for the benchmark session (matching the old
+    session-scoped campaign fixtures) and executes on the shared
+    ephemeris cache, with workers taken from ``SATIOT_WORKERS``.
+    """
+    if name not in _scenario_runs:
+        spec = load_scenario(SCENARIO_DIR / f"{name}.json")
+        _scenario_runs[name] = run_scenario(
+            spec, ephemeris_cache=bench_ephemeris_cache())
+    return _scenario_runs[name]
+
+
+def run_passive(config):
     """Run a passive campaign on the shared cache, workers from env."""
     return PassiveCampaign(
         config, ephemeris_cache=bench_ephemeris_cache()).run()
@@ -67,21 +105,32 @@ def write_json(name: str, payload) -> None:
         json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def _passive_document(name: str, sites, days: float) -> dict:
+    return {
+        "format": SCENARIO_FORMAT, "name": name, "kind": "passive",
+        "seed": SEED,
+        "constellation": {"names": ["tianqi", "fossa", "pico", "cstp"]},
+        "sites": list(sites),
+        "duration": {"days": days},
+    }
+
+
 @pytest.fixture(scope="session")
 def passive_continent():
     """Passive campaign over the four continent sites (Sec. 3.1)."""
-    config = PassiveCampaignConfig(
-        sites=("HK", "SYD", "LDN", "PGH"), days=PASSIVE_DAYS, seed=SEED)
-    return run_passive(config)
+    cell = compile_single(_passive_document(
+        "passive-continent", ("HK", "SYD", "LDN", "PGH"), PASSIVE_DAYS))
+    return run_passive(cell.config)
 
 
 @pytest.fixture(scope="session")
 def passive_all_sites():
     """Short passive campaign over all eight sites (Table 1)."""
-    config = PassiveCampaignConfig(
-        sites=tuple(sorted({"HK", "SYD", "LDN", "PGH", "SH", "GZ", "NC",
-                            "YC"})), days=1.0, seed=SEED)
-    return run_passive(config)
+    cell = compile_single(_passive_document(
+        "passive-all-sites",
+        sorted({"HK", "SYD", "LDN", "PGH", "SH", "GZ", "NC", "YC"}),
+        1.0))
+    return run_passive(cell.config)
 
 
 @pytest.fixture(scope="session")
@@ -94,7 +143,31 @@ def shared_ground_segment():
 
 
 def run_active(shared_segment, **overrides):
-    config = ActiveCampaignConfig(days=ACTIVE_DAYS, seed=SEED, **overrides)
+    """Run an active campaign variant, lowered through the compiler.
+
+    Scalar overrides are expressed as scenario-document sections and go
+    through spec validation; richer objects with no JSON spelling (a
+    full ``MacConfig``) are applied onto the compiled config directly.
+    """
+    document: dict = {
+        "format": SCENARIO_FORMAT, "name": "active-bench",
+        "kind": "active", "seed": SEED,
+        "duration": {"days": ACTIVE_DAYS},
+    }
+    traffic = {key: overrides.pop(key)
+               for key in ("node_count", "payload_bytes",
+                           "reading_interval_s")
+               if key in overrides}
+    if traffic:
+        document["traffic"] = traffic
+    if "max_retransmissions" in overrides:
+        document["mac"] = {
+            "max_retransmissions": overrides.pop("max_retransmissions")}
+    if "antenna_name" in overrides:
+        document["antenna"] = overrides.pop("antenna_name")
+    config = compile_single(document).config
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
     return ActiveCampaign(config, ground_segment=shared_segment).run()
 
 

@@ -15,6 +15,10 @@ Subcommands mirror the library's workflows::
     python -m satiot catalog get cat.db group:MEGA-SHELL-D
     python -m satiot catalog history cat.db 70001 --last 3
     python -m satiot catalog stats cat.db
+    python -m satiot scenario validate spec.json  # strict spec check
+    python -m satiot scenario grid spec.json      # expanded sweep matrix
+    python -m satiot scenario run spec.json --out runs/a --workers 4
+    python -m satiot scenario diff runs/a runs/b  # KPI deltas (exit 1)
 """
 
 from __future__ import annotations
@@ -516,6 +520,96 @@ def cmd_catalog_synth(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _scenario_error(action: str, error: Exception) -> int:
+    """Uniform scenario-CLI failure: message on stderr, exit 2.
+
+    Spec typos, unreadable files and non-run directories are operator
+    mistakes, not crashes — no traceback.
+    """
+    print(f"error: cannot {action}: {error}", file=sys.stderr)
+    return 2
+
+
+def _load_scenario_document(path: str) -> dict:
+    import json
+    from pathlib import Path
+
+    from .scenarios import ScenarioError
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ScenarioError("", f"{path}: {error}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ScenarioError("", f"{path}: not valid JSON ({error})")
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    from .scenarios import (ScenarioError, parse_scenario,
+                            render_kpi_table, run_scenario,
+                            smoke_document)
+    _install_faults(args)
+    try:
+        document = _load_scenario_document(args.spec)
+        parse_scenario(document)  # validate the committed spec as-is
+        if args.smoke:
+            document = smoke_document(document)
+        spec = parse_scenario(document)
+    except ScenarioError as error:
+        return _scenario_error(f"run scenario {args.spec!r}", error)
+    run = run_scenario(spec, workers=args.workers, out_dir=args.out)
+    print(render_kpi_table(run, spec.kpis))
+    if args.out:
+        print(f"wrote manifest.json + kpis.npz "
+              f"({run.manifest['kpi_rows']} KPI rows) to {args.out}")
+    if args.timing and run.telemetry is not None:
+        print()
+        print(run.telemetry.render())
+    return 0
+
+
+def cmd_scenario_grid(args: argparse.Namespace) -> int:
+    from .scenarios import (ScenarioError, compile_cells, load_scenario,
+                            render_grid)
+    try:
+        spec = load_scenario(args.spec)
+        cells = compile_cells(spec)
+    except ScenarioError as error:
+        return _scenario_error(f"expand scenario {args.spec!r}", error)
+    print(render_grid(spec, cells))
+    return 0
+
+
+def cmd_scenario_diff(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioError, diff_runs, render_diff_report
+    try:
+        diff, manifest_a, manifest_b = diff_runs(
+            args.run_a, args.run_b, rtol=args.rtol, atol=args.atol)
+    except (OSError, ValueError, ScenarioError) as error:
+        return _scenario_error(
+            f"diff {args.run_a!r} vs {args.run_b!r}", error)
+    print(render_diff_report(diff, manifest_a, manifest_b))
+    return 0 if diff.identical else 1
+
+
+def cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from .scenarios import (ScenarioError, compile_cells, load_scenario)
+    failures = 0
+    for path in args.specs:
+        try:
+            spec = load_scenario(path)
+            cells = compile_cells(spec)
+        except ScenarioError as error:
+            print(f"[FAIL] {path}: {error}")
+            failures += 1
+            continue
+        print(f"[ OK ] {path}: {spec.name} [{spec.kind}] — "
+              f"{len(cells)} cell(s), seed {spec.seed}")
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="satiot",
@@ -693,6 +787,46 @@ def build_parser() -> argparse.ArgumentParser:
                                "or sqlite archive (*.db / *.sqlite)")
     p.add_argument("--format", choices=("3le", "2le"), default="3le")
     p.set_defaults(func=cmd_catalog_synth)
+
+    p = sub.add_parser(
+        "scenario", help="declarative campaign specs: validate, expand, "
+                         "run, diff (see docs/scenarios.md)")
+    scenario_sub = p.add_subparsers(dest="scenario_command",
+                                    required=True)
+
+    p = scenario_sub.add_parser(
+        "run", help="run a scenario matrix and extract its KPI store")
+    p.add_argument("spec", help="scenario JSON file")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write manifest.json + kpis.npz run directory")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink durations and truncate sweep axes to "
+                        "their first two values (CI smoke mode)")
+    _add_runtime_args(p)
+    p.set_defaults(func=cmd_scenario_run)
+
+    p = scenario_sub.add_parser(
+        "grid", help="print the expanded sweep matrix without running")
+    p.add_argument("spec", help="scenario JSON file")
+    p.set_defaults(func=cmd_scenario_grid)
+
+    p = scenario_sub.add_parser(
+        "diff", help="compare two run directories KPI-by-KPI "
+                     "(exit 1 when they differ)")
+    p.add_argument("run_a", help="baseline run directory")
+    p.add_argument("run_b", help="candidate run directory")
+    p.add_argument("--rtol", type=float, default=0.0,
+                   help="relative tolerance (default 0 = bit-equal)")
+    p.add_argument("--atol", type=float, default=0.0,
+                   help="absolute tolerance (default 0 = bit-equal)")
+    p.set_defaults(func=cmd_scenario_diff)
+
+    p = scenario_sub.add_parser(
+        "validate", help="strict-validate scenario files "
+                         "(exit 1 on the first invalid spec)")
+    p.add_argument("specs", nargs="+", metavar="SPEC",
+                   help="scenario JSON file(s)")
+    p.set_defaults(func=cmd_scenario_validate)
 
     p = sub.add_parser("coverage", help="global coverage grid")
     p.add_argument("constellation", choices=sorted(CONSTELLATION_SPECS))

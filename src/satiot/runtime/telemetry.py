@@ -13,10 +13,21 @@ cycle with the campaign layer.
 
 from __future__ import annotations
 
+import unicodedata
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 __all__ = ["ShardTelemetry", "CampaignTelemetry", "render_fixed_table"]
+
+
+def _display_width(text: str) -> int:
+    """Terminal column count of ``text`` (wide CJK glyphs take two)."""
+    return sum(2 if unicodedata.east_asian_width(ch) in "WF" else 1
+               for ch in text)
+
+
+def _pad(text: str, width: int) -> str:
+    return text + " " * max(0, width - _display_width(text))
 
 
 def render_fixed_table(header: Sequence[str],
@@ -26,19 +37,22 @@ def render_fixed_table(header: Sequence[str],
 
     Used by the campaign timing report and by ``satiot.serving``'s
     ``/metrics`` plain-text view so operator-facing tables look the
-    same everywhere.
+    same everywhere.  ``None`` cells render as ``-``; column widths
+    count terminal columns, so east-asian wide glyphs stay aligned.
     """
-    cells = [[str(c) for c in row] for row in rows]
-    widths = [max([len(h)] + [len(r[i]) for r in cells])
+    cells = [["-" if c is None else str(c) for c in row]
+             for row in rows]
+    widths = [max([_display_width(h)]
+                  + [_display_width(r[i]) for r in cells])
               for i, h in enumerate(header)]
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i])
+    lines.append("  ".join(_pad(h, widths[i])
                            for i, h in enumerate(header)))
     lines.append("  ".join("-" * w for w in widths))
     for r in cells:
-        lines.append("  ".join(c.ljust(widths[i])
+        lines.append("  ".join(_pad(c, widths[i])
                                for i, c in enumerate(r)))
     return "\n".join(lines)
 

@@ -1,0 +1,33 @@
+"""satiot.scenarios — declarative campaign specs, compiled and run.
+
+The package folds the ad-hoc benchmark scripts into data: a scenario is
+a versioned JSON document (:mod:`satiot.scenarios.spec`), the compiler
+lowers it onto the campaign layer
+(:mod:`satiot.scenarios.compiler`), and the orchestrator executes the
+expanded matrix through the shard executor and extracts one columnar
+KPI store with a reproducible run manifest
+(:mod:`satiot.scenarios.orchestrator`).  See ``docs/scenarios.md`` for
+the spec grammar and the ``satiot scenario`` CLI family.
+"""
+
+from .compiler import CompiledCell, build_cell_constellations, compile_cells
+from .kpi import (KPI_FORMAT, KpiDelta, KpiDiff, KpiRow, KpiStore,
+                  diff_stores, write_deterministic_npz)
+from .orchestrator import (RUN_FORMAT, ScenarioRun, diff_runs, load_run,
+                           render_diff_report, render_grid,
+                           render_kpi_table, run_scenario, smoke_document)
+from .spec import (SCENARIO_FORMAT, SCENARIO_KINDS, ScenarioError,
+                   ScenarioSpec, canonical_json, expand_grid,
+                   load_scenario, parse_scenario, scenario_fingerprint)
+
+__all__ = [
+    "SCENARIO_FORMAT", "SCENARIO_KINDS", "ScenarioError", "ScenarioSpec",
+    "canonical_json", "expand_grid", "load_scenario", "parse_scenario",
+    "scenario_fingerprint",
+    "CompiledCell", "build_cell_constellations", "compile_cells",
+    "KPI_FORMAT", "KpiDelta", "KpiDiff", "KpiRow", "KpiStore",
+    "diff_stores", "write_deterministic_npz",
+    "RUN_FORMAT", "ScenarioRun", "diff_runs", "load_run",
+    "render_diff_report", "render_grid", "render_kpi_table",
+    "run_scenario", "smoke_document",
+]

@@ -1,0 +1,212 @@
+"""Lowering scenario documents onto the campaign layer.
+
+The compiler turns each cell of a scenario matrix into a
+:class:`CompiledCell`: a picklable description carrying the concrete
+campaign config (``PassiveCampaignConfig``/``ActiveCampaignConfig``,
+``LongitudinalCampaign`` kwargs) or the parameter set of one of the
+lighter workload kinds (``presence``, ``reception``, ``downlink``,
+``phy``).  Execution lives in :mod:`satiot.scenarios.orchestrator`;
+keeping the two apart means benchmarks and tests can compile a spec and
+inspect exactly what would run without running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from ..constellations.catalog import (CONSTELLATION_SPECS,
+                                      Constellation, ConstellationSpec,
+                                      DtSRadioProfile,
+                                      build_constellation)
+from ..constellations.shells import ShellSpec
+from ..core.active import ActiveCampaignConfig
+from ..core.campaign import PassiveCampaignConfig
+from ..sim.weather import WeatherParams
+from .spec import ScenarioError, ScenarioSpec, expand_grid
+
+__all__ = ["CompiledCell", "compile_cells", "compile_cell",
+           "build_cell_constellations"]
+
+
+@dataclass(frozen=True)
+class CompiledCell:
+    """One executable cell of a scenario matrix.
+
+    ``config`` is the lowered campaign config for campaign kinds
+    (``passive``/``active``), ``kwargs`` the constructor arguments for
+    ``longitudinal``, and ``params`` the normalized parameter dict for
+    the lighter kinds.  ``sweep_params`` maps each sweep axis path to
+    this cell's value.
+    """
+
+    index: int
+    cell_id: str
+    kind: str
+    seed: int
+    sweep_params: Dict[str, Any] = field(default_factory=dict)
+    config: Any = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    faults: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+def _radio_with_overrides(base: DtSRadioProfile,
+                          overrides: Dict[str, float]) -> DtSRadioProfile:
+    if not overrides:
+        return base
+    coerced = dict(overrides)
+    if "beacon_payload_bytes" in coerced:
+        coerced["beacon_payload_bytes"] = \
+            int(coerced["beacon_payload_bytes"])
+    return replace(base, **coerced)
+
+
+def _walker_spec(walker: Dict[str, Any]) -> ConstellationSpec:
+    """A single-shell Walker-synth constellation spec.
+
+    Name and NORAD base default to deterministic functions of the shell
+    size (``ABL-<count>`` / ``80000 + count``) so a pure
+    ``constellation.walker.count`` sweep yields distinct, reproducible
+    fleets without further spec keys.
+    """
+    count = walker["count"]
+    name = walker["name"] or f"ABL-{count}"
+    norad_base = walker["norad_base"] or 80000 + count
+    altitude = walker["altitude_km"]
+    spread = walker["altitude_spread_km"] / 2.0
+    return ConstellationSpec(
+        name=name, operator_region="scenario",
+        shells=(ShellSpec(f"A{count}", count=count,
+                          altitude_min_km=altitude - spread,
+                          altitude_max_km=altitude + spread,
+                          inclination_deg=walker["inclination_deg"]),),
+        radio=DtSRadioProfile(frequency_hz=walker["frequency_hz"]),
+        norad_base=norad_base)
+
+
+def build_cell_constellations(cell: CompiledCell,
+                              ) -> Dict[str, Constellation]:
+    """Materialize the constellations a presence/reception cell uses.
+
+    Returned keys are the built constellations' display names in a
+    deterministic order (declaration order for name lists).  Campaign
+    kinds rebuild their constellations inside the campaign itself.
+    """
+    doc = cell.params.get("constellation") or {}
+    seed = cell.seed
+    if "names" in doc:
+        return {name: build_constellation(name, seed=seed)
+                for name in doc["names"]}
+    if "name" in doc:
+        base = CONSTELLATION_SPECS[doc["name"].lower()]
+        spec = replace(base, radio=_radio_with_overrides(
+            base.radio, doc.get("overrides") or {}))
+        return {spec.name: build_constellation(doc["name"], seed=seed,
+                                               spec=spec)}
+    if "walker" in doc:
+        spec = _walker_spec(doc["walker"])
+        return {spec.name: build_constellation(spec.name, seed=seed,
+                                               spec=spec)}
+    if "catalog" in doc:
+        from ..catalog import constellation_from_catalog
+        constellation = constellation_from_catalog(
+            doc["catalog"], doc.get("select") or None,
+            name=doc.get("catalog_name", "catalog"))
+        return {constellation.name: constellation}
+    raise ScenarioError("constellation", "nothing to build")
+
+
+# ----------------------------------------------------------------------
+def _compile_passive(spec: ScenarioSpec) -> PassiveCampaignConfig:
+    duration = spec.section("duration")
+    ground = spec.section("ground")
+    names = spec.document["constellation"]["names"]
+    return PassiveCampaignConfig(
+        sites=tuple(spec.document["sites"]),
+        constellations=tuple(names),
+        days=duration["days"],
+        start_day_offset=duration["start_day_offset"],
+        seed=spec.seed,
+        min_elevation_deg=ground["min_elevation_deg"],
+        coarse_step_s=ground["coarse_step_s"])
+
+
+def _compile_active(spec: ScenarioSpec) -> ActiveCampaignConfig:
+    duration = spec.section("duration")
+    traffic = spec.section("traffic")
+    mac = spec.section("mac")
+    kwargs: Dict[str, Any] = dict(
+        days=duration["days"], seed=spec.seed,
+        node_count=traffic["node_count"],
+        payload_bytes=traffic["payload_bytes"],
+        reading_interval_s=traffic["reading_interval_s"],
+        max_retransmissions=mac["max_retransmissions"],
+        antenna_name=spec.document.get("antenna",
+                                       "five_eighths_wave"))
+    if "weather" in spec.document:
+        weather = spec.section("weather")
+        kwargs["weather"] = WeatherParams(
+            mean_dry_hours=weather["mean_dry_hours"],
+            mean_rain_hours=weather["mean_rain_hours"])
+    return ActiveCampaignConfig(**kwargs)
+
+
+def _compile_longitudinal(spec: ScenarioSpec) -> Dict[str, Any]:
+    section = spec.section("longitudinal")
+    names = spec.document["constellation"]["names"]
+    return dict(weeks=section["weeks"], site=section["site"],
+                sample_days=section["sample_days"],
+                period_days=section["period_days"], seed=spec.seed,
+                constellations=tuple(names))
+
+
+# ----------------------------------------------------------------------
+def compile_cell(index: int, cell_id: str,
+                 sweep_params: Dict[str, Any],
+                 spec: ScenarioSpec) -> CompiledCell:
+    """Lower one cell spec onto its concrete runnable description."""
+    common = dict(index=index, cell_id=cell_id, kind=spec.kind,
+                  seed=spec.seed, sweep_params=dict(sweep_params),
+                  faults=spec.faults)
+    if spec.kind == "passive":
+        return CompiledCell(config=_compile_passive(spec), **common)
+    if spec.kind == "active":
+        return CompiledCell(config=_compile_active(spec), **common)
+    if spec.kind == "longitudinal":
+        return CompiledCell(kwargs=_compile_longitudinal(spec),
+                            **common)
+    if spec.kind == "presence":
+        return CompiledCell(params={
+            "constellation": spec.document["constellation"],
+            "sites": spec.document["sites"],
+            "days": spec.section("duration")["days"],
+            "start_day_offset":
+                spec.section("duration")["start_day_offset"],
+            "min_elevation_deg":
+                spec.section("ground")["min_elevation_deg"],
+            "coarse_step_s": spec.section("ground")["coarse_step_s"],
+        }, **common)
+    if spec.kind == "reception":
+        ground = spec.section("ground")
+        return CompiledCell(params={
+            "constellation": spec.document["constellation"],
+            "site": spec.document["sites"][0],
+            "stations": ground["stations"],
+            "min_elevation_deg": ground["min_elevation_deg"],
+            "coarse_step_s": ground["coarse_step_s"],
+            "duration_s": spec.section("duration")["days"] * 86400.0,
+        }, **common)
+    if spec.kind == "downlink":
+        return CompiledCell(params=spec.section("downlink"), **common)
+    if spec.kind == "phy":
+        return CompiledCell(params=spec.section("phy"), **common)
+    raise ScenarioError("kind", f"no compiler for {spec.kind!r}")
+
+
+def compile_cells(spec: ScenarioSpec) -> List[CompiledCell]:
+    """Expand the sweep and lower every cell, in matrix order."""
+    return [compile_cell(index, cell_id, params, cell_spec)
+            for index, (cell_id, params, cell_spec)
+            in enumerate(expand_grid(spec))]

@@ -1,0 +1,266 @@
+"""Columnar KPI result store (``satiot-kpis-v1``).
+
+Every scenario cell reduces to a list of KPI rows
+``(cell, params, kpi, subject, value)``; the store keeps them as five
+parallel columns — strings interned exactly like the trace data plane's
+:class:`~satiot.groundstation.traces.StringColumn` — and archives them
+as an NPZ whose bytes are a pure function of the rows: entries are
+written through :func:`write_deterministic_npz`, which pins the zip
+timestamps and permissions, so *same spec + same seed → byte-identical
+store*, regardless of worker count or wall-clock time.  That is the
+property ``satiot scenario diff`` builds on.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..groundstation.traces import StringColumn
+
+__all__ = ["KPI_FORMAT", "KpiRow", "KpiStore", "KpiDelta", "KpiDiff",
+           "diff_stores", "write_deterministic_npz"]
+
+KPI_FORMAT = "satiot-kpis-v1"
+
+_STRING_COLUMNS = ("cell", "params", "kpi", "subject")
+
+
+@dataclass(frozen=True)
+class KpiRow:
+    """One extracted KPI value.
+
+    ``subject`` scopes the KPI inside its cell (``"Tianqi@HK"``, a node
+    id, ``"SF10"``, …; empty for cell-level KPIs); ``params`` is the
+    canonical JSON of the cell's sweep parameters.
+    """
+
+    cell: str
+    params: str
+    kpi: str
+    subject: str
+    value: float
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.cell, self.kpi, self.subject)
+
+
+# ----------------------------------------------------------------------
+def write_deterministic_npz(path: Union[str, Path],
+                            payload: Dict[str, np.ndarray]) -> None:
+    """Write an NPZ whose bytes depend only on the payload.
+
+    ``np.savez`` stamps each zip entry with the current local time, so
+    two identical runs minutes apart differ at the byte level.  This
+    writer serializes each array with the standard ``.npy`` format but
+    pins the zip metadata (epoch date, fixed permissions, fixed entry
+    order), making the archive reproducible while staying loadable with
+    plain :func:`np.load`.
+    """
+    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as zf:
+        for name in payload:
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.asanyarray(payload[name]),
+                allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy",
+                                   date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, buffer.getvalue())
+
+
+# ----------------------------------------------------------------------
+class KpiStore:
+    """Columnar store of KPI rows with an order-preserving layout.
+
+    Row order is the deterministic matrix order the orchestrator
+    produced them in; equality, archives and diffs all honour it.
+    """
+
+    def __init__(self, rows: Optional[Sequence[KpiRow]] = None) -> None:
+        self._rows: List[KpiRow] = list(rows or [])
+
+    # ------------------------------------------------------------------
+    def append(self, row: KpiRow) -> None:
+        self._rows.append(row)
+
+    def extend(self, rows: Sequence[KpiRow]) -> None:
+        self._rows.extend(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[KpiRow]:
+        return iter(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, KpiStore):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return (f"KpiStore({len(self._rows)} rows, "
+                f"{len(self.cells())} cells)")
+
+    # ------------------------------------------------------------------
+    def cells(self) -> List[str]:
+        """Cell ids in first-appearance (matrix) order."""
+        seen: Dict[str, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.cell, None)
+        return list(seen)
+
+    def kpis(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.kpi, None)
+        return list(seen)
+
+    def value(self, cell: str, kpi: str, subject: str = "") -> float:
+        """The value of one KPI; raises ``KeyError`` naming the miss."""
+        for row in self._rows:
+            if row.cell == cell and row.kpi == kpi \
+                    and row.subject == subject:
+                return row.value
+        raise KeyError(f"no KPI {kpi!r} for cell {cell!r} "
+                       f"subject {subject!r}")
+
+    def subject_values(self, kpi: str, cell: Optional[str] = None,
+                       ) -> Dict[str, float]:
+        """``{subject: value}`` of one KPI (optionally one cell)."""
+        out: Dict[str, float] = {}
+        for row in self._rows:
+            if row.kpi == kpi and (cell is None or row.cell == cell):
+                out[row.subject] = row.value
+        return out
+
+    def cell_values(self, kpi: str, subject: str = "",
+                    ) -> Dict[str, float]:
+        """``{cell: value}`` of one KPI across the matrix."""
+        out: Dict[str, float] = {}
+        for row in self._rows:
+            if row.kpi == kpi and row.subject == subject:
+                out[row.cell] = row.value
+        return out
+
+    def by_key(self) -> Dict[Tuple[str, str, str], float]:
+        return {row.key: row.value for row in self._rows}
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Archive as a byte-reproducible NPZ (see module docstring)."""
+        payload: Dict[str, np.ndarray] = {
+            "__format__": np.asarray([KPI_FORMAT]),
+            "__n__": np.asarray([len(self._rows)], dtype=np.int64),
+        }
+        for name in _STRING_COLUMNS:
+            column = StringColumn.from_values(
+                getattr(row, name) for row in self._rows)
+            payload[f"{name}__codes"] = column.codes
+            payload[f"{name}__table"] = (
+                np.asarray(column.table) if column.table
+                else np.empty(0, dtype="<U1"))
+        payload["value"] = np.asarray(
+            [row.value for row in self._rows], dtype=np.float64)
+        write_deterministic_npz(path, payload)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "KpiStore":
+        with np.load(Path(path), allow_pickle=False) as archive:
+            magic = str(archive["__format__"][0])
+            if magic != KPI_FORMAT:
+                raise ValueError(
+                    f"unsupported KPI archive format {magic!r}")
+            n = int(archive["__n__"][0])
+            strings = {}
+            for name in _STRING_COLUMNS:
+                codes = archive[f"{name}__codes"]
+                table = [str(s) for s in archive[f"{name}__table"]]
+                strings[name] = [table[c] for c in codes]
+            values = archive["value"]
+            if not (len(values) == n
+                    and all(len(strings[s]) == n for s in strings)):
+                raise ValueError("KPI archive column lengths disagree")
+        rows = [KpiRow(cell=strings["cell"][i],
+                       params=strings["params"][i],
+                       kpi=strings["kpi"][i],
+                       subject=strings["subject"][i],
+                       value=float(values[i]))
+                for i in range(n)]
+        return cls(rows)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KpiDelta:
+    """One changed KPI between two runs."""
+
+    cell: str
+    kpi: str
+    subject: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+
+@dataclass
+class KpiDiff:
+    """Structured result of comparing two KPI stores."""
+
+    changed: List[KpiDelta] = field(default_factory=list)
+    only_a: List[Tuple[str, str, str]] = field(default_factory=list)
+    only_b: List[Tuple[str, str, str]] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return not (self.changed or self.only_a or self.only_b)
+
+    @property
+    def total_deltas(self) -> int:
+        return len(self.changed) + len(self.only_a) + len(self.only_b)
+
+
+def diff_stores(a: KpiStore, b: KpiStore,
+                rtol: float = 0.0, atol: float = 0.0) -> KpiDiff:
+    """Compare two stores key-by-key.
+
+    With the default zero tolerances a value matches only when it is
+    bit-equal (NaN matches NaN, so an identical run diffs clean).
+    """
+    keys_a = a.by_key()
+    keys_b = b.by_key()
+    diff = KpiDiff()
+    for key in keys_a:
+        if key not in keys_b:
+            diff.only_a.append(key)
+    for key in keys_b:
+        if key not in keys_a:
+            diff.only_b.append(key)
+    for key, va in keys_a.items():
+        if key not in keys_b:
+            continue
+        diff.compared += 1
+        vb = keys_b[key]
+        if np.isnan(va) and np.isnan(vb):
+            continue
+        if rtol == 0.0 and atol == 0.0:
+            same = va == vb
+        else:
+            same = bool(np.isclose(va, vb, rtol=rtol, atol=atol,
+                                   equal_nan=True))
+        if not same:
+            cell, kpi, subject = key
+            diff.changed.append(KpiDelta(cell=cell, kpi=kpi,
+                                         subject=subject, a=va, b=vb))
+    return diff

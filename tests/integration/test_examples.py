@@ -1,60 +1,77 @@
-"""Smoke tests: the runnable examples execute end to end.
+"""Smoke tests: every runnable example executes end to end.
 
-Each example's ``main()`` is imported and driven with small arguments,
-so a broken public API surfaces here before a user hits it.
+Each ``examples/*.py`` script is run as a subprocess — exactly the way
+a user invokes it — with the smallest duration its CLI accepts, so a
+broken public API or import cycle surfaces here before a user hits it.
+A discovery test pins the example inventory: adding an example without
+a smoke case fails the suite.
 """
 
-import importlib.util
+import os
+import subprocess
+import sys
 from pathlib import Path
 
+import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
-
-def load_example(name: str):
-    path = EXAMPLES_DIR / f"{name}.py"
-    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
-class TestExamples:
-    def test_energy_budget(self, capsys):
-        load_example("energy_budget").main()
-        out = capsys.readouterr().out
-        assert "Terrestrial reference" in out
-        assert "battery" in out
-
-    def test_fleet_congestion(self, capsys):
-        load_example("fleet_congestion").main()
-        out = capsys.readouterr().out
-        assert "Fleet congestion" in out
-
-    def test_quickstart(self, capsys):
-        load_example("quickstart").main()
-        out = capsys.readouterr().out
-        assert "passes over Hong Kong" in out
-        assert "beacons" in out
-
-    def test_passive_availability_small(self, capsys, tmp_path,
-                                        monkeypatch):
-        monkeypatch.chdir(tmp_path)  # the example writes a CSV
-        load_example("passive_global_availability").main(days=0.25)
-        out = capsys.readouterr().out
-        assert "Contact-window statistics" in out
-        assert (tmp_path / "passive_traces.csv").exists()
-
-    def test_figures_export(self, capsys, tmp_path):
-        load_example("figures_export").main(str(tmp_path / "figs"))
-        out = capsys.readouterr().out
-        assert "series files" in out
-        assert any((tmp_path / "figs").iterdir())
+#: script name -> (argv override, substrings the stdout must contain).
+#: Scripts taking a duration run at the smallest sensible value.
+EXAMPLE_CASES = {
+    "quickstart": ((), ("passes over Hong Kong", "beacons")),
+    "energy_budget": ((), ("Terrestrial reference", "battery")),
+    "fleet_congestion": ((), ("Fleet congestion",)),
+    "agriculture_tianqi": (("0.25",), ("End-to-end performance",
+                                       "Costs (paper Table 2)")),
+    "passive_global_availability": (("0.25",),
+                                    ("Contact-window statistics",)),
+    "figures_export": (("{tmp}/figs",), ("series files",)),
+    "community_downlink": ((), ("Community downlink coverage",
+                                "Operator baseline")),
+    "constellation_planning": ((), ("Constellation sizing",
+                                    "presence (h/day)")),
+}
 
 
-class TestAgricultureExample:
-    def test_runs_one_day(self, capsys):
-        load_example("agriculture_tianqi").main(days=1.0)
-        out = capsys.readouterr().out
-        assert "End-to-end performance" in out
-        assert "Costs (paper Table 2)" in out
+def run_example(name: str, argv, tmp_path: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    args = [arg.format(tmp=tmp_path) for arg in argv]
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / f"{name}.py"), *args],
+        capture_output=True, text=True, env=env, cwd=tmp_path,
+        timeout=900)
+
+
+def test_every_example_has_a_smoke_case():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_CASES), (
+        "examples/ and EXAMPLE_CASES disagree — add a smoke case for "
+        f"new scripts: {sorted(scripts ^ set(EXAMPLE_CASES))}")
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_CASES))
+def test_example_runs(name, tmp_path):
+    argv, expected = EXAMPLE_CASES[name]
+    proc = run_example(name, argv, tmp_path)
+    assert proc.returncode == 0, (
+        f"{name}.py exited {proc.returncode}\n--- stdout ---\n"
+        f"{proc.stdout}\n--- stderr ---\n{proc.stderr}")
+    for text in expected:
+        assert text in proc.stdout, (
+            f"{name}.py stdout missing {text!r}\n{proc.stdout}")
+
+
+def test_passive_example_writes_csv(tmp_path):
+    proc = run_example("passive_global_availability", ("0.25",),
+                       tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert (tmp_path / "passive_traces.csv").exists()
+
+
+def test_figures_export_writes_series(tmp_path):
+    proc = run_example("figures_export", ("{tmp}/figs",), tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert any((tmp_path / "figs").iterdir())

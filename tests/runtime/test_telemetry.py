@@ -1,0 +1,60 @@
+"""Edge cases of the shared fixed-width table renderer."""
+
+from satiot.runtime.telemetry import render_fixed_table
+
+
+def test_empty_rows_renders_header_and_rule_only():
+    text = render_fixed_table(["col", "other"], [])
+    lines = text.splitlines()
+    assert lines == ["col  other", "---  -----"]
+
+
+def test_title_line_precedes_header():
+    text = render_fixed_table(["a"], [["1"]], title="Totals")
+    assert text.splitlines()[0] == "Totals"
+
+
+def test_none_cells_render_as_dash():
+    text = render_fixed_table(["name", "value"],
+                              [["x", None], [None, "2"]])
+    lines = text.splitlines()
+    assert lines[2].split() == ["x", "-"]
+    assert lines[3].split() == ["-", "2"]
+
+
+def test_column_width_tracks_widest_cell():
+    text = render_fixed_table(["h"], [["wide-cell"], ["s"]])
+    lines = text.splitlines()
+    assert all(len(line) == len("wide-cell") for line in lines)
+
+
+def test_mixed_width_unicode_headers_stay_aligned():
+    # "卫星" is two wide glyphs = 4 terminal columns.
+    text = render_fixed_table(["卫星", "count"],
+                              [["tianqi", 22], ["北斗x", 3]])
+    lines = text.splitlines()
+    # Every row must start its second column at the same terminal
+    # column: strip the first field + padding and compare offsets by
+    # display width (wide glyph = 2 columns).
+    def display_width(s):
+        import unicodedata
+        return sum(2 if unicodedata.east_asian_width(ch) in "WF" else 1
+                   for ch in s)
+
+    first_col = max(display_width(line.split("  ")[0])
+                    for line in lines)
+    for line in lines:
+        head, rest = line.split("  ", 1)
+        pad = len(line) - len(head + "  " + rest.lstrip()) \
+            if rest.strip() else 0
+        assert display_width(head) + pad <= first_col
+
+    # The rule row's first segment spans the full display width of the
+    # widest first-column entry ("tianqi" = 6).
+    rule = lines[1].split("  ")[0]
+    assert rule == "-" * 6
+
+
+def test_numeric_cells_are_stringified():
+    text = render_fixed_table(["n"], [[3], [14.5]])
+    assert "3" in text and "14.5" in text

@@ -1,0 +1,108 @@
+"""CLI surface of the ``satiot scenario`` command family."""
+
+import json
+
+import pytest
+
+from satiot.cli import main
+from satiot.scenarios import SCENARIO_FORMAT
+
+PHY_DOC = {
+    "format": SCENARIO_FORMAT, "name": "cli-phy", "kind": "phy",
+    "seed": 7,
+    "kpis": ["snr_db"],
+    "sweep": {"phy.payload_bytes": [20, 60]},
+}
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "phy.json"
+    path.write_text(json.dumps(PHY_DOC))
+    return path
+
+
+class TestValidate:
+    def test_ok(self, spec_path, capsys):
+        assert main(["scenario", "validate", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[ OK ]" in out
+        assert "cli-phy" in out
+
+    def test_invalid_names_the_key(self, tmp_path, capsys):
+        bad = dict(PHY_DOC)
+        bad["kind"] = "zeppelin"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        assert main(["scenario", "validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "kind" in out
+
+    def test_not_json(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        path.write_text("{")
+        assert main(["scenario", "validate", str(path)]) == 1
+
+
+class TestGrid:
+    def test_prints_matrix(self, spec_path, capsys):
+        assert main(["scenario", "grid", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "payload_bytes=20" in out
+        assert "payload_bytes=60" in out
+        assert "2 cell(s)" in out
+
+
+class TestRunAndDiff:
+    def test_run_writes_run_dir(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        assert main(["scenario", "run", str(spec_path),
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "manifest.json").is_file()
+        assert (out_dir / "kpis.npz").is_file()
+        out = capsys.readouterr().out
+        assert "snr_db" in out
+
+    def test_identical_runs_diff_clean(self, spec_path, tmp_path,
+                                       capsys):
+        for name in ("a", "b"):
+            assert main(["scenario", "run", str(spec_path),
+                         "--out", str(tmp_path / name)]) == 0
+        assert main(["scenario", "diff", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "0 deltas" in out
+
+    def test_differing_runs_exit_nonzero(self, spec_path, tmp_path,
+                                         capsys):
+        assert main(["scenario", "run", str(spec_path),
+                     "--out", str(tmp_path / "a")]) == 0
+        other = dict(PHY_DOC)
+        other["phy"] = {"eirp_dbm": 14.0}
+        other_path = tmp_path / "other.json"
+        other_path.write_text(json.dumps(other))
+        assert main(["scenario", "run", str(other_path),
+                     "--out", str(tmp_path / "b")]) == 0
+        assert main(["scenario", "diff", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "changed" in out
+
+    def test_missing_spec_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["scenario", "run",
+                     str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "missing.json" in err
+
+    def test_smoke_flag_shrinks_sweep(self, tmp_path, capsys):
+        doc = {"format": SCENARIO_FORMAT, "name": "s", "kind": "phy",
+               "seed": 1,
+               "sweep": {"phy.payload_bytes": [20, 40, 60, 80]}}
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(doc))
+        assert main(["scenario", "run", str(path), "--smoke",
+                     "--out", str(tmp_path / "run")]) == 0
+        manifest = json.loads(
+            (tmp_path / "run" / "manifest.json").read_text())
+        assert len(manifest["cells"]) == 2

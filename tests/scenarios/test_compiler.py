@@ -1,0 +1,140 @@
+"""Compiler lowering: spec documents -> executable cell configs."""
+
+from satiot.core.active import ActiveCampaignConfig
+from satiot.core.campaign import PassiveCampaignConfig
+from satiot.scenarios import (SCENARIO_FORMAT, build_cell_constellations,
+                              compile_cells, parse_scenario)
+
+
+def compile_one(document):
+    cells = compile_cells(parse_scenario(document))
+    assert len(cells) == 1
+    return cells[0]
+
+
+def base(kind, **extra):
+    document = {"format": SCENARIO_FORMAT, "name": "t", "kind": kind,
+                "seed": 9}
+    document.update(extra)
+    return document
+
+
+class TestPassiveLowering:
+    def test_config_fields(self):
+        cell = compile_one(base(
+            "passive",
+            constellation={"names": ["tianqi", "fossa"]},
+            sites=["HK", "SYD"],
+            duration={"days": 2.0},
+            ground={"min_elevation_deg": 5.0}))
+        config = cell.config
+        assert isinstance(config, PassiveCampaignConfig)
+        assert config.sites == ("HK", "SYD")
+        assert config.constellations == ("tianqi", "fossa")
+        assert config.days == 2.0
+        assert config.seed == 9
+        assert config.min_elevation_deg == 5.0
+
+    def test_defaults(self):
+        cell = compile_one(base(
+            "passive", constellation={"names": ["tianqi"]},
+            sites=["HK"]))
+        assert cell.config.days == 1.0
+        assert cell.config.min_elevation_deg == 0.0
+
+
+class TestActiveLowering:
+    def test_config_fields(self):
+        cell = compile_one(base(
+            "active",
+            duration={"days": 4.0},
+            traffic={"node_count": 5, "payload_bytes": 60,
+                     "reading_interval_s": 900},
+            mac={"max_retransmissions": 2}))
+        config = cell.config
+        assert isinstance(config, ActiveCampaignConfig)
+        assert config.days == 4.0
+        assert config.node_count == 5
+        assert config.payload_bytes == 60
+        assert config.reading_interval_s == 900.0
+        assert config.max_retransmissions == 2
+
+
+class TestLongitudinalLowering:
+    def test_kwargs(self):
+        cell = compile_one(base(
+            "longitudinal",
+            constellation={"names": ["tianqi"]},
+            longitudinal={"weeks": 3, "site": "SYD",
+                          "sample_days": 0.5, "period_days": 14}))
+        assert cell.kwargs["weeks"] == 3
+        assert cell.kwargs["site"] == "SYD"
+        assert cell.kwargs["sample_days"] == 0.5
+        assert cell.kwargs["period_days"] == 14.0
+        assert cell.kwargs["constellations"] == ("tianqi",)
+
+
+class TestWalkerLowering:
+    def test_defaults_follow_the_ablation_recipe(self):
+        cell = compile_one(base(
+            "presence",
+            constellation={"walker": {"count": 8}},
+            sites=["HK"]))
+        constellations = build_cell_constellations(cell)
+        (name, constellation), = constellations.items()
+        assert constellation.name == "ABL-8"
+        assert len(constellation) == 8
+        # 600 +/- 10 km band, 97.5 deg SSO.
+        sats = constellation.satellites
+        assert sats[0].norad_id >= 80008
+
+    def test_named_walker(self):
+        cell = compile_one(base(
+            "presence",
+            constellation={"walker": {"count": 4, "name": "MEGA",
+                                      "altitude_km": 550.0,
+                                      "altitude_spread_km": 0.0}},
+            sites=["HK"]))
+        constellations = build_cell_constellations(cell)
+        assert list(constellations.values())[0].name == "MEGA"
+
+
+class TestLighterKinds:
+    def test_downlink_params(self):
+        cell = compile_one(base(
+            "downlink",
+            downlink={"rate_bytes_s": 4000.0, "fleet_size": 1000}))
+        assert cell.params["rate_bytes_s"] == 4000.0
+        assert cell.params["fleet_size"] == 1000
+        assert cell.params["window_s"] == 420.0
+        assert cell.params["packets_per_node"] == 2
+
+    def test_phy_params(self):
+        cell = compile_one(base("phy", phy={"payload_bytes": 40}))
+        assert cell.params["payload_bytes"] == 40
+        assert cell.params["range_km"] == 1400.0
+
+    def test_reception_overrides_coerced_to_float(self):
+        cell = compile_one(base(
+            "reception",
+            constellation={"name": "tianqi",
+                           "overrides": {"beacon_period_s": 2}},
+            sites=["HK"]))
+        constellations = build_cell_constellations(cell)
+        constellation = list(constellations.values())[0]
+        assert constellation.radio.beacon_period_s == 2.0
+        assert isinstance(constellation.radio.beacon_period_s, float)
+
+
+class TestSweepCells:
+    def test_each_cell_carries_its_value(self):
+        document = base(
+            "passive", constellation={"names": ["tianqi"]},
+            sites=["HK"],
+            sweep={"ground.min_elevation_deg": [0.0, 5.0, 10.0]})
+        cells = compile_cells(parse_scenario(document))
+        assert [c.config.min_elevation_deg for c in cells] \
+            == [0.0, 5.0, 10.0]
+        assert [c.index for c in cells] == [0, 1, 2]
+        assert cells[1].sweep_params \
+            == {"ground.min_elevation_deg": 5.0}

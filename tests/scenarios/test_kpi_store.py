@@ -1,0 +1,100 @@
+"""Columnar KPI store: round-trip, byte-determinism, diffing."""
+
+import math
+
+import pytest
+
+from satiot.scenarios import KpiRow, KpiStore, diff_stores
+
+
+def sample_store():
+    store = KpiStore()
+    store.extend([
+        KpiRow("a", "{}", "availability", "Tianqi@HK", 0.79),
+        KpiRow("a", "{}", "availability", "Tianqi@SYD", 0.81),
+        KpiRow("a", "{}", "traces", "", 242.0),
+        KpiRow("b", '{"x":1}', "availability", "Tianqi@HK", 0.5),
+    ])
+    return store
+
+
+class TestStore:
+    def test_cells_in_first_appearance_order(self):
+        assert sample_store().cells() == ["a", "b"]
+
+    def test_value_lookup(self):
+        assert sample_store().value("a", "availability",
+                                    "Tianqi@SYD") == 0.81
+
+    def test_missing_key_raises_with_names(self):
+        with pytest.raises(KeyError, match="availability"):
+            sample_store().value("zzz", "availability", "Tianqi@HK")
+
+    def test_subject_values(self):
+        values = sample_store().subject_values("availability",
+                                               cell="a")
+        assert values == {"Tianqi@HK": 0.79, "Tianqi@SYD": 0.81}
+
+    def test_cell_values(self):
+        values = sample_store().cell_values("availability",
+                                            subject="Tianqi@HK")
+        assert values == {"a": 0.79, "b": 0.5}
+
+    def test_roundtrip(self, tmp_path):
+        store = sample_store()
+        path = tmp_path / "k.npz"
+        store.save(path)
+        assert KpiStore.load(path) == store
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        sample_store().save(a)
+        sample_store().save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unicode_subjects_roundtrip(self, tmp_path):
+        store = KpiStore()
+        store.append(KpiRow("c", "{}", "presence", "天启@HK", 19.1))
+        path = tmp_path / "u.npz"
+        store.save(path)
+        assert KpiStore.load(path).value("c", "presence",
+                                         "天启@HK") == 19.1
+
+
+class TestDiff:
+    def test_identical_stores(self):
+        diff = diff_stores(sample_store(), sample_store())
+        assert diff.identical
+        assert diff.total_deltas == 0
+        assert diff.compared == 4
+
+    def test_value_delta_reported(self):
+        a = sample_store()
+        rows = list(sample_store())
+        rows[0] = KpiRow("a", "{}", "availability", "Tianqi@HK", 0.80)
+        diff = diff_stores(a, KpiStore(rows))
+        assert not diff.identical
+        assert any(d.kpi == "availability" for d in diff.changed)
+
+    def test_missing_keys_reported(self):
+        a = sample_store()
+        b = KpiStore(list(sample_store())[:-1])
+        diff = diff_stores(a, b)
+        assert not diff.identical
+        assert len(diff.only_a) == 1
+
+    def test_nan_matches_nan(self):
+        a, b = KpiStore(), KpiStore()
+        for store in (a, b):
+            store.append(KpiRow("c", "{}", "tco_crossover_months", "",
+                                math.nan))
+        assert diff_stores(a, b).identical
+
+    def test_tolerance(self):
+        a = sample_store()
+        rows = list(sample_store())
+        rows[0] = KpiRow("a", "{}", "availability", "Tianqi@HK",
+                         0.79 + 1e-12)
+        b = KpiStore(rows)
+        assert not diff_stores(a, b).identical
+        assert diff_stores(a, b, atol=1e-9).identical

@@ -1,0 +1,115 @@
+"""Orchestrator: matrix execution, manifests, determinism, diffing."""
+
+import json
+
+import pytest
+
+from satiot.scenarios import (SCENARIO_FORMAT, diff_runs, load_run,
+                              parse_scenario, render_diff_report,
+                              run_scenario, smoke_document)
+
+PHY_DOC = {
+    "format": SCENARIO_FORMAT, "name": "phy-t", "kind": "phy",
+    "seed": 42,
+    "sweep": {"phy.payload_bytes": [20, 60]},
+}
+
+PRESENCE_DOC = {
+    "format": SCENARIO_FORMAT, "name": "walker-t", "kind": "presence",
+    "seed": 42,
+    "constellation": {"walker": {"count": 4}},
+    "sites": ["HK"],
+    "duration": {"days": 0.5},
+    "sweep": {"constellation.walker.count": [4, 8]},
+}
+
+
+@pytest.fixture(scope="module")
+def phy_run():
+    return run_scenario(PHY_DOC)
+
+
+class TestRun:
+    def test_matrix_order(self, phy_run):
+        assert phy_run.cell_ids == ["payload_bytes=20",
+                                    "payload_bytes=60"]
+
+    def test_cell_params(self, phy_run):
+        assert phy_run.cell_params("payload_bytes=60") \
+            == {"phy.payload_bytes": 60}
+
+    def test_kpis_extracted(self, phy_run):
+        airtime_20 = phy_run.store.value("payload_bytes=20",
+                                         "airtime_s", "SF10")
+        airtime_60 = phy_run.store.value("payload_bytes=60",
+                                         "airtime_s", "SF10")
+        assert airtime_60 > airtime_20 > 0
+
+    def test_manifest_fields(self, phy_run):
+        manifest = phy_run.manifest
+        assert manifest["format"] == "satiot-scenario-run-v1"
+        assert manifest["scenario"] == "phy-t"
+        assert manifest["kind"] == "phy"
+        assert manifest["seed"] == 42
+        assert len(manifest["scenario_fingerprint"]) == 16
+        assert manifest["cells"] == ["payload_bytes=20",
+                                     "payload_bytes=60"]
+        assert manifest["kpi_rows"] == len(phy_run.store)
+        # No wall-clock state: manifests of identical runs must match.
+        assert "timestamp" not in json.dumps(manifest)
+
+    def test_save_and_load_roundtrip(self, phy_run, tmp_path):
+        run_dir = phy_run.save(tmp_path / "run")
+        manifest, store = load_run(run_dir)
+        assert store == phy_run.store
+        assert manifest == phy_run.manifest
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_bytes(self, tmp_path):
+        serial = run_scenario(PRESENCE_DOC, workers=1)
+        parallel = run_scenario(PRESENCE_DOC, workers=4)
+        dir_a = serial.save(tmp_path / "serial")
+        dir_b = parallel.save(tmp_path / "parallel")
+        assert (dir_a / "kpis.npz").read_bytes() \
+            == (dir_b / "kpis.npz").read_bytes()
+        assert serial.manifest == parallel.manifest
+
+    def test_diff_of_identical_runs_is_empty(self, tmp_path):
+        dir_a = run_scenario(PHY_DOC).save(tmp_path / "a")
+        dir_b = run_scenario(PHY_DOC).save(tmp_path / "b")
+        diff, manifest_a, manifest_b = diff_runs(dir_a, dir_b)
+        assert diff.identical
+        report = render_diff_report(diff, manifest_a, manifest_b)
+        assert "0 deltas" in report
+
+
+class TestSmokeDocument:
+    def test_passive_duration_capped(self):
+        doc = {"format": SCENARIO_FORMAT, "name": "s",
+               "kind": "passive",
+               "seed": 1, "constellation": {"names": ["tianqi"]},
+               "sites": ["HK"], "duration": {"days": 7.0},
+               "sweep": {"ground.min_elevation_deg":
+                         [0.0, 5.0, 10.0, 15.0]}}
+        smoke = smoke_document(doc)
+        spec = parse_scenario(smoke)
+        assert spec.section("duration")["days"] <= 0.25
+        assert all(len(v) <= 2 for v in spec.sweep.values())
+
+    def test_longitudinal_weeks_capped(self):
+        doc = {"format": SCENARIO_FORMAT, "name": "s",
+               "kind": "longitudinal", "seed": 1,
+               "constellation": {"names": ["tianqi"]},
+               "longitudinal": {"weeks": 8, "sample_days": 1.0}}
+        spec = parse_scenario(smoke_document(doc))
+        assert spec.section("longitudinal")["weeks"] <= 2
+        assert spec.section("longitudinal")["sample_days"] <= 0.25
+
+    def test_original_document_untouched(self):
+        doc = {"format": SCENARIO_FORMAT, "name": "s",
+               "kind": "passive",
+               "seed": 1, "constellation": {"names": ["tianqi"]},
+               "sites": ["HK"], "duration": {"days": 7.0}}
+        smoke_document(doc)
+        assert doc["duration"]["days"] == 7.0

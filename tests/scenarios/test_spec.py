@@ -1,0 +1,151 @@
+"""Spec-layer validation and grid expansion."""
+
+import pytest
+
+from satiot.scenarios import (SCENARIO_FORMAT, ScenarioError,
+                              expand_grid, parse_scenario,
+                              scenario_fingerprint)
+
+
+def minimal(kind="passive", **extra):
+    document = {"format": SCENARIO_FORMAT, "name": "t", "kind": kind,
+                "seed": 7}
+    if kind == "passive":
+        document.update({"constellation": {"names": ["tianqi"]},
+                         "sites": ["HK"],
+                         "duration": {"days": 0.5}})
+    elif kind == "downlink":
+        document["downlink"] = {"rate_bytes_s": 1000.0,
+                                "fleet_size": 10}
+    document.update(extra)
+    return document
+
+
+class TestValidationErrors:
+    """Errors must name the offending dotted key."""
+
+    def test_wrong_format(self):
+        with pytest.raises(ScenarioError, match="'format'"):
+            parse_scenario({"format": "nope", "name": "t",
+                            "kind": "passive", "seed": 1})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ScenarioError, match="'kind'"):
+            parse_scenario(minimal(kind="zeppelin"))
+
+    def test_unknown_section_key_is_named(self):
+        doc = minimal()
+        doc["duration"] = {"days": 0.5, "dayz": 1}
+        with pytest.raises(ScenarioError, match="'duration.dayz'"):
+            parse_scenario(doc)
+
+    def test_type_error_names_key(self):
+        doc = minimal()
+        doc["duration"] = {"days": "long"}
+        with pytest.raises(ScenarioError, match="'duration.days'"):
+            parse_scenario(doc)
+
+    def test_negative_duration_rejected(self):
+        doc = minimal()
+        doc["duration"] = {"days": -1.0}
+        with pytest.raises(ScenarioError, match="'duration.days'"):
+            parse_scenario(doc)
+
+    def test_unknown_constellation_listed(self):
+        doc = minimal()
+        doc["constellation"] = {"names": ["tianqi", "iridium"]}
+        with pytest.raises(ScenarioError,
+                           match="'constellation.names'"):
+            parse_scenario(doc)
+
+    def test_unknown_site_named(self):
+        doc = minimal()
+        doc["sites"] = ["HK", "XX"]
+        with pytest.raises(ScenarioError, match="sites"):
+            parse_scenario(doc)
+
+    def test_section_not_allowed_for_kind(self):
+        doc = minimal()
+        doc["downlink"] = {"rate_bytes_s": 1.0, "fleet_size": 1}
+        with pytest.raises(ScenarioError, match="'downlink'"):
+            parse_scenario(doc)
+
+    def test_sweep_path_must_exist(self):
+        doc = minimal(sweep={"ground.mask": [1.0, 2.0]})
+        with pytest.raises(ScenarioError, match="sweep"):
+            parse_scenario(doc)
+
+    def test_sweep_values_are_validated(self):
+        doc = minimal(sweep={"duration.days": [0.5, -2.0]})
+        with pytest.raises(ScenarioError, match="duration.days"):
+            parse_scenario(doc)
+
+    def test_longitudinal_site_is_a_string(self):
+        doc = {"format": SCENARIO_FORMAT, "name": "t",
+               "kind": "longitudinal", "seed": 1,
+               "constellation": {"names": ["tianqi"]},
+               "longitudinal": {"weeks": 2, "site": 7}}
+        with pytest.raises(ScenarioError,
+                           match="'longitudinal.site'"):
+            parse_scenario(doc)
+
+
+class TestDefaults:
+    def test_defaults_filled(self):
+        spec = parse_scenario(minimal())
+        assert spec.section("ground")["min_elevation_deg"] == 0.0
+        assert spec.section("ground")["stations"] is None
+
+    def test_input_not_mutated(self):
+        doc = minimal()
+        parse_scenario(doc)
+        assert "ground" not in doc
+
+    def test_reparse_is_idempotent(self):
+        spec = parse_scenario(minimal())
+        again = parse_scenario(spec.document)
+        assert again.document == spec.document
+
+
+class TestGrid:
+    def test_sweepless_is_single_cell(self):
+        cells = expand_grid(parse_scenario(minimal()))
+        assert [cid for cid, _, _ in cells] == ["t"]
+
+    def test_first_axis_outermost(self):
+        doc = minimal(sweep={"ground.min_elevation_deg": [0.0, 5.0],
+                             "duration.days": [0.5, 1.0]})
+        cells = expand_grid(parse_scenario(doc))
+        assert [cid for cid, _, _ in cells] == [
+            "min_elevation_deg=0.0,days=0.5",
+            "min_elevation_deg=0.0,days=1.0",
+            "min_elevation_deg=5.0,days=0.5",
+            "min_elevation_deg=5.0,days=1.0",
+        ]
+
+    def test_cell_documents_carry_the_value(self):
+        doc = minimal(sweep={"ground.min_elevation_deg": [0.0, 5.0]})
+        cells = expand_grid(parse_scenario(doc))
+        masks = [spec.section("ground")["min_elevation_deg"]
+                 for _, _, spec in cells]
+        assert masks == [0.0, 5.0]
+
+    def test_grid_is_deterministic(self):
+        doc = minimal(sweep={"ground.min_elevation_deg": [0.0, 5.0]})
+        a = expand_grid(parse_scenario(doc))
+        b = expand_grid(parse_scenario(doc))
+        assert [cid for cid, _, _ in a] == [cid for cid, _, _ in b]
+
+
+class TestFingerprint:
+    def test_stable_across_parses(self):
+        doc = minimal(sweep={"duration.days": [0.5, 1.0]})
+        assert scenario_fingerprint(parse_scenario(doc)) \
+            == scenario_fingerprint(parse_scenario(doc))
+
+    def test_sensitive_to_values(self):
+        a = scenario_fingerprint(parse_scenario(minimal()))
+        doc = minimal()
+        doc["duration"] = {"days": 0.75}
+        b = scenario_fingerprint(parse_scenario(doc))
+        assert a != b
