@@ -22,26 +22,46 @@ Measures the four costs the PR 2 refactor targets, at campaign scale
 It also archives the merged dataset through CSV / JSONL / NPZ and
 records the file sizes.
 
+The **streaming tier** (``test_trace_store_streaming``, also runnable
+standalone via ``python bench_trace_store.py --smoke``) spills a
+campaign through :mod:`satiot.streams` in a child process and measures
+the child's *peak RSS* (``resource.getrusage``): out-of-core memory
+must stay within a fixed budget that does not grow with trace count,
+while the streaming KPI reducers reproduce the in-RAM numbers exactly.
+The spilled shard manifest is copied into ``benchmarks/output/`` for
+the CI artifact.
+
 Asserted contracts (the ISSUE acceptance numbers):
 
 * at 1e5 traces the columnar merge+filter path is >= 5x faster than the
   row baseline (only checked when a >= 1e5 size is measured, i.e. not
   in tiny mode — tiny mode asserts the columnar path merely wins);
-* the NPZ archive is >= 3x smaller than the CSV archive at every size.
+* the NPZ archive is >= 3x smaller than the CSV archive at every size;
+* the streaming tier's child peak RSS stays under
+  :data:`STREAM_RSS_BUDGET_MIB` at every size (1e7 traces in full
+  mode), and its KPIs are bit-identical to the in-RAM fold (checked
+  directly up to 1e6; via shard-partitioning invariance at 1e7).
 
-Metrics land in ``benchmarks/output/trace_store.json`` for the CI
-artifact, next to the human-readable table.
+Metrics land in ``benchmarks/output/trace_store.json`` and
+``trace_store_streaming.json`` for the CI artifact, next to the
+human-readable tables.
 """
 
 from __future__ import annotations
 
 import gc
+import json
 import os
 import pickle
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
+import satiot
 from satiot.core.report import format_table
 from satiot.groundstation.traces import (BeaconTrace, TraceColumns,
                                          TraceDataset)
@@ -55,14 +75,35 @@ BEACONS_PER_PASS = 600
 SITES = ("HK", "SYD")
 CONSTELLATIONS = ("Tianqi", "FOSSA")
 
+#: Streaming tier sizes: smoke keeps CI in seconds; full mode proves
+#: the 1e7-trace acceptance bound.
+STREAM_SIZES = (100_000,) if TINY else (1_000_000, 10_000_000)
+STREAM_ROWS_PER_SHARD = 200_000
+#: Peak-RSS ceiling for the spilling child process.  Fixed — it must
+#: NOT scale with the trace count: interpreter + NumPy baseline plus
+#: one shard buffer and O(passes) reducer state.  An in-RAM 1e7-trace
+#: dataset alone is ~0.9 GiB resident, transiently doubled while the
+#: campaign consolidates its blocks.
+STREAM_RSS_BUDGET_MIB = 600.0
+#: Largest size whose in-RAM reference fold is computed directly in
+#: the parent; beyond it the equality is established by shard-
+#: partitioning invariance (two children, different shard sizes).
+STREAM_IN_RAM_CHECK_MAX = 1_000_000
+
+_SRC_DIR = str(Path(satiot.__file__).resolve().parent.parent)
+
 
 # ---------------------------------------------------------------------------
 # Synthetic per-pass receiver output (arrays, as the PHY layer emits them)
 
-def _synthesize_passes(n_traces: int):
-    """Yield per-pass dicts of sample arrays, realistic and quantized."""
+def _iter_passes(n_traces: int):
+    """Yield per-pass dicts of sample arrays, realistic and quantized.
+
+    A generator so the streaming tier can spill a campaign that never
+    exists in memory at once; the emitted stream is a deterministic
+    function of ``(SEED, n_traces)``.
+    """
     rng = np.random.default_rng(SEED)
-    passes = []
     produced = 0
     index = 0
     while produced < n_traces:
@@ -71,7 +112,7 @@ def _synthesize_passes(n_traces: int):
         constellation = CONSTELLATIONS[index % len(CONSTELLATIONS)]
         norad = 44100 + (index % 7)
         t0 = 86400.0 * (index // len(SITES))
-        passes.append(dict(
+        yield dict(
             n=n,
             time_s=np.round(t0 + np.cumsum(rng.uniform(0.8, 1.2, n)), 3),
             station_id=f"{site}-1", site=site,
@@ -86,10 +127,13 @@ def _synthesize_passes(n_traces: int):
             doppler_hz=np.round(rng.uniform(-9000.0, 9000.0, n)),
             raining=bool(index % 5 == 0),
             pass_id=f"{site}-{norad}-{index}",
-        ))
+        )
         produced += n
         index += 1
-    return passes
+
+
+def _synthesize_passes(n_traces: int):
+    return list(_iter_passes(n_traces))
 
 
 # ---------------------------------------------------------------------------
@@ -291,3 +335,204 @@ def test_trace_store(benchmark):
               "(higher is better)")
     write_output("trace_store", table)
     write_json("trace_store", {"tiny": TINY, "sizes": results})
+
+
+# ---------------------------------------------------------------------------
+# Streaming tier: out-of-core spill in a child process, peak RSS asserted
+
+def _kpis_json(kpis) -> str:
+    """Canonical text form of a reducer's finalized KPIs.
+
+    NaN survives ``json.dumps``/``loads`` and float repr round-trips
+    float64 exactly, so string equality here is bit equality of every
+    KPI value.
+    """
+    return json.dumps({"/".join(subject): values
+                       for subject, values in kpis.items()},
+                      sort_keys=True)
+
+
+def _stream_child(spec: dict) -> None:
+    """Child-process body: synthesize, spill, fold — never hold the
+    campaign in memory.  Emits one JSON line on stdout."""
+    import resource
+
+    from satiot.streams.reducers import StreamingKpiReducer
+    from satiot.streams.spill import ShardSpillWriter
+
+    n_traces = spec["n_traces"]
+    writer = ShardSpillWriter(
+        spec["spill_dir"], rows_per_shard=spec["rows_per_shard"],
+        fingerprint=f"bench-trace-store-{n_traces}")
+    reducer = StreamingKpiReducer()
+    t_max = 0.0
+    start = time.perf_counter()
+    for p in _iter_passes(n_traces):
+        block = TraceColumns.from_arrays(**p)
+        t_max = max(t_max, float(p["time_s"][-1]))
+        writer.write(block)
+        reducer.update(block)
+    manifest = writer.finalize(meta={"engine": "bench_trace_store"})
+    span_s = t_max + 1.0
+    kpis = reducer.finalize(span_s)
+    print(json.dumps({
+        "maxrss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "rows": manifest["total_rows"],
+        "shards": len(manifest["shards"]),
+        "span_s": span_s,
+        "wall_s": time.perf_counter() - start,
+        "kpis_json": _kpis_json(kpis),
+    }))
+
+
+def _run_stream_child(n_traces: int, rows_per_shard: int,
+                      spill_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    spec = json.dumps({"n_traces": n_traces,
+                       "rows_per_shard": rows_per_shard,
+                       "spill_dir": str(spill_dir)})
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--stream-child", spec],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"stream child failed (rc {proc.returncode}):\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _in_ram_kpis_json(n_traces: int) -> str:
+    """Reference fold with the whole campaign materialized at once."""
+    from satiot.streams.reducers import StreamingKpiReducer
+
+    blocks = [TraceColumns.from_arrays(**p)
+              for p in _iter_passes(n_traces)]
+    whole = TraceColumns.concat(blocks)
+    t_max = float(whole.column("time_s").max())
+    reducer = StreamingKpiReducer()
+    reducer.update(whole)
+    return _kpis_json(reducer.finalize(t_max + 1.0))
+
+
+def _bytes_per_row_estimate() -> float:
+    probe = TraceDataset()
+    for p in _iter_passes(6_000):
+        probe.extend(TraceColumns.from_arrays(**p))
+    return probe.nbytes / len(probe)
+
+
+def _measure_streaming(n_traces: int) -> dict:
+    # Clamp so even smoke sizes cut several shards.
+    rows_per_shard = min(STREAM_ROWS_PER_SHARD,
+                         max(10_000, n_traces // 4))
+    with tempfile.TemporaryDirectory(prefix="satiot-bench-spill-") as tmp:
+        spill_dir = Path(tmp) / "spill"
+        child = _run_stream_child(n_traces, rows_per_shard, spill_dir)
+        manifest = json.loads(
+            (spill_dir / "manifest.json").read_text())
+
+        assert child["rows"] == n_traces
+        maxrss_mib = child["maxrss_kib"] / 1024.0
+        assert maxrss_mib <= STREAM_RSS_BUDGET_MIB, \
+            (f"streaming child peaked at {maxrss_mib:.0f} MiB "
+             f"(> {STREAM_RSS_BUDGET_MIB:.0f} MiB budget) "
+             f"at {n_traces} traces")
+
+        # Streaming KPIs must reproduce the in-RAM fold exactly.  Up
+        # to STREAM_IN_RAM_CHECK_MAX the reference is computed here in
+        # one consolidated block; past it the campaign no longer fits
+        # comfortably, so a second child with a different shard size
+        # must agree bit-for-bit (partition invariance — the one-block
+        # fold is just the coarsest partition).
+        if n_traces <= STREAM_IN_RAM_CHECK_MAX:
+            reference, check = _in_ram_kpis_json(n_traces), "in-ram"
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="satiot-bench-spill-alt-") as alt:
+                sibling = _run_stream_child(
+                    n_traces, int(rows_per_shard * 0.65),
+                    Path(alt) / "spill")
+            reference, check = sibling["kpis_json"], "repartition"
+        assert child["kpis_json"] == reference, \
+            f"streaming KPIs diverged from {check} fold at {n_traces}"
+
+    return {
+        "traces": n_traces,
+        "rows_per_shard": rows_per_shard,
+        "shards": child["shards"],
+        "wall_s": child["wall_s"],
+        "maxrss_mib": maxrss_mib,
+        "rss_budget_mib": STREAM_RSS_BUDGET_MIB,
+        "in_ram_bytes_est": int(n_traces * _BYTES_PER_ROW),
+        "kpi_check": check,
+        "manifest": manifest,
+    }
+
+
+_BYTES_PER_ROW = None
+
+
+def _run_streaming_tier(sizes) -> list:
+    global _BYTES_PER_ROW
+    if _BYTES_PER_ROW is None:
+        _BYTES_PER_ROW = _bytes_per_row_estimate()
+    results = [_measure_streaming(n) for n in sizes]
+
+    rows = []
+    for res in results:
+        rows.append([
+            res["traces"], res["shards"],
+            f"{res['maxrss_mib']:.0f} MiB",
+            f"{res['rss_budget_mib']:.0f} MiB",
+            f"{res['in_ram_bytes_est'] / 2**20:.0f} MiB",
+            f"{res['wall_s']:.1f} s",
+            res["kpi_check"],
+        ])
+    table = format_table(
+        ["Traces", "shards", "peak RSS", "budget", "in-RAM est",
+         "wall", "KPI check"], rows,
+        title="Trace store — streaming spill tier (child-process "
+              "peak RSS vs fixed budget)")
+    write_output("trace_store_streaming", table)
+    write_json("trace_store_streaming", {
+        "tiny": TINY,
+        "sizes": [{k: v for k, v in r.items() if k != "manifest"}
+                  for r in results],
+    })
+    # CI artifact: the shard manifest of the largest spilled archive.
+    write_json("trace_store_stream_manifest", results[-1]["manifest"])
+    return results
+
+
+def test_trace_store_streaming(benchmark):
+    benchmark.pedantic(lambda: _run_streaming_tier(STREAM_SIZES),
+                       rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="trace-store streaming benchmark tier")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smoke sizes regardless of "
+                             "SATIOT_BENCH_TINY")
+    parser.add_argument("--stream-child", metavar="SPEC",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.stream_child:
+        _stream_child(json.loads(args.stream_child))
+        return 0
+    sizes = (100_000,) if args.smoke else STREAM_SIZES
+    results = _run_streaming_tier(sizes)
+    for res in results:
+        print(f"{res['traces']} traces -> {res['shards']} shards, "
+              f"peak RSS {res['maxrss_mib']:.0f} MiB "
+              f"(budget {res['rss_budget_mib']:.0f} MiB), "
+              f"KPI check: {res['kpi_check']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ Subcommands mirror the library's workflows::
     python -m satiot active --days 2
     python -m satiot coverage tianqi --hours 24
     python -m satiot dataset export archive/ --sites HK,SYD --days 1
-    python -m satiot dataset info archive/     # manifest + per-site table
+    python -m satiot dataset info archive/     # manifest-only, O(1)
+    python -m satiot dataset info spill/ --verify  # checksum v2 shards
+    python -m satiot passive --days 7 --spill spill/  # out-of-core run
     python -m satiot catalog synth fleet.3le.gz   # 5k-sat mega fleet
     python -m satiot catalog insert cat.db fleet.3le.gz --group-from-name
     python -m satiot catalog get cat.db group:MEGA-SHELL-D
@@ -28,8 +30,6 @@ import os
 import sys
 from typing import Optional, Sequence
 
-
-import numpy as np
 
 from . import __version__
 from .faults import FAULTS_ENV, FaultPlane, install_plane
@@ -103,6 +103,23 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         help="print per-shard runtime telemetry (wall time, events/s, "
              "ephemeris-cache hit/miss)")
     _add_faults_arg(parser)
+
+
+def _add_spill_args(parser: argparse.ArgumentParser,
+                    resume: bool = False) -> None:
+    parser.add_argument(
+        "--spill", default=None, metavar="DIR",
+        help="stream traces into a sharded satiot-traces-v2 archive "
+             "under DIR (bounded memory; see docs/streams.md)")
+    parser.add_argument(
+        "--rows-per-shard", type=int, default=100_000,
+        help="rows per spilled shard (default: 100000)")
+    if resume:
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="resume a killed run from DIR's checkpoint; the "
+                 "finished archive is byte-identical to an "
+                 "uninterrupted run")
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -206,6 +223,11 @@ def cmd_passive(args: argparse.Namespace) -> int:
                                     result.total_traces, args.out)
         fmt = result.dataset.save(args.out, trace_format=fmt)
         print(f"wrote {args.out} ({fmt})")
+    if args.spill:
+        manifest = result.spill_to(args.spill,
+                                   rows_per_shard=args.rows_per_shard)
+        print(f"spilled {manifest['total_rows']} traces into "
+              f"{len(manifest['shards'])} shard(s) under {args.spill}")
     return 0
 
 
@@ -237,13 +259,70 @@ def cmd_dataset_export(args: argparse.Namespace) -> int:
           f"({manifest.trace_format}) under {args.root}")
     for code, count in sorted(manifest.sites.items()):
         print(f"  {code}: {count} traces")
+    if args.spill:
+        try:
+            stream = result.spill_to(
+                args.spill, rows_per_shard=args.rows_per_shard)
+        except (OSError, ValueError) as error:
+            return _dataset_error("write", args.spill, error)
+        print(f"spilled {stream['total_rows']} traces into "
+              f"{len(stream['shards'])} shard(s) under {args.spill}")
+    return 0
+
+
+def _stream_archive_info(args: argparse.Namespace) -> int:
+    """Summarise a sharded ``satiot-traces-v2`` spill archive.
+
+    Reads only ``manifest.json`` — O(1) in archive size — unless
+    ``--verify`` asks for the full checksum walk.  A truncated or
+    corrupt shard surfaces as exit 2 with the offending file named.
+    """
+    from .streams.spill import ShardedTraceReader
+    try:
+        reader = ShardedTraceReader(args.root)
+        if args.verify:
+            reader.verify()
+    except (OSError, ValueError, TypeError, KeyError) as error:
+        return _dataset_error("read", args.root, error)
+    manifest = reader.manifest
+    meta = reader.meta
+    print(format_kv([
+        ("format", manifest["format"]),
+        ("engine", meta.get("engine", "-")),
+        ("total rows", reader.total_rows),
+        ("shards", reader.shard_count),
+        ("rows per shard", manifest["rows_per_shard"]),
+        ("fingerprint", (manifest.get("fingerprint") or "-")[:16]),
+        ("verified", "checksums OK" if args.verify
+         else "no (manifest only; use --verify)"),
+    ], precision=1, title=f"Dataset archive {args.root}"))
+    print(format_table(
+        ["Shard", "rows", "sha256"],
+        [[entry["name"], entry["rows"], entry["sha256"][:12]]
+         for entry in manifest["shards"]], precision=0))
     return 0
 
 
 def cmd_dataset_info(args: argparse.Namespace) -> int:
-    from .datasets import load_dataset
+    from pathlib import Path
+
+    from .datasets import _site_traces_path, read_manifest
+    from .streams.spill import is_stream_archive
+    if is_stream_archive(args.root):
+        return _stream_archive_info(args)
     try:
-        manifest, datasets = load_dataset(args.root)
+        manifest = read_manifest(args.root)
+        # O(1) per site: stat the trace file, never parse it.  --verify
+        # upgrades to a full load with row-count validation.
+        site_rows = []
+        for code in sorted(manifest.sites):
+            path = _site_traces_path(Path(args.root), code,
+                                     manifest.trace_format)
+            site_rows.append([code, manifest.sites[code], path.name,
+                              path.stat().st_size / 1024.0])
+        if args.verify:
+            from .datasets import load_dataset
+            load_dataset(args.root)
     except (OSError, ValueError, TypeError, KeyError) as error:
         return _dataset_error("read", args.root, error)
     print(format_kv([
@@ -252,18 +331,12 @@ def cmd_dataset_info(args: argparse.Namespace) -> int:
         ("days", manifest.days),
         ("trace format", manifest.trace_format),
         ("total traces", manifest.total_traces),
+        ("verified", "row counts OK" if args.verify
+         else "no (manifest only; use --verify)"),
     ], precision=1, title=f"Dataset archive {args.root}"))
-    rows = []
-    for code in sorted(datasets):
-        dataset = datasets[code]
-        rssi = dataset.column("rssi_dbm")
-        rows.append([code, len(dataset),
-                     ", ".join(dataset.constellations()),
-                     float(np.median(rssi)) if rssi.size else
-                     float("nan")])
     print(format_table(
-        ["Site", "traces", "constellations", "median RSSI (dBm)"],
-        rows, precision=1))
+        ["Site", "traces", "file", "size (KiB)"], site_rows,
+        precision=1))
     return 0
 
 
@@ -558,7 +631,10 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         spec = parse_scenario(document)
     except ScenarioError as error:
         return _scenario_error(f"run scenario {args.spec!r}", error)
-    run = run_scenario(spec, workers=args.workers, out_dir=args.out)
+    run = run_scenario(spec, workers=args.workers, out_dir=args.out,
+                       spill_dir=args.spill,
+                       rows_per_shard=args.rows_per_shard,
+                       resume=args.resume)
     print(render_kpi_table(run, spec.kpis))
     if args.out:
         print(f"wrote manifest.json + kpis.npz "
@@ -651,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="trace output path (csv/jsonl/npz)")
     _add_trace_format_arg(p)
+    _add_spill_args(p)
     _add_runtime_args(p)
     p.set_defaults(func=cmd_passive)
 
@@ -667,13 +744,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--days", type=float, default=1.0)
     p.add_argument("--name", default="sinet-sim")
     _add_trace_format_arg(p)
+    _add_spill_args(p)
     _add_runtime_args(p)
     p.set_defaults(func=cmd_dataset_export)
 
     p = dataset_sub.add_parser(
-        "info", help="load an archive (format auto-detected from the "
-                     "manifest) and summarise it")
+        "info", help="summarise an archive from its manifest alone "
+                     "(O(1); works on SINet layouts and sharded "
+                     "satiot-traces-v2 spill archives)")
     p.add_argument("root", help="archive directory")
+    p.add_argument("--verify", action="store_true",
+                   help="also read every trace file: checksum each "
+                        "v2 shard / row-count-check each site file")
     p.set_defaults(func=cmd_dataset_info)
 
     p = sub.add_parser("active", help="run the active Tianqi campaign")
@@ -802,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="shrink durations and truncate sweep axes to "
                         "their first two values (CI smoke mode)")
+    _add_spill_args(p, resume=True)
     _add_runtime_args(p)
     p.set_defaults(func=cmd_scenario_run)
 

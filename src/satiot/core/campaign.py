@@ -128,6 +128,50 @@ class PassiveCampaignResult:
         return self.site_results[site].receptions_by_constellation(
             constellation)
 
+    def spill_to(self, root, rows_per_shard: int = 100_000) -> dict:
+        """Archive the dataset as sharded ``satiot-traces-v2``.
+
+        Streams the dataset's column blocks through the deterministic
+        shard writer (peak memory stays one shard) and records the
+        per-(site, constellation) sent/received counters in the
+        manifest meta so streaming KPI reducers can compute loss rates
+        without the reception objects.  Returns the manifest.
+        """
+        # Lazy import: satiot.streams depends on this module.
+        from ..streams.checkpoint import campaign_fingerprint
+        from ..streams.spill import ShardSpillWriter
+        cfg = self.config
+        fingerprint = campaign_fingerprint({
+            "engine": "passive-v1",
+            "sites": list(cfg.sites),
+            "constellations": list(cfg.constellations),
+            "days": cfg.days,
+            "start_day_offset": cfg.start_day_offset,
+            "seed": cfg.seed,
+            "min_elevation_deg": cfg.min_elevation_deg,
+            "coarse_step_s": cfg.coarse_step_s,
+            "channel_params": repr(cfg.channel_params),
+            "rows_per_shard": int(rows_per_shard),
+        })
+        sent: Dict[str, int] = {}
+        received: Dict[str, int] = {}
+        for code, site_result in self.site_results.items():
+            for reception in site_result.receptions:
+                name = reception.scheduled.satellite.constellation_name
+                key = f"{code}/{name}".lower()
+                sent[key] = sent.get(key, 0) + reception.beacons_sent
+                received[key] = (received.get(key, 0)
+                                 + len(reception.traces))
+        writer = ShardSpillWriter(root, rows_per_shard=rows_per_shard,
+                                  fingerprint=fingerprint)
+        writer.write_dataset(self.dataset)
+        return writer.finalize(meta={
+            "engine": "passive",
+            "span_s": self.duration_s,
+            "sent": sent,
+            "received": received,
+        })
+
 
 # ----------------------------------------------------------------------
 # Shard-level computation (module-level: must be picklable for the

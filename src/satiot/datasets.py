@@ -21,16 +21,19 @@ formats (recorded in the manifest and auto-detected on load):
 
 from __future__ import annotations
 
+import csv
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from .core.campaign import PassiveCampaignResult
-from .groundstation.traces import TRACE_FORMATS, TraceDataset
+from .groundstation.traces import (TRACE_FORMATS, TraceColumns,
+                                   TraceDataset, _block_text_rows,
+                                   _FIELD_ORDER, iter_sorted_chunks)
 
 __all__ = ["DatasetManifest", "export_dataset", "load_dataset",
-           "NPZ_AUTO_THRESHOLD"]
+           "read_manifest", "NPZ_AUTO_THRESHOLD"]
 
 MANIFEST_NAME = "manifest.json"
 
@@ -74,6 +77,49 @@ def _resolve_format(trace_format: str, total_traces: int) -> str:
     return trace_format
 
 
+def _site_blocks(dataset: TraceDataset,
+                 code: str) -> List[TraceColumns]:
+    """Per-block site filter; row order matches a consolidated select."""
+    blocks = []
+    for block in dataset.blocks():
+        mask = block.string_column("site").mask_eq(code)
+        if mask.any():
+            blocks.append(block.take(mask))
+    return blocks
+
+
+def _export_site_streaming(dataset: TraceDataset, code: str,
+                           path: Path, fmt: str) -> int:
+    """Write one site's traces time-sorted without consolidating.
+
+    Row-for-row (and therefore byte-for-byte) identical to
+    ``dataset.by_site(code).sorted_by_time().save(path)``: per-block
+    site filtering preserves the consolidated row order, and
+    :func:`iter_sorted_chunks` replays the same stable time sort in
+    bounded chunks.  Peak memory is one chunk plus the site's time
+    column instead of the whole campaign.
+    """
+    blocks = _site_blocks(dataset, code)
+    total = sum(block.n for block in blocks)
+    chunks = iter_sorted_chunks(blocks)
+    if fmt == "csv":
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(_FIELD_ORDER))
+            writer.writeheader()
+            for chunk in chunks:
+                for row in _block_text_rows(chunk):
+                    writer.writerow(row)
+    elif fmt == "jsonl":
+        with path.open("w") as fh:
+            for chunk in chunks:
+                for row in _block_text_rows(chunk):
+                    fh.write(json.dumps(row) + "\n")
+    else:
+        raise ValueError(
+            f"streaming export supports csv/jsonl, not {fmt!r}")
+    return total
+
+
 def export_dataset(result: PassiveCampaignResult,
                    root: Union[str, Path],
                    name: str = "sinet-sim",
@@ -92,9 +138,17 @@ def export_dataset(result: PassiveCampaignResult,
     for code, site_result in result.site_results.items():
         site_dir = root / code
         site_dir.mkdir(exist_ok=True)
-        dataset = result.dataset.by_site(code).sorted_by_time()
-        dataset.save(site_dir / f"traces.{fmt}", trace_format=fmt)
-        site_counts[code] = len(dataset)
+        path = site_dir / f"traces.{fmt}"
+        if fmt in ("csv", "jsonl"):
+            # Text conversion streams column-block-by-block; the NPZ
+            # writer needs the consolidated (canonically re-interned)
+            # columns anyway, so it keeps the in-RAM path.
+            site_counts[code] = _export_site_streaming(
+                result.dataset, code, path, fmt)
+        else:
+            dataset = result.dataset.by_site(code).sorted_by_time()
+            dataset.save(path, trace_format=fmt)
+            site_counts[code] = len(dataset)
 
     manifest = DatasetManifest(
         name=name,
@@ -108,6 +162,20 @@ def export_dataset(result: PassiveCampaignResult,
     )
     (root / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
     return manifest
+
+
+def read_manifest(root: Union[str, Path]) -> DatasetManifest:
+    """O(1) archive metadata: read only ``manifest.json``.
+
+    Unlike :func:`load_dataset` this never opens a trace file, so it is
+    fast regardless of archive size; callers that only need counts and
+    format (``satiot dataset info``) should prefer it.
+    """
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+    return DatasetManifest.from_json(manifest_path.read_text())
 
 
 def _site_traces_path(root: Path, code: str, fmt: str) -> Path:
@@ -135,10 +203,7 @@ def load_dataset(root: Union[str, Path],
     to whatever single known format exists per site directory).
     """
     root = Path(root)
-    manifest_path = root / MANIFEST_NAME
-    if not manifest_path.exists():
-        raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
-    manifest = DatasetManifest.from_json(manifest_path.read_text())
+    manifest = read_manifest(root)
 
     datasets: Dict[str, TraceDataset] = {}
     for code, expected in manifest.sites.items():

@@ -85,6 +85,10 @@ SITES: Dict[str, str] = {
     "batcher.flush":
         "defer a micro-batch flush by one coalescing window "
         "(costs latency, never output)",
+    "stream.shard_write":
+        "tear a spilled trace-shard write (half the bytes land); the "
+        "writer's readback checksum detects it and rewrites, so the "
+        "archive stays byte-identical",
 }
 
 

@@ -38,7 +38,7 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
 import numpy as np
 
 __all__ = ["BeaconTrace", "StringColumn", "TraceColumns", "TraceDataset",
-           "TRACE_FIELD_KINDS", "TRACE_FORMATS"]
+           "TRACE_FIELD_KINDS", "TRACE_FORMATS", "iter_sorted_chunks"]
 
 #: Formats a dataset can round-trip through.
 TRACE_FORMATS = ("csv", "jsonl", "npz")
@@ -249,6 +249,18 @@ class StringColumn:
         if len(hits) == 1:
             return self.codes == hits[0]
         return np.isin(self.codes, np.asarray(hits, dtype=np.int32))
+
+    def map_table(self, fn: Callable[[str], str]) -> "StringColumn":
+        """Same codes, every table entry transformed by ``fn``.
+
+        Canonicality survives only for injective transforms (first-
+        appearance order is preserved, and no two entries collapse);
+        the longitudinal spill path uses this to prefix per-week pass
+        ids — an injective transform by construction.
+        """
+        return StringColumn(self.codes,
+                            tuple(fn(value) for value in self.table),
+                            canonical=self.canonical)
 
     def take(self, indices) -> "StringColumn":
         """Row subset; the table is shared, codes are gathered."""
@@ -482,6 +494,39 @@ class TraceColumns:
                    for k, v in self._strings.items()}
         return TraceColumns(numeric, strings, max(stop - start, 0))
 
+    def replace(self, **columns) -> "TraceColumns":
+        """New block with the named columns substituted (rest shared).
+
+        Numeric fields take an array of the block's length; string
+        fields take a :class:`StringColumn`.  Used by streaming
+        producers to rebase ``time_s`` / re-key ``pass_id`` without
+        copying the untouched columns.
+        """
+        numeric = dict(self._numeric)
+        strings = dict(self._strings)
+        for name, value in columns.items():
+            if name in numeric:
+                array = np.ascontiguousarray(
+                    value,
+                    dtype=_NUMERIC_DTYPES[TRACE_FIELD_KINDS[name]])
+                if array.shape != (self._n,):
+                    raise ValueError(
+                        f"column {name!r}: expected shape "
+                        f"({self._n},), got {array.shape}")
+                numeric[name] = array
+            elif name in strings:
+                if not isinstance(value, StringColumn):
+                    raise TypeError(
+                        f"column {name!r} needs a StringColumn")
+                if len(value) != self._n:
+                    raise ValueError(
+                        f"column {name!r}: expected {self._n} rows, "
+                        f"got {len(value)}")
+                strings[name] = value
+            else:
+                raise KeyError(f"unknown trace column {name!r}")
+        return TraceColumns(numeric, strings, self._n)
+
     def argsort_time(self) -> np.ndarray:
         return np.argsort(self._numeric["time_s"], kind="stable")
 
@@ -583,6 +628,25 @@ class TraceDataset:
             self._pending = []
         return self._cache
 
+    def blocks(self) -> Iterator[TraceColumns]:
+        """Yield the underlying column blocks *without* consolidating.
+
+        Row order matches :attr:`columns` (blocks in arrival order,
+        pending rows last), so streaming consumers — text export, the
+        sharded spill writer — see exactly the rows a consolidated walk
+        would, while peak memory stays one block instead of the whole
+        dataset.
+        """
+        if self._cache is not None:
+            if self._cache.n:
+                yield self._cache
+            return
+        for block in self._blocks:
+            if block.n:
+                yield block
+        if self._pending:
+            yield TraceColumns.from_rows(self._pending)
+
     def column(self, name: str) -> np.ndarray:
         return self.columns.column(name)
 
@@ -671,21 +735,11 @@ class TraceDataset:
     # Text formats (interoperable; value-exact via repr round-tripping)
     # ------------------------------------------------------------------
     def _text_rows(self) -> Iterator[dict]:
-        block = self.columns
-        decoded = {name: block.column(name) for name in _FIELD_ORDER}
-        raining = decoded["raining"]
-        for i in range(block.n):
-            row = {}
-            for name, kind in TRACE_FIELD_KINDS.items():
-                if kind == "f8":
-                    row[name] = float(decoded[name][i])
-                elif kind == "i8":
-                    row[name] = int(decoded[name][i])
-                elif kind == "bool":
-                    row[name] = bool(raining[i])
-                else:
-                    row[name] = decoded[name][i]
-            yield row
+        # Stream block-by-block: peak memory is one block's decoded
+        # columns, not the whole dataset's.  Block order matches the
+        # consolidated row order, so output bytes are unchanged.
+        for block in self.blocks():
+            yield from _block_text_rows(block)
 
     def to_csv(self, path: Union[str, Path]) -> None:
         path = Path(path)
@@ -754,22 +808,38 @@ class TraceDataset:
 
     @classmethod
     def from_npz(cls, path: Union[str, Path]) -> "TraceDataset":
-        with np.load(Path(path), allow_pickle=False) as archive:
-            magic = str(archive["__format__"][0])
-            if magic != _NPZ_FORMAT:
-                raise ValueError(
-                    f"unsupported trace archive format {magic!r}")
-            n = int(archive["__n__"][0])
-            numeric = {
-                name: np.ascontiguousarray(
-                    archive[name],
-                    dtype=_NUMERIC_DTYPES[TRACE_FIELD_KINDS[name]])
-                for name in NUMERIC_FIELDS}
-            strings = {
-                name: StringColumn(
-                    archive[f"{name}__codes"],
-                    [str(s) for s in archive[f"{name}__table"]])
-                for name in STRING_FIELDS}
+        import zipfile
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                magic = str(archive["__format__"][0])
+                if magic.startswith("satiot-traces-v2"):
+                    raise ValueError(
+                        f"{path} is a {magic!r} shard; open its "
+                        f"archive directory with "
+                        f"satiot.streams.ShardedTraceReader")
+                if magic != _NPZ_FORMAT:
+                    raise ValueError(
+                        f"unsupported trace archive format {magic!r}")
+                n = int(archive["__n__"][0])
+                numeric = {
+                    name: np.ascontiguousarray(
+                        archive[name],
+                        dtype=_NUMERIC_DTYPES[TRACE_FIELD_KINDS[name]])
+                    for name in NUMERIC_FIELDS}
+                strings = {
+                    name: StringColumn(
+                        archive[f"{name}__codes"],
+                        [str(s) for s in archive[f"{name}__table"]])
+                    for name in STRING_FIELDS}
+        except (zipfile.BadZipFile, EOFError) as exc:
+            raise ValueError(
+                f"{path}: trace archive is truncated or corrupt "
+                f"({exc})") from exc
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}: trace archive is missing column {exc}; "
+                f"file is truncated or not a satiot archive") from exc
         return cls(TraceColumns(numeric, strings, n))
 
     # ------------------------------------------------------------------
@@ -803,11 +873,85 @@ class TraceDataset:
                          f"choose from {TRACE_FORMATS}")
 
 
+def iter_sorted_chunks(blocks: Sequence[TraceColumns],
+                       chunk_rows: int = 65536,
+                       ) -> Iterator[TraceColumns]:
+    """Yield the blocks' rows in global stable time order, chunked.
+
+    Equivalent to ``TraceColumns.concat(blocks).take(argsort_time())``
+    sliced into ``chunk_rows`` pieces — the row sequence is identical
+    (stable argsort over the concatenated time column) — but only one
+    ``float64`` time column plus one chunk is ever materialised, so
+    streaming exporters stay at O(rows × 8 bytes) instead of the full
+    ~15-column dataset.
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    blocks = [b for b in blocks if b.n]
+    if not blocks:
+        return
+    times = np.concatenate([b._numeric["time_s"] for b in blocks])
+    order = np.argsort(times, kind="stable")
+    del times
+    offsets = np.cumsum([0] + [b.n for b in blocks])
+    luts: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _lut(b_i: int, name: str) -> np.ndarray:
+        key = (b_i, name)
+        if key not in luts:
+            table = blocks[b_i]._strings[name].table
+            lut = np.empty(len(table), dtype=object)
+            lut[:] = table
+            luts[key] = lut
+        return luts[key]
+
+    for start in range(0, order.size, chunk_rows):
+        idx = order[start:start + chunk_rows]
+        owner = np.searchsorted(offsets, idx, side="right") - 1
+        local = idx - offsets[owner]
+        numeric: Dict[str, np.ndarray] = {}
+        for name in NUMERIC_FIELDS:
+            out = np.empty(
+                idx.size,
+                dtype=_NUMERIC_DTYPES[TRACE_FIELD_KINDS[name]])
+            for b_i in np.unique(owner):
+                mask = owner == b_i
+                out[mask] = blocks[b_i]._numeric[name][local[mask]]
+            numeric[name] = out
+        strings: Dict[str, StringColumn] = {}
+        for name in STRING_FIELDS:
+            out = np.empty(idx.size, dtype=object)
+            for b_i in np.unique(owner):
+                mask = owner == b_i
+                codes = blocks[b_i]._strings[name].codes[local[mask]]
+                out[mask] = _lut(b_i, name)[codes]
+            strings[name] = StringColumn.from_values(out)
+        yield TraceColumns(numeric, strings, idx.size)
+
+
 def _format_from_suffix(path: Union[str, Path]) -> str:
     suffix = Path(path).suffix.lower().lstrip(".")
     if suffix in ("json", "ndjson"):
         return "jsonl"
     return suffix if suffix in TRACE_FORMATS else "csv"
+
+
+def _block_text_rows(block: TraceColumns) -> Iterator[dict]:
+    """Decode one column block into text-format row dicts."""
+    decoded = {name: block.column(name) for name in _FIELD_ORDER}
+    raining = decoded["raining"]
+    for i in range(block.n):
+        row = {}
+        for name, kind in TRACE_FIELD_KINDS.items():
+            if kind == "f8":
+                row[name] = float(decoded[name][i])
+            elif kind == "i8":
+                row[name] = int(decoded[name][i])
+            elif kind == "bool":
+                row[name] = bool(raining[i])
+            else:
+                row[name] = decoded[name][i]
+        yield row
 
 
 def _block_from_text_columns(lists: Dict[str, List],

@@ -210,6 +210,44 @@ class ShardExecutor:
         self.mode = "process"
         return outcomes
 
+    def imap(self, fn: Callable[[Shard], Any],
+             shards: Sequence[Shard]):
+        """Like :meth:`map`, but yields outcomes as an ordered stream.
+
+        Shard order is preserved; the difference from :meth:`map` is
+        that the caller consumes each outcome (and can drop it) before
+        the next one is awaited — the spill plane folds every week's
+        traces to disk without ever holding more than the in-flight
+        results.  Retry / fallback / pool-degradation semantics are
+        identical to :meth:`map`.
+        """
+        shards = list(shards)
+        if self.workers <= 1 or len(shards) <= 1:
+            self.mode = "serial"
+            for shard in shards:
+                yield self._run_with_retries(fn, shard)
+            return
+        from concurrent.futures.process import BrokenProcessPool
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(shards)))
+            futures = [pool.submit(_timed_call, fn, shard)
+                       for shard in shards]
+        except (ImportError, OSError, PermissionError,
+                BrokenProcessPool) as exc:
+            self._pool_error = exc
+            self.mode = "serial"
+            for shard in shards:
+                yield self._run_with_retries(fn, shard)
+            return
+        self.mode = "process"
+        try:
+            for shard, future in zip(shards, futures):
+                yield self._collect(pool, fn, shard, future)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     # ------------------------------------------------------------------
     def _backoff(self, attempt: int) -> None:
         delay = min(self.backoff_cap_s,

@@ -99,6 +99,11 @@ class CampaignTelemetry:
     retries: int = 0
     #: Shards recomputed in-parent after the pool failed them.
     fallbacks: int = 0
+    #: Trace shards spilled to disk by the streaming engine (0 when the
+    #: campaign ran fully in RAM); see :mod:`satiot.streams`.
+    spilled_shards: int = 0
+    #: Total bytes of spilled shard archives.
+    spilled_bytes: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -172,4 +177,7 @@ class CampaignTelemetry:
             title += (f" [{self.retries} task retr"
                       f"{'y' if self.retries == 1 else 'ies'}, "
                       f"{self.fallbacks} serial fallback(s)]")
+        if self.spilled_shards:
+            title += (f" [spilled {self.spilled_shards} shard(s), "
+                      f"{self.spilled_bytes / 2**20:.2f} MiB]")
         return render_fixed_table(header, rows, title=title)

@@ -13,8 +13,6 @@ property ``satiot scenario diff`` builds on.
 
 from __future__ import annotations
 
-import io
-import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -22,6 +20,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..groundstation.traces import StringColumn
+# Re-exported for backwards compatibility: the deterministic writer
+# moved to satiot.streams.npzio so the sharded trace spill plane can
+# share it; historical imports from this module keep working.
+from ..streams.npzio import write_deterministic_npz
 
 __all__ = ["KPI_FORMAT", "KpiRow", "KpiStore", "KpiDelta", "KpiDiff",
            "diff_stores", "write_deterministic_npz"]
@@ -49,31 +51,6 @@ class KpiRow:
     @property
     def key(self) -> Tuple[str, str, str]:
         return (self.cell, self.kpi, self.subject)
-
-
-# ----------------------------------------------------------------------
-def write_deterministic_npz(path: Union[str, Path],
-                            payload: Dict[str, np.ndarray]) -> None:
-    """Write an NPZ whose bytes depend only on the payload.
-
-    ``np.savez`` stamps each zip entry with the current local time, so
-    two identical runs minutes apart differ at the byte level.  This
-    writer serializes each array with the standard ``.npy`` format but
-    pins the zip metadata (epoch date, fixed permissions, fixed entry
-    order), making the archive reproducible while staying loadable with
-    plain :func:`np.load`.
-    """
-    with zipfile.ZipFile(Path(path), "w", zipfile.ZIP_DEFLATED) as zf:
-        for name in payload:
-            buffer = io.BytesIO()
-            np.lib.format.write_array(
-                buffer, np.asanyarray(payload[name]),
-                allow_pickle=False)
-            info = zipfile.ZipInfo(name + ".npy",
-                                   date_time=(1980, 1, 1, 0, 0, 0))
-            info.compress_type = zipfile.ZIP_DEFLATED
-            info.external_attr = 0o644 << 16
-            zf.writestr(info, buffer.getvalue())
 
 
 # ----------------------------------------------------------------------

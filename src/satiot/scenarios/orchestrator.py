@@ -227,10 +227,48 @@ def _run_active_cell(cell: CompiledCell,
     return _rows(cell, triples), fingerprints
 
 
-def _run_longitudinal_cell(cell: CompiledCell,
+def _stream_triples(result) -> List[Tuple[str, str, float]]:
+    """Extra KPI rows computed by folding the spilled archive.
+
+    These never materialise the dataset: the reducers stream shard
+    blocks and keep O(passes) state.  Spilled cells therefore emit the
+    *same* standard rows as in-RAM cells plus this ``stream_*`` family,
+    so resumed and uninterrupted spill runs stay byte-identical while
+    spill vs no-spill differs only by the extra rows.
+    """
+    from ..streams.reducers import StreamingKpiReducer
+    from ..streams.spill import ShardedTraceReader
+    reader = ShardedTraceReader(result.archive_dir)
+    meta = reader.meta
+    reducer = StreamingKpiReducer()
+    for block in reader.iter_blocks():
+        reducer.update(block)
+    sent = {key: int(value)
+            for key, value in meta.get("sent", {}).items()}
+    kpis = reducer.finalize(float(meta["span_s"]), sent=sent)
+    triples: List[Tuple[str, str, float]] = [
+        ("stream_shards", "", reader.shard_count),
+        ("stream_rows", "", reader.total_rows),
+    ]
+    for (site, constellation), values in sorted(kpis.items()):
+        subject = f"{constellation}@{site}"
+        for kpi in ("effective_daily_hours", "contacts",
+                    "mean_rssi_dbm", "beacon_loss_rate", "max_gap_s",
+                    "packets_per_day", "tco_satellite_usd",
+                    "tco_terrestrial_usd"):
+            triples.append((f"stream_{kpi}", subject, values[kpi]))
+    return triples
+
+
+def _run_longitudinal_cell(cell: CompiledCell, spill=None,
                            ) -> Tuple[List[KpiRow], Dict[str, str]]:
     from ..core.longitudinal import LongitudinalCampaign
-    campaign = LongitudinalCampaign(workers=1, **cell.kwargs)
+    kwargs = dict(cell.kwargs)
+    if spill is not None:
+        root, rows_per_shard, resume = spill
+        kwargs.update(spill_dir=Path(root) / cell.cell_id,
+                      rows_per_shard=rows_per_shard, resume=resume)
+    campaign = LongitudinalCampaign(workers=1, **kwargs)
     result = campaign.run()
     triples: List[Tuple[str, str, float]] = []
     for sample in result.samples:
@@ -249,6 +287,8 @@ def _run_longitudinal_cell(cell: CompiledCell,
     for name in cell.kwargs["constellations"]:
         triples.append(("shrinkage_stability", name,
                         result.shrinkage_stability(name)))
+    if spill is not None:
+        triples += _stream_triples(result)
     return _rows(cell, triples), {}
 
 
@@ -407,12 +447,14 @@ _CELL_RUNNERS = {
 }
 
 
-def _execute_cell(cell: CompiledCell, cache,
+def _execute_cell(cell: CompiledCell, cache, spill=None,
                   ) -> Tuple[List[KpiRow], Dict[str, str],
                              ShardTelemetry]:
     t0 = time.perf_counter()
     if cell.kind == "passive":
         rows, fingerprints = _run_passive_cell(cell, cache)
+    elif cell.kind == "longitudinal":
+        rows, fingerprints = _run_longitudinal_cell(cell, spill)
     else:
         rows, fingerprints = _CELL_RUNNERS[cell.kind](cell)
     telemetry = ShardTelemetry(
@@ -424,8 +466,8 @@ def _execute_cell(cell: CompiledCell, cache,
 
 def _cell_shard_worker(shard: Shard):
     """Process-pool entry point: run one cell from its payload."""
-    cell, cache_spec = shard.payload
-    return _execute_cell(cell, _resolve_cache(cache_spec))
+    cell, cache_spec, spill = shard.payload
+    return _execute_cell(cell, _resolve_cache(cache_spec), spill)
 
 
 # ----------------------------------------------------------------------
@@ -475,13 +517,22 @@ def _install_spec_faults(spec: ScenarioSpec) -> None:
 def run_scenario(spec: Union[ScenarioSpec, Dict[str, Any]],
                  workers: Optional[int] = None,
                  ephemeris_cache=DEFAULT_CACHE,
-                 out_dir: Union[str, Path, None] = None) -> ScenarioRun:
+                 out_dir: Union[str, Path, None] = None,
+                 spill_dir: Union[str, Path, None] = None,
+                 rows_per_shard: int = 100_000,
+                 resume: bool = False) -> ScenarioRun:
     """Execute a scenario matrix and extract its KPI store.
 
     ``workers`` (then the spec's ``workers`` key, then
     ``SATIOT_WORKERS``) sets the cell-level parallelism; campaigns
     inside a cell always run serially, which is what makes the KPI
     store invariant under the worker count.
+
+    ``spill_dir`` streams each longitudinal cell's traces into a
+    sharded ``satiot-traces-v2`` archive under
+    ``<spill_dir>/<cell_id>/`` (checkpointed per week; ``resume=True``
+    continues a killed run) and adds ``stream_*`` KPI rows computed by
+    the fold-over-shards reducers.  Other cell kinds are unaffected.
     """
     if isinstance(spec, dict):
         spec = parse_scenario(spec)
@@ -492,17 +543,20 @@ def run_scenario(spec: Union[ScenarioSpec, Dict[str, Any]],
     executor = ShardExecutor(workers)
     t0 = time.perf_counter()
 
+    spill = (str(spill_dir), int(rows_per_shard), bool(resume)) \
+        if spill_dir is not None else None
     if executor.workers > 1 and len(cells) > 1:
         cache_spec = _cache_spec_for_worker(ephemeris_cache)
         shards = [Shard(index=cell.index, kind="cell",
                         key=cell.cell_id,
-                        payload=(cell, cache_spec))
+                        payload=(cell, cache_spec, spill))
                   for cell in cells]
         outcomes = executor.map(_cell_shard_worker, shards)
         results = [outcome.result for outcome in outcomes]
     else:
         cache = _resolve_cache(ephemeris_cache)
-        results = [_execute_cell(cell, cache) for cell in cells]
+        results = [_execute_cell(cell, cache, spill)
+                   for cell in cells]
 
     store = KpiStore()
     fingerprints: Dict[str, str] = {}
@@ -517,6 +571,11 @@ def run_scenario(spec: Union[ScenarioSpec, Dict[str, Any]],
         retries=executor.retries, fallbacks=executor.fallbacks)
 
     manifest = _build_manifest(spec, cells, store, fingerprints)
+    if spill is not None:
+        # Only recorded for spill-backed runs so in-RAM manifests stay
+        # byte-stable across this feature.
+        manifest["spill"] = {"dir": spill[0],
+                             "rows_per_shard": spill[1]}
     run = ScenarioRun(spec=spec, cells=cells, store=store,
                       manifest=manifest,
                       telemetry=campaign_telemetry)

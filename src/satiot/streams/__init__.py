@@ -1,0 +1,33 @@
+"""Out-of-core streaming campaign engine.
+
+This package is the storage/execution layer that takes campaigns past
+RAM: a sharded deterministic ``satiot-traces-v2`` archive
+(:mod:`~satiot.streams.spill`), incremental checkpoint/resume state
+(:mod:`~satiot.streams.checkpoint`), fold-over-shards KPI reducers
+(:mod:`~satiot.streams.reducers`) and the deterministic NPZ writer all
+archives share (:mod:`~satiot.streams.npzio`).  See ``docs/streams.md``
+for the format spec and the resume byte-identity contract.
+"""
+
+from .checkpoint import (CHECKPOINT_FORMAT, campaign_fingerprint,
+                         clear_checkpoint, load_checkpoint,
+                         save_checkpoint)
+from .npzio import (atomic_write_bytes, deterministic_npz_bytes,
+                    sha256_bytes, sha256_file, write_deterministic_npz)
+from .reducers import ExactSum, StreamingKpiReducer, reduce_blocks
+from .spill import (DEFAULT_ROWS_PER_SHARD, SHARD_FORMAT, STREAM_FORMAT,
+                    ShardedTraceReader, ShardSpillWriter,
+                    TraceArchiveError, is_stream_archive,
+                    read_stream_manifest)
+
+__all__ = [
+    "STREAM_FORMAT", "SHARD_FORMAT", "DEFAULT_ROWS_PER_SHARD",
+    "CHECKPOINT_FORMAT",
+    "ShardSpillWriter", "ShardedTraceReader", "TraceArchiveError",
+    "is_stream_archive", "read_stream_manifest",
+    "ExactSum", "StreamingKpiReducer", "reduce_blocks",
+    "campaign_fingerprint", "save_checkpoint", "load_checkpoint",
+    "clear_checkpoint",
+    "write_deterministic_npz", "deterministic_npz_bytes",
+    "atomic_write_bytes", "sha256_bytes", "sha256_file",
+]

@@ -1,0 +1,85 @@
+"""Deterministic NPZ serialization shared by every archive writer.
+
+``np.savez`` stamps each zip entry with the current local time, so two
+identical runs minutes apart differ at the byte level.  The writers
+here serialize each array with the standard ``.npy`` format but pin the
+zip metadata (epoch date, fixed permissions, fixed entry order), making
+archives a pure function of their payload while staying loadable with
+plain :func:`np.load`.
+
+This started life inside :mod:`satiot.scenarios.kpi` (the KPI store was
+the first byte-reproducible archive); the sharded trace spill plane
+(:mod:`satiot.streams.spill`) needs the identical writer, so it lives
+here now and the KPI store imports it back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+__all__ = ["write_deterministic_npz", "deterministic_npz_bytes",
+           "sha256_bytes", "sha256_file", "atomic_write_bytes"]
+
+
+def deterministic_npz_bytes(payload: Dict[str, np.ndarray]) -> bytes:
+    """Serialize ``payload`` to NPZ bytes that depend only on it.
+
+    Entries are written in the payload's insertion order with pinned
+    zip metadata (DOS epoch timestamp, 0644 permissions, deflate), so
+    equal payloads produce equal bytes in every process and on every
+    run.
+    """
+    sink = io.BytesIO()
+    with zipfile.ZipFile(sink, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name in payload:
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.asanyarray(payload[name]),
+                allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy",
+                                   date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, buffer.getvalue())
+    return sink.getvalue()
+
+
+def write_deterministic_npz(path: Union[str, Path],
+                            payload: Dict[str, np.ndarray]) -> None:
+    """Write an NPZ whose bytes depend only on the payload."""
+    Path(path).write_bytes(deterministic_npz_bytes(payload))
+
+
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: Union[str, Path]) -> str:
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Crash-safe write: temp file in the same directory + ``os.replace``.
+
+    A reader never observes a half-written file — it sees either the
+    old content or the new one, which is what lets a killed spill run
+    resume from whatever shards made it to disk.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,261 @@
+"""Streaming KPI reducers: fold shard blocks, never the whole dataset.
+
+The analysis layer's KPIs — availability (effective contact hours),
+beacon loss, latency decomposition (gap statistics), energy/TCO — are
+all computable from *bounded* per-pass state: a pass's first/last
+reception time and its received-beacon count.  A months-long campaign
+has millions of traces but only thousands of passes, so folding shards
+through :class:`StreamingKpiReducer` keeps memory O(passes) while the
+results match an in-RAM computation **exactly**, not approximately:
+
+* per-pass min/max/count are partition-invariant by construction;
+* RSSI sums use :class:`ExactSum`, an exact big-rational accumulator
+  whose result is independent of how the rows were sharded — the final
+  ``float`` is the correctly-rounded true sum, bit-identical to any
+  other partitioning of the same rows (including one big block).
+
+That exactness is what lets spilled runs and in-RAM runs share KPI
+archives byte-for-byte (the acceptance contract of the streams plane).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.stats import interval_gaps, merge_intervals, total_length
+from ..econ.comparison import tco_usd
+from ..groundstation.traces import TraceColumns
+
+__all__ = ["ExactSum", "StreamingKpiReducer", "reduce_blocks"]
+
+
+def _exact_int_sum(values: np.ndarray) -> int:
+    """Exact sum of int64 values with ``|v| < 2**53`` (no overflow).
+
+    Chunks of 512 sum safely in int64 (``512 * 2**53 == 2**62``); the
+    per-chunk partials are then added as arbitrary-precision Python
+    ints.
+    """
+    if values.size == 0:
+        return 0
+    pad = (-values.size) % 512
+    if pad:
+        values = np.concatenate(
+            [values, np.zeros(pad, dtype=np.int64)])
+    partials = values.reshape(-1, 512).sum(axis=1, dtype=np.int64)
+    return sum(int(p) for p in partials)
+
+
+def _rounded(fraction: Fraction) -> float:
+    """Correctly-rounded float64 of an exact rational.
+
+    An exact total of finite float64 inputs can still exceed the
+    float64 range (e.g. two near-max values); IEEE round-to-nearest
+    maps such a value to ±inf, which is exactly when ``float()``
+    raises OverflowError.
+    """
+    try:
+        return float(fraction)
+    except OverflowError:
+        return math.inf if fraction > 0 else -math.inf
+
+
+class ExactSum:
+    """Exact streaming sum of float64 values.
+
+    Every float64 is a rational ``m * 2**e``; the accumulator keeps the
+    exact rational total (via integer mantissa sums grouped by
+    exponent), so the order and blocking of :meth:`update` calls cannot
+    change the result.  :meth:`value` rounds the true sum to the
+    nearest float64 once, at the end — the same bits a single exact sum
+    over the unpartitioned data would give.
+    """
+
+    __slots__ = ("_total", "count")
+
+    def __init__(self) -> None:
+        self._total = Fraction(0)
+        self.count = 0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if not np.all(np.isfinite(values)):
+            raise ValueError("ExactSum requires finite values")
+        mantissa, exponent = np.frexp(values)
+        # m in [0.5, 1) with <= 53 significand bits, so m * 2**53 is an
+        # exactly-representable integer.
+        m_int = np.ldexp(mantissa, 53).astype(np.int64)
+        e_int = exponent.astype(np.int64) - 53
+        for exp in np.unique(e_int):
+            chunk = _exact_int_sum(m_int[e_int == exp])
+            if chunk:
+                self._total += Fraction(chunk) * Fraction(2) ** int(exp)
+        self.count += int(values.size)
+
+    def merge(self, other: "ExactSum") -> None:
+        self._total += other._total
+        self.count += other.count
+
+    def value(self) -> float:
+        """Correctly-rounded float64 of the exact total."""
+        return _rounded(self._total)
+
+    def mean(self) -> float:
+        """Correctly-rounded float64 of the exact mean."""
+        if not self.count:
+            return float("nan")
+        return _rounded(self._total / self.count)
+
+
+# ----------------------------------------------------------------------
+class _SubjectState:
+    """Bounded per-(site, constellation) fold state."""
+
+    __slots__ = ("passes", "rssi")
+
+    def __init__(self) -> None:
+        #: pass_id -> [first_rx_s, last_rx_s, received_count]
+        self.passes: Dict[str, List] = {}
+        self.rssi = ExactSum()
+
+    def observe(self, pass_id: str, t_min: float, t_max: float,
+                count: int, rssi_values: np.ndarray) -> None:
+        entry = self.passes.get(pass_id)
+        if entry is None:
+            self.passes[pass_id] = [t_min, t_max, count]
+        else:
+            entry[0] = min(entry[0], t_min)
+            entry[1] = max(entry[1], t_max)
+            entry[2] += count
+        self.rssi.update(rssi_values)
+
+
+class StreamingKpiReducer:
+    """Folds trace blocks into availability/loss/latency/TCO KPIs.
+
+    Feed any partition of a campaign's rows — shards from a
+    :class:`~satiot.streams.spill.ShardedTraceReader`, per-week blocks,
+    or one consolidated block — through :meth:`update`; the state is a
+    pure function of the row *set*, so :meth:`finalize` returns
+    identical numbers for identical rows however they were blocked.
+    """
+
+    def __init__(self) -> None:
+        self._subjects: Dict[Tuple[str, str], _SubjectState] = {}
+        self.rows = 0
+
+    # -- folding -------------------------------------------------------
+    def update(self, block: TraceColumns) -> None:
+        if block.n == 0:
+            return
+        self.rows += block.n
+        site_col = block.string_column("site")
+        const_col = block.string_column("constellation")
+        pass_col = block.string_column("pass_id")
+        for table in (site_col.table, const_col.table, pass_col.table):
+            if len(table) >= (1 << 21):  # pragma: no cover - 2M entries
+                raise ValueError("string table too large to key")
+        key = (site_col.codes.astype(np.int64) << 42
+               | const_col.codes.astype(np.int64) << 21
+               | pass_col.codes.astype(np.int64))
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        bounds = np.nonzero(np.diff(sorted_key))[0] + 1
+        starts = np.concatenate([[0], bounds])
+        ends = np.concatenate([bounds, [key.size]])
+        times = block.column("time_s")
+        rssi = block.column("rssi_dbm")
+        for start, end in zip(starts, ends):
+            rows = order[start:end]
+            first = int(rows[0])
+            subject = (site_col.decode(first), const_col.decode(first))
+            state = self._subjects.get(subject)
+            if state is None:
+                state = self._subjects[subject] = _SubjectState()
+            group_times = times[rows]
+            state.observe(pass_col.decode(first),
+                          float(group_times.min()),
+                          float(group_times.max()),
+                          int(rows.size), rssi[rows])
+
+    def merge(self, other: "StreamingKpiReducer") -> None:
+        """Fold another reducer's state in (parallel partial folds)."""
+        self.rows += other.rows
+        for subject, theirs in other._subjects.items():
+            state = self._subjects.get(subject)
+            if state is None:
+                state = self._subjects[subject] = _SubjectState()
+            for pass_id, (t0, t1, count) in theirs.passes.items():
+                entry = state.passes.get(pass_id)
+                if entry is None:
+                    state.passes[pass_id] = [t0, t1, count]
+                else:
+                    entry[0] = min(entry[0], t0)
+                    entry[1] = max(entry[1], t1)
+                    entry[2] += count
+            state.rssi.merge(theirs.rssi)
+
+    # -- results -------------------------------------------------------
+    def subjects(self) -> List[Tuple[str, str]]:
+        return sorted(self._subjects)
+
+    def finalize(self, span_s: float,
+                 sent: Optional[Dict[str, int]] = None,
+                 tco_months: float = 12.0,
+                 ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """KPIs per (site, constellation) subject.
+
+        ``sent`` maps lower-cased ``"{site}/{constellation}"`` to the
+        number of beacons transmitted (carried in the archive's
+        manifest meta); without it loss rates are reported as NaN.
+        """
+        if span_s <= 0:
+            raise ValueError("span_s must be positive")
+        results: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        span_days = span_s / 86400.0
+        for subject in self.subjects():
+            state = self._subjects[subject]
+            received = sum(entry[2] for entry in state.passes.values())
+            spans = [(entry[0], entry[1])
+                     for entry in state.passes.values()]
+            merged = merge_intervals(spans)
+            gaps = interval_gaps(merged, 0.0, span_s)
+            sent_count = None
+            if sent is not None:
+                sent_count = sent.get("/".join(subject).lower())
+            packets_per_day = received / span_days
+            tco = tco_usd(tco_months, packets_per_day=packets_per_day)
+            results[subject] = {
+                "traces": received,
+                "passes": len(state.passes),
+                "contacts": len(merged),
+                "effective_daily_hours":
+                    total_length(merged) / span_s * 24.0,
+                "mean_rssi_dbm": state.rssi.mean(),
+                "beacon_loss_rate": (
+                    float("nan") if not sent_count
+                    else 1.0 - received / sent_count),
+                "max_gap_s": max(gaps) if gaps else float(span_s),
+                "mean_gap_s": (sum(gaps) / len(gaps)
+                               if gaps else float(span_s)),
+                "packets_per_day": packets_per_day,
+                "tco_satellite_usd": tco["satellite_usd"],
+                "tco_terrestrial_usd": tco["terrestrial_usd"],
+            }
+        return results
+
+
+def reduce_blocks(blocks, span_s: float,
+                  sent: Optional[Dict[str, int]] = None,
+                  ) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    """One-shot fold: any iterable of blocks to finalized KPIs."""
+    reducer = StreamingKpiReducer()
+    for block in blocks:
+        reducer.update(block)
+    return reducer.finalize(span_s, sent=sent)

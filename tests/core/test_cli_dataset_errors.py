@@ -61,6 +61,76 @@ class TestDatasetExportErrors:
         assert "Dataset archive" in out
 
 
+def _spill_archive(root):
+    """A tiny sharded satiot-traces-v2 archive."""
+    from satiot.streams.spill import ShardSpillWriter
+    from tests.streams.conftest import make_block
+    writer = ShardSpillWriter(root, rows_per_shard=20, fingerprint="cli")
+    writer.write(make_block(50, seed=30))
+    writer.finalize(meta={"engine": "test"})
+
+
+class TestStreamArchiveInfo:
+    def test_info_is_manifest_only(self, tmp_path, capsys):
+        _spill_archive(tmp_path)
+        # O(1) contract: info must not read the (corrupted) shards.
+        for shard in (tmp_path / "shards").glob("shard-*.npz"):
+            shard.write_bytes(b"garbage")
+        assert main(["dataset", "info", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset archive" in out
+        assert "satiot-traces-v2" in out
+        assert "shard-000000.npz" in out
+
+    def test_verify_passes_on_intact_archive(self, tmp_path, capsys):
+        _spill_archive(tmp_path)
+        assert main(["dataset", "info", str(tmp_path),
+                     "--verify"]) == 0
+        assert "checksums OK" in capsys.readouterr().out
+
+    def test_truncated_shard_exits_2_naming_file(self, tmp_path,
+                                                 capsys):
+        _spill_archive(tmp_path)
+        shard = sorted((tmp_path / "shards").glob("shard-*.npz"))[1]
+        shard.write_bytes(shard.read_bytes()[:80])
+        assert main(["dataset", "info", str(tmp_path),
+                     "--verify"]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read dataset archive" in err
+        assert shard.name in err
+        assert "Traceback" not in err
+
+    def test_corrupt_stream_manifest_exits_2(self, tmp_path, capsys):
+        _spill_archive(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps(
+            {"format": "satiot-traces-v2"}))  # required keys missing
+        assert main(["dataset", "info", str(tmp_path)]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+
+class TestSinetInfoIsManifestOnly:
+    def test_info_never_parses_trace_files(self, tmp_path, capsys):
+        assert main(["dataset", "export", str(tmp_path), "--sites",
+                     "HK", "--days", "0.05"]) == 0
+        capsys.readouterr()
+        # Corrupt the rows; a manifest-plus-stat read must not notice.
+        (tmp_path / "HK" / "traces.csv").write_text("not,a,trace\n")
+        assert main(["dataset", "info", str(tmp_path)]) == 0
+        assert "Dataset archive" in capsys.readouterr().out
+
+    def test_verify_catches_row_count_mismatch(self, tmp_path, capsys):
+        assert main(["dataset", "export", str(tmp_path), "--sites",
+                     "HK", "--days", "0.05"]) == 0
+        capsys.readouterr()
+        csv_path = tmp_path / "HK" / "traces.csv"
+        lines = csv_path.read_text().splitlines()
+        csv_path.write_text("\n".join(lines[:-1]) + "\n")
+        assert main(["dataset", "info", str(tmp_path),
+                     "--verify"]) == 2
+        assert "manifest says" in capsys.readouterr().err
+
+
 @pytest.mark.parametrize("argv", [
     ["dataset", "info", "/nonexistent/archive"],
 ])

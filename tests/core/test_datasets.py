@@ -1,11 +1,12 @@
 """Tests for dataset archival in the SINet layout."""
 
+import hashlib
 import json
 
 import pytest
 
 from satiot.datasets import (DatasetManifest, export_dataset,
-                             load_dataset)
+                             load_dataset, read_manifest)
 
 
 class TestExportLoad:
@@ -51,3 +52,48 @@ class TestExportLoad:
             name="x", seed=1, days=2.0, sites={"HK": 10},
             constellations={"Tianqi": 22}, total_traces=10)
         assert DatasetManifest.from_json(manifest.to_json()) == manifest
+
+
+class TestReadManifest:
+    def test_reads_only_the_manifest(self, passive_result_small,
+                                     tmp_path):
+        written = export_dataset(passive_result_small, tmp_path)
+        # Corrupt the trace file: a manifest-only read must not care.
+        (tmp_path / "HK" / "traces.csv").write_text("garbage")
+        assert read_manifest(tmp_path) == written
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            read_manifest(tmp_path)
+
+
+class TestStreamingTextExport:
+    """The block-streaming CSV/JSONL export is byte-identical to a
+    consolidated sort-then-save."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_byte_identical_to_consolidated_path(
+            self, passive_result_small, tmp_path, fmt):
+        export_dataset(passive_result_small, tmp_path / "streamed",
+                       trace_format=fmt)
+        reference = tmp_path / "reference"
+        for code in passive_result_small.site_results:
+            site_dir = reference / code
+            site_dir.mkdir(parents=True)
+            dataset = passive_result_small.dataset.by_site(code) \
+                .sorted_by_time()
+            dataset.save(site_dir / f"traces.{fmt}", trace_format=fmt)
+        for code in passive_result_small.site_results:
+            streamed = tmp_path / "streamed" / code / f"traces.{fmt}"
+            expected = reference / code / f"traces.{fmt}"
+            assert hashlib.sha256(streamed.read_bytes()).hexdigest() \
+                == hashlib.sha256(expected.read_bytes()).hexdigest()
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_streamed_archive_loads_with_exact_counts(
+            self, passive_result_small, tmp_path, fmt):
+        export_dataset(passive_result_small, tmp_path, trace_format=fmt)
+        manifest, datasets = load_dataset(tmp_path)
+        assert sum(len(d) for d in datasets.values()) \
+            == passive_result_small.total_traces
+        assert manifest.trace_format == fmt

@@ -1,0 +1,60 @@
+"""``ShardExecutor.imap``: ordered streaming over shard outcomes.
+
+The spill plane consumes weeks as they finish so it can checkpoint
+after each one; ``imap`` must therefore yield outcomes lazily, in
+shard order, with results identical to ``map``.
+"""
+
+import pytest
+
+from satiot.runtime.executor import Shard, ShardError, ShardExecutor
+
+
+def _double(shard: Shard) -> int:
+    return shard.payload * 2
+
+
+def _boom_on_two(shard: Shard) -> int:
+    if shard.payload == 2:
+        raise ValueError("kaboom")
+    return shard.payload
+
+
+def _make_shards(values):
+    return [Shard(index=i, kind="item", key=str(i), payload=v)
+            for i, v in enumerate(values)]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_imap_matches_map_in_order(workers):
+    shards = _make_shards([5, 1, 3, 8])
+    mapped = [o.result for o in
+              ShardExecutor(workers=workers).map(_double, shards)]
+    streamed = [o.result for o in
+                ShardExecutor(workers=workers).imap(_double, shards)]
+    assert streamed == mapped == [10, 2, 6, 16]
+
+
+def test_imap_is_lazy():
+    executor = ShardExecutor(workers=1)
+    iterator = executor.imap(_double, _make_shards([1, 2, 3]))
+    first = next(iterator)
+    assert first.result == 2
+    # Partial consumption is fine — the spill loop stops on error.
+    iterator.close()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_imap_raises_shard_error_with_context(workers):
+    executor = ShardExecutor(workers=workers)
+    results = []
+    with pytest.raises(ShardError, match="item:2"):
+        for outcome in executor.imap(_boom_on_two,
+                                     _make_shards([0, 1, 2, 3])):
+            results.append(outcome.result)
+    # Everything before the failing shard was already delivered.
+    assert results == [0, 1]
+
+
+def test_imap_empty():
+    assert list(ShardExecutor(workers=2).imap(_double, [])) == []

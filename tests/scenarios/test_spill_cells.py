@@ -1,0 +1,81 @@
+"""Spill-backed scenario cells: extra stream KPIs, stable manifests.
+
+Enabling ``spill_dir`` must not change a cell's standard KPI rows —
+it adds ``stream_*`` rows computed by folding the spilled shards — and
+a resumed run over a completed archive writes a byte-identical run
+directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from satiot.scenarios import SCENARIO_FORMAT, run_scenario
+from satiot.streams.spill import is_stream_archive
+from tests.streams.conftest import sha_tree
+
+LON_DOC = {
+    "format": SCENARIO_FORMAT, "name": "lon-spill",
+    "kind": "longitudinal", "seed": 7,
+    "constellation": {"names": ["tianqi"]},
+    "longitudinal": {"weeks": 2, "site": "HK", "sample_days": 0.15,
+                     "period_days": 7.0},
+    "kpis": ["effective_daily_hours", "shrinkage_stability",
+             "stream_effective_daily_hours", "stream_packets_per_day"],
+}
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("spill-cells")
+    plain = run_scenario(LON_DOC)
+    spilled = run_scenario(LON_DOC, spill_dir=root / "spill",
+                           rows_per_shard=300)
+    return root, plain, spilled
+
+
+def _triples(run):
+    return {(r.cell, r.kpi, r.subject): r.value
+            for r in run.store._rows}
+
+
+class TestSpillCells:
+    def test_standard_rows_unchanged(self, runs):
+        _root, plain, spilled = runs
+        plain_rows = _triples(plain)
+        spilled_rows = _triples(spilled)
+        for key, value in plain_rows.items():
+            assert spilled_rows[key] == value, key
+
+    def test_stream_rows_added(self, runs):
+        _root, plain, spilled = runs
+        extra = set(_triples(spilled)) - set(_triples(plain))
+        assert extra, "spill added no stream rows"
+        assert all(kpi.startswith("stream_") for _, kpi, _ in extra)
+        kpis = {kpi for _, kpi, _ in extra}
+        assert {"stream_shards", "stream_rows",
+                "stream_effective_daily_hours"} <= kpis
+
+    def test_archive_lands_under_cell_id(self, runs):
+        root, _plain, spilled = runs
+        for cell_id in spilled.cell_ids:
+            assert is_stream_archive(root / "spill" / cell_id)
+
+    def test_manifest_spill_key_only_when_enabled(self, runs):
+        _root, plain, spilled = runs
+        assert "spill" not in plain.manifest
+        assert spilled.manifest["spill"]["rows_per_shard"] == 300
+
+
+def test_resume_writes_identical_run_dir(tmp_path):
+    spill = tmp_path / "spill"
+    first = run_scenario(LON_DOC, spill_dir=spill, rows_per_shard=300,
+                         out_dir=tmp_path / "a")
+    spill_before = sha_tree(spill)
+    second = run_scenario(LON_DOC, spill_dir=spill, rows_per_shard=300,
+                          resume=True, out_dir=tmp_path / "b")
+    assert sha_tree(spill) == spill_before
+    assert _triples(first) == _triples(second)
+    a, b = sha_tree(tmp_path / "a"), sha_tree(tmp_path / "b")
+    assert a["kpis.npz"] == b["kpis.npz"]
+    assert a["manifest.json"] == b["manifest.json"]

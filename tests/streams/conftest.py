@@ -1,0 +1,45 @@
+"""Shared builders for stream-plane tests: synthetic trace blocks."""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from satiot.groundstation.traces import BeaconTrace, TraceColumns
+
+
+def make_block(n: int, seed: int = 0, site: str = "HK",
+               constellation: str = "Tianqi",
+               t0: float = 0.0) -> TraceColumns:
+    """A deterministic block of ``n`` plausible beacon traces."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        rows.append(BeaconTrace(
+            time_s=t0 + i * 10.0 + float(rng.uniform(0.0, 5.0)),
+            station_id=f"st-{i % 3}",
+            site=site,
+            constellation=constellation,
+            satellite=f"SAT-{i % 4}",
+            norad_id=70000 + (i % 4),
+            frequency_hz=401.0e6,
+            rssi_dbm=float(rng.uniform(-130.0, -90.0)),
+            snr_db=float(rng.uniform(-5.0, 15.0)),
+            elevation_deg=float(rng.uniform(0.0, 90.0)),
+            azimuth_deg=float(rng.uniform(0.0, 360.0)),
+            range_km=float(rng.uniform(400.0, 2500.0)),
+            doppler_hz=float(rng.uniform(-8000.0, 8000.0)),
+            raining=bool(rng.random() < 0.2),
+            pass_id=f"{site}-{70000 + i % 4}-{i % 5}",
+        ))
+    return TraceColumns.from_rows(rows)
+
+
+def sha_tree(root) -> dict:
+    """Relative-path -> sha256 of every file under ``root``."""
+    return {
+        str(path.relative_to(root)):
+            hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(Path(root).rglob("*")) if path.is_file()}

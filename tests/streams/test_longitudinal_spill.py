@@ -1,0 +1,94 @@
+"""Out-of-core longitudinal runs: spill, resume, streaming KPIs.
+
+The end-to-end contracts: a spilled run computes the same weekly
+samples as an in-RAM run; a completed archive short-circuits resume;
+and the streaming reducers folded over the spilled shards reproduce
+the fold over the reloaded dataset exactly.
+"""
+
+from __future__ import annotations
+
+from satiot.core.longitudinal import LongitudinalCampaign
+from satiot.streams.reducers import reduce_blocks
+from satiot.streams.spill import ShardedTraceReader, is_stream_archive
+from tests.streams.conftest import sha_tree
+from tests.streams.test_reducers import assert_kpis_equal
+
+WEEKS, SAMPLE_DAYS, SEED = 2, 0.15, 7
+CONSTELLATIONS = ("tianqi",)
+
+
+def campaign(**kwargs) -> LongitudinalCampaign:
+    return LongitudinalCampaign(weeks=WEEKS, sample_days=SAMPLE_DAYS,
+                                seed=SEED,
+                                constellations=CONSTELLATIONS, **kwargs)
+
+
+def test_spilled_run_matches_in_ram_samples(tmp_path):
+    in_ram = campaign().run()
+    spilled = campaign(spill_dir=tmp_path / "spill",
+                       rows_per_shard=300).run()
+    assert spilled.samples == in_ram.samples
+    assert spilled.archive_dir == str(tmp_path / "spill")
+    assert is_stream_archive(spilled.archive_dir)
+
+    reader = ShardedTraceReader(spilled.archive_dir)
+    assert reader.verify() == sum(s.traces for s in spilled.samples)
+    assert spilled.manifest["meta"]["params"]["weeks"] == WEEKS
+    # Weekly pass ids are disambiguated across the whole span.
+    pass_ids = set()
+    for block in reader.iter_blocks():
+        pass_ids.update(block.string_column("pass_id").table)
+    assert all(p.startswith("w") and "/" in p for p in pass_ids)
+
+
+def test_telemetry_reports_spill_volume(tmp_path):
+    result = campaign(spill_dir=tmp_path, rows_per_shard=300).run()
+    telemetry = result.telemetry
+    assert telemetry is not None
+    assert telemetry.spilled_shards == len(result.manifest["shards"])
+    assert telemetry.spilled_bytes > 0
+    assert f"spilled {telemetry.spilled_shards}" in telemetry.render()
+
+
+def test_resume_short_circuits_completed_archive(tmp_path):
+    first = campaign(spill_dir=tmp_path, rows_per_shard=300).run()
+    before = sha_tree(tmp_path)
+    again = campaign(spill_dir=tmp_path, rows_per_shard=300,
+                     resume=True).run()
+    assert sha_tree(tmp_path) == before  # nothing rewritten
+    assert again.samples == first.samples
+    assert again.manifest == first.manifest
+
+
+def test_fresh_run_clears_stale_state(tmp_path):
+    campaign(spill_dir=tmp_path, rows_per_shard=300).run()
+    stale = tmp_path / "shards" / "shard-999999.npz"
+    stale.write_bytes(b"stale garbage from an older run")
+    reference = campaign(spill_dir=tmp_path, rows_per_shard=300).run()
+    assert not stale.exists()
+    assert ShardedTraceReader(tmp_path).verify() \
+        == sum(s.traces for s in reference.samples)
+
+
+def test_streaming_kpis_match_reloaded_fold(tmp_path):
+    result = campaign(spill_dir=tmp_path, rows_per_shard=300).run()
+    meta = result.manifest["meta"]
+    reader = ShardedTraceReader(tmp_path)
+    sent = {key: int(value) for key, value in meta["sent"].items()}
+    streamed = reduce_blocks(reader.iter_blocks(), meta["span_s"],
+                             sent=sent)
+    in_ram = reduce_blocks([reader.load().columns], meta["span_s"],
+                           sent=sent)
+    assert_kpis_equal(streamed, in_ram)
+    assert sum(v["traces"] for v in streamed.values()) \
+        == reader.total_rows
+
+
+def test_parallel_spill_matches_serial_bytes(tmp_path):
+    serial = campaign(spill_dir=tmp_path / "serial",
+                      rows_per_shard=300, workers=1).run()
+    parallel = campaign(spill_dir=tmp_path / "parallel",
+                        rows_per_shard=300, workers=2).run()
+    assert parallel.samples == serial.samples
+    assert sha_tree(tmp_path / "serial") == sha_tree(tmp_path / "parallel")

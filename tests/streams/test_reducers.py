@@ -1,0 +1,157 @@
+"""Streaming KPI reducers: exact equality with the in-RAM computation.
+
+The contract is *bitwise*, not approximate: however a campaign's rows
+are partitioned into blocks — per shard, per week, or one consolidated
+block — the reducer's finalized KPIs are identical floats.  ExactSum
+carries that guarantee for the RSSI mean (float addition is not
+associative; an exact rational accumulator is).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from satiot.groundstation.traces import TraceColumns
+from satiot.streams.reducers import (ExactSum, StreamingKpiReducer,
+                                     reduce_blocks)
+from tests.streams.conftest import make_block
+
+
+def assert_kpis_equal(a, b):
+    """Dict equality that treats NaN == NaN (loss without sent counts)."""
+    assert set(a) == set(b)
+    for subject in a:
+        assert set(a[subject]) == set(b[subject])
+        for kpi, value in a[subject].items():
+            other = b[subject][kpi]
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(other), (subject, kpi)
+            else:
+                assert value == other, (subject, kpi)
+
+
+class TestExactSum:
+    def test_partition_invariance_exhaustive(self):
+        rng = np.random.default_rng(0)
+        # Wildly mixed exponents: the worst case for float summation.
+        values = rng.uniform(-1.0, 1.0, 700) * 10.0 ** \
+            rng.integers(-30, 30, 700)
+        whole = ExactSum()
+        whole.update(values)
+        for parts in (2, 7, 37):
+            split = ExactSum()
+            for chunk in np.array_split(values, parts):
+                split.update(chunk)
+            assert split.value() == whole.value()
+            assert split.mean() == whole.mean()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=64), min_size=0, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_partition_invariance_property(self, values, parts):
+        array = np.asarray(values, dtype=np.float64)
+        whole = ExactSum()
+        whole.update(array)
+        split = ExactSum()
+        for chunk in np.array_split(array, parts):
+            split.update(chunk)
+        assert split.count == whole.count
+        assert np.array_equal(np.float64(split.value()),
+                              np.float64(whole.value()))
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=300)
+        whole = ExactSum()
+        whole.update(values)
+        left, right = ExactSum(), ExactSum()
+        left.update(values[:100])
+        right.update(values[100:])
+        left.merge(right)
+        assert left.value() == whole.value()
+        assert left.count == whole.count
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ExactSum().update(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            ExactSum().update(np.array([np.inf]))
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(ExactSum().mean())
+        assert ExactSum().value() == 0.0
+
+
+class TestStreamingKpiReducer:
+    BLOCKS = [make_block(150, seed=20),
+              make_block(90, seed=21, site="SYD"),
+              make_block(60, seed=22, constellation="FOSSA")]
+    SENT = {"hk/tianqi": 1000, "syd/tianqi": 500, "hk/fossa": 200}
+    SPAN = 86400.0
+
+    def test_streaming_equals_in_ram(self):
+        streamed = reduce_blocks(self.BLOCKS, self.SPAN, sent=self.SENT)
+        in_ram = reduce_blocks([TraceColumns.concat(self.BLOCKS)],
+                               self.SPAN, sent=self.SENT)
+        assert_kpis_equal(streamed, in_ram)
+
+    def test_invariant_under_fine_blocking(self):
+        whole = TraceColumns.concat(self.BLOCKS)
+        fine = [whole.slice(slice(i, i + 11))
+                for i in range(0, whole.n, 11)]
+        assert_kpis_equal(reduce_blocks(fine, self.SPAN, sent=self.SENT),
+                          reduce_blocks([whole], self.SPAN,
+                                        sent=self.SENT))
+
+    def test_merge_equals_single_reducer(self):
+        single = StreamingKpiReducer()
+        for block in self.BLOCKS:
+            single.update(block)
+        left, right = StreamingKpiReducer(), StreamingKpiReducer()
+        left.update(self.BLOCKS[0])
+        for block in self.BLOCKS[1:]:
+            right.update(block)
+        left.merge(right)
+        assert left.rows == single.rows
+        assert_kpis_equal(left.finalize(self.SPAN, sent=self.SENT),
+                          single.finalize(self.SPAN, sent=self.SENT))
+
+    def test_subjects_and_counts(self):
+        kpis = reduce_blocks(self.BLOCKS, self.SPAN, sent=self.SENT)
+        assert set(kpis) == {("HK", "Tianqi"), ("SYD", "Tianqi"),
+                             ("HK", "FOSSA")}
+        assert kpis[("HK", "Tianqi")]["traces"] == 150
+        assert kpis[("SYD", "Tianqi")]["traces"] == 90
+
+    def test_loss_rate_uses_sent_counts(self):
+        kpis = reduce_blocks(self.BLOCKS, self.SPAN, sent=self.SENT)
+        assert kpis[("HK", "Tianqi")]["beacon_loss_rate"] \
+            == 1.0 - 150 / 1000
+        without = reduce_blocks(self.BLOCKS, self.SPAN)
+        assert math.isnan(
+            without[("HK", "Tianqi")]["beacon_loss_rate"])
+
+    def test_gap_and_availability_kpis_are_bounded(self):
+        kpis = reduce_blocks(self.BLOCKS, self.SPAN, sent=self.SENT)
+        for values in kpis.values():
+            assert 0.0 <= values["effective_daily_hours"] <= 24.0
+            assert 0.0 <= values["max_gap_s"] <= self.SPAN
+            assert values["passes"] >= values["contacts"] >= 1
+            assert values["tco_satellite_usd"] > 0
+            assert values["tco_terrestrial_usd"] > 0
+
+    def test_empty_block_is_a_noop(self):
+        reducer = StreamingKpiReducer()
+        reducer.update(TraceColumns.empty())
+        assert reducer.rows == 0
+        assert reducer.finalize(self.SPAN) == {}
+
+    def test_span_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamingKpiReducer().finalize(0.0)
