@@ -383,6 +383,47 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_fleet(args: argparse.Namespace, config, workers: int) -> int:
+    """Run ``satiot serve`` as a supervised multi-worker fleet."""
+    import json
+    import time as _time
+
+    from .serving.supervisor import FleetConfig, ServingFleet
+
+    try:
+        fleet = ServingFleet(config, FleetConfig(
+            workers=workers,
+            ephemeris_dir=args.cache_dir,
+            catalog=args.catalog,
+            select=tuple(args.select) if args.select else None,
+            catalog_name=args.catalog_name))
+    except RuntimeError as error:
+        raise SystemExit(f"error: {error}")
+    port = fleet.start()
+    try:
+        fleet.wait_ready()
+        names = ", ".join(config.constellations) or args.catalog_name
+        print(f"satiot serving on http://{config.host}:{port} "
+              f"({workers} workers, {fleet.mode}; constellations: "
+              f"{names})", flush=True)
+        while True:
+            _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        # Final fleet view: per-worker /metrics merged by the
+        # supervisor (counters summed, histograms bucket-wise, latency
+        # quantiles pooled) — the multi-process analogue of the
+        # single-server shutdown stats.
+        print("shutting down")
+        try:
+            print(json.dumps(fleet.fleet_metrics(timeout=2.0),
+                             indent=2, sort_keys=True), flush=True)
+        except Exception:
+            pass
+    finally:
+        fleet.stop()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -421,6 +462,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batching=not args.no_batching,
         cache_ttl_s=args.cache_ttl,
         coarse_step_s=args.step)
+
+    from .serving.supervisor import default_workers
+    try:
+        workers = args.workers if args.workers is not None \
+            else default_workers()
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    if workers < 1:
+        raise SystemExit("error: --workers must be a positive integer")
+    if workers > 1:
+        return _serve_fleet(args, config, workers)
+
     service = ConstellationService(constellations=constellations,
                                    coarse_step_s=config.coarse_step_s,
                                    extra=extra)
@@ -806,6 +859,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache TTL (s)")
     p.add_argument("--step", type=float, default=30.0,
                    help="coarse pass-search step (s)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes answering on one port "
+                        "(default: $SATIOT_SERVE_WORKERS or 1; >1 "
+                        "starts the supervised SO_REUSEPORT fleet)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared ephemeris disk tier for fleet workers "
+                        "(mmap'd read-only by every worker; default: "
+                        "a private temp directory)")
     _add_faults_arg(p)
     p.set_defaults(func=cmd_serve)
 

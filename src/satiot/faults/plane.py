@@ -82,6 +82,11 @@ SITES: Dict[str, str] = {
     "serving.connection":
         "drop the client connection before the response is written "
         "(counted; the accept loop survives)",
+    "serving.worker_kill":
+        "SIGKILL the serving worker process as it accepts a connection "
+        "(fleet workers only; the supervisor restarts the worker and "
+        "retrying clients land on a live sibling with byte-identical "
+        "payloads)",
     "batcher.flush":
         "defer a micro-batch flush by one coalescing window "
         "(costs latency, never output)",

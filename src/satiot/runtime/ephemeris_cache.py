@@ -23,6 +23,18 @@ input that influences the cached value — so a hit returns arrays that
 are bit-identical to a fresh computation, preserving the runtime's
 determinism contract.
 
+Whole-fleet **constellation grids** get a third representation: a
+*segment* — the ``(N, T, 3)`` position/velocity stacks written once as
+raw ``.npy`` files (plus a SHA-256 sidecar) with a deterministic
+layout.  Unlike ``.npz`` entries (zip archives, which must be
+decompressed into private memory), segments are opened with
+``np.load(mmap_mode="r")``: every process that loads the same segment
+maps the *same* physical pages, so N serving workers share one
+resident copy of the fleet ephemeris instead of holding N private
+copies.  ``readonly=True`` (the default; disable with
+``SATIOT_EPHEMERIS_MMAP=0``) hands these mmap-backed read-only views
+directly to consumers — zero copies on the serving hot path.
+
 The disk tier is **checksummed and self-healing**: every ``.npz`` entry
 carries a SHA-256 digest of its arrays, and a corrupted, truncated or
 otherwise unreadable entry is detected on load, quarantined next to the
@@ -67,6 +79,9 @@ __all__ = ["CacheStats", "EphemerisCache", "get_default_cache",
 CACHE_ENV = "SATIOT_EPHEMERIS_CACHE"
 #: Directory for the shared on-disk tier of the process-default cache.
 CACHE_DIR_ENV = "SATIOT_EPHEMERIS_CACHE_DIR"
+#: Set to 0/false/off to materialize constellation-grid segments into
+#: private memory instead of serving mmap-backed read-only views.
+MMAP_ENV = "SATIOT_EPHEMERIS_MMAP"
 
 _PASS_FIELDS = ("rise_s", "set_s", "culmination_s", "max_elevation_deg",
                 "norad_id", "clipped_start", "clipped_end")
@@ -128,6 +143,11 @@ class CacheStats:
     #: by :meth:`EphemerisCache.grid_resident_bytes` (views into a
     #: shared constellation stack are counted once).
     grid_bytes: int = 0
+    #: Of :attr:`grid_bytes`: bytes owned privately by this process.
+    grid_private_bytes: int = 0
+    #: Of :attr:`grid_bytes`: bytes backed by mmap'd segments — resident
+    #: once machine-wide no matter how many workers map them.
+    grid_mmap_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -164,15 +184,27 @@ class EphemerisCache:
         Optional directory for the shared ``.npz`` tier.  Created on
         demand; safe to share between concurrent worker processes
         (writes go through a per-pid temp file + atomic rename).
+    readonly:
+        When True (the default; ``SATIOT_EPHEMERIS_MMAP=0`` flips it),
+        constellation-grid segments are served as mmap-backed
+        *read-only* views straight off the disk tier — no
+        materializing copy, one resident copy shared across every
+        process that maps the same segment.  Pass False when callers
+        need private writable arrays.
     """
 
     def __init__(self, max_grids: int = 256, max_pass_lists: int = 4096,
-                 disk_dir: Union[str, Path, None] = None) -> None:
+                 disk_dir: Union[str, Path, None] = None,
+                 readonly: Optional[bool] = None) -> None:
         if max_grids < 1 or max_pass_lists < 1:
             raise ValueError("cache capacities must be positive")
         self.max_grids = int(max_grids)
         self.max_pass_lists = int(max_pass_lists)
         self.disk_dir = Path(disk_dir) if disk_dir else None
+        if readonly is None:
+            readonly = os.environ.get(MMAP_ENV, "1").strip().lower() \
+                not in ("0", "false", "off", "no")
+        self.readonly = bool(readonly)
         self.stats = CacheStats()
         self._warned_disk = False
         self._grids: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
@@ -273,9 +305,13 @@ class EphemerisCache:
         is published as a view under the corresponding single-satellite
         :meth:`grid_key` — so later single-satellite lookups hit the
         fleet fill, and previously cached single-satellite grids are
-        adopted into the stack instead of being re-propagated.  Only
-        rows actually propagated here are written to the disk tier
-        (as ordinary single-satellite entries).
+        adopted into the stack instead of being re-propagated.  Rows
+        actually propagated here are written to the disk tier (as
+        ordinary single-satellite entries), and the whole stack is
+        written **once** as an mmap-able segment: with
+        ``readonly=True`` every later load (in this or any other
+        process) returns read-only views into one shared mapping
+        instead of a private copy.
         """
         offsets = np.asarray(offsets_s, dtype=float)
         propagators = list(propagators)
@@ -285,6 +321,17 @@ class EphemerisCache:
         if cached is not None:
             self.stats.grid_hits += 1
             return cached
+        segment = self._segment_load(ckey)
+        if segment is not None:
+            r, v = segment
+            self.stats.grid_hits += 1
+            self.stats.disk_hits += 1
+            sat_keys = [self.grid_key(t, epoch, offsets) for t in tles]
+            for i, key in enumerate(sat_keys):
+                self._lru_put(self._grids, key, (r[i], v[i]),
+                              self.max_grids)
+            self._lru_put(self._grids, ckey, (r, v), self.max_grids)
+            return r, v
 
         n = len(propagators)
         sat_keys = [self.grid_key(t, epoch, offsets) for t in tles]
@@ -320,6 +367,7 @@ class EphemerisCache:
                           self.max_grids)
             if i in missing_set:
                 self._disk_store(key, {"r": r[i], "v": v[i]})
+        self._segment_store(ckey, r, v)
         self._lru_put(self._grids, ckey, (r, v), self.max_grids)
         return r, v
 
@@ -533,18 +581,31 @@ class EphemerisCache:
         Sums ``nbytes`` over the distinct *base* buffers of every
         cached array, so the N row views published by
         :meth:`constellation_grid` and their shared ``(N, T, 3)`` stack
-        count once.  Refreshes :attr:`CacheStats.grid_bytes`.
+        count once.  Buffers backed by mmap'd segments are tallied
+        separately (:attr:`CacheStats.grid_mmap_bytes`): those pages
+        are resident **once machine-wide**, no matter how many worker
+        processes map them, while :attr:`CacheStats.grid_private_bytes`
+        is paid per process.  Refreshes :attr:`CacheStats.grid_bytes`.
         """
         seen = set()
-        total = 0
+        private = 0
+        shared = 0
         for r, v in self._grids.values():
             for arr in (r, v):
-                base = arr.base if arr.base is not None else arr
-                if id(base) not in seen:
-                    seen.add(id(base))
-                    total += base.nbytes
-        self.stats.grid_bytes = total
-        return total
+                base = arr
+                while isinstance(base.base, np.ndarray):
+                    base = base.base
+                if id(base) in seen:
+                    continue
+                seen.add(id(base))
+                if isinstance(base, np.memmap):
+                    shared += base.nbytes
+                else:
+                    private += base.nbytes
+        self.stats.grid_private_bytes = private
+        self.stats.grid_mmap_bytes = shared
+        self.stats.grid_bytes = private + shared
+        return private + shared
 
     # ------------------------------------------------------------------
     # Disk tier (checksummed, quarantining, fault-aware)
@@ -560,14 +621,19 @@ class EphemerisCache:
 
     @staticmethod
     def _arrays_checksum(arrays: dict) -> str:
-        """SHA-256 over every array's name, dtype, shape and bytes."""
+        """SHA-256 over every array's name, dtype, shape and bytes.
+
+        Hashes through a flat memoryview rather than ``tobytes()`` so
+        verifying a large mmap'd segment never materializes a private
+        copy of it (the pages stream through the OS page cache).
+        """
         digest = hashlib.sha256()
         for name in sorted(arrays):
             arr = np.ascontiguousarray(arrays[name])
             digest.update(name.encode("utf-8"))
             digest.update(str(arr.dtype).encode("ascii"))
             digest.update(str(arr.shape).encode("ascii"))
-            digest.update(arr.tobytes())
+            digest.update(memoryview(arr).cast("B"))
         return digest.hexdigest()
 
     def _disk_degraded(self, error: BaseException) -> None:
@@ -642,8 +708,10 @@ class EphemerisCache:
             return None
         try:
             with np.load(path) as data:
-                arrays = {name: np.array(data[name])
-                          for name in data.files}
+                # NpzFile already decompresses each member into a fresh
+                # array; wrapping it in np.array() again would double
+                # the copy for every disk hit.
+                arrays = {name: data[name] for name in data.files}
         except Exception:
             # Truncated zip, zero-byte file, garbage bytes, OS error:
             # anything unreadable is quarantined and recomputed.
@@ -664,6 +732,108 @@ class EphemerisCache:
         if data is None or "r" not in data or "v" not in data:
             return None
         return data["r"], data["v"]
+
+    # ------------------------------------------------------------------
+    # Segment tier (mmap-able whole-fleet grids)
+    # ------------------------------------------------------------------
+    #: On-disk layout of one constellation-grid segment: two raw
+    #: ``.npy`` stacks plus a checksum sidecar.  Raw ``.npy`` (not
+    #: ``.npz``) is what makes ``np.load(mmap_mode="r")`` possible —
+    #: a zip archive has to be decompressed into private memory, a
+    #: flat array file can be mapped and its pages shared.
+    SEGMENT_SUFFIXES = (".r.npy", ".v.npy", ".sha256")
+
+    def _segment_paths(self, key: tuple) -> Optional[Tuple[Path, ...]]:
+        if self.disk_dir is None:
+            return None
+        name = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+        base = f"{key[0]}-{name}"
+        return tuple(self.disk_dir / (base + suffix)
+                     for suffix in self.SEGMENT_SUFFIXES)
+
+    def _segment_store(self, key: tuple, r: np.ndarray,
+                       v: np.ndarray) -> None:
+        """Write one segment, exactly once (existing files are kept).
+
+        Layout is deterministic — ``np.save`` of a C-contiguous float64
+        stack — so concurrent workers racing the first fill write
+        byte-identical files through per-pid temp names + atomic
+        rename.
+        """
+        paths = self._segment_paths(key)
+        if paths is None or all(p.exists() for p in paths):
+            return
+        r = np.ascontiguousarray(r, dtype=float)
+        v = np.ascontiguousarray(v, dtype=float)
+        checksum = self._arrays_checksum({"r": r, "v": v})
+        try:
+            if fault_fires("cache.disk_write"):
+                raise OSError("injected fault at site 'cache.disk_write'")
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            for path, payload in zip(paths, (r, v, checksum)):
+                tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+                if isinstance(payload, np.ndarray):
+                    with tmp.open("wb") as fh:
+                        np.save(fh, payload)
+                else:
+                    tmp.write_text(payload + "\n", encoding="ascii")
+                tmp.replace(path)
+            self.stats.disk_writes += 1
+        except OSError as error:
+            self._disk_degraded(error)
+
+    def _segment_load(self, key: tuple,
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Load one segment; mmap-backed read-only views by default.
+
+        With ``readonly=True`` the returned ``(N, T, 3)`` stacks are
+        ``np.memmap`` views (no copy; checksum verification streams
+        the pages through the OS cache, which is exactly the residency
+        the serving fleet shares).  With ``readonly=False`` they are
+        materialized into private writable arrays.  Corruption is
+        handled like the ``.npz`` tier: quarantine every segment file
+        as ``*.bad`` and treat the lookup as a miss.
+        """
+        paths = self._segment_paths(key)
+        if paths is None:
+            return None
+        r_path, v_path, sum_path = paths
+        if fault_fires("cache.disk_read"):
+            self._corrupt_file(r_path)
+        if not all(p.exists() for p in paths):
+            return None
+        try:
+            mode = "r" if self.readonly else None
+            r = np.load(r_path, mmap_mode=mode)
+            v = np.load(v_path, mmap_mode=mode)
+            expected = sum_path.read_text(encoding="ascii").strip()
+        except Exception:
+            self._quarantine_segment(paths, "unreadable segment")
+            return None
+        if r.ndim != 3 or r.shape != v.shape or \
+                self._arrays_checksum({"r": r, "v": v}) != expected:
+            self._quarantine_segment(paths, "checksum mismatch")
+            return None
+        return r, v
+
+    def _quarantine_segment(self, paths: Sequence[Path],
+                            reason: str) -> None:
+        """Move every file of a corrupt segment aside (one count)."""
+        for path in paths:
+            if not path.exists():
+                continue
+            try:
+                path.replace(path.with_name(path.name + ".bad"))
+            except OSError:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self.stats.disk_corrupt += 1
+        warnings.warn(
+            f"quarantined corrupt ephemeris segment "
+            f"{paths[0].name} ({reason}); recomputing",
+            RuntimeWarning, stacklevel=4)
 
     def _disk_load_passes(self, key: tuple,
                           ) -> Optional[Tuple[ContactWindow, ...]]:

@@ -15,10 +15,13 @@ from .metrics import EndpointMetrics, ServingMetrics
 from .server import ServingConfig, ServingServer
 from .service import (ConstellationService, LinkBudgetRequest,
                       PassesRequest, PresenceRequest)
+from .supervisor import (FleetConfig, ServingFleet, default_workers,
+                         fork_available, reuseport_available)
 
 __all__ = [
     "ConstellationService",
     "EndpointMetrics",
+    "FleetConfig",
     "HTTPError",
     "HTTPRequest",
     "LinkBudgetRequest",
@@ -28,9 +31,13 @@ __all__ = [
     "QueueFullError",
     "ResultCache",
     "ServingConfig",
+    "ServingFleet",
     "ServingMetrics",
     "ServingServer",
+    "default_workers",
+    "fork_available",
     "json_response",
     "quantize_coord",
     "read_request",
+    "reuseport_available",
 ]

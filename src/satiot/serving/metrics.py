@@ -10,6 +10,13 @@ Latency quantiles come from a bounded reservoir (most recent
 ``reservoir_size`` samples) — adequate for operational p50/p99 without
 unbounded memory.  Batch sizes are tracked as an exact histogram over
 power-of-two buckets, the batching engine's primary health signal.
+
+Multi-worker fleets aggregate across processes: each worker exports a
+:meth:`ServingMetrics.snapshot` (counters + raw histogram buckets +
+the latency reservoir) over its control channel, and the supervisor
+folds them with :func:`merge_snapshots` — counters summed, batch-size
+histograms merged bucket-wise, and fleet latency quantiles computed
+over the *pooled* reservoirs (quantiles of quantiles would lie).
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..runtime.telemetry import render_fixed_table
 
-__all__ = ["EndpointMetrics", "ServingMetrics", "percentile"]
+__all__ = ["EndpointMetrics", "ServingMetrics", "merge_snapshots",
+           "percentile"]
 
 #: Upper edges of the batch-size histogram buckets (last is open-ended).
 BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
@@ -138,6 +146,22 @@ class EndpointMetrics:
                            in self.latency_quantiles_ms().items()},
         }
 
+    #: Counter fields that merge across workers by summation.
+    COUNTERS = ("requests", "ok", "client_errors", "server_errors",
+                "rejected", "cache_hits", "cache_misses", "batches",
+                "batched_requests", "handler_retries")
+
+    def snapshot(self) -> dict:
+        """Mergeable cross-process view: exact counters, raw histogram
+        buckets, and the latency reservoir itself."""
+        return {
+            "counters": {name: getattr(self, name)
+                         for name in self.COUNTERS},
+            "batch_histogram": {str(bucket): count for bucket, count
+                                in self.batch_histogram.items()},
+            "latencies_ms": list(self._latencies_ms),
+        }
+
 
 @dataclass
 class ServingMetrics:
@@ -164,6 +188,17 @@ class ServingMetrics:
         }
         return payload
 
+    def snapshot(self) -> dict:
+        """Mergeable cross-process view of every endpoint."""
+        return {
+            "endpoints": {name: em.snapshot()
+                          for name, em in self.endpoints.items()},
+            "server": {
+                "dropped_connections": self.dropped_connections,
+                "write_timeouts": self.write_timeouts,
+            },
+        }
+
     def render(self, title: Optional[str] = None) -> str:
         """Fixed-width table view (same format as runtime telemetry)."""
         header = ["endpoint", "req", "ok", "4xx", "429", "5xx",
@@ -181,3 +216,72 @@ class ServingMetrics:
                 f"{q['p50']:.2f}", f"{q['p99']:.2f}"])
         return render_fixed_table(header, rows,
                                   title=title or "Serving metrics")
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold worker :meth:`ServingMetrics.snapshot` dicts into one
+    fleet view (the supervisor's merged ``/metrics`` payload).
+
+    Counters and batch-size histograms are summed bucket-wise; latency
+    quantiles are recomputed over the pooled per-worker reservoirs so
+    the fleet p99 reflects actual request latencies, not an average of
+    per-worker percentiles.
+    """
+    endpoints: Dict[str, dict] = {}
+    server = {"dropped_connections": 0, "write_timeouts": 0}
+    for snap in snapshots:
+        for key in server:
+            server[key] += int(snap.get("server", {}).get(key, 0))
+        for name, em in snap.get("endpoints", {}).items():
+            acc = endpoints.setdefault(name, {
+                "counters": {k: 0 for k in EndpointMetrics.COUNTERS},
+                "batch_histogram": {},
+                "latencies_ms": [],
+            })
+            for key, value in em.get("counters", {}).items():
+                acc["counters"][key] = \
+                    acc["counters"].get(key, 0) + int(value)
+            for bucket, count in em.get("batch_histogram", {}).items():
+                acc["batch_histogram"][bucket] = \
+                    acc["batch_histogram"].get(bucket, 0) + int(count)
+            acc["latencies_ms"].extend(em.get("latencies_ms", ()))
+
+    merged: Dict[str, object] = {}
+    for name, acc in sorted(endpoints.items()):
+        c = acc["counters"]
+        ordered = sorted(acc["latencies_ms"])
+        cache_total = c["cache_hits"] + c["cache_misses"]
+        histogram = {
+            (f"<={bucket}" if bucket > 0 else f">{BATCH_BUCKETS[-1]}"):
+            count
+            for bucket, count in sorted(
+                ((int(b), n)
+                 for b, n in acc["batch_histogram"].items()),
+                key=lambda kv: (kv[0] < 0, kv[0]))
+        }
+        merged[name] = {
+            "requests": c["requests"],
+            "ok": c["ok"],
+            "client_errors": c["client_errors"],
+            "server_errors": c["server_errors"],
+            "rejected_429": c["rejected"],
+            "cache_hits": c["cache_hits"],
+            "cache_misses": c["cache_misses"],
+            "cache_hit_rate": round(
+                c["cache_hits"] / cache_total, 4) if cache_total
+            else 0.0,
+            "batches": c["batches"],
+            "handler_retries": c["handler_retries"],
+            "mean_batch_size": round(
+                c["batched_requests"] / c["batches"], 2)
+            if c["batches"] else 0.0,
+            "batch_size_histogram": histogram,
+            "latency_ms": {
+                "p50": round(percentile(ordered, 50.0), 3),
+                "p90": round(percentile(ordered, 90.0), 3),
+                "p99": round(percentile(ordered, 99.0), 3),
+                "max": round(ordered[-1], 3) if ordered else 0.0,
+            },
+        }
+    merged["_server"] = server
+    return merged

@@ -27,6 +27,9 @@ a retrying client gets the byte-identical payload from the cache.
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -83,11 +86,22 @@ _ENDPOINTS = {
 
 
 class ServingServer:
-    """One constellation query service bound to a host/port."""
+    """One constellation query service bound to a host/port.
+
+    ``worker_id`` is set when this server is one process of a
+    :class:`~satiot.serving.supervisor.ServingFleet`: it tags the
+    ``/healthz`` and ``/metrics`` payloads, and arms the
+    ``serving.worker_kill`` fault site — a fleet worker may be
+    SIGKILL'ed mid-accept (the supervisor restarts it; a standalone
+    server never consults the site because there is nothing to restart
+    it).
+    """
 
     def __init__(self, config: Optional[ServingConfig] = None,
-                 service: Optional[ConstellationService] = None) -> None:
+                 service: Optional[ConstellationService] = None,
+                 worker_id: Optional[int] = None) -> None:
         self.config = config or ServingConfig()
+        self.worker_id = worker_id
         self.service = service or ConstellationService(
             constellations=self.config.constellations,
             coarse_step_s=self.config.coarse_step_s)
@@ -122,10 +136,34 @@ class ServingServer:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> asyncio.AbstractServer:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
+    async def start(self, sock: Optional[socket.socket] = None,
+                    ) -> asyncio.AbstractServer:
+        """Start accepting; ``sock`` may be a pre-bound listening socket
+        (the fleet's ``SO_REUSEPORT`` path binds one per worker)."""
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host,
+                self.config.port)
         return self._server
+
+    async def handle_accepted_socket(self, sock: socket.socket) -> None:
+        """Serve one connection handed over as a connected socket.
+
+        This is the fallback (no ``SO_REUSEPORT``) fleet path: the
+        supervisor accepts, round-robins the accepted socket to a
+        worker over a unix socketpair, and the worker drives it through
+        the exact same per-connection handler as kernel-routed
+        connections — identical payloads by construction.
+        """
+        try:
+            reader, writer = await asyncio.open_connection(sock=sock)
+        except OSError:
+            sock.close()
+            return
+        await self._handle_connection(reader, writer)
 
     @property
     def bound_port(self) -> int:
@@ -153,6 +191,13 @@ class ServingServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if self.worker_id is not None and \
+                fault_fires("serving.worker_kill"):
+            # Fault plane: die exactly as a crashed worker would — no
+            # cleanup, no goodbye.  The supervisor restarts the worker;
+            # the client's retry lands on a live sibling whose
+            # deterministic compute yields byte-identical payloads.
+            os.kill(os.getpid(), signal.SIGKILL)
         try:
             while True:
                 try:
@@ -246,13 +291,16 @@ class ServingServer:
                              keep_alive=request.keep_alive)
 
     def _healthz(self) -> bytes:
-        return json_response(200, {
+        payload = {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "constellations": self.service.constellation_names,
             "pending": {name: batcher.pending
                         for name, batcher in self._batchers.items()},
-        })
+        }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return json_response(200, payload)
 
     def _metrics_response(self, request: HTTPRequest) -> bytes:
         ephemeris = self.service.ephemeris
@@ -281,11 +329,18 @@ class ServingServer:
         }
         payload["_ephemeris"] = {
             "grid_bytes": grid_bytes,
+            # Split by residency: private bytes are paid per worker,
+            # mmap bytes are one machine-wide copy shared by every
+            # worker that maps the same segment.
+            "grid_private_bytes": ephemeris.stats.grid_private_bytes,
+            "grid_mmap_bytes": ephemeris.stats.grid_mmap_bytes,
             "grid_hits": ephemeris.stats.grid_hits,
             "grid_misses": ephemeris.stats.grid_misses,
             "pass_hits": ephemeris.stats.pass_hits,
             "pass_misses": ephemeris.stats.pass_misses,
         }
+        if self.worker_id is not None:
+            payload["_server"]["worker_id"] = self.worker_id
         plane = get_default_plane()
         if plane is not None and plane.rules:
             payload["_faults"] = plane.summary()

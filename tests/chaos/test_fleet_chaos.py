@@ -1,0 +1,98 @@
+"""Chaos: SIGKILL'ing fleet workers mid-accept never corrupts answers.
+
+``serving.worker_kill`` arms the harshest serving failure mode — a
+worker process dies with no cleanup exactly as it accepts a client.
+The contract under that storm:
+
+* retrying clients eventually get every answer, all 200s;
+* every payload is **byte-identical** to a clean, fault-free run —
+  under any worker count (restarted workers rebuild their service from
+  the same shared on-disk ephemeris tier, so recovery can't drift);
+* the supervisor actually restarted workers (the storm was real);
+* the fault site is fleet-gated: a plain single-process server armed
+  with the same schedule never fires it.
+
+The spec travels through ``SATIOT_FAULTS`` (see ``armed``), which is
+exactly how forked fleet workers — and their *restarted* replacements —
+rebuild the schedule.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from satiot.serving import FleetConfig, ServingFleet, fork_available
+
+from tests.chaos.conftest import armed
+from tests.serving.test_fleet import (PROBE_PATHS, fast_config, fetch,
+                                      single_server_bodies)
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.skipif(
+        not fork_available(),
+        reason="fleet workers require the fork start method"),
+]
+
+KILL_SPEC = "seed=11;serving.worker_kill=@3"
+
+
+def storm_bodies(workers: int, rounds: int = 1):
+    """Run the probe set (``rounds`` times) against an armed fleet;
+    return (first-round bodies, restarts)."""
+    with ServingFleet(fast_config(),
+                      FleetConfig(workers=workers,
+                                  restart_backoff_s=0.01)) as fleet:
+        fleet.wait_ready()
+        bodies = []
+        for round_index in range(rounds):
+            for path in PROBE_PATHS:
+                status, body = fetch(fleet.bound_port, path,
+                                     retries=300, backoff_s=0.05)
+                assert status == 200, (status, body[:200])
+                if round_index == 0:
+                    bodies.append(json.loads(body))
+        restarts = fleet.total_restarts
+    return bodies, restarts
+
+
+class TestWorkerKillStorm:
+    def test_converges_byte_identical_any_worker_count(self):
+        reference = single_server_bodies()
+        with armed(KILL_SPEC):
+            for workers in (1, 2):
+                # @3 kills the third accepted connection per worker
+                # life; two rounds = 8+ connections, so by pigeonhole
+                # some worker reaches its third accept whatever the
+                # reuseport hash does.
+                bodies, restarts = storm_bodies(workers, rounds=2)
+                assert bodies == reference, \
+                    f"payload drift under kill storm ({workers=})"
+                assert restarts > 0, \
+                    f"kill schedule never fired ({workers=})"
+
+    def test_restarted_workers_rearm_the_schedule(self):
+        """Respawned workers rebuild the plane from the env: the storm
+        keeps firing after the first restart (> 1 restart total)."""
+        with armed(KILL_SPEC):
+            _, restarts = storm_bodies(2, rounds=4)
+        assert restarts > 1
+
+    def test_site_is_gated_to_fleet_workers(self):
+        """A single-process server (worker_id=None) armed with the same
+        schedule never consults the kill site: every request survives
+        with zero retries."""
+        from tests.serving.test_server import request, run, with_server
+
+        async def scenario(server):
+            statuses = []
+            for path in PROBE_PATHS:
+                status, _, _ = await request(server.bound_port, path)
+                statuses.append(status)
+            return statuses
+
+        with armed(KILL_SPEC):
+            statuses = run(with_server(fast_config(), scenario))
+        assert statuses == [200] * len(PROBE_PATHS)
