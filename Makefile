@@ -29,6 +29,7 @@ bench-smoke:
 		-q -p no:cacheprovider
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_serving.py --smoke
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_orbit_batch.py --smoke
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_twin.py --smoke
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_catalog_sweep.py --smoke
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) bench_trace_store.py --smoke
 	$(PYTHON) -m satiot scenario run benchmarks/scenarios/smoke.json \

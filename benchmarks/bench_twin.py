@@ -1,0 +1,171 @@
+"""Incremental ephemeris extension vs full recomputation.
+
+Benchmarks the digital-twin serving tentpole: as the twin's clock
+advances, each ``start=now`` query grows the fleet's time grid by one
+quantum.  Without the extension tier every growth step is a fresh
+constellation key — a full ``(N, T, 3)`` propagation of an
+ever-longer grid.  With it, only the new suffix instants are
+propagated and concatenated onto the cached prefix.
+
+Timed head-to-head over the same growth schedule:
+
+* **full recompute** — a cold cache per step (exactly what serving
+  would do without the extension tier: no prior key ever matches);
+* **incremental** — one cache serving the steps in order, extending.
+
+Asserted contracts, checked in the same run that is timed:
+
+* the final incrementally-assembled grid is **bit-identical** to one
+  cold full-range propagation (the tests/twin property, re-verified
+  at benchmark scale);
+* every step actually took the extension fast path;
+* growth-step speedup >= ``SPEEDUP_FLOOR`` (acceptance floor).  The
+  initial base fill — identical cold work in both modes — is reported
+  separately and excluded from the ratio.
+
+Metrics land in ``benchmarks/output/twin_extension.json`` (CI
+artifact) next to the human-readable table.  ``--smoke`` shrinks the
+fleet and the schedule for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from satiot.constellations.shells import ShellSpec, generate_shell_tles
+from satiot.orbits.sgp4 import SGP4
+from satiot.runtime.ephemeris_cache import EphemerisCache
+
+from conftest import SEED, write_json, write_output
+
+COARSE_STEP_S = 30.0
+#: acceptance floor: cumulative extension speedup over the schedule
+SPEEDUP_FLOOR = 5.0
+
+
+def _fleet(count: int, seed: int) -> List[SGP4]:
+    tles = generate_shell_tles(
+        ShellSpec(name="twin", count=count, altitude_min_km=500.0,
+                  altitude_max_km=620.0, inclination_deg=97.5),
+        epochyr=24, epochdays=250.5, norad_base=91000, seed=seed)
+    return [SGP4(tle) for tle in tles]
+
+
+def _schedule(base: int, quantum: int, steps: int) -> List[np.ndarray]:
+    """Grid sizes the advancing clock serves: base, base+q, ..."""
+    full = np.arange(base + quantum * steps, dtype=float) \
+        * COARSE_STEP_S
+    return [full[:base + quantum * k] for k in range(steps + 1)]
+
+
+def _time_full_recompute(props, epoch, grids) -> List[float]:
+    """Every step on a cold cache: the no-extension-tier baseline."""
+    times = []
+    for grid in grids:
+        cache = EphemerisCache()
+        t0 = time.perf_counter()
+        cache.constellation_grid(props, epoch, grid)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def _time_incremental(props, epoch, grids):
+    """One cache serving the growth schedule in order."""
+    cache = EphemerisCache()
+    times = []
+    result = None
+    for grid in grids:
+        t0 = time.perf_counter()
+        result = cache.constellation_grid(props, epoch, grid)
+        times.append(time.perf_counter() - t0)
+    return times, result, cache.stats.grid_extensions
+
+
+def run_benchmark(smoke: bool, seed: int = SEED) -> dict:
+    if smoke:
+        n_sats, base, quantum, steps = 39, 480, 30, 12
+    else:
+        n_sats, base, quantum, steps = 120, 960, 60, 16
+
+    props = _fleet(n_sats, seed)
+    epoch = props[0].tle.epoch
+    grids = _schedule(base, quantum, steps)
+    final = grids[-1]
+
+    full_times = _time_full_recompute(props, epoch, grids)
+    inc_times, (r_inc, v_inc), extensions = _time_incremental(
+        props, epoch, grids)
+    # Step 0 is the base fill — a cold full propagation in BOTH modes,
+    # byte-for-byte the same work.  The tier's win is the growth
+    # steps, so the speedup (and its floor) is measured over those.
+    base_fill_s = inc_times[0]
+    full_s = sum(full_times[1:])
+    incremental_s = sum(inc_times[1:])
+
+    # Bit-identity against one cold full-range propagation.
+    r_ref, v_ref = EphemerisCache().constellation_grid(
+        props, epoch, final)
+    assert r_inc.tobytes() == r_ref.tobytes(), \
+        "incremental r stack diverged from cold propagation"
+    assert v_inc.tobytes() == v_ref.tobytes(), \
+        "incremental v stack diverged from cold propagation"
+    assert extensions == steps, \
+        f"only {extensions}/{steps} steps took the extension fast path"
+
+    speedup = full_s / incremental_s
+    payload = {
+        "benchmark": "twin_extension",
+        "smoke": smoke,
+        "n_sats": n_sats,
+        "coarse_step_s": COARSE_STEP_S,
+        "base_samples": base,
+        "quantum_samples": quantum,
+        "steps": steps,
+        "final_samples": int(final.size),
+        "grid_extensions": extensions,
+        "base_fill_s": round(base_fill_s, 6),
+        "full_recompute_s": round(full_s, 6),
+        "incremental_s": round(incremental_s, 6),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    write_json("twin_extension", payload)
+
+    lines = [
+        f"Twin grid growth — incremental extension vs full recompute "
+        f"({'smoke' if smoke else 'full'})",
+        f"  {n_sats} sats, {steps} growth steps of {quantum} samples "
+        f"on a {base}-sample base ({final.size} final, "
+        f"{COARSE_STEP_S:.0f} s step)",
+        f"  base fill {base_fill_s * 1e3:.1f} ms (both modes), then:",
+        f"  full recompute {full_s * 1e3:9.1f} ms   "
+        f"incremental {incremental_s * 1e3:8.1f} ms   "
+        f"({speedup:6.1f}x)",
+        f"  bit-identity vs cold propagation verified in-run; "
+        f"floor {SPEEDUP_FLOOR:.0f}x",
+    ]
+    write_output("twin_extension", "\n".join(lines))
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"extension speedup only {speedup:.2f}x over the growth "
+        f"schedule (need >= {SPEEDUP_FLOOR}x)")
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="incremental ephemeris extension benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (39 sats, 12 growth steps)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+    run_benchmark(smoke=args.smoke, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

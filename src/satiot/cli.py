@@ -453,6 +453,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not constellations and not extra:
         raise SystemExit("nothing to serve: give --constellations "
                          "and/or --catalog")
+    providers = None
+    if args.providers is not None:
+        from .econ.providers import PROVIDERS
+        providers = tuple(
+            s.strip().lower() for s in args.providers.split(",")
+            if s.strip())
+        for name in providers:
+            if name not in PROVIDERS:
+                raise SystemExit(f"unknown provider {name!r}; choose "
+                                 f"from {sorted(PROVIDERS)}")
+        if not providers:
+            raise SystemExit("error: --providers given but empty")
+    if args.rate <= 0:
+        raise SystemExit("error: --rate must be positive")
+    if args.rate != 1.0 and not args.realtime:
+        raise SystemExit("error: --rate requires --realtime")
     config = ServingConfig(
         host=args.host, port=args.port,
         constellations=constellations,
@@ -461,7 +477,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         batching=not args.no_batching,
         cache_ttl_s=args.cache_ttl,
-        coarse_step_s=args.step)
+        coarse_step_s=args.step,
+        realtime=args.realtime,
+        rate=args.rate,
+        providers=providers)
 
     from .serving.supervisor import default_workers
     try:
@@ -476,12 +495,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     service = ConstellationService(constellations=constellations,
                                    coarse_step_s=config.coarse_step_s,
-                                   extra=extra)
+                                   extra=extra, providers=providers,
+                                   realtime=config.realtime)
     server = ServingServer(config, service=service)
 
     async def run() -> None:
         await server.start()
         mode = "micro-batched" if config.batching else "unbatched"
+        if config.realtime:
+            mode += f", realtime x{config.rate:g}"
         print(f"satiot serving on "
               f"http://{config.host}:{server.bound_port} "
               f"({mode}; constellations: "
@@ -867,6 +889,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared ephemeris disk tier for fleet workers "
                         "(mmap'd read-only by every worker; default: "
                         "a private temp directory)")
+    p.add_argument("--realtime", action="store_true",
+                   help="digital-twin mode: arm the sim clock so "
+                        "queries may say start=now / start=next")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="simulation seconds per real second "
+                        "(with --realtime; default 1.0)")
+    p.add_argument("--providers", default=None,
+                   help="comma-separated provider names /v1/compare "
+                        "may select (default: all registered)")
     _add_faults_arg(p)
     p.set_defaults(func=cmd_serve)
 

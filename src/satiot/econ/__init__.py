@@ -4,10 +4,14 @@ from .comparison import (ExpenditureRow, expenditure_table,
                          tco_crossover_months, tco_usd)
 from .pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS, SatelliteCostModel,
                       TerrestrialCostModel)
+from .providers import (PROVIDERS, ProviderSpec, get_provider,
+                        provider_names, register_provider, resolve_costs)
 
 __all__ = [
     "ExpenditureRow", "expenditure_table", "tco_usd",
     "tco_crossover_months",
     "SatelliteCostModel", "TerrestrialCostModel",
     "TIANQI_COSTS", "TERRESTRIAL_COSTS",
+    "ProviderSpec", "PROVIDERS", "register_provider", "get_provider",
+    "provider_names", "resolve_costs",
 ]

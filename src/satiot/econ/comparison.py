@@ -11,11 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from .pricing import (TERRESTRIAL_COSTS, TIANQI_COSTS, SatelliteCostModel,
+from typing import Union
+
+from .pricing import (TERRESTRIAL_COSTS, SatelliteCostModel,
                       TerrestrialCostModel)
+from .providers import resolve_costs
 
 __all__ = ["ExpenditureRow", "expenditure_table", "tco_usd",
            "tco_crossover_months"]
+
+#: ``satellite=`` arguments: a concrete model, a registered provider
+#: name, or None (the measured Tianqi service via the registry).
+SatelliteCosts = Union[SatelliteCostModel, str, None]
 
 
 @dataclass(frozen=True)
@@ -30,10 +37,16 @@ class ExpenditureRow:
 
 def expenditure_table(packets_per_day: float = 48.0,
                       payload_bytes: int = 20,
-                      satellite: SatelliteCostModel = TIANQI_COSTS,
+                      satellite: SatelliteCosts = None,
                       terrestrial: TerrestrialCostModel = TERRESTRIAL_COSTS,
                       ) -> List[ExpenditureRow]:
-    """The paper's Table 2 for a given per-sensor traffic profile."""
+    """The paper's Table 2 for a given per-sensor traffic profile.
+
+    ``satellite`` routes through the provider registry (see
+    :func:`satiot.econ.providers.resolve_costs`): ``None`` is the
+    measured Tianqi service, a string selects a registered provider.
+    """
+    satellite = resolve_costs(satellite)
     return [
         ExpenditureRow(
             network="Terrestrial IoT",
@@ -53,12 +66,17 @@ def expenditure_table(packets_per_day: float = 48.0,
 
 def tco_usd(months: float, node_count: int = 1,
             packets_per_day: float = 48.0, payload_bytes: int = 20,
-            satellite: SatelliteCostModel = TIANQI_COSTS,
+            satellite: SatelliteCosts = None,
             terrestrial: TerrestrialCostModel = TERRESTRIAL_COSTS,
             ) -> Dict[str, float]:
-    """Total cost of ownership of both systems after ``months``."""
+    """Total cost of ownership of both systems after ``months``.
+
+    ``satellite`` accepts a registered provider name (or ``None`` for
+    the measured Tianqi service) besides a concrete cost model.
+    """
     if months < 0:
         raise ValueError("months cannot be negative")
+    satellite = resolve_costs(satellite)
     sat = (satellite.construction_cost_usd(node_count)
            + months * node_count
            * satellite.monthly_data_cost_usd(packets_per_day, payload_bytes))
@@ -69,15 +87,17 @@ def tco_usd(months: float, node_count: int = 1,
 
 def tco_crossover_months(node_count: int = 1, packets_per_day: float = 48.0,
                          payload_bytes: int = 20,
-                         satellite: SatelliteCostModel = TIANQI_COSTS,
+                         satellite: SatelliteCosts = None,
                          terrestrial: TerrestrialCostModel
                          = TERRESTRIAL_COSTS,
                          horizon_months: int = 600) -> Tuple[bool, float]:
     """When (if ever) the cheaper system flips within the horizon.
 
     Returns ``(flips, months)``; ``months`` is ``inf`` when the initially
-    cheaper system stays cheaper for the whole horizon.
+    cheaper system stays cheaper for the whole horizon.  ``satellite``
+    resolves through the provider registry like :func:`tco_usd`.
     """
+    satellite = resolve_costs(satellite)
     first = tco_usd(0, node_count, packets_per_day, payload_bytes,
                     satellite, terrestrial)
     sat_cheaper_at_start = first["satellite_usd"] < first["terrestrial_usd"]

@@ -1,0 +1,168 @@
+"""Provider registry: satellite IoT services as data.
+
+The paper measures one operational service (Tianqi); the digital twin
+compares *alternatives* — so a provider is a value, not a hardcoded
+constant: a constellation geometry, a MAC discipline and a pricing
+model bundled under one name.  The serving layer's ``/v1/compare``
+endpoint and the scenario specs' ``traffic.provider`` key both select
+from this registry, and :mod:`satiot.econ.comparison` resolves its
+``satellite=`` arguments through it so a comparison can never silently
+mix one provider's geometry with another's tariff.
+
+The Swarm- and Iridium-style entries are *representative archetypes*
+built from public datasheets and price lists (cf. the Swarm-vs-Iridium
+comparison referenced in PAPERS.md), not calibrated reproductions:
+
+* **swarm** — a dense VHF picosatellite fleet; cheap modem, cheap
+  per-packet tariff (750 packets × 192 B for 5 USD/month ≈ 6.67 USD
+  per thousand packets), deep store-and-forward queues.
+* **iridium** — a crosslinked L-band constellation (66 active birds in
+  6 planes); near-continuous coverage and small latencies, but an
+  expensive modem and a tariff two orders of magnitude above Swarm's.
+
+Registered constellations are **not** added to
+:data:`~satiot.constellations.catalog.CONSTELLATION_SPECS`: the
+catalog describes the paper's measured systems, the registry describes
+what-if alternatives.  ``build_constellation(spec=...)`` synthesizes
+their TLEs on demand without touching the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+from ..constellations.catalog import (CONSTELLATION_SPECS,
+                                      ConstellationSpec, DtSRadioProfile)
+from ..constellations.shells import ShellSpec
+from ..network.mac import MacConfig
+from .pricing import TIANQI_COSTS, SatelliteCostModel
+
+__all__ = ["ProviderSpec", "PROVIDERS", "register_provider",
+           "get_provider", "provider_names", "resolve_costs"]
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """One satellite IoT service: geometry + MAC + tariff."""
+
+    name: str
+    display_name: str
+    constellation: ConstellationSpec
+    mac: MacConfig = field(default_factory=MacConfig)
+    costs: SatelliteCostModel = field(default_factory=SatelliteCostModel)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ValueError(
+                f"provider name must be non-empty lowercase, "
+                f"got {self.name!r}")
+
+
+#: Registry of selectable providers, keyed by lowercase name.
+PROVIDERS: Dict[str, ProviderSpec] = {}
+
+
+def register_provider(spec: ProviderSpec) -> ProviderSpec:
+    """Add a provider to the registry (name collisions are errors)."""
+    if spec.name in PROVIDERS:
+        raise ValueError(f"provider {spec.name!r} is already registered")
+    PROVIDERS[spec.name] = spec
+    return spec
+
+
+def provider_names() -> Tuple[str, ...]:
+    """Registered provider names, sorted."""
+    return tuple(sorted(PROVIDERS))
+
+
+def get_provider(name: str) -> ProviderSpec:
+    """Look up one provider; unknown names raise with the valid set."""
+    try:
+        return PROVIDERS[str(name).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown provider {name!r}; registered providers: "
+            f"{', '.join(provider_names())}") from None
+
+
+def resolve_costs(satellite: Union[SatelliteCostModel, str, None],
+                  ) -> SatelliteCostModel:
+    """Resolve a ``satellite=`` argument to a concrete cost model.
+
+    ``None`` means the paper's measured service (Tianqi), a string is
+    a registry lookup, and a :class:`SatelliteCostModel` passes
+    through — so cost functions accept any of the three without the
+    caller caring which.
+    """
+    if satellite is None:
+        return get_provider("tianqi").costs
+    if isinstance(satellite, SatelliteCostModel):
+        return satellite
+    if isinstance(satellite, str):
+        return get_provider(satellite).costs
+    raise TypeError(
+        f"satellite must be a SatelliteCostModel, a registered "
+        f"provider name, or None; got {type(satellite).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Built-in providers
+# ----------------------------------------------------------------------
+register_provider(ProviderSpec(
+    name="tianqi",
+    display_name="Tianqi (measured)",
+    constellation=CONSTELLATION_SPECS["tianqi"],
+    mac=MacConfig(),
+    # The identical TIANQI_COSTS object: provider-routed cost math is
+    # bit-for-bit the pre-registry behaviour for the default provider.
+    costs=TIANQI_COSTS,
+    notes="The paper's measured service; baseline for every comparison.",
+))
+
+register_provider(ProviderSpec(
+    name="swarm",
+    display_name="Swarm-style VHF picosatellites",
+    constellation=ConstellationSpec(
+        name="swarm",
+        operator_region="US",
+        shells=(ShellSpec(name="SWARM", count=120,
+                          altitude_min_km=450.0, altitude_max_km=550.0,
+                          inclination_deg=97.6),),
+        radio=DtSRadioProfile(frequency_hz=137.1e6,
+                              spreading_factor=8,
+                              beacon_period_s=15.0,
+                              beacon_eirp_dbm=13.0,
+                              uplink_max_eirp_dbm=26.0),
+        norad_base=85000),
+    mac=MacConfig(max_retransmissions=3, retry_backoff_s=600.0),
+    costs=SatelliteCostModel(device_cost_usd=119.0,
+                             usd_per_thousand_packets=6.67,
+                             max_payload_bytes=192),
+    notes="Dense sun-synchronous fleet, cheap modem, cheap packets.",
+))
+
+register_provider(ProviderSpec(
+    name="iridium",
+    display_name="Iridium-style L-band constellation",
+    constellation=ConstellationSpec(
+        name="iridium",
+        operator_region="US",
+        shells=(ShellSpec(name="IRIDIUM", count=66,
+                          altitude_min_km=778.0, altitude_max_km=782.0,
+                          inclination_deg=86.4, planes=6),),
+        radio=DtSRadioProfile(frequency_hz=1621.25e6,
+                              spreading_factor=7,
+                              bandwidth_hz=250_000.0,
+                              beacon_period_s=10.0,
+                              beacon_eirp_dbm=15.5,
+                              uplink_max_eirp_dbm=30.0),
+        norad_base=86000),
+    mac=MacConfig(max_retransmissions=1, turnaround_s=5.0,
+                  retry_backoff_s=60.0),
+    costs=SatelliteCostModel(device_cost_usd=249.0,
+                             usd_per_thousand_packets=95.0,
+                             max_payload_bytes=340),
+    notes="Near-continuous coverage at a premium per-packet tariff.",
+))

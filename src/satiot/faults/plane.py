@@ -94,6 +94,10 @@ SITES: Dict[str, str] = {
         "tear a spilled trace-shard write (half the bytes land); the "
         "writer's readback checksum detects it and rewrites, so the "
         "archive stays byte-identical",
+    "twin.extend":
+        "abandon the incremental ephemeris extension fast path for one "
+        "grid request (falls back to a cold full-range propagation — "
+        "costs compute, output stays bit-identical)",
 }
 
 

@@ -312,16 +312,25 @@ class SGP4:
         xl = mm + argpm + nodem + temp * self.xlcof * axnl
 
         # --- Kepler's equation (vectorized Newton) -------------------------
+        # Convergence is judged per element, and a converged element is
+        # frozen: each instant's Newton trajectory depends only on that
+        # instant, never on which other instants share the call.  That
+        # makes propagation memoryless along the time axis — the grid
+        # over [0, b) equals the [0, b) slice of the grid over [0, c)
+        # bit for bit, which the incremental ephemeris extension tier
+        # (satiot.runtime.ephemeris_cache) relies on.
         u = np.remainder(xl - nodem, TWO_PI)
         eo1 = u.copy()
+        pending = np.ones(np.shape(eo1), dtype=bool)
         for _ in range(12):
             sineo1 = np.sin(eo1)
             coseo1 = np.cos(eo1)
             tem5 = ((u - aynl * coseo1 + axnl * sineo1 - eo1)
                     / (1.0 - coseo1 * axnl - sineo1 * aynl))
             tem5 = np.clip(tem5, -0.95, 0.95)
-            eo1 = eo1 + tem5
-            if np.max(np.abs(tem5)) < 1.0e-12:
+            eo1 = np.where(pending, eo1 + tem5, eo1)
+            pending &= np.abs(tem5) >= 1.0e-12
+            if not pending.any():
                 break
         sineo1 = np.sin(eo1)
         coseo1 = np.cos(eo1)

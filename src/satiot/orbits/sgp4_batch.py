@@ -326,35 +326,26 @@ class SGP4Batch:
         aynl = em * np.sin(argpm) + temp * aycof
         xl = mm + argpm + nodem + temp * xlcof * axnl
 
-        # --- Kepler's equation: per-row-converging Newton ------------------
+        # --- Kepler's equation: per-element-converging Newton --------------
+        # Mirrors the scalar path exactly: each element iterates until
+        # its own residual converges and is then frozen, so every
+        # (satellite, instant) cell is independent of the rest of the
+        # grid.  Time-axis memorylessness is what lets the incremental
+        # ephemeris extension tier concatenate a propagated suffix onto
+        # a cached prefix bit-identically.
         u = np.remainder(xl - nodem, TWO_PI)
         eo1 = u.copy()
-        active = np.arange(nrows)
+        pending = np.ones(u.shape, dtype=bool)
         for _ in range(12):
-            if active.size == 0:
-                break
-            if active.size == nrows:
-                sub_u, sub_axnl, sub_aynl = u, axnl, aynl
-                sub_eo1 = eo1
-            else:
-                sub_u = u[active]
-                sub_axnl = axnl[active]
-                sub_aynl = aynl[active]
-                sub_eo1 = eo1[active]
-            sineo1 = np.sin(sub_eo1)
-            coseo1 = np.cos(sub_eo1)
-            tem5 = ((sub_u - sub_aynl * coseo1 + sub_axnl * sineo1
-                     - sub_eo1)
-                    / (1.0 - coseo1 * sub_axnl - sineo1 * sub_aynl))
+            sineo1 = np.sin(eo1)
+            coseo1 = np.cos(eo1)
+            tem5 = ((u - aynl * coseo1 + axnl * sineo1 - eo1)
+                    / (1.0 - coseo1 * axnl - sineo1 * aynl))
             tem5 = np.clip(tem5, -0.95, 0.95)
-            if active.size == nrows:
-                eo1 = eo1 + tem5
-            else:
-                eo1[active] = sub_eo1 + tem5
-            # A row retires once its own residual converges — after the
-            # update, exactly as the scalar loop breaks.
-            still = np.max(np.abs(tem5), axis=1) >= 1.0e-12
-            active = active[still]
+            eo1 = np.where(pending, eo1 + tem5, eo1)
+            pending &= np.abs(tem5) >= 1.0e-12
+            if not pending.any():
+                break
         sineo1 = np.sin(eo1)
         coseo1 = np.cos(eo1)
 

@@ -148,6 +148,10 @@ class CacheStats:
     #: Of :attr:`grid_bytes`: bytes backed by mmap'd segments — resident
     #: once machine-wide no matter how many workers map them.
     grid_mmap_bytes: int = 0
+    #: Constellation-grid fills served by the incremental extension
+    #: fast path (prefix reused, only the suffix propagated).  Each is
+    #: also counted in :attr:`grid_misses` — the fleet entry did miss.
+    grid_extensions: int = 0
 
     @property
     def hits(self) -> int:
@@ -211,6 +215,9 @@ class EphemerisCache:
             = OrderedDict()
         self._pass_lists: "OrderedDict[tuple, Tuple[ContactWindow, ...]]" \
             = OrderedDict()
+        # Most recent offsets grid served per (fleet, epoch) — the
+        # candidate prefix for the incremental extension fast path.
+        self._extents: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Keys
@@ -320,6 +327,7 @@ class EphemerisCache:
         cached = self._lru_get(self._grids, ckey)
         if cached is not None:
             self.stats.grid_hits += 1
+            self._record_extent(tles, epoch, offsets)
             return cached
         segment = self._segment_load(ckey)
         if segment is not None:
@@ -331,7 +339,13 @@ class EphemerisCache:
                 self._lru_put(self._grids, key, (r[i], v[i]),
                               self.max_grids)
             self._lru_put(self._grids, ckey, (r, v), self.max_grids)
+            self._record_extent(tles, epoch, offsets)
             return r, v
+        extended = self._extend_from_prefix(propagators, tles, ckey,
+                                            epoch, offsets)
+        if extended is not None:
+            self._record_extent(tles, epoch, offsets)
+            return extended
 
         n = len(propagators)
         sat_keys = [self.grid_key(t, epoch, offsets) for t in tles]
@@ -369,7 +383,113 @@ class EphemerisCache:
                 self._disk_store(key, {"r": r[i], "v": v[i]})
         self._segment_store(ckey, r, v)
         self._lru_put(self._grids, ckey, (r, v), self.max_grids)
+        self._record_extent(tles, epoch, offsets)
         return r, v
+
+    # ------------------------------------------------------------------
+    # Incremental extension (digital-twin serving)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _extent_key(tles: Sequence[TLE], epoch: Epoch) -> tuple:
+        """One extent slot per (fleet, epoch): the prefix candidate."""
+        return (constellation_fingerprint(tles),
+                round(float(epoch.jd), 9))
+
+    def _record_extent(self, tles: Sequence[TLE], epoch: Epoch,
+                       offsets: np.ndarray) -> None:
+        """Remember the offsets grid just served for this fleet+epoch.
+
+        The twin's advancing clock issues monotonically growing grids,
+        so "the grid most recently served" is exactly the prefix the
+        next request can extend from.  Stored as a private copy so a
+        caller mutating their offsets array can't corrupt the record.
+        """
+        self._lru_put(self._extents, self._extent_key(tles, epoch),
+                      np.array(offsets, dtype=float), self.max_grids)
+
+    def _extend_from_prefix(self, propagators: Sequence[SGP4],
+                            tles: Sequence[TLE], ckey: tuple,
+                            epoch: Epoch, offsets: np.ndarray,
+                            ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Serve ``offsets`` by extending the recorded prefix grid.
+
+        Applies only when the recorded extent is a strict byte-level
+        prefix of ``offsets`` and its ``(N, T, 3)`` stack is still
+        reachable (memory LRU or mmap'd segment).  Only the suffix
+        instants are propagated; SGP4 is memoryless in ``tsince``, so
+        the concatenated stack is bit-identical to a cold full-range
+        propagation (property-tested in tests/twin).  The combined
+        stack is republished under the full key — including a new
+        segment, which is how a restarted fleet worker re-attaches to
+        grids its siblings extended.  The ``twin.extend`` fault site
+        abandons the fast path (full recompute; output unchanged).
+        """
+        if fault_fires("twin.extend"):
+            return None
+        prev = self._extents.get(self._extent_key(tles, epoch))
+        if prev is None or not 0 < prev.size < offsets.size:
+            return None
+        t = int(prev.size)
+        if offsets[:t].tobytes() != prev.tobytes():
+            return None
+        prev_key = self.constellation_key(tles, epoch, prev)
+        prefix = self._lru_get(self._grids, prev_key)
+        if prefix is None:
+            prefix = self._segment_load(prev_key)
+            if prefix is not None:
+                self.stats.disk_hits += 1
+        if prefix is None:
+            return None
+        r_prev, v_prev = prefix
+        n = len(propagators)
+        if r_prev.shape != (n, t, 3) or v_prev.shape != (n, t, 3):
+            return None
+        batch = SGP4Batch.from_propagators(propagators)
+        r_suf, v_suf = batch.propagate_offsets(epoch, offsets[t:])
+        # concatenate materializes a fresh private C-contiguous stack —
+        # an mmap'd prefix is copied out, never written through.
+        r = np.concatenate([r_prev, r_suf], axis=1)
+        v = np.concatenate([v_prev, v_suf], axis=1)
+        self.stats.grid_misses += 1
+        self.stats.grid_extensions += 1
+        for i, tle in enumerate(tles):
+            self._lru_put(self._grids,
+                          self.grid_key(tle, epoch, offsets),
+                          (r[i], v[i]), self.max_grids)
+        self._segment_store(ckey, r, v)
+        self._lru_put(self._grids, ckey, (r, v), self.max_grids)
+        return r, v
+
+    def extend_constellation_grid(self, propagators: Sequence[SGP4],
+                                  epoch: Epoch,
+                                  offsets_s: Sequence[float],
+                                  prefix_offsets_s: Optional[
+                                      Sequence[float]] = None,
+                                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-fleet grid over ``offsets_s``, extending incrementally.
+
+        Identical contract (and bit-identical output) to
+        :meth:`constellation_grid`; the difference is purely how the
+        answer is produced.  When the previously served grid for this
+        fleet — or the explicit ``prefix_offsets_s`` — is a strict
+        prefix of ``offsets_s``, only the new suffix instants are
+        propagated and the stacks are concatenated.  A cache that
+        cannot see the prefix (evicted, no disk tier) degrades to a
+        full fill, never to a wrong answer.
+
+        ``prefix_offsets_s`` seeds the extent record explicitly: a
+        process that did not itself serve the prefix (a restarted
+        fleet worker, a fresh cache over an existing ``disk_dir``) can
+        name the grid it expects to find in the shared segment tier.
+        """
+        if prefix_offsets_s is not None:
+            offsets = np.asarray(offsets_s, dtype=float)
+            prefix = np.asarray(prefix_offsets_s, dtype=float)
+            if 0 < prefix.size < offsets.size and \
+                    offsets[:prefix.size].tobytes() == prefix.tobytes():
+                tles = [p.tle for p in propagators]
+                self._record_extent(tles, epoch, prefix)
+        return self.constellation_grid(propagators, epoch, offsets_s)
 
     def fleet_grid_provider(self, propagators: Sequence[SGP4],
                             ) -> Callable[[Epoch, np.ndarray],
@@ -574,6 +694,7 @@ class EphemerisCache:
         """Drop the in-memory tier (the disk tier is untouched)."""
         self._grids.clear()
         self._pass_lists.clear()
+        self._extents.clear()
 
     def grid_resident_bytes(self) -> int:
         """Approximate resident bytes of the in-memory grid tier.

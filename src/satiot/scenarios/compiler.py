@@ -22,6 +22,7 @@ from ..constellations.catalog import (CONSTELLATION_SPECS,
 from ..constellations.shells import ShellSpec
 from ..core.active import ActiveCampaignConfig
 from ..core.campaign import PassiveCampaignConfig
+from ..econ.providers import get_provider
 from ..sim.weather import WeatherParams
 from .spec import ScenarioError, ScenarioSpec, expand_grid
 
@@ -173,7 +174,13 @@ def compile_cell(index: int, cell_id: str,
     if spec.kind == "passive":
         return CompiledCell(config=_compile_passive(spec), **common)
     if spec.kind == "active":
-        return CompiledCell(config=_compile_active(spec), **common)
+        provider = str(spec.section("traffic")["provider"]).lower()
+        try:
+            get_provider(provider)
+        except ValueError as error:
+            raise ScenarioError("traffic.provider", str(error))
+        return CompiledCell(config=_compile_active(spec),
+                            params={"provider": provider}, **common)
     if spec.kind == "longitudinal":
         return CompiledCell(kwargs=_compile_longitudinal(spec),
                             **common)

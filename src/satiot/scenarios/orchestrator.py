@@ -212,10 +212,16 @@ def _run_active_cell(cell: CompiledCell,
             ("battery_drain_ratio", "", energy.drain_ratio),
         ]
     packets_per_day = 86400.0 / config.reading_interval_s
+    # Cost KPIs priced under the cell's provider (spec key
+    # traffic.provider, registry-validated at compile time; the
+    # default "tianqi" resolves to the identical TIANQI_COSTS object,
+    # so existing specs keep byte-identical KPI rows).
+    provider = (cell.params or {}).get("provider") or "tianqi"
     tco = tco_usd(12.0, config.node_count, packets_per_day,
-                  config.payload_bytes)
+                  config.payload_bytes, satellite=provider)
     flips, crossover = tco_crossover_months(
-        config.node_count, packets_per_day, config.payload_bytes)
+        config.node_count, packets_per_day, config.payload_bytes,
+        satellite=provider)
     triples += [
         ("tco_12mo_satellite_usd", "", tco["satellite_usd"]),
         ("tco_12mo_terrestrial_usd", "", tco["terrestrial_usd"]),

@@ -95,6 +95,9 @@ _SECTION_SCHEMAS: Dict[str, Dict[str, _Field]] = {
         "payload_bytes": _int_field(default=20, positive=True),
         "reading_interval_s": _number_field(default=1800.0,
                                             positive=True),
+        # Cost-model provider (satiot.econ.providers registry name);
+        # the measured Tianqi tariff unless the spec says otherwise.
+        "provider": _str_field(default="tianqi"),
     },
     "mac": {
         "max_retransmissions": _int_field(default=5),

@@ -13,12 +13,13 @@ from .cache import ResultCache, quantize_coord
 from .http import HTTPError, HTTPRequest, json_response, read_request
 from .metrics import EndpointMetrics, ServingMetrics
 from .server import ServingConfig, ServingServer
-from .service import (ConstellationService, LinkBudgetRequest,
-                      PassesRequest, PresenceRequest)
+from .service import (CompareRequest, ConstellationService,
+                      LinkBudgetRequest, PassesRequest, PresenceRequest)
 from .supervisor import (FleetConfig, ServingFleet, default_workers,
                          fork_available, reuseport_available)
 
 __all__ = [
+    "CompareRequest",
     "ConstellationService",
     "EndpointMetrics",
     "FleetConfig",

@@ -41,9 +41,10 @@ from ..faults import fault_fires, get_default_plane
 from .http import (HTTPError, HTTPRequest, json_response, read_request,
                    text_response)
 from ..runtime.telemetry import render_fixed_table
+from ..twin.clock import SimClock
 from .metrics import ServingMetrics
-from .service import (ConstellationService, LinkBudgetRequest,
-                      PassesRequest, PresenceRequest,
+from .service import (CompareRequest, ConstellationService,
+                      LinkBudgetRequest, PassesRequest, PresenceRequest,
                       DEFAULT_CONSTELLATION)
 
 __all__ = ["ServingConfig", "ServingServer"]
@@ -75,6 +76,19 @@ class ServingConfig:
     #: abort the connection when a client will not drain its socket
     #: within this many seconds (slow-client protection)
     write_timeout_s: float = 30.0
+    #: digital-twin mode: arm a SimClock so queries may say start=now
+    realtime: bool = False
+    #: simulation seconds per real second (realtime mode)
+    rate: float = 1.0
+    #: unix timestamp mapped to sim offset 0; None anchors at server
+    #: construction.  The fleet supervisor pins one anchor for every
+    #: worker so now-queries resolve identically fleet-wide.
+    clock_anchor: Optional[float] = None
+    #: now-query quantization (s): queries inside one quantum resolve
+    #: to the same offset → byte-identical answers, cache-friendly
+    clock_quantum_s: float = 60.0
+    #: providers /v1/compare may select (None = all registered)
+    providers: Optional[Tuple[str, ...]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -82,6 +96,7 @@ _ENDPOINTS = {
     "/v1/passes": ("passes", PassesRequest),
     "/v1/presence": ("presence", PresenceRequest),
     "/v1/link_budget": ("link_budget", LinkBudgetRequest),
+    "/v1/compare": ("compare", CompareRequest),
 }
 
 
@@ -104,7 +119,14 @@ class ServingServer:
         self.worker_id = worker_id
         self.service = service or ConstellationService(
             constellations=self.config.constellations,
-            coarse_step_s=self.config.coarse_step_s)
+            coarse_step_s=self.config.coarse_step_s,
+            providers=self.config.providers,
+            realtime=self.config.realtime)
+        self.clock: Optional[SimClock] = None
+        if self.config.realtime:
+            self.clock = SimClock(rate=self.config.rate,
+                                  anchor=self.config.clock_anchor,
+                                  quantum_s=self.config.clock_quantum_s)
         self.metrics = ServingMetrics()
         self.cache = ResultCache(max_entries=self.config.cache_entries,
                                  ttl_s=self.config.cache_ttl_s)
@@ -118,6 +140,7 @@ class ServingServer:
             "passes": self.service.passes_batch,
             "presence": self.service.presence_batch,
             "link_budget": self.service.link_budget_batch,
+            "compare": self.service.compare_batch,
         }
         self._batchers: Dict[str, MicroBatcher] = {
             name: MicroBatcher(
@@ -298,6 +321,11 @@ class ServingServer:
             "pending": {name: batcher.pending
                         for name, batcher in self._batchers.items()},
         }
+        if self.clock is not None:
+            payload["realtime"] = {
+                "sim_offset_s": round(self.clock.now_offset_s(), 3),
+                "rate": self.clock.rate,
+            }
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
         return json_response(200, payload)
@@ -336,6 +364,7 @@ class ServingServer:
             "grid_mmap_bytes": ephemeris.stats.grid_mmap_bytes,
             "grid_hits": ephemeris.stats.grid_hits,
             "grid_misses": ephemeris.stats.grid_misses,
+            "grid_extensions": ephemeris.stats.grid_extensions,
             "pass_hits": ephemeris.stats.pass_hits,
             "pass_misses": ephemeris.stats.pass_misses,
         }
@@ -355,10 +384,15 @@ class ServingServer:
             return 405, {"error": f"method {request.method} not allowed"}
         try:
             # Validate against the *loaded* constellation set (which may
-            # include catalog-built ones), so an unknown name is a clean
-            # 400 instead of a handler fault deep in the batcher.
+            # include catalog-built ones) — or, for compare, the loaded
+            # provider set — so an unknown name is a clean 400 instead
+            # of a handler fault deep in the batcher.
+            known = self.service.provider_names \
+                if endpoint == "compare" \
+                else self.service.constellation_names
             query = request_type.from_params(
-                request.params(), known=self.service.constellation_names)
+                request.params(), known=known, clock=self.clock,
+                epochs=self.service.epochs)
         except HTTPError as exc:
             return exc.status, {"error": exc.message}
         except ValueError as exc:

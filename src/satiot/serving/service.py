@@ -36,6 +36,7 @@ import numpy as np
 from ..constellations.catalog import (CONSTELLATION_SPECS, Constellation,
                                       build_constellation)
 from ..core.stats import merge_intervals, total_length
+from ..econ.providers import ProviderSpec, get_provider, provider_names
 from ..orbits.doppler import doppler_shift_hz
 from ..orbits.frames import GeodeticPoint
 from ..orbits.passes import ContactWindow, observer_geometry
@@ -45,10 +46,11 @@ from ..orbits.topocentric import ecef_states, look_angles_from_ecef
 from ..phy.link_budget import LinkBudget
 from ..phy.lora import LoRaModulation, sensitivity_dbm
 from ..runtime.ephemeris_cache import EphemerisCache
+from ..twin.clock import SimClock, parse_time_query
 from .cache import quantize_coord
 
-__all__ = ["ConstellationService", "LinkBudgetRequest", "PassesRequest",
-           "PresenceRequest", "DEFAULT_CONSTELLATION"]
+__all__ = ["CompareRequest", "ConstellationService", "LinkBudgetRequest",
+           "PassesRequest", "PresenceRequest", "DEFAULT_CONSTELLATION"]
 
 DEFAULT_CONSTELLATION = "tianqi"
 MAX_HORIZON_S = 7 * 86400.0
@@ -127,6 +129,24 @@ class _ObserverRequest:
                 quantize_coord(self.altitude_km, decimals))
 
 
+def _resolve_start(params: dict, constellation: str,
+                   clock: Optional[SimClock],
+                   epochs: Optional[Dict[str, Epoch]],
+                   horizon_s: float,
+                   allow_next: bool = True) -> Tuple[float, str]:
+    """Resolve the ``start=`` parameter of a time-windowed query.
+
+    The resulting window ``[start, start + horizon]`` must stay inside
+    the serving horizon, so the offset itself is bounded by what is
+    left after the horizon — the parser enforces it in one place.
+    """
+    epoch = (epochs or {}).get(constellation)
+    return parse_time_query(params.get("start"), clock=clock,
+                            epoch=epoch,
+                            horizon_s=MAX_HORIZON_S - horizon_s,
+                            allow_next=allow_next)
+
+
 @dataclass(frozen=True)
 class PassesRequest(_ObserverRequest):
     """``/v1/passes``: contact windows over a prediction horizon."""
@@ -134,10 +154,13 @@ class PassesRequest(_ObserverRequest):
     horizon_s: float = 86400.0
     min_elevation_deg: float = 10.0
     max_passes: int = 0          # 0 = unlimited
+    start_s: float = 0.0         # window start, seconds past the epoch
 
     @classmethod
     def from_params(cls, params: dict,
                     known: Optional[Sequence[str]] = None,
+                    clock: Optional[SimClock] = None,
+                    epochs: Optional[Dict[str, Epoch]] = None,
                     ) -> "PassesRequest":
         kwargs = cls._base_kwargs(params, known=known)
         kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
@@ -151,16 +174,22 @@ class PassesRequest(_ObserverRequest):
             raise ValueError("min_elevation_deg must be in [-10, 90)")
         if kwargs["max_passes"] < 0:
             raise ValueError("max_passes must be non-negative")
+        kwargs["start_s"], mode = _resolve_start(
+            params, kwargs["constellation"], clock, epochs,
+            kwargs["horizon_s"])
+        if mode == "next":
+            # "the next pass from now": one window, from the clock.
+            kwargs["max_passes"] = 1
         return cls(**kwargs)
 
     def group_key(self) -> tuple:
         return ("passes", self.constellation, self.horizon_s,
-                self.min_elevation_deg)
+                self.min_elevation_deg, self.start_s)
 
     def cache_key(self, decimals: int = 2) -> tuple:
         return ("passes", self.constellation,
                 self._quantized_site(decimals), self.horizon_s,
-                self.min_elevation_deg, self.max_passes)
+                self.min_elevation_deg, self.max_passes, self.start_s)
 
 
 @dataclass(frozen=True)
@@ -169,10 +198,13 @@ class PresenceRequest(_ObserverRequest):
 
     horizon_s: float = 86400.0
     min_elevation_deg: float = 10.0
+    start_s: float = 0.0
 
     @classmethod
     def from_params(cls, params: dict,
                     known: Optional[Sequence[str]] = None,
+                    clock: Optional[SimClock] = None,
+                    epochs: Optional[Dict[str, Epoch]] = None,
                     ) -> "PresenceRequest":
         kwargs = cls._base_kwargs(params, known=known)
         kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
@@ -183,16 +215,19 @@ class PresenceRequest(_ObserverRequest):
                 f"horizon_s must be in (0, {MAX_HORIZON_S:.0f}]")
         if not -10.0 <= kwargs["min_elevation_deg"] < 90.0:
             raise ValueError("min_elevation_deg must be in [-10, 90)")
+        kwargs["start_s"], _ = _resolve_start(
+            params, kwargs["constellation"], clock, epochs,
+            kwargs["horizon_s"], allow_next=False)
         return cls(**kwargs)
 
     def group_key(self) -> tuple:
         return ("presence", self.constellation, self.horizon_s,
-                self.min_elevation_deg)
+                self.min_elevation_deg, self.start_s)
 
     def cache_key(self, decimals: int = 2) -> tuple:
         return ("presence", self.constellation,
                 self._quantized_site(decimals), self.horizon_s,
-                self.min_elevation_deg)
+                self.min_elevation_deg, self.start_s)
 
 
 @dataclass(frozen=True)
@@ -208,8 +243,16 @@ class LinkBudgetRequest(_ObserverRequest):
     @classmethod
     def from_params(cls, params: dict,
                     known: Optional[Sequence[str]] = None,
+                    clock: Optional[SimClock] = None,
+                    epochs: Optional[Dict[str, Epoch]] = None,
                     ) -> "LinkBudgetRequest":
         kwargs = cls._base_kwargs(params, known=known)
+        if str(params.get("t_offset_s", "")).strip().lower() == "now":
+            if clock is None:
+                raise ValueError(
+                    "t_offset_s='now' needs the server's real-time "
+                    "clock; start it with --realtime")
+            params = dict(params, t_offset_s=clock.query_offset_s())
         kwargs["t_offset_s"] = _get_float(params, "t_offset_s", 0.0)
         kwargs["min_elevation_deg"] = _get_float(
             params, "min_elevation_deg", 0.0)
@@ -242,6 +285,113 @@ class LinkBudgetRequest(_ObserverRequest):
                 self.payload_bytes, self.raining)
 
 
+@dataclass(frozen=True)
+class CompareRequest:
+    """``/v1/compare``: one deployment question, several providers.
+
+    Not an :class:`_ObserverRequest` — the selector is a *provider*
+    list (registry names), not a loaded constellation name.
+    """
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_km: float = 0.0
+    providers: Tuple[str, ...] = ()
+    horizon_s: float = 86400.0
+    min_elevation_deg: float = 10.0
+    start_s: float = 0.0
+    packets_per_day: float = 48.0
+    payload_bytes: int = 20
+
+    def observer(self) -> GeodeticPoint:
+        return GeodeticPoint(self.latitude_deg, self.longitude_deg,
+                             self.altitude_km)
+
+    def site_dict(self) -> dict:
+        return {"latitude_deg": self.latitude_deg,
+                "longitude_deg": self.longitude_deg,
+                "altitude_km": self.altitude_km}
+
+    def _quantized_site(self, decimals: int) -> Tuple[float, float, float]:
+        return (quantize_coord(self.latitude_deg, decimals),
+                quantize_coord(self.longitude_deg, decimals),
+                quantize_coord(self.altitude_km, decimals))
+
+    @classmethod
+    def from_params(cls, params: dict,
+                    known: Optional[Sequence[str]] = None,
+                    clock: Optional[SimClock] = None,
+                    epochs: Optional[Dict[str, Epoch]] = None,
+                    ) -> "CompareRequest":
+        valid = sorted(known) if known is not None \
+            else sorted(provider_names())
+        raw = str(params.get("providers", "")).strip()
+        if raw:
+            names: List[str] = []
+            for token in raw.split(","):
+                name = token.strip().lower()
+                if not name:
+                    continue
+                if name not in valid:
+                    raise ValueError(
+                        f"unknown provider {name!r}; choose from "
+                        f"{valid}")
+                if name not in names:
+                    names.append(name)
+            if not names:
+                raise ValueError("providers list is empty")
+        else:
+            names = list(valid)
+        if "lat" not in params or "lon" not in params:
+            raise ValueError("parameters 'lat' and 'lon' are required")
+        kwargs = {
+            "latitude_deg": _get_float(params, "lat", 0.0),
+            "longitude_deg": _get_float(params, "lon", 0.0),
+            "altitude_km": _get_float(params, "alt_km", 0.0),
+            "providers": tuple(names),
+        }
+        if not -90.0 <= kwargs["latitude_deg"] <= 90.0:
+            raise ValueError("lat must be within [-90, 90]")
+        if not -180.0 <= kwargs["longitude_deg"] <= 180.0:
+            raise ValueError("lon must be within [-180, 180]")
+        if not -0.5 <= kwargs["altitude_km"] <= 50.0:
+            raise ValueError("alt_km must be within [-0.5, 50]")
+        kwargs["horizon_s"] = _get_float(params, "horizon_s", 86400.0)
+        kwargs["min_elevation_deg"] = _get_float(
+            params, "min_elevation_deg", 10.0)
+        kwargs["packets_per_day"] = _get_float(
+            params, "packets_per_day", 48.0)
+        kwargs["payload_bytes"] = _get_int(params, "payload_bytes", 20)
+        if not 0.0 < kwargs["horizon_s"] <= MAX_HORIZON_S:
+            raise ValueError(
+                f"horizon_s must be in (0, {MAX_HORIZON_S:.0f}]")
+        if not -10.0 <= kwargs["min_elevation_deg"] < 90.0:
+            raise ValueError("min_elevation_deg must be in [-10, 90)")
+        if not 0.0 < kwargs["packets_per_day"] <= 86400.0:
+            raise ValueError("packets_per_day must be in (0, 86400]")
+        if not 1 <= kwargs["payload_bytes"] <= 1024:
+            raise ValueError("payload_bytes must be in 1..1024")
+        # Providers are all built on one shared synthetic epoch, so an
+        # ISO start has no single constellation to resolve against —
+        # numeric offsets and 'now' cover the compare use cases.
+        kwargs["start_s"], _ = parse_time_query(
+            params.get("start"), clock=clock,
+            horizon_s=MAX_HORIZON_S - kwargs["horizon_s"],
+            allow_next=False)
+        return cls(**kwargs)
+
+    def group_key(self) -> tuple:
+        return ("compare", self.providers, self.horizon_s,
+                self.min_elevation_deg, self.start_s,
+                self.packets_per_day, self.payload_bytes)
+
+    def cache_key(self, decimals: int = 2) -> tuple:
+        return ("compare", self.providers,
+                self._quantized_site(decimals), self.horizon_s,
+                self.min_elevation_deg, self.start_s,
+                self.packets_per_day, self.payload_bytes)
+
+
 class ConstellationService:
     """Answers pass/presence/link-budget queries over shared ephemerides."""
 
@@ -253,15 +403,36 @@ class ConstellationService:
                  refine_tol_s: float = 0.5,
                  epochyr: int = 24, epochdays: float = 245.0,
                  seed: int = 7,
-                 extra: Sequence[Constellation] = ()) -> None:
+                 extra: Sequence[Constellation] = (),
+                 providers: Optional[Sequence[str]] = None,
+                 realtime: bool = False) -> None:
         if coarse_step_s <= 0:
             raise ValueError("coarse_step_s must be positive")
         self.coarse_step_s = float(coarse_step_s)
+        # Digital-twin mode: consecutive ``start=now`` queries produce
+        # strictly growing spans, so even single-observer groups are
+        # routed through the constellation-batched fleet path — that is
+        # the path whose grids the ephemeris tier extends incrementally.
+        self.realtime = bool(realtime)
         self.refine = refine
         self.refine_tol_s = float(refine_tol_s)
         self.ephemeris = ephemeris or EphemerisCache()
+        self._epochyr = int(epochyr)
+        self._epochdays = float(epochdays)
+        self._seed = int(seed)
         self._constellations: Dict[str, Constellation] = {}
         self._epochs: Dict[str, Epoch] = {}
+        # Providers the /v1/compare endpoint may select (None = every
+        # registered one).  Kept strictly apart from the constellation
+        # map: loading the swarm provider must not make "swarm" a valid
+        # /v1/passes constellation nor appear in /healthz.  Their
+        # constellations are synthesized lazily on first comparison.
+        names = provider_names() if providers is None else \
+            [str(p).strip().lower() for p in providers]
+        self._providers: Dict[str, ProviderSpec] = {
+            name: get_provider(name) for name in names}
+        self._provider_consts: Dict[str,
+                                    Tuple[Constellation, Epoch]] = {}
         for name in constellations:
             const = build_constellation(name, epochyr=epochyr,
                                         epochdays=epochdays, seed=seed)
@@ -288,6 +459,15 @@ class ConstellationService:
     def constellation_names(self) -> List[str]:
         return sorted(self._constellations)
 
+    @property
+    def provider_names(self) -> List[str]:
+        return sorted(self._providers)
+
+    @property
+    def epochs(self) -> Dict[str, Epoch]:
+        """Per-constellation reference epochs (for time-query parsing)."""
+        return dict(self._epochs)
+
     def constellation(self, name: str) -> Constellation:
         try:
             return self._constellations[name.lower()]
@@ -300,23 +480,68 @@ class ConstellationService:
         self.constellation(name)
         return self._epochs[name.lower()]
 
+    def _provider_constellation(self, name: str,
+                                ) -> Tuple[Constellation, Epoch]:
+        """The (lazily synthesized) fleet of one registered provider.
+
+        A provider whose constellation is already loaded for regular
+        serving (tianqi, typically) reuses that build — identical
+        objects, shared ephemeris cache entries.
+        """
+        cached = self._provider_consts.get(name)
+        if cached is not None:
+            return cached
+        prov = self._providers[name]
+        key = prov.constellation.name.lower()
+        if key in self._constellations:
+            built = (self._constellations[key], self._epochs[key])
+        else:
+            const = build_constellation(
+                prov.constellation.name, epochyr=self._epochyr,
+                epochdays=self._epochdays, seed=self._seed,
+                spec=prov.constellation)
+            built = (const, const.satellites[0].tle.epoch)
+        self._provider_consts[name] = built
+        return built
+
     # ------------------------------------------------------------------
     # Shared pass computation
     # ------------------------------------------------------------------
     def _windows_for_group(self, constellation: str,
                            observers: Sequence[GeodeticPoint],
                            horizon_s: float, min_elevation_deg: float,
+                           start_s: float = 0.0,
                            ) -> List[List[ContactWindow]]:
-        """Merged, rise-sorted windows of the whole constellation for
-        each observer of a parameter-homogeneous group."""
         const = self.constellation(constellation)
         epoch = self.epoch(constellation)
+        return self._windows_for(const, epoch, observers, horizon_s,
+                                 min_elevation_deg, start_s)
+
+    def _windows_for(self, const: Constellation, epoch: Epoch,
+                     observers: Sequence[GeodeticPoint],
+                     horizon_s: float, min_elevation_deg: float,
+                     start_s: float = 0.0,
+                     ) -> List[List[ContactWindow]]:
+        """Merged, rise-sorted windows of the whole constellation for
+        each observer of a parameter-homogeneous group.
+
+        A non-zero ``start_s`` widens the predicted span to
+        ``[0, start_s + horizon_s]``: window times stay relative to the
+        constellation epoch (the payload layer clips), and consecutive
+        ``now`` queries keep extending the *same* coarse grid — the
+        ephemeris tier serves them via incremental extension instead
+        of recomputing per quantum.
+        """
+        horizon_s = float(start_s) + float(horizon_s)
         per_observer: List[List[ContactWindow]] = \
             [[] for _ in observers]
-        if len(observers) == 1:
+        if len(observers) == 1 and not (self.realtime
+                                        and batching_enabled()):
             # Serial per-observer path: identical results by the batch
             # layer's bit-identity contract, and the honest baseline for
-            # the unbatched serving mode.
+            # the unbatched serving mode.  Realtime twins skip it — only
+            # the constellation-batched path below publishes the grids
+            # the incremental extension tier grows.
             for sat in const:
                 windows = self.ephemeris.find_passes(
                     sat.propagator, observers[0], epoch, horizon_s,
@@ -374,7 +599,7 @@ class ConstellationService:
             observers = [r.observer() for r in group]
             per_observer = self._windows_for_group(
                 group[0].constellation, observers, group[0].horizon_s,
-                group[0].min_elevation_deg)
+                group[0].min_elevation_deg, group[0].start_s)
             for request, index, windows in zip(group, indices,
                                                per_observer):
                 results[index] = self._passes_payload(request, windows)
@@ -384,6 +609,10 @@ class ConstellationService:
                         windows: Sequence[ContactWindow]) -> dict:
         const = self.constellation(request.constellation)
         epoch = self.epoch(request.constellation)
+        if request.start_s:
+            # Windows are computed over [0, start + horizon]; keep the
+            # ones still in progress (or later) at the start instant.
+            windows = [w for w in windows if w.set_s > request.start_s]
         if request.max_passes:
             windows = windows[:request.max_passes]
         names = {sat.tle.norad_id: sat.name for sat in const}
@@ -396,7 +625,7 @@ class ConstellationService:
             "culmination_s": round(w.culmination_s, 3),
             "max_elevation_deg": round(w.max_elevation_deg, 3),
         } for w in windows]
-        return {
+        payload = {
             "site": request.site_dict(),
             "constellation": const.name,
             "epoch": epoch.isoformat(),
@@ -406,6 +635,9 @@ class ConstellationService:
             "next_pass": passes[0] if passes else None,
             "passes": passes,
         }
+        if request.start_s:
+            payload["start_s"] = round(request.start_s, 3)
+        return payload
 
     # ------------------------------------------------------------------
     # /v1/presence
@@ -418,28 +650,42 @@ class ConstellationService:
             observers = [r.observer() for r in group]
             per_observer = self._windows_for_group(
                 group[0].constellation, observers, group[0].horizon_s,
-                group[0].min_elevation_deg)
+                group[0].min_elevation_deg, group[0].start_s)
             for request, index, windows in zip(group, indices,
                                                per_observer):
                 results[index] = self._presence_payload(request, windows)
         return results  # type: ignore[return-value]
 
+    @staticmethod
+    def _coverage(windows: Sequence[ContactWindow], start_s: float,
+                  horizon_s: float,
+                  ) -> Tuple[List[Tuple[float, float]], float,
+                             List[float]]:
+        """Merged coverage of ``[start, start + horizon]``: the merged
+        interval list, the covered seconds, and the gap lengths —
+        shared by presence and compare so the two endpoints can never
+        disagree on availability."""
+        end = start_s + horizon_s
+        merged = merge_intervals(
+            (max(start_s, w.rise_s), min(end, w.set_s))
+            for w in windows if w.set_s > start_s and w.rise_s < end)
+        covered = total_length(merged)
+        gaps: List[float] = []
+        cursor = start_s
+        for lo, hi in merged:
+            if lo > cursor:
+                gaps.append(lo - cursor)
+            cursor = max(cursor, hi)
+        if cursor < end:
+            gaps.append(end - cursor)
+        return merged, covered, gaps
+
     def _presence_payload(self, request: PresenceRequest,
                           windows: Sequence[ContactWindow]) -> dict:
         horizon = request.horizon_s
-        merged = merge_intervals(
-            (max(0.0, w.rise_s), min(horizon, w.set_s))
-            for w in windows if w.set_s > 0.0 and w.rise_s < horizon)
-        covered = total_length(merged)
-        gaps: List[float] = []
-        cursor = 0.0
-        for start, end in merged:
-            if start > cursor:
-                gaps.append(start - cursor)
-            cursor = max(cursor, end)
-        if cursor < horizon:
-            gaps.append(horizon - cursor)
-        return {
+        merged, covered, gaps = self._coverage(windows,
+                                               request.start_s, horizon)
+        payload = {
             "site": request.site_dict(),
             "constellation": request.constellation,
             "horizon_s": horizon,
@@ -454,6 +700,144 @@ class ConstellationService:
             "mean_gap_s": round(sum(gaps) / len(gaps), 3)
             if gaps else 0.0,
         }
+        if request.start_s:
+            payload["start_s"] = round(request.start_s, 3)
+        return payload
+
+    # ------------------------------------------------------------------
+    # /v1/compare
+    # ------------------------------------------------------------------
+    def compare_batch(self, requests: Sequence[CompareRequest],
+                      ) -> List[dict]:
+        """One geometry pass per provider, shared across the group.
+
+        Requests with identical comparison parameters coalesce: each
+        selected provider's fleet is propagated **once** for all
+        observers of the group (the same fleet fast path the other
+        endpoints use), then per-request payloads are derived from the
+        shared windows.
+        """
+        results: List[Optional[dict]] = [None] * len(requests)
+        for _, indices in self._group_indices(requests).items():
+            group = [requests[i] for i in indices]
+            observers = [r.observer() for r in group]
+            lead = group[0]
+            per_provider: Dict[str, List[List[ContactWindow]]] = {}
+            for name in lead.providers:
+                const, epoch = self._provider_constellation(name)
+                per_provider[name] = self._windows_for(
+                    const, epoch, observers, lead.horizon_s,
+                    lead.min_elevation_deg, lead.start_s)
+            for pos, (request, index) in enumerate(zip(group, indices)):
+                results[index] = self._compare_payload(
+                    request,
+                    {name: per_provider[name][pos]
+                     for name in lead.providers})
+        return results  # type: ignore[return-value]
+
+    def _compare_payload(self, request: CompareRequest,
+                         windows_by_provider: Dict[
+                             str, List[ContactWindow]]) -> dict:
+        horizon = request.horizon_s
+        entries: List[dict] = []
+        for name in request.providers:
+            prov = self._providers[name]
+            const, _ = self._provider_constellation(name)
+            merged, covered, gaps = self._coverage(
+                windows_by_provider[name], request.start_s, horizon)
+
+            # Latency: a reading born at a uniformly random instant
+            # waits (gap remaining)/2; averaging over the horizon gives
+            # sum(g^2)/(2*H).  Retransmission overhead follows the MAC:
+            # a geometric retry chain with per-packet loss p costs
+            # p/(1-p) expected extra attempts (capped by the retry
+            # budget), each a full backoff period.
+            mean_wait = sum(g * g for g in gaps) / (2.0 * horizon)
+            loss = prov.mac.satellite_loss_probability
+            expected_retx = min(loss / (1.0 - loss),
+                                float(prov.mac.max_retransmissions))
+            retx_overhead = expected_retx * prov.mac.retry_backoff_s
+            mean_uplink = (mean_wait + prov.mac.turnaround_s
+                           + retx_overhead)
+
+            # Energy: airtime of one maximally-packed frame times the
+            # frames actually transmitted per day (billing fragments +
+            # expected retries) at the radio's max uplink EIRP.
+            radio = prov.constellation.radio
+            modulation = LoRaModulation(
+                spreading_factor=radio.spreading_factor,
+                bandwidth_hz=radio.bandwidth_hz,
+                coding_rate=radio.coding_rate,
+                preamble_symbols=radio.preamble_symbols,
+                explicit_header=radio.explicit_header,
+                low_data_rate_optimize=radio.low_data_rate_optimize)
+            frame_bytes = min(request.payload_bytes,
+                              prov.costs.max_payload_bytes)
+            airtime = modulation.airtime_s(frame_bytes)
+            frames = prov.costs.packets_for_payload(
+                request.payload_bytes)
+            tx_per_day = (request.packets_per_day * frames
+                          * (1.0 + expected_retx))
+            tx_power_w = 10.0 ** ((radio.uplink_max_eirp_dbm
+                                   - 30.0) / 10.0)
+            energy_j_per_day = tx_power_w * airtime * tx_per_day
+
+            monthly = prov.costs.monthly_data_cost_usd(
+                request.packets_per_day, request.payload_bytes)
+            entries.append({
+                "provider": name,
+                "display_name": prov.display_name,
+                "constellation": prov.constellation.name,
+                "satellites": sum(shell.count for shell
+                                  in prov.constellation.shells),
+                "availability": {
+                    "coverage_fraction": round(covered / horizon, 6),
+                    "covered_s": round(covered, 3),
+                    "windows": len(merged),
+                    "mean_window_s": round(covered / len(merged), 3)
+                    if merged else 0.0,
+                    "max_gap_s": round(max(gaps), 3) if gaps else 0.0,
+                    "mean_gap_s": round(sum(gaps) / len(gaps), 3)
+                    if gaps else 0.0,
+                },
+                "latency": {
+                    "mean_wait_s": round(mean_wait, 3),
+                    "max_wait_s": round(max(gaps), 3) if gaps else 0.0,
+                    "retx_overhead_s": round(retx_overhead, 3),
+                    "mean_uplink_latency_s": round(mean_uplink, 3),
+                },
+                "energy": {
+                    "airtime_s": round(airtime, 6),
+                    "tx_per_day": round(tx_per_day, 3),
+                    "energy_j_per_day": round(energy_j_per_day, 6),
+                },
+                "cost": {
+                    "device_usd": round(prov.costs.device_cost_usd, 4),
+                    "monthly_usd": round(monthly, 4),
+                    "usd_per_thousand_packets": round(
+                        prov.costs.usd_per_thousand_packets, 4),
+                    "tco_12mo_usd": round(
+                        prov.costs.device_cost_usd + 12.0 * monthly, 4),
+                },
+            })
+        cheapest = min(entries,
+                       key=lambda e: e["cost"]["monthly_usd"])
+        most_available = max(
+            entries,
+            key=lambda e: e["availability"]["coverage_fraction"])
+        payload = {
+            "site": request.site_dict(),
+            "horizon_s": horizon,
+            "min_elevation_deg": request.min_elevation_deg,
+            "packets_per_day": request.packets_per_day,
+            "payload_bytes": request.payload_bytes,
+            "providers": entries,
+            "cheapest": cheapest["provider"],
+            "most_available": most_available["provider"],
+        }
+        if request.start_s:
+            payload["start_s"] = round(request.start_s, 3)
+        return payload
 
     # ------------------------------------------------------------------
     # /v1/link_budget

@@ -198,7 +198,8 @@ def _build_worker_service(config: ServingConfig, fleet: FleetConfig,
     return ConstellationService(
         constellations=config.constellations,
         ephemeris=ephemeris, coarse_step_s=config.coarse_step_s,
-        extra=extra)
+        extra=extra, providers=config.providers,
+        realtime=config.realtime)
 
 
 def _worker_main(worker_id: int, config: ServingConfig,
@@ -285,6 +286,7 @@ async def _worker_async(worker_id: int, config: ServingConfig,
                 "grid_mmap_bytes": ephemeris.stats.grid_mmap_bytes,
                 "grid_hits": ephemeris.stats.grid_hits,
                 "grid_misses": ephemeris.stats.grid_misses,
+                "grid_extensions": ephemeris.stats.grid_extensions,
                 "disk_hits": ephemeris.stats.disk_hits,
                 "disk_writes": ephemeris.stats.disk_writes,
             },
@@ -368,6 +370,11 @@ class ServingFleet:
             if self.fleet.reuseport is not None else reuseport_available()
         if self.fleet.reuseport and not reuseport_available():
             raise RuntimeError("SO_REUSEPORT forced on but unavailable")
+        if self.config.realtime and self.config.clock_anchor is None:
+            # Pin one anchor before forking: every worker (including
+            # ones respawned minutes later) maps wall time to the same
+            # sim offset, so now-queries are fleet-globally identical.
+            self.config.clock_anchor = time.time()
         self._ctx = multiprocessing.get_context("fork")
         self._slots: List[_WorkerSlot] = [
             _WorkerSlot() for _ in range(self.fleet.workers)]

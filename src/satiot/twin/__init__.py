@@ -1,0 +1,17 @@
+"""Real-time digital-twin support: sim clocks and time-query parsing.
+
+The twin tier maps wall-clock time onto the simulation timeline so the
+serving layer can answer ``start=now`` / ``start=next`` queries, and
+feeds the incremental ephemeris extension path in
+:mod:`satiot.runtime.ephemeris_cache`.
+"""
+
+from .clock import (MAX_QUERY_HORIZON_S, SKEW_TOLERANCE_S, SimClock,
+                    parse_time_query)
+
+__all__ = [
+    "MAX_QUERY_HORIZON_S",
+    "SKEW_TOLERANCE_S",
+    "SimClock",
+    "parse_time_query",
+]

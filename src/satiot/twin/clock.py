@@ -1,0 +1,217 @@
+"""Deterministic wall-clock → simulation-time mapping for the twin.
+
+The digital-twin serving mode answers "where is the fleet *now*?"
+against the same synthetic epoch the offline campaigns use.  The
+mapping is one affine function::
+
+    sim_offset_s = max(0, (real_now - anchor)) * rate
+
+with three properties the serving layer depends on:
+
+* **deterministic across processes** — ``anchor`` is an absolute unix
+  timestamp carried in the (pickled) serving config, so every fleet
+  worker computes the same mapping instead of each anchoring at its own
+  fork instant;
+* **monotonic** — ``time.time`` may step backwards (NTP); a high-water
+  mark guarantees the sim offset never decreases within a process;
+* **quantized for queries** — :meth:`SimClock.query_offset_s` floors
+  the offset to ``quantum_s``.  Two workers asked for ``start=now``
+  inside the same quantum resolve to the *same* offset, which keeps
+  responses byte-identical across the fleet and turns the advancing
+  clock into a slowly growing, cache-friendly sequence of time grids
+  (each step extends the previous grid instead of keying a fresh one).
+
+``time_source`` is injectable so tests drive the clock explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from typing import Callable, Optional, Tuple
+
+from ..orbits.timebase import Epoch, jday
+
+__all__ = ["SimClock", "parse_time_query", "MAX_QUERY_HORIZON_S",
+           "SKEW_TOLERANCE_S"]
+
+#: Hard ceiling on resolved start offsets — mirrors the serving layer's
+#: seven-day prediction horizon.
+MAX_QUERY_HORIZON_S = 7 * 86400.0
+
+#: ISO timestamps this little *before* the constellation epoch are
+#: clamped to 0 instead of rejected: clients anchor "now" on their own
+#: wall clock, and a skewed-but-honest clock should not 4xx.
+SKEW_TOLERANCE_S = 120.0
+
+_ISO_RE = re.compile(
+    r"^(\d{4})-(\d{2})-(\d{2})[Tt ]"
+    r"(\d{2}):(\d{2}):(\d{2}(?:\.\d+)?)"
+    r"(?:[Zz])?$")
+
+
+class SimClock:
+    """Monotonic simulated clock: sim seconds since the serving epoch.
+
+    Parameters
+    ----------
+    rate:
+        Simulation seconds per real second (``2.0`` = twice real time).
+    anchor:
+        Unix timestamp mapped to sim offset 0.  ``None`` anchors at
+        construction.  Fleet supervisors resolve the anchor **once**
+        and ship it to every worker so the mapping is fleet-global.
+    time_source:
+        Wall-clock source (defaults to :func:`time.time`); injectable
+        for deterministic tests.
+    quantum_s:
+        Query-resolution granularity: :meth:`query_offset_s` floors to
+        a multiple of this.  Must be positive.
+    """
+
+    def __init__(self, rate: float = 1.0,
+                 anchor: Optional[float] = None,
+                 time_source: Callable[[], float] = time.time,
+                 quantum_s: float = 1.0) -> None:
+        rate = float(rate)
+        if not math.isfinite(rate) or rate <= 0:
+            raise ValueError(f"clock rate must be a positive finite "
+                             f"number, got {rate!r}")
+        if not quantum_s > 0:
+            raise ValueError("quantum_s must be positive")
+        self.rate = rate
+        self.quantum_s = float(quantum_s)
+        self._time_source = time_source
+        self.anchor = float(anchor) if anchor is not None \
+            else float(time_source())
+        self._high_water = 0.0
+        self._lock = threading.Lock()
+
+    def now_offset_s(self) -> float:
+        """Current sim offset (seconds since the epoch), never negative
+        and never decreasing within this process."""
+        raw = (float(self._time_source()) - self.anchor) * self.rate
+        with self._lock:
+            self._high_water = max(self._high_water, raw, 0.0)
+            return self._high_water
+
+    def query_offset_s(self) -> float:
+        """The offset ``start=now`` resolves to: floored to the quantum
+        so every worker inside one quantum answers identically."""
+        return math.floor(self.now_offset_s() / self.quantum_s) \
+            * self.quantum_s
+
+    def now_epoch(self, epoch: Epoch) -> Epoch:
+        """The absolute sim instant, relative to ``epoch``."""
+        return epoch + self.now_offset_s()
+
+
+def _parse_iso(value: str) -> Optional[float]:
+    """Julian date of an ISO-8601 timestamp, or None if not ISO-shaped.
+
+    Stricter than a bare regex: calendar field ranges are validated
+    here so ``2024-13-40T99:99:99`` is a clear error, not a weird date.
+    """
+    match = _ISO_RE.match(value)
+    if match is None:
+        return None
+    year, month, day = (int(match.group(i)) for i in (1, 2, 3))
+    hour, minute = int(match.group(4)), int(match.group(5))
+    second = float(match.group(6))
+    if not 1901 <= year <= 2099:
+        raise ValueError(f"timestamp year {year} outside the supported "
+                         f"1901-2099 range")
+    if not 1 <= month <= 12:
+        raise ValueError(f"timestamp month {month} out of range 1-12")
+    if not 1 <= day <= 31:
+        raise ValueError(f"timestamp day {day} out of range 1-31")
+    if hour > 23 or minute > 59 or second >= 60.0:
+        raise ValueError(f"timestamp time {value!r} out of range")
+    return jday(year, month, day, hour, minute, second)
+
+
+def parse_time_query(value, *, clock: Optional[SimClock] = None,
+                     epoch: Optional[Epoch] = None,
+                     horizon_s: float = MAX_QUERY_HORIZON_S,
+                     allow_next: bool = True,
+                     ) -> Tuple[float, str]:
+    """Resolve a ``start=`` query value to ``(offset_s, mode)``.
+
+    Accepted forms, in resolution order:
+
+    * ``None`` / ``""`` — offset 0 (the constellation epoch);
+    * a number — literal offset in seconds since the epoch;
+    * ``"now"`` / ``"next"`` — the :class:`SimClock`'s quantized
+      offset (requires a clock, i.e. ``--realtime``); ``"next"`` is
+      reported as its own mode so pass queries can clamp to one pass;
+    * ISO-8601 (``YYYY-MM-DDTHH:MM:SS[.fff][Z]``) — absolute UTC,
+      resolved against ``epoch``; instants up to
+      :data:`SKEW_TOLERANCE_S` before the epoch clamp to 0
+      (client clock skew), earlier ones are rejected.
+
+    Every rejection is a :class:`ValueError` with an actionable
+    message — the serving layer maps these to 400s, never 500s.
+    """
+    mode = "offset"
+    if value is None:
+        return 0.0, mode
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        offset = float(value)
+    else:
+        text = str(value).strip()
+        if not text:
+            return 0.0, mode
+        lowered = text.lower()
+        if lowered in ("now", "next"):
+            if lowered == "next" and not allow_next:
+                raise ValueError(
+                    "start='next' is only meaningful for pass queries; "
+                    "use start='now'")
+            if clock is None:
+                raise ValueError(
+                    f"start={lowered!r} needs the server's real-time "
+                    f"clock; start it with --realtime (or use a "
+                    f"numeric offset / ISO-8601 timestamp)")
+            offset = clock.query_offset_s()
+            mode = lowered
+        else:
+            try:
+                jd = _parse_iso(text)
+            except ValueError as exc:
+                raise ValueError(f"bad start timestamp: {exc}") from exc
+            if jd is not None:
+                if epoch is None:
+                    raise ValueError(
+                        "ISO-8601 start timestamps need a "
+                        "constellation epoch to resolve against")
+                offset = float(Epoch(jd) - epoch)
+                mode = "iso"
+                if -SKEW_TOLERANCE_S <= offset < 0.0:
+                    offset = 0.0  # skewed client clock: clamp, don't 4xx
+                elif offset < 0.0:
+                    raise ValueError(
+                        f"start {text!r} predates the constellation "
+                        f"epoch {epoch.isoformat()} by "
+                        f"{-offset:.0f}s (beyond the "
+                        f"{SKEW_TOLERANCE_S:.0f}s clock-skew "
+                        f"tolerance)")
+            else:
+                try:
+                    offset = float(text)
+                except ValueError:
+                    raise ValueError(
+                        f"bad start {value!r}: expected 'now', 'next', "
+                        f"a numeric offset in seconds, or an ISO-8601 "
+                        f"timestamp (YYYY-MM-DDTHH:MM:SSZ)") from None
+    if not math.isfinite(offset):
+        raise ValueError(f"start offset must be finite, got {value!r}")
+    if offset < 0.0:
+        raise ValueError(
+            f"start offset must be non-negative, got {offset:g}")
+    if offset > horizon_s:
+        raise ValueError(
+            f"start offset {offset:.0f}s is beyond the "
+            f"{horizon_s:.0f}s serving horizon")
+    return offset, mode

@@ -1,0 +1,181 @@
+"""Tests for the provider registry and provider-routed cost math.
+
+Two regression contracts live here.  First, the hand-computed tariff
+fixtures for each built-in provider (Swarm- and Iridium-style archetype
+numbers worked out from their datasheet tariffs).  Second — the bug
+this registry exists to fix — the comparison layer's ``satellite=``
+arguments resolve through the registry instead of a hardcoded
+``TIANQI_COSTS`` default, and the default route stays bit-identical to
+the pre-registry behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from satiot.constellations.catalog import CONSTELLATION_SPECS
+from satiot.econ.comparison import tco_crossover_months, tco_usd
+from satiot.econ.pricing import TIANQI_COSTS, SatelliteCostModel
+from satiot.econ.providers import (PROVIDERS, ProviderSpec,
+                                   get_provider, provider_names,
+                                   register_provider, resolve_costs)
+
+
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_providers_present(self):
+        assert set(provider_names()) >= {"tianqi", "swarm", "iridium"}
+
+    def test_names_sorted(self):
+        assert list(provider_names()) == sorted(provider_names())
+
+    def test_lookup_is_case_and_whitespace_insensitive(self):
+        assert get_provider("Swarm") is PROVIDERS["swarm"]
+        assert get_provider("  IRIDIUM ") is PROVIDERS["iridium"]
+
+    def test_unknown_provider_lists_the_valid_set(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_provider("starlink")
+        message = str(excinfo.value)
+        assert "starlink" in message
+        for name in provider_names():
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_provider(PROVIDERS["swarm"])
+
+    def test_provider_name_must_be_lowercase(self):
+        spec = PROVIDERS["swarm"]
+        with pytest.raises(ValueError, match="lowercase"):
+            ProviderSpec(name="Swarm", display_name="x",
+                         constellation=spec.constellation)
+        with pytest.raises(ValueError, match="lowercase"):
+            ProviderSpec(name="", display_name="x",
+                         constellation=spec.constellation)
+
+    def test_tianqi_provider_reuses_catalog_spec_and_costs(self):
+        """The measured-service provider must alias, not copy: same
+        constellation spec, same cost model object, so provider-routed
+        paths are bit-identical to the legacy hardcoded ones."""
+        tianqi = get_provider("tianqi")
+        assert tianqi.constellation is CONSTELLATION_SPECS["tianqi"]
+        assert tianqi.costs is TIANQI_COSTS
+
+    def test_registered_constellations_stay_out_of_the_catalog(self):
+        """Providers are what-if alternatives; the catalog remains the
+        paper's four measured systems."""
+        assert "swarm" not in CONSTELLATION_SPECS
+        assert "iridium" not in CONSTELLATION_SPECS
+
+    def test_provider_shells_are_distinct_fleets(self):
+        swarm = get_provider("swarm").constellation
+        iridium = get_provider("iridium").constellation
+        assert sum(s.count for s in swarm.shells) == 120
+        assert sum(s.count for s in iridium.shells) == 66
+        assert swarm.norad_base != iridium.norad_base
+
+
+# ----------------------------------------------------------------------
+class TestResolveCosts:
+    def test_none_is_the_measured_service(self):
+        assert resolve_costs(None) is TIANQI_COSTS
+
+    def test_model_passes_through(self):
+        model = SatelliteCostModel(device_cost_usd=1.0)
+        assert resolve_costs(model) is model
+
+    def test_string_routes_through_registry(self):
+        assert resolve_costs("swarm") is get_provider("swarm").costs
+        assert resolve_costs("tianqi") is TIANQI_COSTS
+
+    def test_unknown_string_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown provider"):
+            resolve_costs("sputnik")
+
+    def test_wrong_type_raises_type_error(self):
+        with pytest.raises(TypeError, match="satellite"):
+            resolve_costs(42)
+
+
+# ----------------------------------------------------------------------
+class TestTariffFixtures:
+    """Hand-computed tariff numbers for each built-in provider.
+
+    All fixtures assume the paper's reference workload: 48 packets per
+    day of 20-byte readings, 30-day months.
+    """
+
+    def test_tianqi_monthly(self):
+        # 48 pkt/day * 30 day / 1000 * 16.5 USD = 23.76 USD
+        costs = get_provider("tianqi").costs
+        assert costs.monthly_data_cost_usd(48.0, 20) \
+            == pytest.approx(23.76)
+
+    def test_swarm_monthly(self):
+        # 20 B fits one 192 B packet: 48 * 30 / 1000 * 6.67 = 9.6048
+        costs = get_provider("swarm").costs
+        assert costs.monthly_data_cost_usd(48.0, 20) \
+            == pytest.approx(9.6048)
+
+    def test_iridium_monthly(self):
+        # 20 B fits one 340 B packet: 48 * 30 / 1000 * 95 = 136.8
+        costs = get_provider("iridium").costs
+        assert costs.monthly_data_cost_usd(48.0, 20) \
+            == pytest.approx(136.8)
+
+    def test_packet_fragmentation_boundaries(self):
+        swarm = get_provider("swarm").costs
+        iridium = get_provider("iridium").costs
+        assert swarm.packets_for_payload(192) == 1
+        assert swarm.packets_for_payload(200) == 2
+        assert iridium.packets_for_payload(340) == 1
+        assert iridium.packets_for_payload(350) == 2
+
+    def test_device_costs(self):
+        assert get_provider("swarm").costs \
+            .construction_cost_usd(3) == pytest.approx(357.0)
+        assert get_provider("iridium").costs \
+            .construction_cost_usd(2) == pytest.approx(498.0)
+
+
+# ----------------------------------------------------------------------
+class TestComparisonRouting:
+    """``satellite=`` in the comparison layer resolves via the
+    registry — the hardcoded-default regression."""
+
+    def test_default_unchanged_by_registry(self):
+        # 3 nodes, 12 months: 3*220 + 3*12*23.76 = 1515.36 satellite;
+        # 3*35 + 219 + 12*4.9 = 382.8 terrestrial.
+        tco = tco_usd(12, node_count=3, packets_per_day=48.0,
+                      payload_bytes=20)
+        assert tco["satellite_usd"] == pytest.approx(1515.36)
+        assert tco["terrestrial_usd"] == pytest.approx(382.8)
+        explicit = tco_usd(12, node_count=3, packets_per_day=48.0,
+                           payload_bytes=20, satellite=TIANQI_COSTS)
+        named = tco_usd(12, node_count=3, packets_per_day=48.0,
+                        payload_bytes=20, satellite="tianqi")
+        assert tco == explicit == named
+
+    def test_provider_name_switches_the_tariff(self):
+        # Swarm: 3*119 + 3*12*9.6048 = 702.7728
+        tco = tco_usd(12, node_count=3, packets_per_day=48.0,
+                      payload_bytes=20, satellite="swarm")
+        assert tco["satellite_usd"] == pytest.approx(702.7728)
+        # Terrestrial side is provider-independent.
+        assert tco["terrestrial_usd"] == pytest.approx(382.8)
+
+    def test_unknown_provider_name_raises(self):
+        with pytest.raises(ValueError, match="unknown provider"):
+            tco_usd(12, satellite="nonesuch")
+        with pytest.raises(ValueError, match="unknown provider"):
+            tco_crossover_months(satellite="nonesuch")
+
+    def test_crossover_moves_with_the_tariff(self):
+        """A cheaper per-packet tariff pushes the satellite-loses-
+        to-terrestrial crossover later (or out of the horizon)."""
+        flips_tq, month_tq = tco_crossover_months(satellite="tianqi")
+        flips_sw, month_sw = tco_crossover_months(satellite="swarm")
+        assert flips_tq
+        if flips_sw:
+            assert month_sw > month_tq

@@ -1,0 +1,190 @@
+"""Tests for the ``/v1/compare`` multi-provider endpoint.
+
+Contract: one request names a site and a provider list; the response
+carries one entry per provider — availability, latency, energy and
+cost, all derived from a single shared geometry pass per provider —
+plus ``cheapest`` / ``most_available`` verdicts.  The payload must be
+deterministic: byte-identical between GET and POST, across repeated
+requests, and across fleet worker counts (the fleet test at the
+bottom).  Cost figures are golden-tested against the hand-computed
+tariff fixtures in ``tests/econ/test_providers.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from satiot.serving import (FleetConfig, ServingConfig, ServingFleet,
+                            fork_available)
+
+from tests.serving.test_fleet import fetch
+from tests.serving.test_server import HK, fast_config, request, run, \
+    with_server
+
+COMPARE_QS = ("lat=22.3&lon=114.2&horizon_s=7200"
+              "&providers=tianqi,swarm")
+
+
+def compare_config(**overrides) -> ServingConfig:
+    """Service with only the two cheap-to-build providers loaded."""
+    defaults = dict(providers=("tianqi", "swarm"))
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+def get_compare(qs: str = COMPARE_QS, config: ServingConfig = None):
+    async def scenario(server):
+        return await request(server.bound_port, f"/v1/compare?{qs}")
+
+    return run(with_server(config or compare_config(), scenario))
+
+
+# ----------------------------------------------------------------------
+class TestComparePayload:
+    def test_schema_and_provider_order(self):
+        status, _, payload = get_compare()
+        assert status == 200
+        assert payload["site"]["latitude_deg"] == 22.3
+        assert payload["horizon_s"] == 7200.0
+        assert [e["provider"] for e in payload["providers"]] \
+            == ["tianqi", "swarm"]
+        for entry in payload["providers"]:
+            assert set(entry) >= {"provider", "display_name",
+                                  "constellation", "satellites",
+                                  "availability", "latency", "energy",
+                                  "cost"}
+            avail = entry["availability"]
+            assert 0.0 <= avail["coverage_fraction"] <= 1.0
+            assert avail["covered_s"] <= 7200.0
+            assert entry["latency"]["mean_uplink_latency_s"] >= 0.0
+            assert entry["energy"]["energy_j_per_day"] > 0.0
+        assert payload["cheapest"] in ("tianqi", "swarm")
+        assert payload["most_available"] in ("tianqi", "swarm")
+        # start=0 must not leak a start_s key (payload byte-compat).
+        assert "start_s" not in payload
+
+    def test_cost_entries_match_tariff_fixtures(self):
+        """The cost block is pure tariff math — golden-pinned to the
+        hand-computed fixtures (48 pkt/day, 20 B)."""
+        _, _, payload = get_compare()
+        by_name = {e["provider"]: e["cost"]
+                   for e in payload["providers"]}
+        assert by_name["tianqi"] == {
+            "device_usd": 220.0, "monthly_usd": 23.76,
+            "usd_per_thousand_packets": 16.5,
+            "tco_12mo_usd": 505.12}
+        assert by_name["swarm"] == {
+            "device_usd": 119.0, "monthly_usd": 9.6048,
+            "usd_per_thousand_packets": 6.67,
+            "tco_12mo_usd": 234.2576}
+        assert payload["cheapest"] == "swarm"
+
+    def test_get_and_post_agree(self):
+        async def scenario(server):
+            port = server.bound_port
+            get = await request(port, f"/v1/compare?{COMPARE_QS}")
+            post = await request(port, "/v1/compare", body={
+                **HK, "horizon_s": 7200,
+                "providers": "tianqi,swarm"})
+            return get, post
+
+        (s1, _, p1), (s2, _, p2) = run(
+            with_server(compare_config(), scenario))
+        assert s1 == s2 == 200
+        assert p1 == p2
+
+    def test_repeated_requests_identical(self):
+        async def scenario(server):
+            port = server.bound_port
+            first = await request(port, f"/v1/compare?{COMPARE_QS}")
+            second = await request(port, f"/v1/compare?{COMPARE_QS}")
+            return first, second
+
+        first, second = run(with_server(compare_config(), scenario))
+        assert first == second
+
+    def test_provider_order_follows_the_request(self):
+        reversed_qs = COMPARE_QS.replace("tianqi,swarm",
+                                         "swarm,tianqi")
+        _, _, payload = get_compare(reversed_qs)
+        assert [e["provider"] for e in payload["providers"]] \
+            == ["swarm", "tianqi"]
+
+    def test_default_is_every_loaded_provider_sorted(self):
+        _, _, payload = get_compare("lat=22.3&lon=114.2&horizon_s=7200")
+        assert [e["provider"] for e in payload["providers"]] \
+            == ["swarm", "tianqi"]
+
+    def test_compare_does_not_leak_into_healthz(self):
+        """Provider fleets are serving internals: /healthz keeps
+        reporting only the loaded constellations."""
+        async def scenario(server):
+            port = server.bound_port
+            await request(port, f"/v1/compare?{COMPARE_QS}")
+            return await request(port, "/healthz")
+
+        _, _, payload = run(with_server(compare_config(), scenario))
+        assert payload["constellations"] == ["tianqi"]
+
+
+# ----------------------------------------------------------------------
+class TestCompareValidation:
+    @pytest.mark.parametrize("qs, fragment", [
+        ("lat=22.3&lon=114.2&providers=starlink", "unknown provider"),
+        ("lat=22.3&lon=114.2&providers=%2C%2C", "empty"),
+        ("lon=114.2", "required"),
+        ("lat=22.3&lon=114.2&horizon_s=0", "horizon_s"),
+        ("lat=22.3&lon=114.2&packets_per_day=0", "packets_per_day"),
+        ("lat=22.3&lon=114.2&payload_bytes=0", "payload_bytes"),
+        ("lat=22.3&lon=114.2&payload_bytes=9999", "payload_bytes"),
+        ("lat=22.3&lon=114.2&start=next", "now"),
+        ("lat=22.3&lon=114.2&start=now", "--realtime"),
+    ])
+    def test_bad_parameters_get_400_with_reason(self, qs, fragment):
+        status, _, payload = get_compare(qs)
+        assert status == 400
+        assert fragment in payload["error"]
+
+    def test_unknown_provider_respects_loaded_subset(self):
+        """A provider that exists in the registry but was not loaded
+        into this server is still a 400."""
+        status, _, payload = get_compare(
+            "lat=22.3&lon=114.2&providers=iridium",
+            config=compare_config())
+        assert status == 400
+        assert "iridium" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not fork_available(),
+                    reason="fleet workers require the fork start method")
+class TestCompareAcrossWorkers:
+    """The acceptance gate: /v1/compare is byte-identical whether one
+    process answers or a multi-worker fleet does."""
+
+    PATH = f"/v1/compare?{COMPARE_QS}"
+
+    def single_body(self):
+        async def scenario(server):
+            status, _, payload = await request(server.bound_port,
+                                               self.PATH)
+            assert status == 200
+            return payload
+
+        return run(with_server(compare_config(), scenario))
+
+    def test_workers_1_vs_2_byte_identical(self):
+        reference = self.single_body()
+        bodies = []
+        for workers in (1, 2):
+            with ServingFleet(compare_config(),
+                              FleetConfig(workers=workers,
+                                          reuseport=False)) as fleet:
+                fleet.wait_ready()
+                status, body = fetch(fleet.bound_port, self.PATH)
+                assert status == 200
+                bodies.append(body)
+        assert bodies[0] == bodies[1]
+        assert json.loads(bodies[0]) == reference

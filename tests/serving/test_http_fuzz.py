@@ -17,8 +17,8 @@ import pytest
 from satiot.serving.http import (HTTPError, HTTPRequest,
                                  MAX_BODY_BYTES, MAX_HEADERS,
                                  MAX_REQUEST_LINE, read_request)
-from tests.serving.test_server import (fast_config, raw_request, run,
-                                       with_server)
+from tests.serving.test_server import (fast_config, raw_request,
+                                       request, run, with_server)
 
 try:
     from hypothesis import given, settings
@@ -173,6 +173,132 @@ if HAS_HYPOTHESIS:
                 assert error.status == 400
             else:
                 assert isinstance(payload, dict)
+
+
+# ----------------------------------------------------------------------
+class TestTimeQueryEndToEnd:
+    """``start=`` abuse maps to 4xx with a reason — never 500/hang.
+
+    Covers the query classes of the twin serving mode: ``now`` /
+    ``next`` with and without ``--realtime``, ISO-8601 instants that
+    are clock-skewed, pre-epoch or beyond the serving horizon, and
+    plain garbage.
+    """
+
+    BAD_STARTS = (
+        ("now", "--realtime"),            # needs the realtime clock
+        ("next", "--realtime"),
+        ("2024-01-01T00:00:00Z", "predates"),   # months pre-epoch
+        ("2025-06-01T00:00:00Z", "horizon"),    # beyond 7-day horizon
+        ("2024-13-40T99:99:99Z", "timestamp"),  # calendar garbage
+        ("1850-01-01T00:00:00Z", "timestamp"),  # outside 1901-2099
+        ("-3600", "non-negative"),
+        ("inf", "finite"),
+        ("nan", "finite"),
+        ("soon", "expected"),
+        ("%20tomorrow%20", "expected"),
+    )
+
+    def test_bad_start_values_get_400_with_reason(self):
+        async def scenario(server):
+            port = server.bound_port
+            results = []
+            for value, _ in self.BAD_STARTS:
+                results.append(await request(
+                    port, f"/v1/passes?lat=22.3&lon=114.2"
+                          f"&horizon_s=3600&start={value}"))
+            health = await request(port, "/healthz")
+            return results, health
+
+        results, (hs, _, _) = run(with_server(fast_config(), scenario))
+        for (status, _, payload), (value, fragment) \
+                in zip(results, self.BAD_STARTS):
+            assert status == 400, (value, status, payload)
+            assert fragment in payload["error"], (value, payload)
+        assert hs == 200  # still alive after the battery
+
+    def test_now_and_next_work_under_realtime(self):
+        config = fast_config(realtime=True, clock_quantum_s=60.0)
+
+        async def scenario(server):
+            port = server.bound_port
+            now = await request(
+                port, "/v1/passes?lat=22.3&lon=114.2"
+                      "&horizon_s=7200&start=now")
+            nxt = await request(
+                port, "/v1/passes?lat=22.3&lon=114.2"
+                      "&horizon_s=7200&start=next")
+            presence = await request(
+                port, "/v1/presence?lat=22.3&lon=114.2"
+                      "&horizon_s=3600&start=now")
+            return now, nxt, presence
+
+        (s1, _, now), (s2, _, nxt), (s3, _, presence) = run(
+            with_server(config, scenario))
+        assert s1 == s2 == s3 == 200
+        assert nxt["count"] <= 1  # 'next' clamps to one pass
+        assert 0.0 <= presence["coverage_fraction"] <= 1.0
+
+    def test_next_rejected_for_presence(self):
+        config = fast_config(realtime=True)
+
+        async def scenario(server):
+            return await request(
+                server.bound_port,
+                "/v1/presence?lat=22.3&lon=114.2&start=next")
+
+        status, _, payload = run(with_server(config, scenario))
+        assert status == 400
+        assert "now" in payload["error"]
+
+    def test_skewed_iso_clamps_instead_of_400(self):
+        """An ISO instant slightly before the epoch answers like
+        start=0 (client clock skew tolerance)."""
+        async def scenario(server):
+            port = server.bound_port
+            base = "/v1/passes?lat=22.3&lon=114.2&horizon_s=7200"
+            zero = await request(port, base)
+            # The serving epoch is 2024 day 245.0 = Sep 1 00:00:00.
+            skewed = await request(
+                port, base + "&start=2024-08-31T23:59:30Z")
+            return zero, skewed
+
+        (s1, _, zero), (s2, _, skewed) = run(
+            with_server(fast_config(), scenario))
+        assert s1 == s2 == 200
+        assert skewed == zero
+
+
+if HAS_HYPOTHESIS:
+
+    from satiot.twin import SimClock, parse_time_query
+
+    @pytest.mark.property
+    class TestTimeQueryFuzz:
+        """Arbitrary start strings: a (offset, mode) pair or a
+        ValueError — never any other exception."""
+
+        @settings(max_examples=300, deadline=None)
+        @given(value=st.text(max_size=40))
+        def test_arbitrary_text_parses_or_value_errors(self, value):
+            clock = SimClock(anchor=0.0, time_source=lambda: 120.0)
+            try:
+                offset, mode = parse_time_query(value, clock=clock)
+            except ValueError as error:
+                assert str(error)  # reason is never empty
+            else:
+                assert offset >= 0.0
+                assert mode in ("offset", "now", "next", "iso")
+
+        @settings(max_examples=150, deadline=None)
+        @given(value=st.floats(allow_nan=True, allow_infinity=True))
+        def test_arbitrary_floats_parse_or_value_error(self, value):
+            try:
+                offset, mode = parse_time_query(value)
+            except ValueError as error:
+                assert str(error)
+            else:
+                assert 0.0 <= offset and mode == "offset"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,209 @@
+"""Tests for the digital-twin clock and the start-query parser.
+
+The serving layer's byte-identity guarantees rest on two contracts
+pinned here: :class:`SimClock` is monotonic and quantized (every fleet
+worker inside one quantum resolves ``start=now`` to the same offset),
+and :func:`parse_time_query` maps every malformed start value to a
+``ValueError`` with an actionable message — never an exception the
+server would turn into a 500.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from satiot.orbits.timebase import Epoch, jday
+from satiot.twin import (MAX_QUERY_HORIZON_S, SKEW_TOLERANCE_S,
+                         SimClock, parse_time_query)
+
+
+class FakeTime:
+    """An injectable wall clock driven explicitly by the test."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+
+EPOCH = Epoch(jday(2024, 9, 6, 12, 0, 0.0))
+
+
+# ----------------------------------------------------------------------
+class TestSimClock:
+    def test_offset_is_elapsed_time_times_rate(self):
+        wall = FakeTime(1000.0)
+        clock = SimClock(rate=2.0, anchor=1000.0, time_source=wall)
+        assert clock.now_offset_s() == 0.0
+        wall.t = 1030.0
+        assert clock.now_offset_s() == 60.0
+
+    def test_anchor_defaults_to_construction_instant(self):
+        wall = FakeTime(500.0)
+        clock = SimClock(time_source=wall)
+        wall.t = 512.5
+        assert clock.now_offset_s() == pytest.approx(12.5)
+
+    def test_pre_anchor_wall_time_clamps_to_zero(self):
+        wall = FakeTime(1000.0)
+        clock = SimClock(anchor=2000.0, time_source=wall)
+        assert clock.now_offset_s() == 0.0
+
+    def test_monotonic_under_backwards_wall_step(self):
+        wall = FakeTime(1000.0)
+        clock = SimClock(anchor=1000.0, time_source=wall)
+        wall.t = 1100.0
+        assert clock.now_offset_s() == 100.0
+        wall.t = 1040.0  # NTP stepped the wall clock back
+        assert clock.now_offset_s() == 100.0
+        wall.t = 1150.0
+        assert clock.now_offset_s() == 150.0
+
+    def test_query_offset_floors_to_quantum(self):
+        wall = FakeTime(1000.0)
+        clock = SimClock(anchor=1000.0, time_source=wall,
+                         quantum_s=60.0)
+        wall.t = 1119.0
+        assert clock.query_offset_s() == 60.0
+        wall.t = 1120.0
+        assert clock.query_offset_s() == 120.0
+
+    def test_workers_sharing_anchor_agree_within_quantum(self):
+        """The fleet contract: same anchor + same quantum =>
+        byte-identical ``start=now`` resolution, regardless of the
+        small wall-clock skew between workers."""
+        a = SimClock(anchor=1000.0, time_source=FakeTime(1130.0),
+                     quantum_s=60.0)
+        b = SimClock(anchor=1000.0, time_source=FakeTime(1171.0),
+                     quantum_s=60.0)
+        assert a.query_offset_s() == b.query_offset_s() == 120.0
+
+    def test_now_epoch_advances_the_epoch(self):
+        wall = FakeTime(0.0)
+        clock = SimClock(anchor=0.0, time_source=wall)
+        wall.t = 3600.0
+        assert float(clock.now_epoch(EPOCH) - EPOCH) \
+            == pytest.approx(3600.0)
+
+    def test_thread_safety_high_water_never_decreases(self):
+        wall = FakeTime(1000.0)
+        clock = SimClock(anchor=1000.0, time_source=wall)
+        seen = []
+
+        def worker():
+            prev = 0.0
+            for _ in range(200):
+                now = clock.now_offset_s()
+                assert now >= prev
+                prev = now
+            seen.append(prev)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        wall.t = 1500.0
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(v == 500.0 for v in seen)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, math.inf, math.nan])
+    def test_invalid_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            SimClock(rate=rate)
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ValueError, match="quantum"):
+            SimClock(quantum_s=0.0)
+
+
+# ----------------------------------------------------------------------
+class TestParseTimeQuery:
+    def clock(self, offset: float, quantum_s: float = 60.0) -> SimClock:
+        return SimClock(anchor=0.0, time_source=FakeTime(offset),
+                        quantum_s=quantum_s)
+
+    def test_none_and_empty_resolve_to_epoch(self):
+        assert parse_time_query(None) == (0.0, "offset")
+        assert parse_time_query("") == (0.0, "offset")
+        assert parse_time_query("   ") == (0.0, "offset")
+
+    def test_numeric_offsets(self):
+        assert parse_time_query(1800) == (1800.0, "offset")
+        assert parse_time_query(1800.5) == (1800.5, "offset")
+        assert parse_time_query("3600") == (3600.0, "offset")
+        assert parse_time_query(" 7200.0 ") == (7200.0, "offset")
+
+    def test_now_uses_quantized_clock_offset(self):
+        offset, mode = parse_time_query("now", clock=self.clock(130.0))
+        assert (offset, mode) == (120.0, "now")
+        # Case-insensitive.
+        assert parse_time_query("NOW", clock=self.clock(130.0)) \
+            == (120.0, "now")
+
+    def test_next_is_its_own_mode(self):
+        offset, mode = parse_time_query("next", clock=self.clock(61.0))
+        assert (offset, mode) == (60.0, "next")
+
+    def test_next_rejected_where_meaningless(self):
+        with pytest.raises(ValueError, match="now"):
+            parse_time_query("next", clock=self.clock(0.0),
+                             allow_next=False)
+
+    def test_now_without_clock_names_the_fix(self):
+        for value in ("now", "next"):
+            with pytest.raises(ValueError, match="--realtime"):
+                parse_time_query(value)
+
+    def test_iso_resolves_against_epoch(self):
+        offset, mode = parse_time_query("2024-09-06T13:00:00Z",
+                                        epoch=EPOCH)
+        # Julian-date differencing carries ~1e-5 s float error.
+        assert offset == pytest.approx(3600.0, abs=1e-3)
+        assert mode == "iso"
+        # Space separator and fractional seconds also accepted.
+        offset, _ = parse_time_query("2024-09-06 12:00:01.5",
+                                     epoch=EPOCH)
+        assert offset == pytest.approx(1.5, abs=1e-3)
+
+    def test_iso_without_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch"):
+            parse_time_query("2024-09-06T13:00:00Z")
+
+    def test_skewed_client_clock_clamps_to_zero(self):
+        offset, _ = parse_time_query("2024-09-06T11:59:01Z",
+                                     epoch=EPOCH)
+        assert offset == 0.0
+
+    def test_pre_epoch_beyond_skew_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="predates"):
+            parse_time_query("2024-09-06T10:00:00Z", epoch=EPOCH)
+        assert SKEW_TOLERANCE_S < 7200.0
+
+    def test_calendar_garbage_is_a_clear_error(self):
+        for value in ("2024-13-06T00:00:00Z", "2024-09-40T00:00:00Z",
+                      "2024-09-06T99:99:99Z", "1850-01-01T00:00:00Z",
+                      "2150-01-01T00:00:00Z"):
+            with pytest.raises(ValueError, match="timestamp"):
+                parse_time_query(value, epoch=EPOCH)
+
+    def test_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            parse_time_query(MAX_QUERY_HORIZON_S + 1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            parse_time_query(500.0, horizon_s=400.0)
+
+    def test_negative_and_nonfinite_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_time_query(-10.0)
+        for value in (math.inf, math.nan, "inf", "nan"):
+            with pytest.raises(ValueError, match="finite"):
+                parse_time_query(value)
+
+    def test_garbage_strings_list_the_accepted_forms(self):
+        for value in ("soon", "tomorrow", "12:00", "True", "1e", "--"):
+            with pytest.raises(ValueError, match="expected"):
+                parse_time_query(value)
